@@ -1,0 +1,148 @@
+// Ablation: reading-time predictor design choices.
+//
+// Three questions the deployed predictor answers differently than a naive
+// setup, each isolated here on the same trace and the same held-out
+// decisions:
+//   1. target domain — regress log(seconds) (deployed) vs raw seconds
+//      (naive least squares chases the heavy tail);
+//   2. model class — GBRT vs the best single regression tree vs a linear
+//      ridge fit (Table 4's no-linear-signal result predicts the latter
+//      fails);
+//   3. ensemble size — accuracy as trees grow (diminishing returns justify
+//      the paper's small-phone-budget ensembles).
+#include <cmath>
+
+#include "bench_common.hpp"
+
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace eab;
+
+double accuracy(const std::vector<double>& predictions,
+                const std::vector<double>& truth, double threshold) {
+  return gbrt::threshold_accuracy(predictions, truth, threshold);
+}
+
+/// Ordinary least squares with a tiny ridge term (closed form, 10 features).
+std::vector<double> linear_fit_predict(const gbrt::Dataset& train,
+                                       const gbrt::Dataset& test) {
+  const std::size_t d = train.feature_count() + 1;  // + intercept
+  std::vector<std::vector<double>> xtx(d, std::vector<double>(d, 0.0));
+  std::vector<double> xty(d, 0.0);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    std::vector<double> x = train.row(i);
+    x.push_back(1.0);
+    for (std::size_t a = 0; a < d; ++a) {
+      xty[a] += x[a] * train.target(i);
+      for (std::size_t b = 0; b < d; ++b) xtx[a][b] += x[a] * x[b];
+    }
+  }
+  for (std::size_t a = 0; a < d; ++a) xtx[a][a] += 1e-6 * train.size();
+  // Gaussian elimination.
+  for (std::size_t col = 0; col < d; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < d; ++r) {
+      if (std::abs(xtx[r][col]) > std::abs(xtx[pivot][col])) pivot = r;
+    }
+    std::swap(xtx[col], xtx[pivot]);
+    std::swap(xty[col], xty[pivot]);
+    for (std::size_t r = 0; r < d; ++r) {
+      if (r == col || xtx[r][col] == 0) continue;
+      const double factor = xtx[r][col] / xtx[col][col];
+      for (std::size_t c = col; c < d; ++c) xtx[r][c] -= factor * xtx[col][c];
+      xty[r] -= factor * xty[col];
+    }
+  }
+  std::vector<double> weights(d);
+  for (std::size_t a = 0; a < d; ++a) weights[a] = xty[a] / xtx[a][a];
+
+  std::vector<double> predictions;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    double value = weights[d - 1];
+    const auto& row = test.row(i);
+    for (std::size_t f = 0; f < row.size(); ++f) value += weights[f] * row[f];
+    predictions.push_back(value);
+  }
+  return predictions;
+}
+
+}  // namespace
+
+int main() {
+  using namespace eab;
+  bench::print_header("Ablation", "reading-time predictor design choices");
+
+  auto records = bench::build_page_library();
+  trace::TraceGenerator generator(std::move(records), trace::TraceConfig{}, 11);
+  const auto views = generator.generate();
+  const std::size_t cut = views.size() * 7 / 10;
+  const std::vector<trace::PageView> train_views(views.begin(), views.begin() + cut);
+  const std::vector<trace::PageView> test_views(views.begin() + cut, views.end());
+
+  const auto train_log = trace::to_log_dataset(train_views, generator.records(), 2.0);
+  const auto test_log = trace::to_log_dataset(test_views, generator.records(), 2.0);
+  const auto train_raw = trace::to_dataset(train_views, generator.records(), 2.0);
+  const auto test_raw = trace::to_dataset(test_views, generator.records(), 2.0);
+
+  gbrt::GbrtParams params;
+  params.trees = 250;
+  params.tree.max_leaves = 8;
+
+  // 1. target domain
+  const auto model_log = gbrt::train_gbrt(train_log, params, 3);
+  const auto model_raw = gbrt::train_gbrt(train_raw, params, 3);
+  TextTable domain({"target domain", "acc @ 9s", "acc @ 20s"});
+  domain.add_row({"log seconds (deployed)",
+                  format_percent(accuracy(model_log.predict_all(test_log),
+                                          test_log.targets(), std::log(9.0))),
+                  format_percent(accuracy(model_log.predict_all(test_log),
+                                          test_log.targets(), std::log(20.0)))});
+  domain.add_row({"raw seconds",
+                  format_percent(accuracy(model_raw.predict_all(test_raw),
+                                          test_raw.targets(), 9.0)),
+                  format_percent(accuracy(model_raw.predict_all(test_raw),
+                                          test_raw.targets(), 20.0))});
+  std::printf("%s\n", domain.render().c_str());
+
+  // 2. model class
+  gbrt::GbrtParams stump = params;
+  stump.trees = 1;
+  stump.shrinkage = 1.0;
+  stump.tree.max_leaves = 8;
+  const auto single_tree = gbrt::train_gbrt(train_log, stump, 3);
+  TextTable model_class({"model", "acc @ 9s", "acc @ 20s"});
+  model_class.add_row(
+      {"GBRT (250 x 8-leaf)",
+       format_percent(accuracy(model_log.predict_all(test_log),
+                               test_log.targets(), std::log(9.0))),
+       format_percent(accuracy(model_log.predict_all(test_log),
+                               test_log.targets(), std::log(20.0)))});
+  model_class.add_row(
+      {"single 8-leaf tree",
+       format_percent(accuracy(single_tree.predict_all(test_log),
+                               test_log.targets(), std::log(9.0))),
+       format_percent(accuracy(single_tree.predict_all(test_log),
+                               test_log.targets(), std::log(20.0)))});
+  const auto linear = linear_fit_predict(train_log, test_log);
+  model_class.add_row(
+      {"linear least squares",
+       format_percent(accuracy(linear, test_log.targets(), std::log(9.0))),
+       format_percent(accuracy(linear, test_log.targets(), std::log(20.0)))});
+  std::printf("%s\n", model_class.render().c_str());
+
+  // 3. ensemble size
+  TextTable size({"trees", "acc @ 9s", "train MSE (log s)"});
+  for (const std::size_t trees : {10u, 50u, 150u, 400u}) {
+    gbrt::GbrtParams sized = params;
+    sized.trees = trees;
+    const auto model = gbrt::train_gbrt(train_log, sized, 3);
+    size.add_row({std::to_string(trees),
+                  format_percent(accuracy(model.predict_all(test_log),
+                                          test_log.targets(), std::log(9.0))),
+                  format_fixed(gbrt::mse(model, train_log), 3)});
+  }
+  std::printf("%s", size.render().c_str());
+  return 0;
+}

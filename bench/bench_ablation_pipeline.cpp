@@ -1,0 +1,82 @@
+// Ablation: which parts of the reorganized pipeline buy what?
+//
+// The paper's technique is a bundle: (a) defer the full CSS parse to the
+// layout phase and only scan for references, (b) defer image decoding,
+// (c) fetch discovery-bearing resources first, (d) replace repeated
+// intermediate reflows with one cheap text display.  This bench switches the
+// pieces off one at a time on the full-version benchmark and reports how
+// much of the transmission-time and energy saving each is responsible for —
+// the design-choice accounting DESIGN.md calls for.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace eab;
+
+struct Variant {
+  const char* name;
+  core::StackConfig config;
+};
+
+}  // namespace
+
+int main() {
+  using namespace eab;
+  bench::print_header("Ablation", "energy-aware pipeline, one piece off at a time");
+
+  const auto specs = corpus::full_benchmark();
+  const auto baseline = bench::run_benchmark(
+      specs, core::StackConfig::for_mode(browser::PipelineMode::kOriginal));
+
+  std::vector<Variant> variants;
+  {
+    Variant full{"full energy-aware bundle",
+                 core::StackConfig::for_mode(browser::PipelineMode::kEnergyAware)};
+    variants.push_back(full);
+
+    Variant no_priority = full;
+    no_priority.name = "  - without priority fetch";
+    no_priority.config.pipeline.priority_fetch = false;
+    variants.push_back(no_priority);
+
+    Variant no_css_defer = full;
+    no_css_defer.name = "  - without deferred CSS parse";
+    no_css_defer.config.pipeline.defer_css_parse = false;
+    variants.push_back(no_css_defer);
+
+    Variant no_display = full;
+    no_display.name = "  - without text intermediate display";
+    no_display.config.pipeline.intermediate_text_display = false;
+    variants.push_back(no_display);
+
+    Variant no_release = full;
+    no_release.name = "  - without forced radio release";
+    no_release.config.force_idle_at_tx = false;
+    variants.push_back(no_release);
+  }
+
+  TextTable table({"variant", "tx saving", "total saving", "energy+20s saving",
+                   "first display (s)"});
+  table.add_row({"stock browser (baseline)", "-", "-", "-",
+                 format_fixed(baseline.first_display, 1)});
+  for (const Variant& variant : variants) {
+    const auto result = bench::run_benchmark(specs, variant.config);
+    table.add_row({variant.name,
+                   format_percent(bench::saving(baseline.tx_time, result.tx_time)),
+                   format_percent(bench::saving(baseline.total_time, result.total_time)),
+                   format_percent(bench::saving(baseline.energy_20s, result.energy_20s)),
+                   format_fixed(result.first_display, 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nreading: a piece matters when removing it moves a column.\n"
+      "The forced radio release carries roughly half the energy saving;\n"
+      "the text display carries the first-paint win. Priority fetch and\n"
+      "CSS deferral barely move transmission time on this corpus - the tx\n"
+      "saving comes from what the bundle never does during loading:\n"
+      "image decoding and repeated reflow/redraw between discoveries.\n"
+      "(Deferring the CSS parse even lengthens the total load slightly,\n"
+      "because the parse would otherwise overlap network time - kept\n"
+      "because releasing the radio earlier outweighs it on energy.)\n");
+  return 0;
+}

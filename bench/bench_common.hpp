@@ -1,0 +1,101 @@
+// Shared helpers for the bench harnesses.
+//
+// Every bench binary prints the paper's reported numbers next to the values
+// measured from this reproduction, so the "same shape" claim is checkable at
+// a glance.  Keep these binaries self-contained: each one regenerates its
+// table/figure from scratch when run.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "corpus/page_spec.hpp"
+#include "util/table.hpp"
+
+namespace eab::bench {
+
+/// Prints a bench header naming the paper artifact being regenerated.
+inline void print_header(const std::string& figure, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), what.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Average single-load results over a list of specs.
+struct BenchmarkAverages {
+  double tx_time = 0;        ///< mean data transmission time (s)
+  double total_time = 0;     ///< mean load time (s)
+  double first_display = 0;  ///< mean first-display time (s)
+  double final_display = 0;  ///< mean final-display time (s)
+  double load_energy = 0;    ///< mean load energy (J)
+  double energy_20s = 0;     ///< mean energy incl. 20 s reading (J)
+  double dch_time = 0;       ///< mean DCH residency (s)
+};
+
+/// Runs every spec under `config` and averages the measurements.
+inline BenchmarkAverages run_benchmark(const std::vector<corpus::PageSpec>& specs,
+                                       const core::StackConfig& config,
+                                       std::uint64_t seed = 1) {
+  BenchmarkAverages avg;
+  for (const auto& spec : specs) {
+    const auto r = core::run_single_load(spec, config, 20.0, seed);
+    avg.tx_time += r.metrics.transmission_time();
+    avg.total_time += r.metrics.total_time();
+    avg.first_display += r.metrics.first_display - r.metrics.started;
+    avg.final_display += r.metrics.total_time();
+    avg.load_energy += r.load_energy;
+    avg.energy_20s += r.energy_with_reading;
+    avg.dch_time += r.dch_time;
+  }
+  const auto n = static_cast<double>(specs.size());
+  avg.tx_time /= n;
+  avg.total_time /= n;
+  avg.first_display /= n;
+  avg.final_display /= n;
+  avg.load_energy /= n;
+  avg.energy_20s /= n;
+  avg.dch_time /= n;
+  return avg;
+}
+
+/// Percentage saving helper: (base - ours) / base.
+inline double saving(double base, double ours) {
+  return base <= 0 ? 0 : (base - ours) / base;
+}
+
+}  // namespace eab::bench
+
+#include "gbrt/model.hpp"
+#include "trace/reading_model.hpp"
+
+namespace eab::bench {
+
+/// Builds the page library the trace generator browses: every benchmark page
+/// plus size-jittered sub-page variants, each loaded once through the
+/// energy-aware pipeline to measure its Table 1 features (the paper collects
+/// features with its modified browser the same way).
+inline std::vector<trace::PageRecord> build_page_library(
+    int variants_per_site = 4, std::uint64_t seed = 7) {
+  std::vector<trace::PageRecord> records;
+  const auto ea_cfg =
+      core::StackConfig::for_mode(browser::PipelineMode::kEnergyAware);
+  auto add_benchmark = [&](const std::vector<corpus::PageSpec>& specs) {
+    for (const auto& base : specs) {
+      for (const auto& spec :
+           corpus::spec_variants(base, variants_per_site, seed ^ records.size())) {
+        trace::PageRecord record;
+        record.spec = spec;
+        record.features =
+            core::run_single_load(spec, ea_cfg, 0.0, seed).features;
+        records.push_back(std::move(record));
+      }
+    }
+  };
+  add_benchmark(corpus::mobile_benchmark());
+  add_benchmark(corpus::full_benchmark());
+  return records;
+}
+
+}  // namespace eab::bench

@@ -1,0 +1,83 @@
+// Regenerates Fig 3: energy of the timer-driven ("Original") radio policy vs
+// the intuitive switch-to-IDLE-immediately policy, as a function of the gap
+// between two small transfers.
+//
+// Paper findings: the intuitive policy only saves energy when the interval
+// exceeds ~9 s (this crossover is why Tp = 9 s), and it adds ~1.75 s of
+// extra latency to the second transfer.
+#include "bench_common.hpp"
+
+#include "net/shared_link.hpp"
+#include "net/socket_downloader.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace eab;
+
+struct CycleResult {
+  Joules energy = 0;        ///< from end of transfer 1 to end of transfer 2
+  Seconds second_delay = 0; ///< request-to-completion latency of transfer 2
+};
+
+/// Runs two 1 KB transfers `interval` seconds apart; with `intuitive` the
+/// radio is forced to IDLE right after the first completes.
+CycleResult run_cycle(Seconds interval, bool intuitive) {
+  core::StackConfig config;
+  sim::Simulator sim;
+  radio::RrcMachine rrc(sim, config.rrc, config.power);
+  net::SharedLink link(sim, config.link.dch_bandwidth);
+  net::SocketDownloader socket(sim, link, rrc, config.link);
+
+  CycleResult result;
+  Seconds first_end = 0;
+  Seconds second_start = 0;
+  Seconds second_end = 0;
+
+  socket.download(kilobytes(1), [&](Seconds, Seconds finished) {
+    first_end = finished;
+    if (intuitive) rrc.force_idle();
+    sim.schedule_in(interval, [&] {
+      second_start = sim.now();
+      socket.download(kilobytes(1), [&](Seconds, Seconds done) {
+        second_end = done;
+      });
+    });
+  });
+  sim.run_until(3600);
+
+  result.energy = rrc.power().energy(first_end, second_end);
+  result.second_delay = second_end - second_start;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace eab;
+  bench::print_header(
+      "Fig 3", "energy vs transfer interval: timer-driven vs always-IDLE");
+
+  TextTable table({"interval(s)", "Original(J)", "Intuitive(J)", "saving(J)"});
+  double crossover = -1;
+  double previous_saving = 0;
+  for (int interval = 1; interval <= 24; ++interval) {
+    const CycleResult original = run_cycle(interval, false);
+    const CycleResult intuitive = run_cycle(interval, true);
+    const double saving = original.energy - intuitive.energy;
+    if (crossover < 0 && saving > 0 && previous_saving <= 0 && interval > 1) {
+      crossover = interval;
+    }
+    previous_saving = saving;
+    table.add_row({std::to_string(interval), format_fixed(original.energy, 2),
+                   format_fixed(intuitive.energy, 2), format_fixed(saving, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const CycleResult original_delay = run_cycle(12, false);
+  const CycleResult intuitive_delay = run_cycle(12, true);
+  std::printf("\ncrossover interval : %.0f s   (paper: ~9 s)\n", crossover);
+  std::printf("extra delay of intuitive policy: %.2f s  (paper: ~1.75 s)\n",
+              intuitive_delay.second_delay - original_delay.second_delay);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Regenerates Fig 4: the traffic shape of opening espn.go.com/sports with
+// the stock browser versus pulling the same bytes through a raw socket.
+//
+// Paper measurements: the browser needs 47 s for 760 KB because transfers
+// are spread across the whole load; the socket needs ~8 s.  Absolute times
+// differ on our simulated link; the shape — scattered bursts vs one block —
+// is the reproduced result.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace eab;
+  bench::print_header("Fig 4", "traffic shape: browser load vs socket bulk");
+
+  const corpus::PageSpec page = corpus::espn_sports_spec();
+  const auto orig_cfg =
+      core::StackConfig::for_mode(browser::PipelineMode::kOriginal);
+  const auto load = core::run_single_load(page, orig_cfg);
+  const auto bulk = core::run_bulk_download(load.bytes_fetched, orig_cfg);
+
+  std::printf("page bytes: %.0f KB in %d objects\n\n",
+              to_kilobytes(load.bytes_fetched), load.metrics.objects_fetched);
+
+  auto print_bins = [](const char* label, const PowerTimeline& rate,
+                       Seconds until) {
+    std::printf("%s (KB per 0.5 s bin):\n  ", label);
+    int printed = 0;
+    for (Seconds t = 0; t < until; t += 0.5) {
+      const double kb = rate.energy(t, t + 0.5) / 1024.0;  // bytes -> KB
+      std::printf("%5.1f", kb);
+      if (++printed % 16 == 0) std::printf("\n  ");
+    }
+    std::printf("\n");
+  };
+  print_bins("browser (original pipeline)", load.link_rate,
+             load.metrics.transmission_done);
+  std::printf("\n");
+  print_bins("raw socket", bulk.link_rate, bulk.finished);
+
+  std::printf("\nbrowser transmission time : %5.1f s  (paper: 47 s)\n",
+              load.metrics.transmission_time());
+  std::printf("socket bulk download      : %5.1f s  (paper: ~8 s)\n",
+              bulk.duration());
+  std::printf("ratio browser/socket      : %5.1fx (paper: ~5.9x)\n",
+              load.metrics.transmission_time() / bulk.duration());
+  return 0;
+}

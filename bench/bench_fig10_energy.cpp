@@ -1,0 +1,41 @@
+// Regenerates Fig 10: energy to open a page plus 20 seconds of reading,
+// original vs energy-aware, for both benchmarks and the two featured pages.
+//
+// Paper-reported savings: mobile benchmark 35.7 %, full benchmark 30.8 %,
+// m.cnn.com 35.5 %, espn.go.com/sports 43.6 %.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace eab;
+
+void report(const std::string& label, const std::vector<corpus::PageSpec>& specs,
+            double paper_saving) {
+  const auto orig = bench::run_benchmark(
+      specs, core::StackConfig::for_mode(browser::PipelineMode::kOriginal));
+  const auto ea = bench::run_benchmark(
+      specs, core::StackConfig::for_mode(browser::PipelineMode::kEnergyAware));
+  TextTable table({label, "Original", "Energy-Aware", "saving", "paper"});
+  table.add_row({"energy: open page (J)", format_fixed(orig.load_energy, 1),
+                 format_fixed(ea.load_energy, 1),
+                 format_percent(bench::saving(orig.load_energy, ea.load_energy)),
+                 "-"});
+  table.add_row({"energy: open + 20 s read (J)", format_fixed(orig.energy_20s, 1),
+                 format_fixed(ea.energy_20s, 1),
+                 format_percent(bench::saving(orig.energy_20s, ea.energy_20s)),
+                 format_percent(paper_saving)});
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace eab;
+  bench::print_header("Fig 10", "energy for opening a page + 20 s of reading");
+
+  report("mobile benchmark", corpus::mobile_benchmark(), 0.357);
+  report("full benchmark", corpus::full_benchmark(), 0.308);
+  report("m.cnn.com", {corpus::m_cnn_spec()}, 0.355);
+  report("espn.go.com/sports", {corpus::espn_sports_spec()}, 0.436);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Regenerates Table 5: whole-phone power in each radio/CPU state, measured
+// from the simulator's power timelines (not just echoed from the config) by
+// driving the radio through each state and sampling.
+#include "bench_common.hpp"
+
+#include "browser/cpu.hpp"
+#include "net/shared_link.hpp"
+#include "net/socket_downloader.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace eab;
+  bench::print_header("Table 5", "whole-phone power per state");
+
+  core::StackConfig config;
+  sim::Simulator sim;
+  radio::RrcMachine rrc(sim, config.rrc, config.power);
+  net::SharedLink link(sim, config.link.dch_bandwidth);
+  net::SocketDownloader socket(sim, link, rrc, config.link);
+  browser::CpuScheduler cpu(sim, config.power.cpu_busy_extra);
+
+  // Drive: idle 0-5 s; large transfer (DCH w/ transmission); wait out T1
+  // (DCH no transmission happens between transfer end and demotion); FACH;
+  // IDLE again; then a CPU burst at IDLE.
+  Seconds transfer_start = 0;
+  Seconds transfer_end = 0;
+  sim.schedule_at(5.0, [&] {
+    socket.download(kilobytes(600), [&](Seconds started, Seconds finished) {
+      transfer_start = started;
+      transfer_end = finished;
+    });
+  });
+  sim.run();
+  const Seconds fach_at = transfer_end + config.rrc.t1 + 1.0;
+  const Seconds idle_again = transfer_end + config.rrc.t1 + config.rrc.t2 + 2.0;
+  sim.run_until(idle_again + 1.0);
+  cpu.submit(5.0, [] {});
+  sim.run();
+  const auto total = PowerTimeline::sum(rrc.power(), cpu.power());
+
+  auto level = [&](Seconds at) { return total.energy(at, at + 0.25) / 0.25; };
+
+  TextTable table({"state", "measured (W)", "paper (W)"});
+  table.add_row({"IDLE", format_fixed(level(2.0), 2), "0.15"});
+  table.add_row({"FACH", format_fixed(level(fach_at), 2), "0.63"});
+  table.add_row({"DCH without transmission",
+                 format_fixed(level(transfer_end + 1.0), 2), "1.15"});
+  table.add_row({"DCH with transmission",
+                 format_fixed(level((transfer_start + transfer_end) / 2), 2),
+                 "1.25"});
+  table.add_row({"fully running CPU (IDLE)",
+                 format_fixed(level(idle_again + 2.0), 2), "0.60"});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

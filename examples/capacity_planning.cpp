@@ -1,0 +1,61 @@
+// Operator-view capacity planning: how many web-browsing users can one UMTS
+// cell carry before sessions start being dropped, and what deploying the
+// energy-aware browser fleet-wide buys (the paper's Section 5.4 argument).
+#include <cstdio>
+#include <vector>
+
+#include "capacity/mgn.hpp"
+#include "core/experiment.hpp"
+#include "corpus/page_spec.hpp"
+
+namespace {
+
+using namespace eab;
+
+capacity::ServiceTimeDistribution measure_service_times(
+    browser::PipelineMode mode) {
+  std::vector<Seconds> times;
+  const auto config = core::StackConfig::for_mode(mode);
+  for (const auto& spec : corpus::full_benchmark()) {
+    times.push_back(
+        core::run_single_load(spec, config).metrics.transmission_time());
+  }
+  return capacity::ServiceTimeDistribution(std::move(times));
+}
+
+}  // namespace
+
+int main() {
+  using namespace eab;
+
+  std::printf("measuring per-page channel-holding times on the full-version "
+              "benchmark...\n");
+  const auto original = measure_service_times(browser::PipelineMode::kOriginal);
+  const auto energy_aware =
+      measure_service_times(browser::PipelineMode::kEnergyAware);
+  std::printf("  mean channel holding: %.1f s stock, %.1f s energy-aware\n\n",
+              original.mean(), energy_aware.mean());
+
+  capacity::CapacityConfig config;  // 200 channel pairs, 25 s think time, 4 h
+  std::printf("cell: %d channel pairs, Poisson think time %.0f s, %.0f h\n\n",
+              config.channels, config.mean_interarrival,
+              config.horizon / 3600);
+
+  std::printf("users   drop%% (stock)   drop%% (energy-aware)\n");
+  for (int users = 200; users <= 500; users += 50) {
+    config.users = users;
+    const auto stock = capacity::simulate_capacity(config, original, 1);
+    const auto ours = capacity::simulate_capacity(config, energy_aware, 1);
+    std::printf("%5d   %8.2f        %8.2f\n", users,
+                100 * stock.drop_probability, 100 * ours.drop_probability);
+  }
+
+  // Cross-check against the closed-form Erlang-B blocking at one load point.
+  config.users = 350;
+  const double offered = 350.0 * original.mean() / config.mean_interarrival;
+  std::printf("\nanalytic cross-check at 350 users: Erlang-B(%.0f erlangs, "
+              "%d channels) = %.2f%%\n",
+              offered, config.channels,
+              100 * capacity::erlang_b(offered, config.channels));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Training, inspecting and persisting the GBRT reading-time predictor
+// (the paper's Section 4.3): which of Table 1's features carry signal, how
+// accurate the threshold decisions are, and how a trained model is shipped
+// to the phone as text.
+#include <cmath>
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "corpus/page_spec.hpp"
+#include "gbrt/model.hpp"
+#include "trace/reading_model.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace eab;
+
+  // Page library: every benchmark page, features measured by the browser.
+  std::vector<trace::PageRecord> records;
+  const auto stack =
+      core::StackConfig::for_mode(browser::PipelineMode::kEnergyAware);
+  for (const auto& benchmark :
+       {corpus::mobile_benchmark(), corpus::full_benchmark()}) {
+    for (const auto& base : benchmark) {
+      for (const auto& spec : corpus::spec_variants(base, 3, 17)) {
+        trace::PageRecord record;
+        record.spec = spec;
+        record.features = core::run_single_load(spec, stack).features;
+        records.push_back(std::move(record));
+      }
+    }
+  }
+
+  trace::TraceGenerator generator(std::move(records), trace::TraceConfig{}, 99);
+  const auto views = generator.generate();
+  const auto data = trace::to_log_dataset(views, generator.records(), 2.0);
+  const auto [train, test] = data.split(0.7);
+  std::printf("trace: %zu engaged views (%zu train / %zu test)\n\n",
+              data.size(), train.size(), test.size());
+
+  gbrt::GbrtParams params;
+  params.trees = 300;
+  params.tree.max_leaves = 8;
+  params.shrinkage = 0.08;
+  gbrt::BoostTrace boost_trace;
+  const auto model = gbrt::train_gbrt(train, params, 5, &boost_trace);
+  std::printf("training MSE: %.3f after 1 tree -> %.3f after %zu trees\n",
+              boost_trace.train_mse.front(), boost_trace.train_mse.back(),
+              model.tree_count());
+
+  const auto predictions = model.predict_all(test);
+  std::printf("held-out threshold accuracy: %.1f%% @ Tp=9s, %.1f%% @ Td=20s\n\n",
+              100 * gbrt::threshold_accuracy(predictions, test.targets(),
+                                             std::log(9.0)),
+              100 * gbrt::threshold_accuracy(predictions, test.targets(),
+                                             std::log(20.0)));
+
+  std::printf("feature importance (fraction of total split gain):\n");
+  const auto importance =
+      model.feature_importance(browser::PageFeatures::kCount);
+  const auto names = browser::PageFeatures::names();
+  for (std::size_t f = 0; f < names.size(); ++f) {
+    std::printf("  %-18s %5.1f%%\n", names[f].c_str(), 100 * importance[f]);
+  }
+
+  // Ship the model the way the paper does: trained offline, deployed as data.
+  const std::string blob = model.serialize();
+  const auto reloaded = gbrt::GbrtModel::parse(blob);
+  std::printf("\nserialized model: %.1f KB; reload predicts identically: %s\n",
+              blob.size() / 1024.0,
+              reloaded.predict(test.row(0)) == model.predict(test.row(0))
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

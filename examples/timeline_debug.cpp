@@ -1,0 +1,42 @@
+// Development aid: dumps the link-rate timeline and load milestones for one
+// page under both pipelines, to inspect where transmissions cluster.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "corpus/page_spec.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eab;
+  const bool mobile = argc > 1 && std::string(argv[1]) == "mobile";
+  const corpus::PageSpec page =
+      mobile ? corpus::m_cnn_spec() : corpus::espn_sports_spec();
+
+  for (auto mode : {browser::PipelineMode::kOriginal,
+                    browser::PipelineMode::kEnergyAware}) {
+    const auto r = core::run_single_load(page, core::StackConfig::for_mode(mode));
+    std::printf("%s: tx=%.1f total=%.1f first=%.1f layouttail=%.1f E=%.1fJ E20=%.1fJ dch=%.1f\n",
+                mode == browser::PipelineMode::kOriginal ? "ORIG" : "EA  ",
+                r.metrics.transmission_time(), r.metrics.total_time(),
+                r.metrics.first_display, r.metrics.layout_tail_time(),
+                r.load_energy, r.energy_with_reading, r.dch_time);
+    // Link busy intervals (rate switches between 0 and capacity).
+    std::printf("  link busy: ");
+    const auto samples = r.link_rate.sample(0, r.metrics.total_time(), 0.5);
+    bool busy = false;
+    double start = 0;
+    for (const auto& s : samples) {
+      const bool now_busy = s.power > 0;
+      if (now_busy && !busy) start = s.time;
+      if (!now_busy && busy) std::printf("[%.1f-%.1f] ", start, s.time);
+      busy = now_busy;
+    }
+    if (busy) std::printf("[%.1f-end]", start);
+    std::printf("\n  tail power: ");
+    for (const auto& s2 : r.total_power.sample(r.metrics.transmission_done,
+                                               r.metrics.final_display, 0.25)) {
+      std::printf("%.2f ", s2.power);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

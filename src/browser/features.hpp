@@ -1,0 +1,46 @@
+// The 10 webpage features of the paper's Table 1.
+//
+// Collected by the browser while a page opens; they are the GBRT input
+// vector x = {x1..x10} for reading-time prediction (the 11th quantity,
+// reading time itself, is the label and lives in the trace records).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace eab::browser {
+
+/// Feature vector of one page view (Table 1, in the paper's order).
+struct PageFeatures {
+  Seconds transmission_time = 0;   ///< data transmission time
+  double page_size_kb = 0;         ///< page size without figures (KB)
+  double object_count = 0;         ///< total downloaded objects
+  double js_file_count = 0;        ///< downloaded JavaScript files
+  double figure_count = 0;         ///< downloaded figures
+  double figure_size_kb = 0;       ///< total size of downloaded figures (KB)
+  Seconds js_running_time = 0;     ///< time processing all JavaScript
+  double secondary_url_count = 0;  ///< number of secondary URLs
+  double page_height = 0;          ///< laid-out page height (px)
+  double page_width = 0;           ///< laid-out page width (px)
+
+  /// Feature vector in Table 1 order.
+  std::vector<double> to_row() const {
+    return {transmission_time, page_size_kb,   object_count,
+            js_file_count,     figure_count,   figure_size_kb,
+            js_running_time,   secondary_url_count, page_height,
+            page_width};
+  }
+
+  /// Column names matching to_row().
+  static std::vector<std::string> names() {
+    return {"TransmissionTime", "PageSizeKB",   "Objects",   "JsFiles",
+            "Figures",          "FigureSizeKB", "JsTime",    "SecondURLs",
+            "PageHeight",       "PageWidth"};
+  }
+
+  static constexpr std::size_t kCount = 10;
+};
+
+}  // namespace eab::browser

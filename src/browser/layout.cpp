@@ -1,0 +1,74 @@
+#include "browser/layout.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace eab::browser {
+namespace {
+
+int parse_px(const std::string& value, int fallback) {
+  if (value.empty()) return fallback;
+  const int parsed = std::atoi(value.c_str());
+  return parsed > 0 ? parsed : fallback;
+}
+
+struct LayoutWalker {
+  const Viewport& viewport;
+  PageGeometry geometry;
+
+  void walk(const web::DomNode& node) {
+    if (node.is_text()) {
+      ++geometry.text_nodes;
+      // Text flows at the viewport width.
+      const auto chars = static_cast<int>(node.content().size());
+      const int chars_per_line =
+          std::max(1, viewport.width_px / viewport.avg_char_width_px);
+      const int lines = (chars + chars_per_line - 1) / chars_per_line;
+      geometry.height_px += lines * viewport.line_height_px;
+      geometry.width_px = std::max(
+          geometry.width_px,
+          std::min(chars, chars_per_line) * viewport.avg_char_width_px);
+      return;
+    }
+    ++geometry.element_nodes;
+    const std::string& tag = node.tag();
+    if (tag == "img" || tag == "embed" || tag == "object") {
+      ++geometry.image_nodes;
+      const int width = parse_px(node.attr("width"), viewport.default_image_width_px);
+      const int height =
+          parse_px(node.attr("height"), viewport.default_image_height_px);
+      geometry.height_px += height;
+      geometry.width_px = std::max(geometry.width_px,
+                                   std::min(width, viewport.width_px * 4));
+      return;
+    }
+    if (tag == "script" || tag == "style" || tag == "head" || tag == "meta" ||
+        tag == "link" || tag == "title") {
+      // Non-rendered subtrees contribute structure but no geometry; scripts'
+      // text children must not be measured as page text.
+      node.visit([this](const web::DomNode& hidden) {
+        if (hidden.is_element()) ++geometry.element_nodes;
+      });
+      --geometry.element_nodes;  // the visit recounted `node` itself
+      return;
+    }
+    for (const auto& child : node.children()) walk(*child);
+    // Block-level spacing.
+    if (tag == "div" || tag == "p" || tag == "h1" || tag == "h2" ||
+        tag == "h3" || tag == "table" || tag == "ul" || tag == "section") {
+      geometry.height_px += viewport.line_height_px / 2;
+    }
+  }
+};
+
+}  // namespace
+
+PageGeometry estimate_geometry(const web::DomNode& root,
+                               const Viewport& viewport) {
+  LayoutWalker walker{viewport, {}};
+  for (const auto& child : root.children()) walker.walk(*child);
+  walker.geometry.width_px = std::max(walker.geometry.width_px, viewport.width_px);
+  return walker.geometry;
+}
+
+}  // namespace eab::browser

@@ -1,0 +1,79 @@
+#include "browser/text_render.hpp"
+
+#include <sstream>
+
+namespace eab::browser {
+namespace {
+
+struct Renderer {
+  const Viewport& viewport;
+  RenderStyle style;
+  std::size_t max_lines;
+  std::string out;
+  std::string line;
+  std::size_t lines = 0;
+  int chars_per_line;
+
+  bool full() const { return lines > 0 && max_lines != 0 && lines >= max_lines; }
+
+  void flush_line() {
+    if (line.empty()) return;
+    out += line;
+    out += '\n';
+    line.clear();
+    ++lines;
+  }
+
+  void add_word(const std::string& word) {
+    if (full()) return;
+    const std::size_t needed = line.empty() ? word.size() : line.size() + 1 + word.size();
+    if (needed > static_cast<std::size_t>(chars_per_line)) flush_line();
+    if (full()) return;
+    if (!line.empty()) line += ' ';
+    line += word;
+  }
+
+  void walk(const web::DomNode& node) {
+    if (full()) return;
+    if (node.is_text()) {
+      std::istringstream words(node.content());
+      std::string word;
+      while (words >> word) add_word(word);
+      return;
+    }
+    const std::string& tag = node.tag();
+    if (tag == "script" || tag == "style" || tag == "head" || tag == "meta" ||
+        tag == "link" || tag == "title") {
+      return;  // non-rendered subtrees
+    }
+    if (tag == "img" || tag == "embed" || tag == "object") {
+      if (style == RenderStyle::kFull) {
+        const std::string width = node.attr("width");
+        const std::string height = node.attr("height");
+        add_word("[image " + (width.empty() ? "?" : width) + "x" +
+                 (height.empty() ? "?" : height) + "]");
+      }
+      // The simplified text display shows nothing for undecoded images.
+      return;
+    }
+    const bool block = tag == "div" || tag == "p" || tag == "ul" ||
+                       tag == "li" || tag == "h1" || tag == "h2" ||
+                       tag == "h3" || tag == "table" || tag == "section" ||
+                       tag == "body";
+    for (const auto& child : node.children()) walk(*child);
+    if (block) flush_line();
+  }
+};
+
+}  // namespace
+
+std::string render_text(const web::DomNode& root, const Viewport& viewport,
+                        RenderStyle style, std::size_t max_lines) {
+  Renderer renderer{viewport, style, max_lines, {}, {}, 0,
+                    std::max(1, viewport.width_px / viewport.avg_char_width_px)};
+  renderer.walk(root);
+  renderer.flush_line();
+  return renderer.out;
+}
+
+}  // namespace eab::browser

@@ -1,0 +1,27 @@
+// Text-mode page rendering.
+//
+// The paper's Figs 12/13 are screenshots; this renderer is their text-mode
+// substitute: it walks the laid-out DOM and produces the page as a column of
+// wrapped text lines with [image WxH] placeholders, so display output can be
+// inspected, diffed and asserted on in tests.
+#pragma once
+
+#include <string>
+
+#include "browser/layout.hpp"
+#include "web/dom.hpp"
+
+namespace eab::browser {
+
+/// Rendering flavours.
+enum class RenderStyle {
+  kSimplifiedText,  ///< the energy-aware intermediate display: text only
+  kFull,            ///< final display: text, image boxes, structure markers
+};
+
+/// Renders the document subtree to text, wrapping at the viewport width.
+/// `max_lines` truncates the output (0 = unlimited).
+std::string render_text(const web::DomNode& root, const Viewport& viewport,
+                        RenderStyle style, std::size_t max_lines = 0);
+
+}  // namespace eab::browser

@@ -1,0 +1,64 @@
+// The energy-aware decision policy (paper Algorithm 2, Tables 2 and 6).
+#pragma once
+
+#include <cmath>
+
+#include "browser/features.hpp"
+#include "gbrt/model.hpp"
+#include "util/units.hpp"
+
+namespace eab::core {
+
+/// A trained reading-time predictor.  The deployed model regresses
+/// log-dwell-time (heavy-tailed targets; see trace::to_log_dataset), so the
+/// wrapper converts back to seconds; set `log_domain = false` for a model
+/// trained on raw seconds.
+struct ReadingPredictor {
+  const gbrt::GbrtModel* model = nullptr;
+  bool log_domain = true;
+
+  Seconds predict_seconds(const browser::PageFeatures& features) const {
+    const double raw = model->predict(features.to_row());
+    return log_domain ? std::exp(raw) : raw;
+  }
+};
+
+/// Which objective Algorithm 2 optimises.
+enum class DecisionMode {
+  kDelayDriven,  ///< never switch unless no delay penalty is possible (Td)
+  kPowerDriven,  ///< switch whenever power is saved, accepting delay (Tp)
+};
+
+/// Algorithm 2's parameters (paper Table 2).
+struct ControllerParams {
+  Seconds alpha = 2.0;  ///< interest threshold: wait before predicting
+  Seconds td = 20.0;    ///< delay-driven threshold (T1 + T2)
+  Seconds tp = 9.0;     ///< power-driven threshold (Fig 3 crossover)
+  DecisionMode mode = DecisionMode::kPowerDriven;
+};
+
+/// The switch decision of Algorithm 2.
+class EnergyAwareController {
+ public:
+  explicit EnergyAwareController(ControllerParams params) : params_(params) {}
+
+  /// Predicts the reading time for an opened page.
+  Seconds predict_reading_time(const ReadingPredictor& predictor,
+                               const browser::PageFeatures& features) const {
+    return predictor.predict_seconds(features);
+  }
+
+  /// Algorithm 2's condition: switch to IDLE for this predicted reading time?
+  bool should_switch(Seconds predicted_reading_time) const {
+    if (predicted_reading_time > params_.td) return true;
+    return params_.mode == DecisionMode::kPowerDriven &&
+           predicted_reading_time > params_.tp;
+  }
+
+  const ControllerParams& params() const { return params_; }
+
+ private:
+  ControllerParams params_;
+};
+
+}  // namespace eab::core

@@ -1,0 +1,143 @@
+#include "core/experiment.hpp"
+
+#include "core/ril.hpp"
+#include "net/socket_downloader.hpp"
+#include "sim/simulator.hpp"
+
+namespace eab::core {
+
+StackConfig StackConfig::for_mode(browser::PipelineMode mode) {
+  StackConfig config;
+  config.pipeline.mode = mode;
+  config.force_idle_at_tx = mode == browser::PipelineMode::kEnergyAware;
+  return config;
+}
+
+SingleLoadResult run_single_load(const corpus::PageSpec& spec,
+                                 const StackConfig& config,
+                                 Seconds reading_window, std::uint64_t seed) {
+  sim::Simulator sim;
+  net::WebServer server;
+  corpus::PageGenerator generator(seed);
+  const std::string url = generator.host_page(spec, server);
+
+  radio::RrcMachine rrc(sim, config.rrc, config.power);
+  net::SharedLink link(sim, config.link.dch_bandwidth);
+  net::HttpClient client(sim, server, link, rrc, config.link,
+                         config.max_parallel_connections);
+  browser::CpuScheduler cpu(sim, config.power.cpu_busy_extra);
+  RilStateSwitcher ril(sim, rrc);
+
+  browser::PipelineConfig pipeline_config = config.pipeline;
+  pipeline_config.mobile_page = spec.mobile;
+  browser::PageLoad load(sim, client, cpu, pipeline_config, seed ^ 0x9E3779B9);
+  if (config.force_idle_at_tx) {
+    load.set_on_transmission_complete([&ril] { ril.request_idle(); });
+  }
+
+  bool done = false;
+  browser::LoadMetrics metrics;
+  load.start(url, [&done, &metrics](const browser::LoadMetrics& m) {
+    done = true;
+    metrics = m;
+  });
+  while (!done && sim.step()) {
+  }
+  if (!done) {
+    throw std::logic_error("run_single_load: load did not complete");
+  }
+  // Let the reading window elapse so timer-driven demotions play out.
+  sim.run_until(metrics.final_display + reading_window);
+
+  SingleLoadResult result;
+  result.metrics = metrics;
+  result.features = load.features();
+  result.geometry = load.geometry();
+  result.reading_window = reading_window;
+  result.total_power = PowerTimeline::sum(rrc.power(), cpu.power());
+  result.link_rate = link.rate_history();
+  result.load_energy = result.total_power.energy(0.0, metrics.final_display);
+  result.energy_with_reading =
+      result.total_power.energy(0.0, metrics.final_display + reading_window);
+  result.dch_time = rrc.time_in(radio::RrcState::kDch);
+  result.fach_time = rrc.time_in(radio::RrcState::kFach);
+  result.idle_promotions = rrc.idle_promotions();
+  result.forced_releases = rrc.forced_releases();
+  result.bytes_fetched = metrics.bytes_fetched;
+  result.dom_signature = load.dom().signature();
+  return result;
+}
+
+ProxyLoadResult run_proxy_load(const corpus::PageSpec& spec,
+                               const StackConfig& config,
+                               const ProxyConfig& proxy, Seconds reading_window,
+                               std::uint64_t seed) {
+  // The proxy fetches and renders the page server-side; the phone sees one
+  // bundle whose size is the page's total bytes scaled by the compression
+  // ratio. We reuse the generated page only for its true byte total.
+  net::WebServer staging;
+  corpus::PageGenerator generator(seed);
+  generator.host_page(spec, staging);
+  const auto bundle_bytes =
+      static_cast<Bytes>(proxy.compression_ratio *
+                         static_cast<double>(staging.total_bytes()));
+
+  sim::Simulator sim;
+  radio::RrcMachine rrc(sim, config.rrc, config.power);
+  net::SharedLink link(sim, config.link.dch_bandwidth);
+  net::SocketDownloader downloader(sim, link, rrc, config.link);
+  browser::CpuScheduler cpu(sim, config.power.cpu_busy_extra);
+  RilStateSwitcher ril(sim, rrc);
+
+  ProxyLoadResult result;
+  result.bundle_bytes = bundle_bytes;
+  bool displayed = false;
+  // Server think time covers the proxy-side fetch+render.
+  sim.schedule_in(proxy.proxy_render_latency, [&] {
+    downloader.download(bundle_bytes, [&](Seconds, Seconds finished) {
+      result.transmission_time = finished;
+      ril.request_idle();  // the bundle is self-contained: release now
+      cpu.submit(proxy.client_unpack_per_kb * to_kilobytes(bundle_bytes),
+                 [&] {
+                   result.total_time = sim.now();
+                   displayed = true;
+                 });
+    });
+  });
+  while (!displayed && sim.step()) {
+  }
+  if (!displayed) {
+    throw std::logic_error("run_proxy_load: load did not complete");
+  }
+  sim.run_until(result.total_time + reading_window);
+  const auto total = PowerTimeline::sum(rrc.power(), cpu.power());
+  result.load_energy = total.energy(0, result.total_time);
+  result.energy_with_reading =
+      total.energy(0, result.total_time + reading_window);
+  return result;
+}
+
+BulkDownloadResult run_bulk_download(Bytes bytes, const StackConfig& config) {
+  sim::Simulator sim;
+  radio::RrcMachine rrc(sim, config.rrc, config.power);
+  net::SharedLink link(sim, config.link.dch_bandwidth);
+  net::SocketDownloader downloader(sim, link, rrc, config.link);
+
+  BulkDownloadResult result;
+  bool done = false;
+  downloader.download(bytes, [&](Seconds started, Seconds finished) {
+    result.started = started;
+    result.finished = finished;
+    done = true;
+  });
+  while (!done && sim.step()) {
+  }
+  if (!done) {
+    throw std::logic_error("run_bulk_download: transfer did not complete");
+  }
+  result.energy = rrc.power().energy(0.0, result.finished);
+  result.link_rate = link.rate_history();
+  return result;
+}
+
+}  // namespace eab::core

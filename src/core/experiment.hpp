@@ -1,0 +1,101 @@
+// Single-load experiment stack.
+//
+// Assembles the full system — simulator, web server with a generated page,
+// RRC radio, shared downlink, HTTP client, CPU, one of the two pipelines —
+// runs one page load plus a reading window, and returns every quantity the
+// paper's figures report: timings, Table 1 features, energy integrals, the
+// whole-phone power trace (Fig 1/9), the link-rate trace (Fig 4) and the DCH
+// residency that feeds the capacity model (Fig 11).
+#pragma once
+
+#include <string>
+
+#include "browser/pipeline.hpp"
+#include "corpus/generator.hpp"
+#include "radio/rrc_config.hpp"
+#include "util/timeline.hpp"
+
+namespace eab::core {
+
+/// Configuration of the whole measurement stack.
+struct StackConfig {
+  radio::RrcConfig rrc;
+  radio::RadioPowerModel power;
+  radio::LinkConfig link;
+  browser::PipelineConfig pipeline;
+  /// Energy-aware radio release at transmission-complete (Section 4.1);
+  /// routed through the RIL chain.
+  bool force_idle_at_tx = false;
+  int max_parallel_connections = 3;
+  /// Session-persistent browser cache (extension; the paper measures cold
+  /// loads). When enabled, subresources persist across a session's pages.
+  bool use_browser_cache = false;
+  Bytes browser_cache_bytes = 4 * 1024 * 1024;
+
+  /// Convenience: a stack for the given mode with everything else default.
+  static StackConfig for_mode(browser::PipelineMode mode);
+};
+
+/// Everything measured from one load.
+struct SingleLoadResult {
+  browser::LoadMetrics metrics;
+  browser::PageFeatures features;
+  browser::PageGeometry geometry;
+  Joules load_energy = 0;          ///< start .. final display
+  Joules energy_with_reading = 0;  ///< start .. final display + reading window
+  Seconds reading_window = 0;
+  Seconds dch_time = 0;            ///< capacity-model service time
+  Seconds fach_time = 0;
+  int idle_promotions = 0;
+  int forced_releases = 0;
+  Bytes bytes_fetched = 0;
+  std::string dom_signature;       ///< structural DOM fingerprint
+  PowerTimeline total_power;       ///< radio + CPU (Figs 1 and 9)
+  PowerTimeline link_rate;         ///< delivered bytes/s (Fig 4)
+};
+
+/// Generates `spec`, loads it under `config`, lets `reading_window` seconds
+/// of reading elapse, and reports the measurements.
+SingleLoadResult run_single_load(const corpus::PageSpec& spec,
+                                 const StackConfig& config,
+                                 Seconds reading_window = 20.0,
+                                 std::uint64_t seed = 1);
+
+/// The Fig 4 comparator: pull `bytes` through a raw socket, no browser.
+struct BulkDownloadResult {
+  Seconds started = 0;
+  Seconds finished = 0;
+  Joules energy = 0;
+  PowerTimeline link_rate;
+  Seconds duration() const { return finished - started; }
+};
+BulkDownloadResult run_bulk_download(Bytes bytes, const StackConfig& config);
+
+/// Proxy-assisted browsing comparator (the paper's Section 6: Opera
+/// Mini-style systems render on a server and ship a compact bundle).
+struct ProxyConfig {
+  double compression_ratio = 0.40;  ///< bundle bytes / original page bytes
+  Seconds proxy_render_latency = 1.3;  ///< server-side fetch+render time
+  /// Client-side work per KB of bundle (decode the pre-laid-out page).
+  Seconds client_unpack_per_kb = 0.004;
+};
+
+/// Everything measured from one proxy-assisted load.
+struct ProxyLoadResult {
+  Seconds transmission_time = 0;  ///< request to last bundle byte
+  Seconds total_time = 0;         ///< to the (only) display
+  Joules load_energy = 0;
+  Joules energy_with_reading = 0;
+  Bytes bundle_bytes = 0;
+};
+
+/// Loads `spec` through a rendering proxy: one request, one compressed
+/// bundle, one client-side unpack+display, radio released right after the
+/// bundle (the proxy knows the page is complete).
+ProxyLoadResult run_proxy_load(const corpus::PageSpec& spec,
+                               const StackConfig& config,
+                               const ProxyConfig& proxy = {},
+                               Seconds reading_window = 20.0,
+                               std::uint64_t seed = 1);
+
+}  // namespace eab::core

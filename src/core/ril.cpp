@@ -1,0 +1,34 @@
+#include "core/ril.hpp"
+
+namespace eab::core {
+
+RilStateSwitcher::RilStateSwitcher(sim::Simulator& sim, radio::RrcMachine& rrc,
+                                   RilLatencies latencies)
+    : sim_(sim), rrc_(rrc), latencies_(latencies) {}
+
+void RilStateSwitcher::request_idle(OnResult on_result) {
+  ++requests_;
+  auto finish = [on_result = std::move(on_result)](bool switched) {
+    if (on_result) on_result(switched);
+  };
+  // App -> framework.
+  sim_.schedule_in(latencies_.app_to_framework, [this, finish]() mutable {
+    // Framework -> rild over the Unix socket (failure-injection point).
+    if (failures_to_inject_ > 0) {
+      --failures_to_inject_;
+      ++socket_failures_;
+      finish(false);
+      return;
+    }
+    sim_.schedule_in(latencies_.framework_to_rild, [this, finish]() mutable {
+      // rild -> firmware, then the firmware starts the release.
+      sim_.schedule_in(latencies_.rild_to_firmware, [this, finish]() mutable {
+        const bool switched = rrc_.force_idle();
+        if (switched) ++releases_;
+        finish(switched);
+      });
+    });
+  });
+}
+
+}  // namespace eab::core

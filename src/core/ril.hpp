@@ -1,0 +1,59 @@
+// Radio Interface Layer state-switch path (paper Section 4.4).
+//
+// Android gives applications no direct firmware access: the browser sends a
+// message to the framework (RIL.java), which forwards it over a Unix socket
+// to the RIL daemon, which finally drives the radio firmware.  Each hop adds
+// latency; the firmware then executes the fast-dormancy release.  Failure
+// injection at the socket hop models a crashed rild — the radio must then
+// simply stay under timer control, never wedge.
+#pragma once
+
+#include <functional>
+
+#include "radio/rrc.hpp"
+#include "sim/simulator.hpp"
+
+namespace eab::core {
+
+/// Message-path latencies of the app -> framework -> rild -> firmware chain.
+struct RilLatencies {
+  Seconds app_to_framework = 0.002;   ///< binder message to RIL.java
+  Seconds framework_to_rild = 0.004;  ///< Unix socket hop
+  Seconds rild_to_firmware = 0.006;   ///< vendor RIL call
+  Seconds total() const {
+    return app_to_framework + framework_to_rild + rild_to_firmware;
+  }
+};
+
+/// Application-level switch-to-IDLE requests routed through the RIL chain.
+class RilStateSwitcher {
+ public:
+  using OnResult = std::function<void(bool switched)>;
+
+  RilStateSwitcher(sim::Simulator& sim, radio::RrcMachine& rrc,
+                   RilLatencies latencies = {});
+
+  /// Requests fast dormancy. The request travels the message chain and then
+  /// asks the radio to release; `on_result` (optional) reports whether the
+  /// release actually started (false when the radio was busy/IDLE or the
+  /// socket hop failed).
+  void request_idle(OnResult on_result = nullptr);
+
+  /// Failure injection: the next `count` socket hops fail (rild restart).
+  void fail_next(int count) { failures_to_inject_ = count; }
+
+  int requests_sent() const { return requests_; }
+  int releases_started() const { return releases_; }
+  int socket_failures() const { return socket_failures_; }
+
+ private:
+  sim::Simulator& sim_;
+  radio::RrcMachine& rrc_;
+  RilLatencies latencies_;
+  int requests_ = 0;
+  int releases_ = 0;
+  int socket_failures_ = 0;
+  int failures_to_inject_ = 0;
+};
+
+}  // namespace eab::core

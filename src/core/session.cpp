@@ -1,0 +1,153 @@
+#include "core/session.hpp"
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "core/ril.hpp"
+#include "sim/simulator.hpp"
+
+namespace eab::core {
+
+const char* to_string(SessionPolicy policy) {
+  switch (policy) {
+    case SessionPolicy::kBaseline: return "Original";
+    case SessionPolicy::kOriginalAlwaysOff: return "Original Always-off";
+    case SessionPolicy::kEnergyAwareAlwaysOff: return "Energy-Aware Always-off";
+    case SessionPolicy::kAccurate: return "Accurate";
+    case SessionPolicy::kPredict: return "Predict";
+    case SessionPolicy::kAlgorithm2: return "Algorithm-2";
+  }
+  return "?";
+}
+
+namespace {
+
+bool uses_original_pipeline(SessionPolicy policy) {
+  return policy == SessionPolicy::kBaseline ||
+         policy == SessionPolicy::kOriginalAlwaysOff;
+}  // every other policy runs the reorganized pipeline
+
+}  // namespace
+
+SessionResult run_session(const std::vector<PageVisit>& visits,
+                          const SessionConfig& config, std::uint64_t seed) {
+  if ((config.policy == SessionPolicy::kPredict ||
+       config.policy == SessionPolicy::kAlgorithm2) &&
+      config.predictor.model == nullptr) {
+    throw std::invalid_argument("run_session: this policy needs a model");
+  }
+  for (const PageVisit& visit : visits) {
+    if (visit.spec == nullptr) {
+      throw std::invalid_argument("run_session: null page spec");
+    }
+  }
+
+  sim::Simulator sim;
+  net::WebServer server;
+  corpus::PageGenerator generator(seed);
+  std::set<std::string> hosted;
+  for (const PageVisit& visit : visits) {
+    if (hosted.insert(visit.spec->site).second) {
+      generator.host_page(*visit.spec, server);
+    }
+  }
+
+  radio::RrcMachine rrc(sim, config.stack.rrc, config.stack.power);
+  net::SharedLink link(sim, config.stack.link.dch_bandwidth);
+  browser::CpuScheduler cpu(sim, config.stack.power.cpu_busy_extra);
+  RilStateSwitcher ril(sim, rrc);
+  net::ResourceCache cache(config.stack.browser_cache_bytes);
+
+  SessionResult result;
+  std::vector<std::unique_ptr<net::HttpClient>> clients;
+  std::vector<std::unique_ptr<browser::PageLoad>> loads;
+
+  auto switch_to_idle = [&] {
+    ril.request_idle([&result](bool switched) {
+      if (switched) ++result.switches_to_idle;
+    });
+  };
+
+  std::function<void(std::size_t)> visit_page = [&](std::size_t index) {
+    if (index >= visits.size()) return;
+    const PageVisit& visit = visits[index];
+    const Seconds clicked_at = sim.now();
+
+    clients.push_back(std::make_unique<net::HttpClient>(
+        sim, server, link, rrc, config.stack.link,
+        config.stack.max_parallel_connections));
+    if (config.stack.use_browser_cache) clients.back()->set_cache(&cache);
+    browser::PipelineConfig pipeline = config.stack.pipeline;
+    pipeline.mode = uses_original_pipeline(config.policy)
+                        ? browser::PipelineMode::kOriginal
+                        : browser::PipelineMode::kEnergyAware;
+    pipeline.mobile_page = visit.spec->mobile;
+    loads.push_back(std::make_unique<browser::PageLoad>(
+        sim, *clients.back(), cpu, pipeline, seed ^ (index * 0x9E3779B97F4AULL)));
+    browser::PageLoad& load = *loads.back();
+
+    load.start(visit.spec->main_url(), [&, index, clicked_at](
+                                           const browser::LoadMetrics& m) {
+      const PageVisit& current = visits[index];
+      const Seconds load_time = m.final_display - clicked_at;
+      result.page_load_times.push_back(load_time);
+      result.total_load_delay += load_time;
+      ++result.pages;
+
+      switch (config.policy) {
+        case SessionPolicy::kBaseline:
+          break;
+        case SessionPolicy::kOriginalAlwaysOff:
+        case SessionPolicy::kEnergyAwareAlwaysOff:
+          switch_to_idle();
+          break;
+        case SessionPolicy::kAccurate:
+          // Oracle: the real reading time, still gated by the interest
+          // threshold exactly as the deployed system would be.
+          if (current.reading_time > config.alpha &&
+              current.reading_time > config.threshold) {
+            sim.schedule_in(config.alpha, switch_to_idle);
+          }
+          break;
+        case SessionPolicy::kPredict:
+          if (current.reading_time > config.alpha) {
+            browser::PageLoad* opened = loads.back().get();
+            sim.schedule_in(config.alpha, [&, opened] {
+              const Seconds predicted =
+                  config.predictor.predict_seconds(opened->features());
+              if (predicted > config.threshold) switch_to_idle();
+            });
+          }
+          break;
+        case SessionPolicy::kAlgorithm2:
+          // The paper's Algorithm 2 verbatim: wait alpha, predict Tr,
+          // switch if Tr > Td, or Tr > Tp in power-driven mode.
+          if (current.reading_time > config.controller.alpha) {
+            browser::PageLoad* opened = loads.back().get();
+            sim.schedule_in(config.controller.alpha, [&, opened] {
+              const EnergyAwareController controller(config.controller);
+              const Seconds predicted = controller.predict_reading_time(
+                  config.predictor, opened->features());
+              if (controller.should_switch(predicted)) switch_to_idle();
+            });
+          }
+          break;
+      }
+
+      sim.schedule_in(current.reading_time,
+                      [&visit_page, index] { visit_page(index + 1); });
+    });
+  };
+
+  visit_page(0);
+  sim.run();
+
+  result.duration = sim.now();
+  result.energy =
+      PowerTimeline::sum(rrc.power(), cpu.power()).energy(0.0, result.duration);
+  return result;
+}
+
+}  // namespace eab::core

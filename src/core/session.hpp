@@ -1,0 +1,63 @@
+// Whole browsing sessions under the six policies of the paper's Table 6.
+//
+// One session = one user on one phone: pages load back to back with reading
+// gaps in between, on a single radio whose timers and promotions carry over
+// from page to page.  The promotion delay a policy incurs by having switched
+// to IDLE too eagerly therefore shows up *by construction* in the next
+// page's load time, and every joule is integrated over the whole session —
+// exactly the accounting behind Fig 16.
+#pragma once
+
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/experiment.hpp"
+#include "gbrt/model.hpp"
+
+namespace eab::core {
+
+/// The six cases of Table 6 (baseline = stock browser, never switches).
+enum class SessionPolicy {
+  kBaseline,             ///< original browser, timers only
+  kOriginalAlwaysOff,    ///< original browser, IDLE as soon as a page opens
+  kEnergyAwareAlwaysOff, ///< reorganized browser, IDLE as soon as a page opens
+  kAccurate,             ///< reorganized browser, oracle reading times
+  kPredict,              ///< reorganized browser, GBRT-predicted reading times
+  kAlgorithm2,           ///< the paper's full Algorithm 2 (dual thresholds)
+};
+
+const char* to_string(SessionPolicy policy);
+
+/// One page visit of a session: the page and how long the user reads it.
+struct PageVisit {
+  const corpus::PageSpec* spec = nullptr;
+  Seconds reading_time = 0;
+};
+
+/// Session-level configuration.
+struct SessionConfig {
+  StackConfig stack;            ///< pipeline mode is set from the policy
+  SessionPolicy policy = SessionPolicy::kBaseline;
+  Seconds threshold = 9.0;      ///< Tp or Td for kAccurate / kPredict
+  Seconds alpha = 2.0;          ///< interest threshold before deciding
+  ReadingPredictor predictor;   ///< required for kPredict / kAlgorithm2
+  /// Algorithm 2's parameters (kAlgorithm2 only): Td, Tp and the
+  /// power-driven / delay-driven mode switch.
+  ControllerParams controller;
+};
+
+/// Aggregates of one session run.
+struct SessionResult {
+  Joules energy = 0;            ///< radio + CPU over the whole session
+  Seconds total_load_delay = 0; ///< sum over pages of click -> final display
+  Seconds duration = 0;         ///< session wall-clock
+  int pages = 0;
+  int switches_to_idle = 0;     ///< policy-initiated releases
+  std::vector<Seconds> page_load_times;
+};
+
+/// Runs the visits as one continuous session.
+SessionResult run_session(const std::vector<PageVisit>& visits,
+                          const SessionConfig& config, std::uint64_t seed = 1);
+
+}  // namespace eab::core

@@ -1,0 +1,251 @@
+#include "corpus/generator.hpp"
+
+#include <functional>
+
+#include "util/rng.hpp"
+
+namespace eab::corpus {
+namespace {
+
+const char* const kWords[] = {
+    "score",   "market", "travel",  "report", "update", "season",  "player",
+    "stock",   "offer",  "review",  "photo",  "video",  "league",  "deal",
+    "city",    "guide",  "match",   "trade",  "price",  "moment",  "story",
+    "device",  "music",  "artist",  "track",  "flight", "hotel",   "game",
+    "final",   "record", "weather", "coach",  "studio", "summer",  "ticket",
+    "launch",  "editor", "global",  "mobile", "signal",
+};
+constexpr std::size_t kWordCount = sizeof(kWords) / sizeof(kWords[0]);
+
+std::string sentence(Rng& rng, int word_count) {
+  std::string out;
+  for (int i = 0; i < word_count; ++i) {
+    if (i > 0) out += ' ';
+    out += kWords[rng.uniform_index(kWordCount)];
+  }
+  out += '.';
+  return out;
+}
+
+/// Pads `content` to `target` bytes using the given filler maker; leaves the
+/// content untouched if it is already large enough.
+void pad_to(std::string& content, Bytes target,
+            const std::function<std::string()>& filler) {
+  while (content.size() < target) content += filler();
+}
+
+std::string make_inline_script(const PageSpec& spec, Rng& rng) {
+  const int busy = std::max(50, spec.js_busy_iterations / 4);
+  std::string script;
+  script += "var warm = 0;\n";
+  script += "for (var i = 0; i < " + std::to_string(busy) +
+            "; i = i + 1) { warm = warm + i % 5; }\n";
+  script += "document.write(\"<div class='promo'><p>" + sentence(rng, 10) +
+            "</p></div>\");\n";
+  return script;
+}
+
+std::string make_js_file(const PageSpec& spec, const std::string& base,
+                         int file_index, Rng& rng) {
+  // Era-typical structure: a config object, a busy analytics-ish loop, a
+  // dynamic image loader keyed off the config, and a document.write footer.
+  const std::string suffix = std::to_string(file_index);
+  std::string script;
+  script += "var cfg" + suffix + " = {base: \"" + base + "/img/\", prefix: \"dyn" +
+            suffix + "_\", count: " + std::to_string(spec.js_images) +
+            ", ext: \".jpg\"};\n";
+  script += "var acc" + suffix + " = 0;\n";
+  script += "var i" + suffix + " = 0;\n";
+  script += "while (i" + suffix + " < " + std::to_string(spec.js_busy_iterations) +
+            ") {\n";
+  script += "  acc" + suffix + " = acc" + suffix + " + (i" + suffix +
+            " * 7 + 3) % 11;\n";
+  script += "  i" + suffix + " = i" + suffix + " + 1;\n";
+  script += "}\n";
+  if (spec.js_images > 0) {
+    script += "if (typeof cfg" + suffix + " == 'object' && indexOf(cfg" + suffix +
+              ".base, '/img/') >= 0) {\n";
+    script += "  for (var j" + suffix + " = 0; j" + suffix + " < cfg" + suffix +
+              ".count; j" + suffix + "++) {\n";
+    script += "    loadImage(cfg" + suffix + ".base + cfg" + suffix +
+              ".prefix + j" + suffix + " + cfg" + suffix + ".ext);\n";
+    script += "  }\n";
+    script += "}\n";
+  }
+  script += "document.write(\"<div class='dyn'><p>" + sentence(rng, 8) +
+            "</p></div>\");\n";
+  pad_to(script, spec.js_bytes,
+         [&rng] { return "// " + sentence(rng, 9) + "\n"; });
+  return script;
+}
+
+std::string make_css_file(const PageSpec& spec, const std::string& base,
+                          int sheet_index, Rng& rng) {
+  std::string css;
+  for (int rule = 0; rule < 10; ++rule) {
+    const std::string cls = "c" + std::to_string(rule);
+    css += "." + cls + " { color: #" + std::to_string(100 + rule * 37) +
+           "; margin: " + std::to_string(2 + rule) +
+           "px; padding: " + std::to_string(1 + rule % 4) + "px; }\n";
+    css += "div." + cls + " p { font-size: " + std::to_string(11 + rule % 5) +
+           "px; line-height: 1." + std::to_string(2 + rule % 6) + "; }\n";
+  }
+  for (int image = 0; image < spec.css_images; ++image) {
+    css += ".bg" + std::to_string(sheet_index) + "_" + std::to_string(image) +
+           " { background-image: url(" + base + "/img/css" +
+           std::to_string(sheet_index) + "_" + std::to_string(image) +
+           ".jpg); }\n";
+  }
+  pad_to(css, spec.css_bytes, [&rng] {
+    return "/* " + sentence(rng, 8) + " */\n.pad { margin: 0; }\n";
+  });
+  return css;
+}
+
+std::string make_html(const PageSpec& spec, const std::string& base, Rng& rng) {
+  std::string html = "<!doctype html>\n<html>\n<head>\n<title>" + spec.site +
+                     "</title>\n";
+  for (int sheet = 0; sheet < spec.css_files; ++sheet) {
+    html += "<link rel=\"stylesheet\" href=\"" + base + "/css/s" +
+            std::to_string(sheet) + ".css\">\n";
+  }
+  html += "</head>\n<body>\n";
+  html += "<div id=\"masthead\" class=\"c0\"><h1>" + sentence(rng, 3) +
+          "</h1></div>\n";
+  html += "<script>\n" + make_inline_script(spec, rng) + "</script>\n";
+
+  // Navigation block carries most of the secondary URLs.
+  html += "<ul class=\"c1\">\n";
+  const int nav_anchors = spec.anchors / 2;
+  for (int anchor = 0; anchor < nav_anchors; ++anchor) {
+    html += "<li><a href=\"" + base + "/section/a" + std::to_string(anchor) +
+            ".html\">" + kWords[rng.uniform_index(kWordCount)] + "</a></li>\n";
+  }
+  html += "</ul>\n";
+
+  int emitted_images = 0;
+  int emitted_anchors = nav_anchors;
+  for (int paragraph = 0; paragraph < spec.paragraphs; ++paragraph) {
+    html += "<div class=\"c" + std::to_string(2 + paragraph % 8) + "\">\n<p>" +
+            sentence(rng, static_cast<int>(18 + rng.uniform_index(30)));
+    if (emitted_anchors < spec.anchors && paragraph % 2 == 0) {
+      html += " <a href=\"" + base + "/story/s" + std::to_string(paragraph) +
+              ".html\">" + kWords[rng.uniform_index(kWordCount)] + "</a> " +
+              sentence(rng, 6);
+      ++emitted_anchors;
+    }
+    html += "</p>\n";
+    if (emitted_images < spec.html_images && paragraph % 2 == 1) {
+      const int width = static_cast<int>(120 + rng.uniform_index(200));
+      const int height = static_cast<int>(80 + rng.uniform_index(160));
+      html += "<img src=\"" + base + "/img/h" + std::to_string(emitted_images) +
+              ".jpg\" width=\"" + std::to_string(width) + "\" height=\"" +
+              std::to_string(height) + "\">\n";
+      ++emitted_images;
+    }
+    html += "</div>\n";
+  }
+  // Anchors the paragraph loop did not fit go in a trailing link list.
+  if (emitted_anchors < spec.anchors) {
+    html += "<ul class=\"c3\">\n";
+    while (emitted_anchors < spec.anchors) {
+      html += "<li><a href=\"" + base + "/more/a" +
+              std::to_string(emitted_anchors) + ".html\">" +
+              kWords[rng.uniform_index(kWordCount)] + "</a></li>\n";
+      ++emitted_anchors;
+    }
+    html += "</ul>\n";
+  }
+  // Any images the paragraph loop did not fit go in a trailing gallery.
+  while (emitted_images < spec.html_images) {
+    html += "<img src=\"" + base + "/img/h" + std::to_string(emitted_images) +
+            ".jpg\" width=\"160\" height=\"120\">\n";
+    ++emitted_images;
+  }
+  for (int flash = 0; flash < spec.flash_objects; ++flash) {
+    html += "<embed src=\"" + base + "/media/f" + std::to_string(flash) +
+            ".swf\" width=\"300\" height=\"150\">\n";
+  }
+  for (int script = 0; script < spec.js_files; ++script) {
+    html += "<script src=\"" + base + "/js/a" + std::to_string(script) +
+            ".js\"></script>\n";
+  }
+  html += "</body>\n</html>\n";
+  pad_to(html, spec.html_bytes, [&rng] {
+    return "<p class=\"c9\">" + sentence(rng, 22) + "</p>\n";
+  });
+  return html;
+}
+
+void host_text(net::WebServer& server, std::string url, net::ResourceKind kind,
+               std::string body) {
+  net::Resource resource;
+  resource.url = std::move(url);
+  resource.kind = kind;
+  resource.size = body.size();
+  resource.body = std::move(body);
+  server.host(std::move(resource));
+}
+
+void host_binary(net::WebServer& server, std::string url,
+                 net::ResourceKind kind, Bytes size) {
+  net::Resource resource;
+  resource.url = std::move(url);
+  resource.kind = kind;
+  resource.size = size;
+  server.host(std::move(resource));
+}
+
+}  // namespace
+
+std::string PageGenerator::host_page(const PageSpec& spec,
+                                     net::WebServer& server) const {
+  // Per-site deterministic stream: the same spec always yields byte-identical
+  // content regardless of hosting order.
+  std::uint64_t site_hash = 1469598103934665603ULL;
+  for (char c : spec.site) {
+    site_hash = (site_hash ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  }
+  Rng rng(seed_ ^ site_hash);
+  const std::string base = "http://" + spec.site;
+
+  host_text(server, spec.main_url(), net::ResourceKind::kHtml,
+            make_html(spec, base, rng));
+  for (int sheet = 0; sheet < spec.css_files; ++sheet) {
+    host_text(server, base + "/css/s" + std::to_string(sheet) + ".css",
+              net::ResourceKind::kCss, make_css_file(spec, base, sheet, rng));
+    for (int image = 0; image < spec.css_images; ++image) {
+      host_binary(server,
+                  base + "/img/css" + std::to_string(sheet) + "_" +
+                      std::to_string(image) + ".jpg",
+                  net::ResourceKind::kImage,
+                  static_cast<Bytes>(static_cast<double>(spec.css_image_bytes) *
+                                     rng.uniform(0.75, 1.25)));
+    }
+  }
+  for (int script = 0; script < spec.js_files; ++script) {
+    host_text(server, base + "/js/a" + std::to_string(script) + ".js",
+              net::ResourceKind::kJs, make_js_file(spec, base, script, rng));
+    for (int image = 0; image < spec.js_images; ++image) {
+      host_binary(server,
+                  base + "/img/dyn" + std::to_string(script) + "_" +
+                      std::to_string(image) + ".jpg",
+                  net::ResourceKind::kImage,
+                  static_cast<Bytes>(static_cast<double>(spec.js_image_bytes) *
+                                     rng.uniform(0.75, 1.25)));
+    }
+  }
+  for (int image = 0; image < spec.html_images; ++image) {
+    host_binary(server, base + "/img/h" + std::to_string(image) + ".jpg",
+                net::ResourceKind::kImage,
+                static_cast<Bytes>(static_cast<double>(spec.image_bytes) *
+                                   rng.uniform(0.7, 1.3)));
+  }
+  for (int flash = 0; flash < spec.flash_objects; ++flash) {
+    host_binary(server, base + "/media/f" + std::to_string(flash) + ".swf",
+                net::ResourceKind::kFlash, spec.flash_bytes);
+  }
+  return spec.main_url();
+}
+
+}  // namespace eab::corpus

@@ -1,0 +1,31 @@
+// Synthesises real page content from a PageSpec and hosts it on a WebServer.
+//
+// The emitted HTML, CSS and MiniScript are genuine inputs for the engine:
+// the HTML parser discovers <img>/<link>/<script> references, the CSS
+// scanner finds url(...) image chains, and the scripts — when *executed* —
+// load further images and document.write() additional markup.  Everything a
+// generated page references is hosted, so loads complete with zero 404s
+// (failure-injection tests break this deliberately).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "corpus/page_spec.hpp"
+#include "net/web_server.hpp"
+
+namespace eab::corpus {
+
+/// Deterministic page synthesiser.
+class PageGenerator {
+ public:
+  explicit PageGenerator(std::uint64_t seed) : seed_(seed) {}
+
+  /// Generates all resources of `spec` into `server`; returns the main URL.
+  std::string host_page(const PageSpec& spec, net::WebServer& server) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace eab::corpus

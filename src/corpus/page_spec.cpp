@@ -1,0 +1,166 @@
+#include "corpus/page_spec.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace eab::corpus {
+
+const char* to_string(Topic topic) {
+  switch (topic) {
+    case Topic::kNews: return "news";
+    case Topic::kSports: return "sports";
+    case Topic::kGames: return "games";
+    case Topic::kFinance: return "finance";
+    case Topic::kShopping: return "shopping";
+    case Topic::kSocial: return "social";
+    case Topic::kVideo: return "video";
+    case Topic::kTravel: return "travel";
+  }
+  return "?";
+}
+
+Bytes PageSpec::total_bytes() const {
+  Bytes total = html_bytes;
+  total += static_cast<Bytes>(css_files) * css_bytes;
+  total += static_cast<Bytes>(css_files) * static_cast<Bytes>(css_images) *
+           css_image_bytes;
+  total += static_cast<Bytes>(js_files) * js_bytes;
+  total += static_cast<Bytes>(js_files) * static_cast<Bytes>(js_images) *
+           js_image_bytes;
+  total += static_cast<Bytes>(html_images) * image_bytes;
+  total += static_cast<Bytes>(flash_objects) * flash_bytes;
+  return total;
+}
+
+namespace {
+
+/// Builds a mobile-version spec around typical 2009 m.* page weights.
+PageSpec mobile_site(const std::string& site, Topic topic, double scale) {
+  PageSpec spec;
+  spec.site = site;
+  spec.mobile = true;
+  spec.topic = topic;
+  spec.html_bytes = kilobytes(26.0 * scale);
+  spec.css_files = 2;
+  spec.css_bytes = kilobytes(12.0 * scale);
+  spec.css_images = 2;
+  spec.css_image_bytes = kilobytes(5.0);
+  spec.js_files = 2;
+  spec.js_bytes = kilobytes(5.0 * scale);
+  spec.js_busy_iterations = static_cast<int>(7000 * scale);
+  spec.js_images = 1;
+  spec.js_image_bytes = kilobytes(6.0);
+  spec.html_images = static_cast<int>(4 * scale);
+  spec.image_bytes = kilobytes(7.0);
+  spec.flash_objects = 0;
+  spec.anchors = static_cast<int>(36 * scale);
+  spec.paragraphs = static_cast<int>(26 * scale);
+  return spec;
+}
+
+/// Builds a full-version spec around typical 2009 desktop page weights.
+PageSpec full_site(const std::string& site, Topic topic, double scale) {
+  PageSpec spec;
+  spec.site = site;
+  spec.mobile = false;
+  spec.topic = topic;
+  spec.html_bytes = kilobytes(85.0 * scale);
+  spec.css_files = 3;
+  spec.css_bytes = kilobytes(24.0 * scale);
+  spec.css_images = 6;
+  spec.css_image_bytes = kilobytes(9.0);
+  spec.js_files = 4;
+  spec.js_bytes = kilobytes(12.0 * scale);
+  spec.js_busy_iterations = static_cast<int>(9000 * scale);
+  spec.js_images = 4;
+  spec.js_image_bytes = kilobytes(10.0);
+  spec.html_images = static_cast<int>(12 * scale);
+  spec.image_bytes = kilobytes(16.0);
+  spec.flash_objects = 1;
+  spec.flash_bytes = kilobytes(42.0);
+  spec.anchors = static_cast<int>(90 * scale);
+  spec.paragraphs = static_cast<int>(55 * scale);
+  return spec;
+}
+
+}  // namespace
+
+PageSpec espn_sports_spec() {
+  // Calibrated to the paper's Fig 4: 760 KB total.
+  PageSpec spec = full_site("espn.go.com/sports", Topic::kSports, 1.0);
+  spec.html_bytes = kilobytes(90);
+  spec.css_files = 3;
+  spec.css_bytes = kilobytes(25);
+  spec.css_images = 6;
+  spec.css_image_bytes = kilobytes(9);
+  spec.js_files = 4;
+  spec.js_bytes = kilobytes(12);
+  spec.js_images = 4;
+  spec.js_image_bytes = kilobytes(10);
+  spec.html_images = 12;
+  spec.image_bytes = kilobytes(16);
+  spec.flash_objects = 1;
+  spec.flash_bytes = kilobytes(40);
+  return spec;
+}
+
+PageSpec m_cnn_spec() { return mobile_site("m.cnn.com", Topic::kNews, 1.0); }
+
+std::vector<PageSpec> mobile_benchmark() {
+  return {
+      m_cnn_spec(),
+      mobile_site("m.ebay.com", Topic::kShopping, 0.85),
+      mobile_site("m.espn.go.com", Topic::kSports, 1.1),
+      mobile_site("m.amazon.com", Topic::kShopping, 1.05),
+      mobile_site("m.msn.com", Topic::kFinance, 0.9),
+      mobile_site("m.myspace.com", Topic::kSocial, 1.2),
+      mobile_site("m.bbc.co.uk", Topic::kTravel, 0.8),
+      mobile_site("m.aol.com", Topic::kSocial, 0.95),
+      mobile_site("m.nytimes.com", Topic::kNews, 1.15),
+      mobile_site("m.youtube.com", Topic::kVideo, 0.75),
+  };
+}
+
+std::vector<PageSpec> full_benchmark() {
+  return {
+      full_site("edition.cnn.com/WORLD", Topic::kNews, 0.95),
+      full_site("www.motors.ebay.com", Topic::kShopping, 0.9),
+      espn_sports_spec(),
+      full_site("www.amazon.com", Topic::kShopping, 0.85),
+      full_site("home.autos.msn.com", Topic::kTravel, 0.8),
+      full_site("www.myspace.com/music", Topic::kSocial, 1.1),
+      full_site("bbc.com/travel", Topic::kTravel, 0.75),
+      full_site("www.popeater.com/celebrities", Topic::kSocial, 0.9),
+      full_site("www.apple.com", Topic::kVideo, 0.7),
+      full_site("hotjobs.yahoo.com", Topic::kFinance, 0.8),
+  };
+}
+
+std::vector<PageSpec> spec_variants(const PageSpec& base, int count,
+                                    std::uint64_t seed) {
+  std::vector<PageSpec> variants;
+  variants.reserve(static_cast<std::size_t>(count));
+  variants.push_back(base);
+  Rng rng(seed);
+  for (int v = 1; v < count; ++v) {
+    PageSpec spec = base;
+    spec.site = base.site + "/p" + std::to_string(v);
+    auto jitter = [&rng](double value, double spread) {
+      return value * rng.uniform(1.0 - spread, 1.0 + spread);
+    };
+    spec.html_bytes = static_cast<Bytes>(jitter(static_cast<double>(base.html_bytes), 0.35));
+    spec.css_bytes = static_cast<Bytes>(jitter(static_cast<double>(base.css_bytes), 0.3));
+    spec.js_busy_iterations =
+        std::max(100, static_cast<int>(jitter(base.js_busy_iterations, 0.5)));
+    spec.html_images =
+        std::max(1, static_cast<int>(jitter(base.html_images, 0.45)));
+    spec.image_bytes = static_cast<Bytes>(jitter(static_cast<double>(base.image_bytes), 0.4));
+    spec.anchors = std::max(2, static_cast<int>(jitter(base.anchors, 0.5)));
+    spec.paragraphs = std::max(4, static_cast<int>(jitter(base.paragraphs, 0.5)));
+    variants.push_back(std::move(spec));
+  }
+  return variants;
+}
+
+}  // namespace eab::corpus

@@ -1,0 +1,47 @@
+#include "gbrt/dataset.hpp"
+
+namespace eab::gbrt {
+
+void Dataset::set_feature_names(std::vector<std::string> names) {
+  if (feature_count_ != 0 && names.size() != feature_count_) {
+    throw std::invalid_argument("Dataset: feature name count mismatch");
+  }
+  if (feature_count_ == 0) feature_count_ = names.size();
+  names_ = std::move(names);
+}
+
+void Dataset::add(std::vector<double> features, double target) {
+  if (feature_count_ == 0) feature_count_ = features.size();
+  if (features.size() != feature_count_) {
+    throw std::invalid_argument("Dataset::add: feature count mismatch");
+  }
+  rows_.push_back(std::move(features));
+  targets_.push_back(target);
+}
+
+std::vector<double> Dataset::column(std::size_t feature) const {
+  if (feature >= feature_count_) {
+    throw std::out_of_range("Dataset::column: bad feature index");
+  }
+  std::vector<double> out;
+  out.reserve(size());
+  for (const auto& row : rows_) out.push_back(row[feature]);
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction) const {
+  if (train_fraction < 0 || train_fraction > 1) {
+    throw std::invalid_argument("Dataset::split: fraction out of range");
+  }
+  Dataset train(feature_count_);
+  Dataset test(feature_count_);
+  train.names_ = names_;
+  test.names_ = names_;
+  const auto cut = static_cast<std::size_t>(train_fraction * static_cast<double>(size()));
+  for (std::size_t i = 0; i < size(); ++i) {
+    (i < cut ? train : test).add(rows_[i], targets_[i]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace eab::gbrt

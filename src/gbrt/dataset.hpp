@@ -1,0 +1,48 @@
+// Tabular dataset for regression: feature rows plus a real-valued target.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace eab::gbrt {
+
+/// A fixed-width feature matrix with targets.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::size_t feature_count) : feature_count_(feature_count) {}
+
+  /// Optional column names (diagnostics, correlation tables).
+  void set_feature_names(std::vector<std::string> names);
+  const std::vector<std::string>& feature_names() const { return names_; }
+
+  /// Appends one sample. The first row fixes the feature count.
+  void add(std::vector<double> features, double target);
+
+  std::size_t size() const { return targets_.size(); }
+  bool empty() const { return targets_.empty(); }
+  std::size_t feature_count() const { return feature_count_; }
+
+  const std::vector<double>& row(std::size_t i) const { return rows_.at(i); }
+  double target(std::size_t i) const { return targets_.at(i); }
+  const std::vector<double>& targets() const { return targets_; }
+
+  /// Column i as a vector (for correlation analysis).
+  std::vector<double> column(std::size_t feature) const;
+
+  /// Splits into (train, test): the first `train_fraction` of samples train.
+  /// Callers shuffle beforehand if they need randomisation; keeping the split
+  /// positional makes time-ordered splits (train on past, test on future)
+  /// possible, which is how reading-time models deploy in practice.
+  std::pair<Dataset, Dataset> split(double train_fraction) const;
+
+ private:
+  std::size_t feature_count_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> targets_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace eab::gbrt

@@ -1,0 +1,238 @@
+#include "gbrt/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace eab::gbrt {
+
+double GbrtModel::predict(const std::vector<double>& features) const {
+  double sum = base_;
+  for (const auto& tree : trees_) sum += shrinkage_ * tree.predict(features);
+  return sum;
+}
+
+std::vector<double> GbrtModel::predict_all(const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) out.push_back(predict(data.row(i)));
+  return out;
+}
+
+std::vector<double> GbrtModel::feature_importance(
+    std::size_t feature_count) const {
+  std::vector<double> importance(feature_count, 0.0);
+  double total = 0;
+  for (const auto& tree : trees_) {
+    const auto& gains = tree.split_gains();
+    for (std::size_t f = 0; f < std::min(feature_count, gains.size()); ++f) {
+      importance[f] += gains[f];
+      total += gains[f];
+    }
+  }
+  if (total > 0) {
+    for (double& value : importance) value /= total;
+  }
+  return importance;
+}
+
+std::string GbrtModel::serialize() const {
+  std::string out;
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "gbrt %.17g %.17g %zu\n", base_, shrinkage_,
+                trees_.size());
+  out += buf;
+  for (const auto& tree : trees_) {
+    out += tree.serialize();
+    out += '\n';
+  }
+  return out;
+}
+
+GbrtModel GbrtModel::parse(const std::string& text) {
+  std::stringstream stream(text);
+  std::string magic;
+  double base = 0;
+  double shrinkage = 0;
+  std::size_t count = 0;
+  stream >> magic >> base >> shrinkage >> count;
+  if (magic != "gbrt" || !stream) {
+    throw std::invalid_argument("GbrtModel::parse: bad header");
+  }
+  std::string line;
+  std::getline(stream, line);  // consume end of header line
+  std::vector<RegressionTree> trees;
+  trees.reserve(count);
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    trees.push_back(RegressionTree::parse(line));
+  }
+  if (trees.size() != count) {
+    throw std::invalid_argument("GbrtModel::parse: tree count mismatch");
+  }
+  return assemble(base, shrinkage, std::move(trees));
+}
+
+GbrtModel GbrtModel::assemble(double base, double shrinkage,
+                              std::vector<RegressionTree> trees) {
+  GbrtModel model;
+  model.base_ = base;
+  model.shrinkage_ = shrinkage;
+  model.trees_ = std::move(trees);
+  return model;
+}
+
+GbrtModel GbrtModel::random_model(std::size_t trees, std::size_t leaves,
+                                  std::size_t feature_count,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RegressionTree> forest;
+  forest.reserve(trees);
+  for (std::size_t i = 0; i < trees; ++i) {
+    forest.push_back(
+        RegressionTree::random_structure(feature_count, leaves, rng.next_u64()));
+  }
+  return assemble(0.0, 0.1, std::move(forest));
+}
+
+GbrtModel train_gbrt(const Dataset& data, const GbrtParams& params,
+                     std::uint64_t seed, BoostTrace* trace,
+                     const Dataset* validation) {
+  if (data.empty()) throw std::invalid_argument("train_gbrt: empty dataset");
+  if (params.shrinkage <= 0 || params.shrinkage > 1) {
+    throw std::invalid_argument("train_gbrt: shrinkage out of (0, 1]");
+  }
+  if (params.subsample <= 0 || params.subsample > 1) {
+    throw std::invalid_argument("train_gbrt: subsample out of (0, 1]");
+  }
+  if (params.huber_quantile <= 0 || params.huber_quantile > 1) {
+    throw std::invalid_argument("train_gbrt: huber_quantile out of (0, 1]");
+  }
+
+  // F0 = median of the targets (Algorithm 1's constant initialiser).
+  const double base = median(data.targets());
+
+  std::vector<double> current(data.size(), base);  // F_{m-1}(x_i)
+  std::vector<double> valid_current;
+  if (validation != nullptr) valid_current.assign(validation->size(), base);
+  std::vector<RegressionTree> trees;
+  trees.reserve(params.trees);
+  Rng rng(seed);
+
+  double best_valid = 1e300;
+  std::size_t best_iteration = 0;
+  std::size_t rounds_without_improvement = 0;
+
+  std::vector<double> residuals(data.size());
+  for (std::size_t m = 0; m < params.trees; ++m) {
+    // Pseudo-residuals: y_i - F(x_i) for L2; for Huber, the raw residual is
+    // clipped at delta = the huber_quantile of |residuals| (Friedman's
+    // M-regression), so outliers pull with bounded force.
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      residuals[i] = data.target(i) - current[i];
+    }
+    if (params.loss == Loss::kHuber) {
+      std::vector<double> magnitudes(residuals.size());
+      for (std::size_t i = 0; i < residuals.size(); ++i) {
+        magnitudes[i] = std::abs(residuals[i]);
+      }
+      const double delta =
+          std::max(1e-12, percentile(std::move(magnitudes),
+                                     params.huber_quantile * 100.0));
+      for (double& r : residuals) {
+        r = std::clamp(r, -delta, delta);
+      }
+    }
+
+    RegressionTree tree = [&] {
+      if (params.subsample >= 1.0) {
+        return RegressionTree::fit(data, residuals, params.tree);
+      }
+      // Stochastic variant: fit on a sampled subset.
+      Dataset sample(data.feature_count());
+      std::vector<double> sample_residuals;
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        if (rng.chance(params.subsample)) {
+          sample.add(data.row(i), data.target(i));
+          sample_residuals.push_back(residuals[i]);
+        }
+      }
+      if (sample.size() < 2 * params.tree.min_samples_leaf) {
+        return RegressionTree::fit(data, residuals, params.tree);
+      }
+      return RegressionTree::fit(sample, sample_residuals, params.tree);
+    }();
+
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      current[i] += params.shrinkage * tree.predict(data.row(i));
+    }
+    trees.push_back(std::move(tree));
+
+    if (trace != nullptr) {
+      double error = 0;
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        const double diff = data.target(i) - current[i];
+        error += diff * diff;
+      }
+      trace->train_mse.push_back(error / static_cast<double>(data.size()));
+    }
+
+    if (validation != nullptr) {
+      double error = 0;
+      for (std::size_t i = 0; i < validation->size(); ++i) {
+        valid_current[i] += params.shrinkage * trees.back().predict(validation->row(i));
+        const double diff = validation->target(i) - valid_current[i];
+        error += diff * diff;
+      }
+      const double valid_mse =
+          error / static_cast<double>(validation->size());
+      if (trace != nullptr) trace->valid_mse.push_back(valid_mse);
+      if (valid_mse < best_valid - 1e-12) {
+        best_valid = valid_mse;
+        best_iteration = m;
+        rounds_without_improvement = 0;
+      } else if (params.early_stopping_rounds > 0 &&
+                 ++rounds_without_improvement >= params.early_stopping_rounds) {
+        if (trace != nullptr) trace->stopped_early = true;
+        break;
+      }
+    }
+  }
+
+  if (validation != nullptr) {
+    // Keep the ensemble at its validation optimum.
+    trees.resize(std::min(trees.size(), best_iteration + 1));
+    if (trace != nullptr) trace->best_iteration = best_iteration;
+  }
+  return GbrtModel::assemble(base, params.shrinkage, std::move(trees));
+}
+
+double mse(const GbrtModel& model, const Dataset& data) {
+  if (data.empty()) return 0;
+  double error = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double diff = model.predict(data.row(i)) - data.target(i);
+    error += diff * diff;
+  }
+  return error / static_cast<double>(data.size());
+}
+
+double threshold_accuracy(const std::vector<double>& predicted,
+                          const std::vector<double>& actual, double threshold) {
+  if (predicted.size() != actual.size()) {
+    throw std::invalid_argument("threshold_accuracy: size mismatch");
+  }
+  if (predicted.empty()) return 0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if ((predicted[i] > threshold) == (actual[i] > threshold)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+}  // namespace eab::gbrt

@@ -1,0 +1,99 @@
+// The boosted ensemble and its trainer (the paper's Algorithm 1).
+//
+// Least-squares gradient boosting: start from the target median, then
+// repeatedly fit a J-leaf regression tree to the residuals and add it with a
+// shrinkage factor.  For the squared-error loss the per-leaf line search
+// gamma_jm reduces to the leaf mean, which RegressionTree::fit already
+// produces — exactly Friedman's special case the paper uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gbrt/tree.hpp"
+
+namespace eab::gbrt {
+
+/// Loss functions for the gradient (Friedman 2001; the paper uses kSquared).
+enum class Loss {
+  kSquared,  ///< L(y,F) = (y-F)^2 — the paper's choice
+  kHuber,    ///< robust to outliers: quadratic near 0, linear in the tail
+};
+
+/// Boosting hyperparameters.
+struct GbrtParams {
+  std::size_t trees = 300;      ///< M: boosting iterations
+  TreeParams tree;              ///< base learner shape (J = tree.max_leaves)
+  double shrinkage = 0.08;      ///< learning rate applied to every tree
+  /// Row subsampling per iteration (1.0 = deterministic classic boosting).
+  double subsample = 1.0;
+  Loss loss = Loss::kSquared;
+  /// Huber transition point as a residual quantile (Friedman's alpha).
+  double huber_quantile = 0.9;
+  /// Early stopping: if > 0 and a validation set is supplied, stop after
+  /// this many consecutive iterations without validation-MSE improvement.
+  std::size_t early_stopping_rounds = 0;
+};
+
+/// A trained model.
+class GbrtModel {
+ public:
+  /// Prediction: F(x) = F0 + shrinkage * sum_m tree_m(x).
+  double predict(const std::vector<double>& features) const;
+
+  /// Predictions for a whole dataset.
+  std::vector<double> predict_all(const Dataset& data) const;
+
+  std::size_t tree_count() const { return trees_.size(); }
+  double base_score() const { return base_; }
+  double shrinkage() const { return shrinkage_; }
+
+  /// Total split gain per feature across the ensemble, normalised to sum 1.
+  std::vector<double> feature_importance(std::size_t feature_count) const;
+
+  /// Multi-line text serialization; parse() inverts it.
+  std::string serialize() const;
+  static GbrtModel parse(const std::string& text);
+
+  /// Assembles a model from parts (trainer and synthetic-model helpers).
+  static GbrtModel assemble(double base, double shrinkage,
+                            std::vector<RegressionTree> trees);
+
+  /// A structurally random model for inference-cost experiments (Table 7).
+  static GbrtModel random_model(std::size_t trees, std::size_t leaves,
+                                std::size_t feature_count, std::uint64_t seed);
+
+ private:
+  double base_ = 0;
+  double shrinkage_ = 1.0;
+  std::vector<RegressionTree> trees_;
+};
+
+/// Per-iteration training diagnostics.
+struct BoostTrace {
+  std::vector<double> train_mse;  ///< after each iteration
+  std::vector<double> valid_mse;  ///< when a validation set is supplied
+  std::size_t best_iteration = 0; ///< iteration with the lowest valid MSE
+  bool stopped_early = false;
+};
+
+/// Trains a GbrtModel on `data` (Algorithm 1). When params.subsample < 1 the
+/// trainer draws rows with the given seed (stochastic gradient boosting).
+/// A non-null `validation` set enables the early-stopping rule and the
+/// valid_mse trace; the returned model is truncated at the best iteration.
+GbrtModel train_gbrt(const Dataset& data, const GbrtParams& params,
+                     std::uint64_t seed = 1, BoostTrace* trace = nullptr,
+                     const Dataset* validation = nullptr);
+
+// --- metrics ---------------------------------------------------------------
+
+/// Mean squared error of predictions vs. the dataset's targets.
+double mse(const GbrtModel& model, const Dataset& data);
+
+/// The paper's accuracy criterion (Section 5.6.1): a prediction is correct
+/// when it falls on the same side of `threshold` as the true value.
+double threshold_accuracy(const std::vector<double>& predicted,
+                          const std::vector<double>& actual, double threshold);
+
+}  // namespace eab::gbrt

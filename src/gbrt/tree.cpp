@@ -1,0 +1,273 @@
+#include "gbrt/tree.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdint>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace eab::gbrt {
+namespace {
+
+/// A proposed split of one leaf's samples.
+struct SplitProposal {
+  bool valid = false;
+  int feature = -1;
+  double threshold = 0;
+  double gain = 0;  ///< SSE reduction
+  std::vector<std::size_t> left;
+  std::vector<std::size_t> right;
+  double left_mean = 0;
+  double right_mean = 0;
+};
+
+double mean_of(const std::vector<double>& targets,
+               const std::vector<std::size_t>& indices) {
+  if (indices.empty()) return 0;
+  double sum = 0;
+  for (std::size_t i : indices) sum += targets[i];
+  return sum / static_cast<double>(indices.size());
+}
+
+/// Exact greedy best split across all features.
+SplitProposal best_split(const Dataset& data, const std::vector<double>& targets,
+                         const std::vector<std::size_t>& indices,
+                         const TreeParams& params) {
+  SplitProposal best;
+  const std::size_t n = indices.size();
+  if (n < 2 * params.min_samples_leaf) return best;
+
+  double total_sum = 0;
+  for (std::size_t i : indices) total_sum += targets[i];
+  const double parent_score = total_sum * total_sum / static_cast<double>(n);
+
+  std::vector<std::pair<double, double>> sorted;  // (feature value, target)
+  sorted.reserve(n);
+
+  for (std::size_t feature = 0; feature < data.feature_count(); ++feature) {
+    sorted.clear();
+    for (std::size_t i : indices) {
+      sorted.emplace_back(data.row(i)[feature], targets[i]);
+    }
+    std::sort(sorted.begin(), sorted.end());
+
+    double left_sum = 0;
+    for (std::size_t cut = 1; cut < n; ++cut) {
+      left_sum += sorted[cut - 1].second;
+      // Only split between distinct feature values.
+      if (sorted[cut - 1].first == sorted[cut].first) continue;
+      if (cut < params.min_samples_leaf || n - cut < params.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = total_sum - left_sum;
+      const double score =
+          left_sum * left_sum / static_cast<double>(cut) +
+          right_sum * right_sum / static_cast<double>(n - cut);
+      const double gain = score - parent_score;
+      if (gain > best.gain) {
+        best.valid = true;
+        best.feature = static_cast<int>(feature);
+        best.threshold = (sorted[cut - 1].first + sorted[cut].first) / 2.0;
+        best.gain = gain;
+      }
+    }
+  }
+
+  if (best.valid) {
+    for (std::size_t i : indices) {
+      auto& side = data.row(i)[static_cast<std::size_t>(best.feature)] <=
+                           best.threshold
+                       ? best.left
+                       : best.right;
+      side.push_back(i);
+    }
+    best.left_mean = mean_of(targets, best.left);
+    best.right_mean = mean_of(targets, best.right);
+  }
+  return best;
+}
+
+}  // namespace
+
+RegressionTree RegressionTree::fit(const Dataset& data,
+                                   const std::vector<double>& targets,
+                                   const TreeParams& params) {
+  if (targets.size() != data.size()) {
+    throw std::invalid_argument("RegressionTree::fit: target size mismatch");
+  }
+  if (data.empty()) {
+    throw std::invalid_argument("RegressionTree::fit: empty dataset");
+  }
+  if (params.max_leaves < 1) {
+    throw std::invalid_argument("RegressionTree::fit: max_leaves must be >= 1");
+  }
+
+  RegressionTree tree;
+  tree.split_gains_.assign(data.feature_count(), 0.0);
+
+  std::vector<std::size_t> all(data.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+
+  Node root;
+  root.value = mean_of(targets, all);
+  tree.nodes_.push_back(root);
+
+  // Best-first growth: always expand the leaf whose best split removes the
+  // most squared error.
+  struct Candidate {
+    double gain;
+    int node;
+    SplitProposal split;
+    bool operator<(const Candidate& other) const { return gain < other.gain; }
+  };
+  std::vector<Candidate> frontier;  // max-heap via push_heap/pop_heap
+
+  auto propose = [&](int node, const std::vector<std::size_t>& indices) {
+    SplitProposal split = best_split(data, targets, indices, params);
+    if (split.valid && split.gain > 1e-12) {
+      frontier.push_back(Candidate{split.gain, node, std::move(split)});
+      std::push_heap(frontier.begin(), frontier.end());
+    }
+  };
+
+  propose(0, all);
+  std::size_t leaves = 1;
+  while (leaves < params.max_leaves && !frontier.empty()) {
+    std::pop_heap(frontier.begin(), frontier.end());
+    Candidate candidate = std::move(frontier.back());
+    frontier.pop_back();
+    SplitProposal& split = candidate.split;
+
+    Node left;
+    left.value = split.left_mean;
+    Node right;
+    right.value = split.right_mean;
+    const int left_index = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back(left);
+    const int right_index = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back(right);
+
+    Node& parent = tree.nodes_[static_cast<std::size_t>(candidate.node)];
+    parent.feature = split.feature;
+    parent.threshold = split.threshold;
+    parent.left = left_index;
+    parent.right = right_index;
+    tree.split_gains_[static_cast<std::size_t>(split.feature)] += split.gain;
+
+    ++leaves;  // one leaf became two
+    if (leaves < params.max_leaves) {
+      propose(left_index, split.left);
+      propose(right_index, split.right);
+    }
+  }
+  return tree;
+}
+
+double RegressionTree::predict(const std::vector<double>& features) const {
+  std::size_t node = 0;
+  for (;;) {
+    const Node& current = nodes_[node];
+    if (current.feature < 0) return current.value;
+    const double value = features[static_cast<std::size_t>(current.feature)];
+    node = static_cast<std::size_t>(value <= current.threshold ? current.left
+                                                               : current.right);
+  }
+}
+
+std::size_t RegressionTree::leaf_count() const {
+  std::size_t leaves = 0;
+  for (const Node& node : nodes_) {
+    if (node.feature < 0) ++leaves;
+  }
+  return leaves;
+}
+
+std::string RegressionTree::serialize() const {
+  std::string out;
+  char buf[128];
+  for (const Node& node : nodes_) {
+    std::snprintf(buf, sizeof buf, "%d:%.17g:%d:%d:%.17g;", node.feature,
+                  node.threshold, node.left, node.right, node.value);
+    out += buf;
+  }
+  return out;
+}
+
+RegressionTree RegressionTree::parse(const std::string& text) {
+  RegressionTree tree;
+  std::stringstream stream(text);
+  std::string piece;
+  while (std::getline(stream, piece, ';')) {
+    if (piece.empty()) continue;
+    Node node;
+    char c1 = 0, c2 = 0, c3 = 0, c4 = 0;
+    std::stringstream fields(piece);
+    if (!(fields >> node.feature >> c1 >> node.threshold >> c2 >> node.left >>
+          c3 >> node.right >> c4 >> node.value) ||
+        c1 != ':' || c2 != ':' || c3 != ':' || c4 != ':') {
+      throw std::invalid_argument("RegressionTree::parse: malformed node '" +
+                                  piece + "'");
+    }
+    tree.nodes_.push_back(node);
+  }
+  if (tree.nodes_.empty()) {
+    throw std::invalid_argument("RegressionTree::parse: empty tree");
+  }
+  // Validate child indices so predict() cannot walk out of bounds.
+  const int n = static_cast<int>(tree.nodes_.size());
+  for (const Node& node : tree.nodes_) {
+    if (node.feature >= 0 &&
+        (node.left < 0 || node.left >= n || node.right < 0 || node.right >= n)) {
+      throw std::invalid_argument("RegressionTree::parse: bad child index");
+    }
+  }
+  return tree;
+}
+
+RegressionTree RegressionTree::constant(double value) {
+  RegressionTree tree;
+  Node leaf;
+  leaf.value = value;
+  tree.nodes_.push_back(leaf);
+  return tree;
+}
+
+RegressionTree RegressionTree::random_structure(std::size_t feature_count,
+                                                std::size_t leaves,
+                                                std::uint64_t seed) {
+  if (feature_count == 0 || leaves == 0) {
+    throw std::invalid_argument("RegressionTree::random_structure: bad sizes");
+  }
+  Rng rng(seed);
+  RegressionTree tree;
+  Node root;
+  root.value = rng.normal();
+  tree.nodes_.push_back(root);
+  std::vector<int> open_leaves{0};
+  while (tree.leaf_count() < leaves && !open_leaves.empty()) {
+    const std::size_t pick = rng.uniform_index(open_leaves.size());
+    const int node_index = open_leaves[pick];
+    open_leaves.erase(open_leaves.begin() + static_cast<long>(pick));
+
+    const int left = static_cast<int>(tree.nodes_.size());
+    Node child_left;
+    child_left.value = rng.normal();
+    tree.nodes_.push_back(child_left);
+    const int right = static_cast<int>(tree.nodes_.size());
+    Node child_right;
+    child_right.value = rng.normal();
+    tree.nodes_.push_back(child_right);
+
+    Node& parent = tree.nodes_[static_cast<std::size_t>(node_index)];
+    parent.feature = static_cast<int>(rng.uniform_index(feature_count));
+    parent.threshold = rng.uniform(-1, 1);
+    parent.left = left;
+    parent.right = right;
+    open_leaves.push_back(left);
+    open_leaves.push_back(right);
+  }
+  return tree;
+}
+
+}  // namespace eab::gbrt

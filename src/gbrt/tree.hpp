@@ -1,0 +1,68 @@
+// J-terminal-node regression trees (the GBRT base learner).
+//
+// Exact greedy least-squares CART: each split minimises the summed squared
+// error of the two children; trees grow best-first (largest SSE reduction
+// next) until they reach the configured number of terminal nodes, matching
+// the paper's "J-terminal node decision tree" base learner (Section 4.3.1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gbrt/dataset.hpp"
+
+namespace eab::gbrt {
+
+/// Growth limits of a single tree.
+struct TreeParams {
+  std::size_t max_leaves = 8;       ///< J: terminal nodes per tree
+  std::size_t min_samples_leaf = 5; ///< no split may create a smaller child
+};
+
+/// One fitted regression tree.
+class RegressionTree {
+ public:
+  /// Fits to (dataset features, `targets`) — `targets` replaces the dataset's
+  /// own targets so the booster can pass residuals. Sizes must match.
+  static RegressionTree fit(const Dataset& data,
+                            const std::vector<double>& targets,
+                            const TreeParams& params);
+
+  /// Prediction for one feature row.
+  double predict(const std::vector<double>& features) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t leaf_count() const;
+  /// Total SSE reduction contributed by splits on each feature
+  /// (length = feature count; used for importance reports).
+  const std::vector<double>& split_gains() const { return split_gains_; }
+
+  /// Compact text serialization (one line); parse() inverts it.
+  std::string serialize() const;
+  static RegressionTree parse(const std::string& text);
+
+  /// Builds a single-leaf constant tree (serialization edge cases, tests).
+  static RegressionTree constant(double value);
+
+  /// Builds a random tree of the given leaf count over `feature_count`
+  /// features — structure only, for prediction-cost experiments (Table 7
+  /// measures inference cost, which is independent of how trees were fit).
+  static RegressionTree random_structure(std::size_t feature_count,
+                                         std::size_t leaves,
+                                         std::uint64_t seed);
+
+ private:
+  struct Node {
+    int feature = -1;   ///< -1 marks a leaf
+    double threshold = 0;
+    int left = -1;
+    int right = -1;
+    double value = 0;   ///< leaf output (mean target in the region)
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<double> split_gains_;
+};
+
+}  // namespace eab::gbrt

@@ -1,0 +1,72 @@
+#include "net/cache.hpp"
+
+#include <stdexcept>
+
+namespace eab::net {
+
+ResourceCache::ResourceCache(Bytes capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("ResourceCache: zero capacity");
+  }
+}
+
+bool ResourceCache::cacheable(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kCss:
+    case ResourceKind::kJs:
+    case ResourceKind::kImage:
+    case ResourceKind::kFlash:
+      return true;
+    case ResourceKind::kHtml:
+    case ResourceKind::kOther:
+      return false;  // documents and unknowns revalidate every visit
+  }
+  return false;
+}
+
+const Resource* ResourceCache::lookup(const std::string& url) {
+  auto it = entries_.find(url);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  recency_.erase(it->second.recency);
+  recency_.push_front(url);
+  it->second.recency = recency_.begin();
+  return &it->second.resource;
+}
+
+void ResourceCache::insert(const Resource& resource) {
+  if (!cacheable(resource.kind) || resource.size > capacity_) return;
+  auto existing = entries_.find(resource.url);
+  if (existing != entries_.end()) {
+    used_ -= existing->second.resource.size;
+    recency_.erase(existing->second.recency);
+    entries_.erase(existing);
+  }
+  while (used_ + resource.size > capacity_) evict_one();
+  recency_.push_front(resource.url);
+  used_ += resource.size;
+  entries_.emplace(resource.url, Entry{resource, recency_.begin()});
+}
+
+void ResourceCache::evict_one() {
+  if (recency_.empty()) return;
+  const std::string victim = recency_.back();
+  recency_.pop_back();
+  auto it = entries_.find(victim);
+  if (it != entries_.end()) {
+    used_ -= it->second.resource.size;
+    entries_.erase(it);
+    ++evictions_;
+  }
+}
+
+void ResourceCache::clear() {
+  entries_.clear();
+  recency_.clear();
+  used_ = 0;
+}
+
+}  // namespace eab::net

@@ -1,0 +1,106 @@
+#include "net/http_client.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace eab::net {
+namespace {
+/// Reading a cached object off flash (Android 1.6-era storage).
+constexpr Seconds kCacheLookupLatency = 0.012;
+}  // namespace
+
+HttpClient::HttpClient(sim::Simulator& sim, const WebServer& server,
+                       SharedLink& link, radio::RrcMachine& rrc,
+                       radio::LinkConfig link_config, int max_parallel)
+    : sim_(sim),
+      server_(server),
+      link_(link),
+      rrc_(rrc),
+      link_config_(link_config),
+      max_parallel_(max_parallel) {
+  if (max_parallel < 1) {
+    throw std::invalid_argument("HttpClient: max_parallel must be >= 1");
+  }
+}
+
+void HttpClient::fetch(const std::string& url, OnFetched done,
+                       bool high_priority) {
+  if (!done) throw std::invalid_argument("HttpClient::fetch: empty callback");
+  if (cache_ != nullptr) {
+    if (const Resource* cached = cache_->lookup(url)) {
+      // Local hit: flash-read latency, no radio, no link.
+      const Seconds requested_at = sim_.now();
+      if (stats_.first_request_at < 0) stats_.first_request_at = requested_at;
+      sim_.schedule_in(kCacheLookupLatency,
+                       [this, cached, url, requested_at,
+                        done = std::move(done)] {
+                         ++stats_.fetches;
+                         ++stats_.cache_hits;
+                         FetchResult result;
+                         result.resource = cached;
+                         result.url = url;
+                         result.requested_at = requested_at;
+                         result.completed_at = sim_.now();
+                         done(result);
+                       });
+      return;
+    }
+  }
+  if (high_priority) {
+    queue_.push_front(PendingRequest{url, std::move(done)});
+  } else {
+    queue_.push_back(PendingRequest{url, std::move(done)});
+  }
+  pump();
+}
+
+void HttpClient::pump() {
+  while (in_flight_ < max_parallel_ && !queue_.empty()) {
+    PendingRequest request = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    start_request(std::move(request));
+  }
+}
+
+void HttpClient::start_request(PendingRequest request) {
+  const Seconds requested_at = sim_.now();
+  if (stats_.first_request_at < 0) stats_.first_request_at = requested_at;
+
+  // Shared state for the request's completion path. A shared_ptr keeps it
+  // alive through the chain of scheduled callbacks.
+  auto state = std::make_shared<PendingRequest>(std::move(request));
+
+  rrc_.request_channel([this, state, requested_at] {
+    // Channel is up; the request goes on the air now.
+    rrc_.begin_transfer();
+    const Resource* lookup = server_.find(state->url);
+    const Seconds setup = link_config_.rtt + link_config_.server_latency +
+                          link_config_.slow_start_delay(lookup ? lookup->size : 0);
+    sim_.schedule_in(setup, [this, state, requested_at] {
+      const Resource* resource = server_.find(state->url);
+      const Bytes size = resource ? resource->size : 0;
+      link_.start_flow(size, [this, state, requested_at, resource] {
+        rrc_.end_transfer();
+        --in_flight_;
+        ++stats_.fetches;
+        if (resource) {
+          stats_.bytes_fetched += resource->size;
+          if (cache_ != nullptr) cache_->insert(*resource);
+        } else {
+          ++stats_.not_found;
+        }
+        stats_.last_byte_at = sim_.now();
+        FetchResult result;
+        result.resource = resource;
+        result.url = state->url;
+        result.requested_at = requested_at;
+        result.completed_at = sim_.now();
+        state->done(result);
+        pump();
+      });
+    });
+  });
+}
+
+}  // namespace eab::net

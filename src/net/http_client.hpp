@@ -1,0 +1,92 @@
+// HTTP client over the simulated 3G path.
+//
+// Fetches resources from a WebServer with a bounded number of parallel
+// connections (mobile browsers of the paper's era used 2-4).  Every fetch:
+//   1. waits for a free connection slot,
+//   2. asks the RRC machine for dedicated channels (promotion if needed),
+//   3. spends RTT + server think time for the request/first byte,
+//   4. drains the response body through the processor-shared downlink.
+// The radio transfer marker is held from request send to last byte, so the
+// power model sees exactly when the air interface is busy.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "net/cache.hpp"
+#include "net/shared_link.hpp"
+#include "net/web_server.hpp"
+#include "radio/rrc.hpp"
+#include "sim/simulator.hpp"
+
+namespace eab::net {
+
+/// Result of one fetch.
+struct FetchResult {
+  const Resource* resource = nullptr;  ///< nullptr when the URL 404s
+  std::string url;
+  Seconds requested_at = 0;
+  Seconds completed_at = 0;
+};
+
+/// Statistics over the life of a client.
+struct HttpClientStats {
+  std::size_t fetches = 0;
+  std::size_t not_found = 0;
+  std::size_t cache_hits = 0;
+  Bytes bytes_fetched = 0;
+  Seconds first_request_at = -1;
+  Seconds last_byte_at = 0;
+};
+
+/// Bounded-parallelism HTTP client bound to one server, link and radio.
+class HttpClient {
+ public:
+  using OnFetched = std::function<void(const FetchResult&)>;
+
+  HttpClient(sim::Simulator& sim, const WebServer& server, SharedLink& link,
+             radio::RrcMachine& rrc, radio::LinkConfig link_config,
+             int max_parallel = 3);
+
+  /// Attaches a browser cache (not owned; may outlive this client — caches
+  /// persist across page loads within a session). Cache hits complete after
+  /// a local lookup latency without touching the radio.
+  void set_cache(ResourceCache* cache) { cache_ = cache; }
+
+  /// Queues a fetch; `done` fires when the body has fully arrived (or
+  /// immediately-ish with a null resource for unknown URLs).  High-priority
+  /// requests jump ahead of queued normal ones (the energy-aware pipeline
+  /// fetches discovery-bearing resources — HTML/CSS/JS — before leaf
+  /// images, so the reference chain unrolls as early as possible).
+  void fetch(const std::string& url, OnFetched done, bool high_priority = false);
+
+  /// Number of requests queued but not yet started.
+  std::size_t queued() const { return queue_.size(); }
+  /// Number of requests currently in flight.
+  int in_flight() const { return in_flight_; }
+
+  const HttpClientStats& stats() const { return stats_; }
+
+ private:
+  struct PendingRequest {
+    std::string url;
+    OnFetched done;
+  };
+
+  void pump();
+  void start_request(PendingRequest request);
+
+  sim::Simulator& sim_;
+  const WebServer& server_;
+  SharedLink& link_;
+  radio::RrcMachine& rrc_;
+  radio::LinkConfig link_config_;
+  int max_parallel_;
+  ResourceCache* cache_ = nullptr;
+  int in_flight_ = 0;
+  std::deque<PendingRequest> queue_;
+  HttpClientStats stats_;
+};
+
+}  // namespace eab::net

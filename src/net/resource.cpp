@@ -1,0 +1,43 @@
+#include "net/resource.hpp"
+
+#include <algorithm>
+
+namespace eab::net {
+
+const char* to_string(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kHtml: return "html";
+    case ResourceKind::kCss: return "css";
+    case ResourceKind::kJs: return "js";
+    case ResourceKind::kImage: return "image";
+    case ResourceKind::kFlash: return "flash";
+    case ResourceKind::kOther: return "other";
+  }
+  return "?";
+}
+
+ResourceKind kind_from_url(const std::string& url) {
+  // Strip a query string before looking at the extension.
+  const std::string path = url.substr(0, url.find('?'));
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos) {
+    return path.find('/') != std::string::npos ? ResourceKind::kHtml
+                                               : ResourceKind::kOther;
+  }
+  std::string ext = path.substr(dot + 1);
+  std::transform(ext.begin(), ext.end(), ext.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (ext == "css") return ResourceKind::kCss;
+  if (ext == "js") return ResourceKind::kJs;
+  if (ext == "png" || ext == "jpg" || ext == "jpeg" || ext == "gif" ||
+      ext == "bmp" || ext == "webp" || ext == "ico") {
+    return ResourceKind::kImage;
+  }
+  if (ext == "swf") return ResourceKind::kFlash;
+  if (ext == "html" || ext == "htm" || ext == "php" || ext == "asp") {
+    return ResourceKind::kHtml;
+  }
+  return ResourceKind::kOther;
+}
+
+}  // namespace eab::net

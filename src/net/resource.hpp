@@ -1,0 +1,38 @@
+// Web resource model: the objects a page is made of.
+#pragma once
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace eab::net {
+
+/// The content types the browser distinguishes (paper Section 2.2).
+enum class ResourceKind {
+  kHtml,
+  kCss,
+  kJs,
+  kImage,
+  kFlash,
+  kOther,
+};
+
+/// Returns a short name for a resource kind ("html", "css", ...).
+const char* to_string(ResourceKind kind);
+
+/// Guesses a resource kind from a URL's extension (".css", ".js", images,
+/// ".swf"); anything unrecognised is kHtml for path-like URLs and kOther
+/// otherwise. Used when a scanner discovers a bare URL.
+ResourceKind kind_from_url(const std::string& url);
+
+/// One downloadable object. `body` carries real generated markup/code for
+/// HTML, CSS and JS so the parsers operate on genuine content; binary
+/// resources (images, flash) carry only their size.
+struct Resource {
+  std::string url;
+  ResourceKind kind = ResourceKind::kOther;
+  Bytes size = 0;  ///< transfer size in bytes (>= body.size() for text)
+  std::string body;
+};
+
+}  // namespace eab::net

@@ -1,0 +1,73 @@
+#include "net/shared_link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eab::net {
+
+SharedLink::SharedLink(sim::Simulator& sim, BytesPerSecond capacity)
+    : sim_(sim), capacity_(capacity), rate_(0.0) {
+  if (capacity <= 0) {
+    throw std::invalid_argument("SharedLink: capacity must be positive");
+  }
+}
+
+void SharedLink::start_flow(Bytes bytes, OnComplete done) {
+  if (!done) throw std::invalid_argument("SharedLink::start_flow: empty callback");
+  advance_and_reschedule();  // settle elapsed progress before the set changes
+  flows_.push_back(
+      Flow{next_id_++, static_cast<double>(bytes), bytes, std::move(done)});
+  advance_and_reschedule();
+}
+
+void SharedLink::advance_and_reschedule() {
+  const Seconds now = sim_.now();
+  const Seconds elapsed = now - last_advance_;
+  if (elapsed > 0 && !flows_.empty()) {
+    const double drained = capacity_ / static_cast<double>(flows_.size()) * elapsed;
+    for (auto& flow : flows_) {
+      flow.remaining = std::max(0.0, flow.remaining - drained);
+    }
+  }
+  last_advance_ = now;
+
+  // Complete every flow that has fully drained (including zero-byte flows).
+  // The epsilon is a millibyte: far below transfer granularity, but large
+  // enough that the residual's drain time never rounds to zero against the
+  // simulation clock's double-precision ulp (which would freeze time).
+  constexpr double kResidualBytes = 1e-3;
+  std::vector<Flow> finished;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->remaining <= kResidualBytes) {
+      finished.push_back(std::move(*it));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  rate_.set_power(now, flows_.empty() ? 0.0 : capacity_);
+
+  sim_.cancel(next_completion_);
+  if (!flows_.empty()) {
+    const double min_remaining =
+        std::min_element(flows_.begin(), flows_.end(),
+                         [](const Flow& a, const Flow& b) {
+                           return a.remaining < b.remaining;
+                         })
+            ->remaining;
+    const double per_flow_rate = capacity_ / static_cast<double>(flows_.size());
+    // Never reschedule at a sub-nanosecond delay: it could alias to the
+    // current timestamp and make no progress.
+    const Seconds delay = std::max(1e-9, min_remaining / per_flow_rate);
+    next_completion_ =
+        sim_.schedule_in(delay, [this] { advance_and_reschedule(); });
+  }
+
+  for (auto& flow : finished) {
+    delivered_ += flow.total;
+    flow.done();
+  }
+}
+
+}  // namespace eab::net

@@ -1,0 +1,65 @@
+// Processor-sharing link model.
+//
+// All concurrent HTTP responses drain through one radio downlink; the link
+// splits its capacity equally among active flows (a standard fluid-flow
+// approximation of TCP fairness on a shared bottleneck).  The link also
+// exposes its instantaneous aggregate rate as a timeline, which is how the
+// Fig 4 traffic-shape experiment observes transfer burstiness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/timeline.hpp"
+#include "util/units.hpp"
+
+namespace eab::net {
+
+/// A capacity-shared downlink with per-flow completion callbacks.
+class SharedLink {
+ public:
+  using OnComplete = std::function<void()>;
+
+  SharedLink(sim::Simulator& sim, BytesPerSecond capacity);
+
+  /// Starts a flow of `bytes`; `done` fires when the last byte has drained.
+  /// Zero-byte flows complete on the next simulator step.
+  void start_flow(Bytes bytes, OnComplete done);
+
+  /// Number of flows currently draining.
+  std::size_t active_flows() const { return flows_.size(); }
+
+  /// Aggregate delivered-rate history in bytes/second (capacity when at
+  /// least one flow is active, 0 when idle).
+  const PowerTimeline& rate_history() const { return rate_; }
+
+  /// Total bytes fully delivered so far.
+  Bytes delivered() const { return delivered_; }
+
+  BytesPerSecond capacity() const { return capacity_; }
+
+ private:
+  struct Flow {
+    std::uint64_t id;
+    double remaining;  // bytes still to deliver (fractional during sharing)
+    Bytes total;       // original size, for delivered-byte accounting
+    OnComplete done;
+  };
+
+  /// Advances all remaining-byte counters to now() and reschedules the next
+  /// completion event.
+  void advance_and_reschedule();
+
+  sim::Simulator& sim_;
+  BytesPerSecond capacity_;
+  std::vector<Flow> flows_;
+  Seconds last_advance_ = 0;
+  sim::EventId next_completion_;
+  std::uint64_t next_id_ = 1;
+  Bytes delivered_ = 0;
+  PowerTimeline rate_;  // reused as a bytes/s step function
+};
+
+}  // namespace eab::net

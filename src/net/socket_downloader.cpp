@@ -1,0 +1,29 @@
+#include "net/socket_downloader.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace eab::net {
+
+SocketDownloader::SocketDownloader(sim::Simulator& sim, SharedLink& link,
+                                   radio::RrcMachine& rrc,
+                                   radio::LinkConfig link_config)
+    : sim_(sim), link_(link), rrc_(rrc), link_config_(link_config) {}
+
+void SocketDownloader::download(Bytes bytes, OnDone done) {
+  if (!done) throw std::invalid_argument("SocketDownloader: empty callback");
+  const Seconds started = sim_.now();
+  auto callback = std::make_shared<OnDone>(std::move(done));
+  rrc_.request_channel([this, bytes, started, callback] {
+    rrc_.begin_transfer();
+    const Seconds setup = link_config_.rtt + link_config_.server_latency;
+    sim_.schedule_in(setup, [this, bytes, started, callback] {
+      link_.start_flow(bytes, [this, started, callback] {
+        rrc_.end_transfer();
+        (*callback)(started, sim_.now());
+      });
+    });
+  });
+}
+
+}  // namespace eab::net

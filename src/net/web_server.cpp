@@ -1,0 +1,25 @@
+#include "net/web_server.hpp"
+
+#include <stdexcept>
+
+namespace eab::net {
+
+void WebServer::host(Resource resource) {
+  if (resource.url.empty()) {
+    throw std::invalid_argument("WebServer::host: empty URL");
+  }
+  resources_[resource.url] = std::move(resource);
+}
+
+const Resource* WebServer::find(const std::string& url) const {
+  auto it = resources_.find(url);
+  return it == resources_.end() ? nullptr : &it->second;
+}
+
+Bytes WebServer::total_bytes() const {
+  Bytes total = 0;
+  for (const auto& [url, res] : resources_) total += res.size;
+  return total;
+}
+
+}  // namespace eab::net

@@ -1,0 +1,35 @@
+// An origin server hosting the resources of one or more pages.
+//
+// The paper's testbed talks to the live web; here the corpus generator
+// populates a WebServer with synthetic replicas of those pages and the HTTP
+// client fetches from it through the simulated 3G path.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "net/resource.hpp"
+
+namespace eab::net {
+
+/// In-memory resource store keyed by URL.
+class WebServer {
+ public:
+  /// Publishes a resource; replaces any previous resource at the same URL.
+  void host(Resource resource);
+
+  /// Looks a URL up; nullptr when the URL is unknown (a 404).
+  const Resource* find(const std::string& url) const;
+
+  /// Number of hosted resources.
+  std::size_t resource_count() const { return resources_.size(); }
+
+  /// Sum of all hosted resource sizes in bytes.
+  Bytes total_bytes() const;
+
+ private:
+  std::unordered_map<std::string, Resource> resources_;
+};
+
+}  // namespace eab::net

@@ -1,0 +1,44 @@
+#include "radio/profiles.hpp"
+
+namespace eab::radio {
+
+RadioProfile umts_profile() {
+  // The library defaults are the UMTS calibration.
+  return RadioProfile{"UMTS (3G)", RrcConfig{}, RadioPowerModel{}, LinkConfig{}};
+}
+
+RadioProfile lte_profile() {
+  RadioProfile profile;
+  profile.name = "LTE";
+
+  // Timers: short inactivity to DRX, ~10 s connected tail before release.
+  profile.rrc.t1 = 1.0;    // continuous reception -> DRX
+  profile.rrc.t2 = 10.0;   // DRX tail -> RRC_IDLE
+  profile.rrc.idle_to_dch_delay = 0.26;  // RRC connection setup
+  profile.rrc.fach_to_dch_delay = 0.03;  // DRX wake-up
+  profile.rrc.release_delay = 0.10;
+  profile.rrc.idle_to_dch_power = 1.20;
+  profile.rrc.fach_to_dch_power = 1.10;
+  profile.rrc.release_power = 1.00;
+  profile.rrc.fach_data_threshold = 0;  // no shared-channel data path
+
+  // Whole-phone power (display/system floor kept at the paper's 0.15 W so
+  // the technologies are compared on radio behaviour alone).
+  profile.power.idle = 0.15;
+  profile.power.fach = 0.55;            // mean over the DRX cycle
+  profile.power.dch_no_transfer = 1.15;
+  profile.power.dch_transfer = 1.45;    // LTE radios draw more when active
+  profile.power.fach_transfer = 0.55;   // unused (threshold 0)
+  profile.power.cpu_busy_extra = 0.45;
+
+  // Link: ~8x the UMTS goodput, much lower latency.
+  profile.link.dch_bandwidth = 1100.0 * 1024.0;
+  profile.link.fach_bandwidth = 0.0;
+  profile.link.rtt = 0.05;
+  profile.link.server_latency = 0.05;
+  profile.link.slow_start_threshold = 32 * 1024;
+  profile.link.slow_start_rounds_cap = 1.0;
+  return profile;
+}
+
+}  // namespace eab::radio

@@ -1,0 +1,35 @@
+// Named radio technology profiles.
+//
+// The reproduction's default constants model the paper's 2009-2013 UMTS
+// testbed.  This header also provides an LTE profile (connected-mode DRX,
+// calibrated to the published measurements of Huang et al., MobiSys'12) so
+// the technique can be re-evaluated on the technology that displaced 3G:
+// LTE's promotions are ~10x faster and its tail is shorter and cheaper, so
+// the headroom the paper exploits shrinks — quantified by
+// bench_ext_lte_profile.
+//
+// The three RRC states map as: kDch = RRC_CONNECTED (continuous reception),
+// kFach = RRC_CONNECTED with DRX (the tail; effective mean power over the
+// DRX cycle), kIdle = RRC_IDLE.
+#pragma once
+
+#include "radio/rrc_config.hpp"
+
+namespace eab::radio {
+
+/// The paper's testbed: T-Mobile UMTS, Table 5 power levels (the library
+/// defaults — returned explicitly so experiments can name their profile).
+struct RadioProfile {
+  const char* name;
+  RrcConfig rrc;
+  RadioPowerModel power;
+  LinkConfig link;
+};
+
+/// UMTS / 3G (the paper's environment).
+RadioProfile umts_profile();
+
+/// LTE with connected-mode DRX (Huang et al., MobiSys'12 calibration).
+RadioProfile lte_profile();
+
+}  // namespace eab::radio

@@ -1,0 +1,229 @@
+#include "radio/rrc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eab::radio {
+
+const char* to_string(RrcState state) {
+  switch (state) {
+    case RrcState::kIdle: return "IDLE";
+    case RrcState::kFach: return "FACH";
+    case RrcState::kDch: return "DCH";
+  }
+  return "?";
+}
+
+RrcMachine::RrcMachine(sim::Simulator& sim, RrcConfig config,
+                       RadioPowerModel power)
+    : sim_(sim),
+      config_(config),
+      power_model_(power),
+      power_(power.idle),
+      residency_mark_(sim.now()) {}
+
+void RrcMachine::account_residency() {
+  const Seconds elapsed = sim_.now() - residency_mark_;
+  switch (state_) {
+    case RrcState::kIdle: time_idle_ += elapsed; break;
+    case RrcState::kFach: time_fach_ += elapsed; break;
+    case RrcState::kDch: time_dch_ += elapsed; break;
+  }
+  residency_mark_ = sim_.now();
+}
+
+Seconds RrcMachine::time_in(RrcState s) const {
+  // Include the open interval since the last change.
+  const Seconds open = sim_.now() - residency_mark_;
+  switch (s) {
+    case RrcState::kIdle: return time_idle_ + (state_ == s ? open : 0);
+    case RrcState::kFach: return time_fach_ + (state_ == s ? open : 0);
+    case RrcState::kDch: return time_dch_ + (state_ == s ? open : 0);
+  }
+  return 0;
+}
+
+void RrcMachine::update_power() {
+  Watts level = power_model_.idle;
+  switch (phase_) {
+    case RadioPhase::kPromoting:
+      level = state_ == RrcState::kIdle ? config_.idle_to_dch_power
+                                        : config_.fach_to_dch_power;
+      break;
+    case RadioPhase::kReleasing:
+      level = config_.release_power;
+      break;
+    case RadioPhase::kStable:
+      switch (state_) {
+        case RrcState::kIdle: level = power_model_.idle; break;
+        case RrcState::kFach: level = power_model_.fach; break;
+        case RrcState::kDch:
+          level = active_transfers_ > 0 ? power_model_.dch_transfer
+                                        : power_model_.dch_no_transfer;
+          break;
+      }
+      break;
+  }
+  power_.set_power(sim_.now(), level);
+}
+
+void RrcMachine::cancel_timers() {
+  sim_.cancel(t1_event_);
+  sim_.cancel(t2_event_);
+  t1_event_ = {};
+  t2_event_ = {};
+}
+
+void RrcMachine::arm_t1() {
+  sim_.cancel(t1_event_);
+  t1_event_ = sim_.schedule_in(config_.t1, [this] {
+    enter_state(RrcState::kFach);
+    arm_t2();
+  });
+}
+
+void RrcMachine::arm_t2() {
+  sim_.cancel(t2_event_);
+  t2_event_ = sim_.schedule_in(config_.t2, [this] {
+    enter_state(RrcState::kIdle);
+  });
+}
+
+void RrcMachine::enter_state(RrcState next) {
+  account_residency();
+  state_ = next;
+  update_power();
+}
+
+void RrcMachine::start_promotion() {
+  phase_ = RadioPhase::kPromoting;
+  cancel_timers();
+  update_power();
+  const bool from_idle = state_ == RrcState::kIdle;
+  const Seconds delay =
+      from_idle ? config_.idle_to_dch_delay : config_.fach_to_dch_delay;
+  signalling_event_ = sim_.schedule_in(delay, [this, from_idle] {
+    if (from_idle) {
+      ++idle_promotions_;
+    } else {
+      ++fach_promotions_;
+    }
+    on_promotion_done();
+  });
+}
+
+void RrcMachine::on_promotion_done() {
+  phase_ = RadioPhase::kStable;
+  enter_state(RrcState::kDch);
+  // If no transfer starts (caller changed its mind), the inactivity timer
+  // must still bring the radio back down.
+  arm_t1();
+  std::vector<Ready> ready;
+  ready.swap(waiting_);
+  for (auto& callback : ready) callback();
+}
+
+void RrcMachine::request_channel(Ready ready) {
+  if (!ready) {
+    throw std::invalid_argument("RrcMachine::request_channel: empty callback");
+  }
+  if (phase_ == RadioPhase::kStable && state_ == RrcState::kDch) {
+    ready();
+    return;
+  }
+  waiting_.push_back(std::move(ready));
+  if (phase_ == RadioPhase::kStable) {
+    start_promotion();
+  }
+  // kPromoting: the pending promotion will flush the queue.
+  // kReleasing: the release completion handler starts a fresh promotion.
+}
+
+void RrcMachine::begin_transfer() {
+  if (state_ != RrcState::kDch || phase_ != RadioPhase::kStable) {
+    throw std::logic_error("RrcMachine::begin_transfer: not on DCH");
+  }
+  ++active_transfers_;
+  cancel_timers();
+  update_power();
+}
+
+void RrcMachine::end_transfer() {
+  if (active_transfers_ <= 0) {
+    throw std::logic_error("RrcMachine::end_transfer: no active transfer");
+  }
+  --active_transfers_;
+  if (active_transfers_ == 0) {
+    arm_t1();
+    update_power();
+  }
+}
+
+void RrcMachine::touch() {
+  if (phase_ != RadioPhase::kStable) return;
+  switch (state_) {
+    case RrcState::kIdle:
+      break;
+    case RrcState::kFach:
+      arm_t2();
+      break;
+    case RrcState::kDch:
+      if (active_transfers_ == 0) arm_t1();
+      break;
+  }
+}
+
+bool RrcMachine::small_transfer(Bytes bytes, Ready done) {
+  if (!done) {
+    throw std::invalid_argument("RrcMachine::small_transfer: empty callback");
+  }
+  if (phase_ != RadioPhase::kStable || state_ != RrcState::kFach) return false;
+  if (bytes > config_.fach_data_threshold) return false;
+  if (fach_transfer_active_) return false;  // one shared-channel slot
+
+  fach_transfer_active_ = true;
+  power_.set_power(sim_.now(), power_model_.fach_transfer);
+  const Seconds duration = static_cast<double>(bytes) / 300.0;  // common rate
+  sim_.schedule_in(duration, [this, done = std::move(done)] {
+    fach_transfer_active_ = false;
+    ++small_transfers_;
+    if (phase_ == RadioPhase::kStable && state_ == RrcState::kFach) {
+      update_power();
+      arm_t2();  // shared-channel activity resets the release timer
+    }
+    done();
+  });
+  return true;
+}
+
+bool RrcMachine::force_idle() {
+  if (phase_ != RadioPhase::kStable) return false;
+  if (state_ == RrcState::kIdle) return false;
+  if (active_transfers_ > 0) return false;
+  phase_ = RadioPhase::kReleasing;
+  cancel_timers();
+  account_residency();
+  update_power();
+  signalling_event_ = sim_.schedule_in(config_.release_delay, [this] {
+    phase_ = RadioPhase::kStable;
+    ++forced_releases_;
+    enter_state(RrcState::kIdle);
+    if (!waiting_.empty()) {
+      // A transfer request arrived mid-release: bring the radio back up.
+      start_promotion();
+    }
+  });
+  return true;
+}
+
+
+Seconds LinkConfig::slow_start_delay(Bytes size) const {
+  if (size <= slow_start_threshold || slow_start_threshold == 0) return 0.0;
+  const double rounds = std::log2(
+      1.0 + static_cast<double>(size) / static_cast<double>(slow_start_threshold));
+  return rtt * std::min(slow_start_rounds_cap, rounds);
+}
+
+}  // namespace eab::radio
+

@@ -1,0 +1,127 @@
+// RRC (Radio Resource Control) state machine.
+//
+// Models a UMTS handset radio as seen from the phone: the three RRC states
+// with their inactivity timers (T1: DCH->FACH, T2: FACH->IDLE), promotion
+// signalling with realistic latency and power, and app-initiated fast
+// dormancy ("force idle", the paper's Section 4.4 state-switch component).
+//
+// The machine drives a PowerTimeline so that every state change is energy
+// accounted, and tracks cumulative per-state residency (DCH residency is the
+// service time of the capacity model in Section 5.4).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "radio/rrc_config.hpp"
+#include "sim/simulator.hpp"
+#include "util/timeline.hpp"
+
+namespace eab::radio {
+
+/// What the radio is doing on top of its logical RRC state.
+enum class RadioPhase {
+  kStable,          ///< camped in state(), no signalling in flight
+  kPromoting,       ///< signalling toward DCH
+  kReleasing,       ///< fast-dormancy release toward IDLE
+};
+
+/// The handset radio: RRC states, timers, promotions and fast dormancy.
+class RrcMachine {
+ public:
+  using Ready = std::function<void()>;
+
+  RrcMachine(sim::Simulator& sim, RrcConfig config, RadioPowerModel power);
+
+  /// Logical RRC state (the target state while signalling is in flight).
+  RrcState state() const { return state_; }
+  RadioPhase phase() const { return phase_; }
+
+  /// Requests dedicated channels for a data transfer.  The callback fires as
+  /// soon as the radio is on DCH — immediately if already there, otherwise
+  /// after the promotion signalling completes.  Multiple requests queue.
+  void request_channel(Ready ready);
+
+  /// Marks the start of a data transfer (raises power to the transfer level
+  /// and pins the radio on DCH).  Must only be called once the channel-ready
+  /// callback has fired.  Transfers may overlap; power follows the count.
+  void begin_transfer();
+
+  /// Marks the end of one transfer; when the last transfer ends the T1
+  /// inactivity timer starts.
+  void end_transfer();
+
+  /// Resets the inactivity timers without transferring (signalling chatter,
+  /// keep-alives).  No effect in IDLE.
+  void touch();
+
+  /// Attempts to send a small payload over the shared FACH channels without
+  /// promoting (keep-alives, tiny beacons). Succeeds only when the radio is
+  /// camped on FACH and the payload fits the common-channel budget; the
+  /// transfer occupies the radio at FACH-transmit power and resets T2.
+  /// Returns false (and does nothing) otherwise — callers fall back to
+  /// request_channel().
+  bool small_transfer(Bytes bytes, Ready done);
+
+  /// Fast dormancy: asks the network to tear the signalling connection down
+  /// now (FACH/DCH -> IDLE).  Ignored if a transfer is active, a release is
+  /// already running, or the radio is already IDLE.  Returns whether the
+  /// release was started.
+  bool force_idle();
+
+  /// Cumulative residency in each state (promotions count toward the state
+  /// being left; the release counts toward the state being left).
+  Seconds time_in(RrcState s) const;
+
+  /// Number of IDLE->DCH promotions performed (capacity/diagnostics).
+  int idle_promotions() const { return idle_promotions_; }
+  /// Number of payloads that went over the shared FACH channels.
+  int small_transfers() const { return small_transfers_; }
+  /// Number of FACH->DCH promotions performed.
+  int fach_promotions() const { return fach_promotions_; }
+  /// Number of app-initiated releases that completed.
+  int forced_releases() const { return forced_releases_; }
+
+  /// Radio power over time (excludes CPU; sum with the CPU timeline for
+  /// whole-phone power).
+  const PowerTimeline& power() const { return power_; }
+
+  const RrcConfig& config() const { return config_; }
+  const RadioPowerModel& power_model() const { return power_model_; }
+
+ private:
+  void enter_state(RrcState next);
+  void start_promotion();
+  void on_promotion_done();
+  void update_power();
+  void arm_t1();
+  void arm_t2();
+  void cancel_timers();
+  void account_residency();
+
+  sim::Simulator& sim_;
+  RrcConfig config_;
+  RadioPowerModel power_model_;
+
+  RrcState state_ = RrcState::kIdle;
+  RadioPhase phase_ = RadioPhase::kStable;
+  int active_transfers_ = 0;
+  std::vector<Ready> waiting_;
+
+  sim::EventId t1_event_;
+  sim::EventId t2_event_;
+  sim::EventId signalling_event_;
+
+  PowerTimeline power_;
+  Seconds residency_mark_ = 0;
+  Seconds time_idle_ = 0;
+  Seconds time_fach_ = 0;
+  Seconds time_dch_ = 0;
+  int small_transfers_ = 0;
+  bool fach_transfer_active_ = false;
+  int idle_promotions_ = 0;
+  int fach_promotions_ = 0;
+  int forced_releases_ = 0;
+};
+
+}  // namespace eab::radio

@@ -1,0 +1,70 @@
+#include "sim/simulator.hpp"
+
+namespace eab::sim {
+
+EventId Simulator::schedule_at(Seconds at, Action action) {
+  if (at < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  if (!action) {
+    throw std::invalid_argument("Simulator::schedule_at: empty action");
+  }
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{at, seq});
+  actions_.emplace(seq, std::move(action));
+  return EventId(seq);
+}
+
+EventId Simulator::schedule_in(Seconds delay, Action action) {
+  if (delay < 0) {
+    throw std::invalid_argument("Simulator::schedule_in: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (!id.valid()) return false;
+  return actions_.erase(id.seq_) > 0;
+}
+
+bool Simulator::pending(EventId id) const {
+  return id.valid() && actions_.contains(id.seq_);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    queue_.pop();
+    auto it = actions_.find(top.seq);
+    if (it == actions_.end()) continue;  // cancelled
+    Action action = std::move(it->second);
+    actions_.erase(it);
+    now_ = top.at;
+    action();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(Seconds until) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    if (!actions_.contains(top.seq)) {
+      queue_.pop();
+      continue;
+    }
+    if (top.at > until) break;
+    if (step()) ++n;
+  }
+  if (until > now_) now_ = until;
+  return n;
+}
+
+}  // namespace eab::sim

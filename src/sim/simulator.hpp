@@ -1,0 +1,89 @@
+// Discrete-event simulation core.
+//
+// Everything in the reproduction — radio state machine timers, HTTP
+// transfers, browser CPU tasks, user think times — runs as events on one
+// Simulator.  Events at equal timestamps fire in scheduling order, which
+// keeps runs deterministic; events can be cancelled (RRC inactivity timers
+// are rescheduled constantly).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace eab::sim {
+
+/// Handle to a scheduled event; obtained from Simulator::schedule_*.
+class EventId {
+ public:
+  EventId() = default;
+
+  bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+/// A single-threaded discrete-event simulator.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time.
+  Seconds now() const { return now_; }
+
+  /// Schedules `action` to run at absolute time `at` (>= now()).
+  EventId schedule_at(Seconds at, Action action);
+
+  /// Schedules `action` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_in(Seconds delay, Action action);
+
+  /// Cancels a pending event. Cancelling an already-fired, already-cancelled
+  /// or default-constructed id is a harmless no-op; returns whether a pending
+  /// event was actually cancelled.
+  bool cancel(EventId id);
+
+  /// True if the event has been scheduled, not cancelled, and not yet fired.
+  bool pending(EventId id) const;
+
+  /// Runs events until the queue is empty. Returns the number of events run.
+  std::size_t run();
+
+  /// Runs events with timestamp <= until, then advances the clock to exactly
+  /// `until` (even if the queue still holds later events).
+  std::size_t run_until(Seconds until);
+
+  /// Runs exactly one event if available; returns whether one ran.
+  bool step();
+
+  /// Number of events currently pending (excludes cancelled ones).
+  std::size_t pending_count() const { return actions_.size(); }
+
+ private:
+  struct Entry {
+    Seconds at;
+    std::uint64_t seq;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Seconds now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // Pending actions by seq; cancellation simply removes the action and the
+  // queued entry becomes a no-op when it surfaces.
+  std::unordered_map<std::uint64_t, Action> actions_;
+};
+
+}  // namespace eab::sim

@@ -1,0 +1,234 @@
+#include "trace/reading_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace eab::trace {
+
+std::array<double, corpus::kTopicCount> population_interest() {
+  // Indexed by corpus::Topic order: news, sports, games, finance, shopping,
+  // social, video, travel.
+  return {0.45, 0.80, 0.92, 0.22, 0.38, 0.72, 0.58, 0.45};
+}
+
+TraceGenerator::TraceGenerator(std::vector<PageRecord> records,
+                               TraceConfig config, std::uint64_t seed)
+    : records_(std::move(records)), config_(config), rng_(seed) {
+  if (records_.empty()) {
+    throw std::invalid_argument("TraceGenerator: no page records");
+  }
+  if (config_.users < 1) {
+    throw std::invalid_argument("TraceGenerator: users must be >= 1");
+  }
+
+  // Calibrate the bell-curve normalisers to the library's own feature
+  // distribution, separately per page class, so the non-monotone effects sit
+  // mid-distribution within each class no matter how the corpus is scaled.
+  for (int cls = 0; cls < 2; ++cls) {
+    std::vector<double> heights;
+    std::vector<double> figures;
+    std::vector<double> tx_times;
+    for (const PageRecord& record : records_) {
+      if (record.spec.mobile != (cls == 1)) continue;
+      heights.push_back(record.features.page_height);
+      figures.push_back(record.features.figure_count);
+      tx_times.push_back(record.features.transmission_time);
+    }
+    if (heights.empty()) continue;
+    height_center_[cls] = median(heights);
+    height_scale_[cls] = std::max(1.0, stddev(heights));
+    figures_center_[cls] = median(figures);
+    figures_scale_[cls] = std::max(1.0, stddev(figures));
+    tx_center_[cls] = median(tx_times);
+    tx_scale_[cls] = std::max(0.5, stddev(tx_times));
+  }
+
+  // Build the user population.
+  const auto base = population_interest();
+  users_.resize(static_cast<std::size_t>(config_.users));
+  for (UserProfile& user : users_) {
+    for (std::size_t t = 0; t < base.size(); ++t) {
+      user.interest[t] = std::clamp(
+          base[t] + rng_.normal(0.0, config_.user_interest_jitter), 0.05, 0.95);
+    }
+  }
+}
+
+double TraceGenerator::interest_of(const UserProfile& user,
+                                   corpus::Topic topic) const {
+  return user.interest[static_cast<std::size_t>(topic)];
+}
+
+Seconds TraceGenerator::sample_reading_time(const UserProfile& user,
+                                            const PageRecord& page,
+                                            Rng& rng) const {
+  const double interest = interest_of(user, page.spec.topic);
+
+  // Bounce: low interest makes "glance and leave" likely; bounces do not
+  // depend on the page's features at all.
+  const int cls = page.spec.mobile ? 1 : 0;
+  const double slowness = std::clamp(
+      (page.features.transmission_time - tx_center_[cls]) /
+          (2.0 * tx_scale_[cls]),
+      -1.0, 1.0);
+  const double bounce_probability = std::clamp(
+      config_.bounce_base - config_.bounce_slope * interest +
+          config_.slow_bounce_weight * slowness,
+      config_.bounce_floor, config_.bounce_ceiling);
+  if (rng.chance(bounce_probability)) {
+    return rng.uniform(config_.bounce_low, config_.bounce_high);
+  }
+
+  // Engaged read: log-normal around interest + non-monotone feature effects.
+  auto bell = [](double z) { return std::exp(-0.5 * z * z); };
+  const double height_z =
+      (page.features.page_height - height_center_[cls]) / height_scale_[cls];
+  const double figure_z =
+      (page.features.figure_count - figures_center_[cls]) / figures_scale_[cls];
+  // Center the bells (E[bell(z)] ~ 0.7 over the library) so they do not
+  // shift the global mean, only bend the response.
+  const double mu = config_.engaged_mu0 +
+                    config_.interest_gain * (interest - 0.5) * 2.0 +
+                    config_.height_bell_weight * (bell(height_z) - 0.7) +
+                    config_.figure_bell_weight * (bell(figure_z) - 0.7) +
+                    config_.slow_engaged_weight * std::max(0.0, slowness);
+
+  // Truncated log-noise: resample until inside the clip band and the
+  // 10-minute cutoff (the paper discards longer views, so the model never
+  // emits them).
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    double z = rng.normal();
+    if (z < -config_.noise_clip_low_sigmas || z > config_.noise_clip_high_sigmas) {
+      continue;
+    }
+    const double reading = std::exp(mu + config_.noise_sigma * z);
+    if (reading <= config_.max_reading) {
+      return std::max(config_.engaged_min, reading);
+    }
+  }
+  return config_.max_reading;
+}
+
+std::vector<PageView> TraceGenerator::generate() {
+  std::vector<PageView> views;
+
+  // Group the library by topic for interest-weighted page selection.
+  std::vector<std::vector<std::size_t>> by_topic(corpus::kTopicCount);
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    by_topic[static_cast<std::size_t>(records_[i].spec.topic)].push_back(i);
+  }
+
+  for (int user_index = 0; user_index < config_.users; ++user_index) {
+    const UserProfile& user = users_[static_cast<std::size_t>(user_index)];
+    Rng rng = rng_.fork();
+
+    // Users pick topics they care about more often (selection bias is real
+    // and the paper's trace has it too).
+    std::vector<double> topic_weights(corpus::kTopicCount, 0.0);
+    for (std::size_t t = 0; t < topic_weights.size(); ++t) {
+      if (!by_topic[t].empty()) topic_weights[t] = 0.3 + user.interest[t];
+    }
+
+    Seconds browsed = 0;
+    while (browsed < config_.browsing_per_user) {
+      const std::size_t topic = rng.weighted_index(topic_weights);
+      const auto& bucket = by_topic[topic];
+      const std::size_t page_index = bucket[rng.uniform_index(bucket.size())];
+      const PageRecord& record = records_[page_index];
+
+      PageView view;
+      view.user = user_index;
+      view.page_index = page_index;
+      view.reading_time = sample_reading_time(user, record, rng);
+      views.push_back(view);
+
+      // Browsing time: the load (approximated from the measured transmission
+      // time plus a layout allowance) plus the reading time.
+      browsed += record.features.transmission_time + 6.0 + view.reading_time;
+    }
+  }
+  return views;
+}
+
+gbrt::Dataset to_dataset(const std::vector<PageView>& views,
+                         const std::vector<PageRecord>& records,
+                         double exclude_below) {
+  gbrt::Dataset data(browser::PageFeatures::kCount);
+  data.set_feature_names(browser::PageFeatures::names());
+  for (const PageView& view : views) {
+    if (view.reading_time < exclude_below) continue;
+    data.add(records[view.page_index].features.to_row(), view.reading_time);
+  }
+  return data;
+}
+
+gbrt::Dataset to_log_dataset(const std::vector<PageView>& views,
+                             const std::vector<PageRecord>& records,
+                             double exclude_below) {
+  gbrt::Dataset data(browser::PageFeatures::kCount);
+  data.set_feature_names(browser::PageFeatures::names());
+  for (const PageView& view : views) {
+    if (view.reading_time < exclude_below) continue;
+    data.add(records[view.page_index].features.to_row(),
+             std::log(std::max(1e-3, view.reading_time)));
+  }
+  return data;
+}
+
+WeibullFit fit_weibull(const std::vector<double>& samples) {
+  std::vector<double> logs;
+  logs.reserve(samples.size());
+  for (double x : samples) {
+    if (x > 0) logs.push_back(std::log(x));
+  }
+  if (logs.size() < 2) {
+    throw std::invalid_argument("fit_weibull: need >= 2 positive samples");
+  }
+  const auto n = static_cast<double>(logs.size());
+
+  // MLE: solve 1/k = sum(x^k ln x)/sum(x^k) - mean(ln x) by Newton steps on
+  // g(k); start from the method-of-moments-ish 1.0.
+  double mean_log = 0;
+  for (double lx : logs) mean_log += lx;
+  mean_log /= n;
+
+  double k = 1.0;
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    double sum_pow = 0;
+    double sum_pow_log = 0;
+    double sum_pow_log2 = 0;
+    for (double lx : logs) {
+      const double p = std::exp(k * lx);
+      sum_pow += p;
+      sum_pow_log += p * lx;
+      sum_pow_log2 += p * lx * lx;
+    }
+    const double g = sum_pow_log / sum_pow - mean_log - 1.0 / k;
+    const double dg = (sum_pow_log2 * sum_pow - sum_pow_log * sum_pow_log) /
+                          (sum_pow * sum_pow) +
+                      1.0 / (k * k);
+    const double step = g / dg;
+    k -= step;
+    if (k <= 1e-3) k = 1e-3;
+    if (std::abs(step) < 1e-10) break;
+  }
+
+  double sum_pow = 0;
+  for (double lx : logs) sum_pow += std::exp(k * lx);
+  const double lambda = std::pow(sum_pow / n, 1.0 / k);
+
+  WeibullFit fit;
+  fit.shape = k;
+  fit.scale = lambda;
+  for (double lx : logs) {
+    const double z = std::exp(lx) / lambda;
+    fit.log_likelihood += std::log(k / lambda) + (k - 1) * std::log(z) -
+                          std::pow(z, k);
+  }
+  return fit;
+}
+
+}  // namespace eab::trace

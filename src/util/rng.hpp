@@ -1,0 +1,68 @@
+// Deterministic random number generation.
+//
+// All stochastic models in the library draw from an eab::Rng seeded
+// explicitly, so every experiment is reproducible bit-for-bit.  The core
+// generator is xoshiro256**, seeded through SplitMix64 as its authors
+// recommend; distribution sampling is implemented here directly (rather than
+// via <random> distributions) because libstdc++'s distribution algorithms are
+// not specified and would make traces non-portable across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace eab {
+
+/// xoshiro256** PRNG with explicit, stable seeding and portable sampling.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  /// Re-initialises the state from a single 64-bit seed via SplitMix64.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given mean (not rate). Requires mean > 0.
+  double exponential(double mean);
+
+  /// Log-normal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  std::uint64_t poisson(double mean);
+
+  /// Picks an index from a discrete distribution given non-negative weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Derives an independent child generator; useful to give each simulated
+  /// entity its own stream without coupling their consumption patterns.
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace eab

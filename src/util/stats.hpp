@@ -1,0 +1,54 @@
+// Small statistics toolkit: summary statistics, percentiles, empirical CDFs
+// and Pearson correlation (used to reproduce the paper's Table 4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace eab {
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than two samples.
+double variance(const std::vector<double>& xs);
+
+/// Sample standard deviation.
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+double percentile(std::vector<double> xs, double p);
+
+/// Median (50th percentile). Requires non-empty input.
+double median(std::vector<double> xs);
+
+/// Pearson product-moment correlation of two equal-length series.
+/// Returns 0 when either series is constant. Requires xs.size() == ys.size().
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Fraction of samples with value <= x (empirical CDF evaluated at x).
+double empirical_cdf_at(const std::vector<double>& xs, double x);
+
+/// A fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin. Used by trace diagnostics and the bench reporters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const;
+  /// Fraction of all samples falling at or below the upper edge of `bin`.
+  double cumulative_fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace eab

@@ -1,0 +1,35 @@
+// Plain-text table rendering for the bench harnesses.
+//
+// Every bench binary prints the paper's reported values next to the values
+// measured from our simulator; TextTable keeps those reports aligned and
+// consistent without pulling in a formatting dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eab {
+
+/// A simple left-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column padding, a header underline and trailing newline.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals (locale-independent).
+std::string format_fixed(double value, int decimals);
+
+/// Formats a ratio as a signed percentage string, e.g. -0.27 -> "-27.0%".
+std::string format_percent(double fraction, int decimals = 1);
+
+}  // namespace eab

@@ -1,0 +1,81 @@
+#include "util/timeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eab {
+
+PowerTimeline::PowerTimeline(Watts initial_power) {
+  changes_.push_back({0.0, initial_power});
+}
+
+void PowerTimeline::set_power(Seconds at, Watts power) {
+  if (at < changes_.back().at) {
+    throw std::invalid_argument("PowerTimeline::set_power: time moved backwards");
+  }
+  if (at == changes_.back().at) {
+    changes_.back().power = power;  // coalesce same-instant updates
+    return;
+  }
+  if (power == changes_.back().power) return;  // no-op change
+  changes_.push_back({at, power});
+}
+
+void PowerTimeline::add_power(Seconds at, Watts delta) {
+  set_power(at, changes_.back().power + delta);
+}
+
+Watts PowerTimeline::current_power() const { return changes_.back().power; }
+
+Seconds PowerTimeline::last_change() const { return changes_.back().at; }
+
+Watts PowerTimeline::power_at(Seconds t) const {
+  // Last change with at <= t. changes_ is sorted and starts at t=0.
+  auto it = std::upper_bound(
+      changes_.begin(), changes_.end(), t,
+      [](Seconds value, const Change& c) { return value < c.at; });
+  if (it == changes_.begin()) return changes_.front().power;
+  return std::prev(it)->power;
+}
+
+Joules PowerTimeline::energy(Seconds from, Seconds to) const {
+  if (from > to) throw std::invalid_argument("PowerTimeline::energy: from > to");
+  Joules total = 0;
+  Seconds cursor = from;
+  // Walk the change points strictly inside (from, to).
+  auto it = std::upper_bound(
+      changes_.begin(), changes_.end(), from,
+      [](Seconds value, const Change& c) { return value < c.at; });
+  for (; it != changes_.end() && it->at < to; ++it) {
+    total += power_at(cursor) * (it->at - cursor);
+    cursor = it->at;
+  }
+  total += power_at(cursor) * (to - cursor);
+  return total;
+}
+
+std::vector<PowerSample> PowerTimeline::sample(Seconds from, Seconds to,
+                                               Seconds dt) const {
+  if (dt <= 0) throw std::invalid_argument("PowerTimeline::sample: dt <= 0");
+  std::vector<PowerSample> samples;
+  for (Seconds t = from; t <= to + dt / 2; t += dt) {
+    samples.push_back({t, power_at(t)});
+  }
+  return samples;
+}
+
+PowerTimeline PowerTimeline::sum(const PowerTimeline& a, const PowerTimeline& b) {
+  PowerTimeline out(a.changes_.front().power + b.changes_.front().power);
+  std::size_t ia = 1, ib = 1;
+  while (ia < a.changes_.size() || ib < b.changes_.size()) {
+    Seconds ta = ia < a.changes_.size() ? a.changes_[ia].at : 1e300;
+    Seconds tb = ib < b.changes_.size() ? b.changes_[ib].at : 1e300;
+    const Seconds t = std::min(ta, tb);
+    if (ta <= t) ++ia;
+    if (tb <= t) ++ib;
+    out.set_power(t, a.power_at(t) + b.power_at(t));
+  }
+  return out;
+}
+
+}  // namespace eab

@@ -1,0 +1,70 @@
+// Piecewise-constant power timelines.
+//
+// Every energy result in the paper is an integral of instantaneous power over
+// time (their Agilent rig samples the supply current at 0.25 s).  PowerTimeline
+// records power level changes as they happen in the simulation and supports
+// exact integration plus fixed-rate sampling for Fig 1 / Fig 9 style traces.
+// Several timelines (radio power, CPU power) can be summed into a total.
+#pragma once
+
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace eab {
+
+/// One sample of a fixed-rate power trace.
+struct PowerSample {
+  Seconds time = 0;
+  Watts power = 0;
+};
+
+/// Records a piecewise-constant power level over simulated time.
+class PowerTimeline {
+ public:
+  /// Starts the timeline at t=0 with the given base power.
+  explicit PowerTimeline(Watts initial_power = 0.0);
+
+  /// Sets the power level from `at` onward. `at` must be non-decreasing
+  /// across calls (simulation time only moves forward).
+  void set_power(Seconds at, Watts power);
+
+  /// Adds `delta` to the current level from `at` onward (e.g. CPU busy bursts
+  /// layered on top of a baseline).
+  void add_power(Seconds at, Watts delta);
+
+  /// Current (latest) power level.
+  Watts current_power() const;
+
+  /// Time of the last recorded change.
+  Seconds last_change() const;
+
+  /// Exact integral of power over [from, to]; the final level is assumed to
+  /// hold beyond the last change. Requires from <= to.
+  Joules energy(Seconds from, Seconds to) const;
+
+  /// Total energy from t=0 up to `until`.
+  Joules total_energy(Seconds until) const { return energy(0.0, until); }
+
+  /// Samples the timeline every `dt` over [from, to] (inclusive endpoints).
+  std::vector<PowerSample> sample(Seconds from, Seconds to, Seconds dt) const;
+
+  /// Returns a new timeline that is the pointwise sum of the two inputs.
+  static PowerTimeline sum(const PowerTimeline& a, const PowerTimeline& b);
+
+  /// Number of recorded change points (diagnostics / tests).
+  std::size_t change_count() const { return changes_.size(); }
+
+ private:
+  struct Change {
+    Seconds at;
+    Watts power;  // level in effect from `at` onward
+  };
+
+  /// Power in effect at time t.
+  Watts power_at(Seconds t) const;
+
+  std::vector<Change> changes_;
+};
+
+}  // namespace eab

@@ -1,0 +1,33 @@
+// Units used throughout the library.
+//
+// Simulated time, energy and power are continuous quantities; we follow the
+// paper's own units (seconds, joules, watts, kilobytes) and keep them as
+// documented aliases rather than heavyweight wrapper types so that arithmetic
+// in models stays readable.  Byte counts are exact and therefore integral.
+#pragma once
+
+#include <cstdint>
+
+namespace eab {
+
+/// Simulated wall-clock time in seconds.
+using Seconds = double;
+/// Energy in joules.
+using Joules = double;
+/// Power in watts (J/s).
+using Watts = double;
+/// Data rate in bytes per second.
+using BytesPerSecond = double;
+/// Exact byte counts (resource sizes, transfer amounts).
+using Bytes = std::uint64_t;
+
+/// Convenience conversion: kilobytes (as used by the paper, 1 KB = 1024 B).
+constexpr Bytes kilobytes(double kb) { return static_cast<Bytes>(kb * 1024.0); }
+
+/// Convenience conversion back to fractional kilobytes for reporting.
+constexpr double to_kilobytes(Bytes b) { return static_cast<double>(b) / 1024.0; }
+
+/// Milliseconds literal-style helper (cost models are naturally in ms).
+constexpr Seconds milliseconds(double ms) { return ms / 1000.0; }
+
+}  // namespace eab

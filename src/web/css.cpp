@@ -1,0 +1,370 @@
+#include "web/css.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace eab::web {
+namespace {
+
+bool iequal_at(std::string_view text, std::size_t pos, std::string_view word) {
+  if (pos + word.size() > text.size()) return false;
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(text[pos + i])) !=
+        std::tolower(static_cast<unsigned char>(word[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Reads a possibly-quoted URL token starting at `pos`; advances pos past it.
+std::string read_url_token(std::string_view css, std::size_t& pos,
+                           char terminator) {
+  while (pos < css.size() && std::isspace(static_cast<unsigned char>(css[pos]))) {
+    ++pos;
+  }
+  std::string url;
+  if (pos < css.size() && (css[pos] == '"' || css[pos] == '\'')) {
+    const char quote = css[pos++];
+    while (pos < css.size() && css[pos] != quote) url.push_back(css[pos++]);
+    if (pos < css.size()) ++pos;
+  } else {
+    while (pos < css.size() && css[pos] != terminator &&
+           !std::isspace(static_cast<unsigned char>(css[pos]))) {
+      url.push_back(css[pos++]);
+    }
+  }
+  return url;
+}
+
+/// Strips /* ... */ comments.
+std::string strip_comments(std::string_view css) {
+  std::string out;
+  out.reserve(css.size());
+  std::size_t i = 0;
+  while (i < css.size()) {
+    if (i + 1 < css.size() && css[i] == '/' && css[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < css.size() && !(css[i] == '*' && css[i + 1] == '/')) ++i;
+      i = std::min(css.size(), i + 2);
+      continue;
+    }
+    out.push_back(css[i++]);
+  }
+  return out;
+}
+
+CssSimpleSelector parse_simple_selector(std::string_view step) {
+  CssSimpleSelector simple;
+  std::size_t i = 0;
+  auto read_name = [&] {
+    std::string name;
+    while (i < step.size() && (std::isalnum(static_cast<unsigned char>(step[i])) ||
+                               step[i] == '-' || step[i] == '_')) {
+      name.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(step[i]))));
+      ++i;
+    }
+    return name;
+  };
+  if (i < step.size() && step[i] != '.' && step[i] != '#') {
+    if (step[i] == '*') {
+      ++i;  // universal selector: empty tag already means "any"
+    } else {
+      simple.tag = read_name();
+    }
+  }
+  while (i < step.size()) {
+    if (step[i] == '.') {
+      ++i;
+      simple.classes.push_back(read_name());
+    } else if (step[i] == '#') {
+      ++i;
+      simple.id = read_name();
+    } else if (step[i] == ':') {
+      // Pseudo-classes don't affect our matching model; swallow the name.
+      ++i;
+      read_name();
+    } else {
+      ++i;  // unsupported syntax inside a step: skip defensively
+    }
+  }
+  return simple;
+}
+
+CssSelector parse_selector(std::string_view text) {
+  CssSelector selector;
+  std::string step;
+  auto flush = [&] {
+    if (!step.empty()) {
+      selector.steps.push_back(parse_simple_selector(step));
+      step.clear();
+    }
+  };
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '>') {
+      flush();  // combinators all treated as descendant
+    } else {
+      step.push_back(c);
+    }
+  }
+  flush();
+  return selector;
+}
+
+std::vector<CssDeclaration> parse_declarations(std::string_view block) {
+  std::vector<CssDeclaration> decls;
+  std::size_t start = 0;
+  while (start <= block.size()) {
+    const std::size_t semi = block.find(';', start);
+    const std::string_view piece =
+        block.substr(start, semi == std::string_view::npos ? std::string_view::npos
+                                                           : semi - start);
+    const std::size_t colon = piece.find(':');
+    if (colon != std::string_view::npos) {
+      CssDeclaration decl;
+      decl.property = trim(piece.substr(0, colon));
+      decl.value = trim(piece.substr(colon + 1));
+      if (!decl.property.empty()) decls.push_back(std::move(decl));
+    }
+    if (semi == std::string_view::npos) break;
+    start = semi + 1;
+  }
+  return decls;
+}
+
+}  // namespace
+
+std::size_t StyleSheet::selector_steps() const {
+  std::size_t n = 0;
+  for (const auto& rule : rules) {
+    for (const auto& selector : rule.selectors) n += selector.steps.size();
+  }
+  return n;
+}
+
+std::size_t StyleSheet::declaration_count() const {
+  std::size_t n = 0;
+  for (const auto& rule : rules) n += rule.declarations.size();
+  return n;
+}
+
+std::vector<std::string> scan_css_urls(std::string_view css) {
+  std::vector<std::string> urls;
+  std::size_t i = 0;
+  while (i < css.size()) {
+    if (iequal_at(css, i, "url(")) {
+      std::size_t pos = i + 4;
+      std::string url = read_url_token(css, pos, ')');
+      while (pos < css.size() && css[pos] != ')') ++pos;
+      i = std::min(css.size(), pos + 1);
+      if (!url.empty()) urls.push_back(std::move(url));
+      continue;
+    }
+    if (iequal_at(css, i, "@import")) {
+      std::size_t pos = i + 7;
+      // Either @import url(...) or @import "file".
+      while (pos < css.size() && std::isspace(static_cast<unsigned char>(css[pos]))) {
+        ++pos;
+      }
+      std::string url;
+      if (iequal_at(css, pos, "url(")) {
+        pos += 4;
+        url = read_url_token(css, pos, ')');
+      } else {
+        url = read_url_token(css, pos, ';');
+      }
+      while (pos < css.size() && css[pos] != ';') ++pos;
+      i = std::min(css.size(), pos + 1);
+      if (!url.empty()) urls.push_back(std::move(url));
+      continue;
+    }
+    ++i;
+  }
+  return urls;
+}
+
+StyleSheet parse_css(std::string_view raw) {
+  StyleSheet sheet;
+  const std::string css = strip_comments(raw);
+  std::size_t i = 0;
+  while (i < css.size()) {
+    if (std::isspace(static_cast<unsigned char>(css[i]))) {
+      ++i;
+      continue;
+    }
+    if (iequal_at(css, i, "@import")) {
+      std::size_t pos = i + 7;
+      while (pos < css.size() && std::isspace(static_cast<unsigned char>(css[pos]))) {
+        ++pos;
+      }
+      std::string url;
+      if (iequal_at(css, pos, "url(")) {
+        pos += 4;
+        url = read_url_token(css, pos, ')');
+      } else {
+        url = read_url_token(css, pos, ';');
+      }
+      while (pos < css.size() && css[pos] != ';') ++pos;
+      i = std::min(css.size(), pos + 1);
+      if (!url.empty()) {
+        sheet.imports.push_back(url);
+        sheet.url_refs.push_back(std::move(url));
+      }
+      continue;
+    }
+    if (css[i] == '@') {
+      // Other at-rules (@media etc.): parse the inner block recursively by
+      // locating the matching braces and splicing its rules in.
+      const std::size_t open = css.find('{', i);
+      if (open == std::string_view::npos) break;
+      std::size_t depth = 1;
+      std::size_t close = open + 1;
+      while (close < css.size() && depth > 0) {
+        if (css[close] == '{') ++depth;
+        if (css[close] == '}') --depth;
+        ++close;
+      }
+      StyleSheet inner =
+          parse_css(std::string_view(css).substr(open + 1, close - open - 2));
+      for (auto& rule : inner.rules) sheet.rules.push_back(std::move(rule));
+      for (auto& import : inner.imports) sheet.imports.push_back(std::move(import));
+      for (auto& url : inner.url_refs) sheet.url_refs.push_back(std::move(url));
+      i = close;
+      continue;
+    }
+    // selector-list { declarations }
+    const std::size_t open = css.find('{', i);
+    if (open == std::string_view::npos) break;
+    std::size_t close = css.find('}', open);
+    if (close == std::string_view::npos) close = css.size();
+
+    CssRule rule;
+    std::string_view selector_list = std::string_view(css).substr(i, open - i);
+    std::size_t start = 0;
+    while (start <= selector_list.size()) {
+      const std::size_t comma = selector_list.find(',', start);
+      const auto piece = selector_list.substr(
+          start, comma == std::string_view::npos ? std::string_view::npos
+                                                 : comma - start);
+      CssSelector selector = parse_selector(piece);
+      if (!selector.steps.empty()) rule.selectors.push_back(std::move(selector));
+      if (comma == std::string_view::npos) break;
+      start = comma + 1;
+    }
+    const std::string_view block =
+        std::string_view(css).substr(open + 1, close - open - 1);
+    rule.declarations = parse_declarations(block);
+    for (const auto& decl : rule.declarations) {
+      // Collect url() references from declaration values too.
+      auto urls = scan_css_urls(decl.value);
+      for (auto& url : urls) sheet.url_refs.push_back(std::move(url));
+    }
+    if (!rule.selectors.empty()) sheet.rules.push_back(std::move(rule));
+    i = close == css.size() ? close : close + 1;
+  }
+  return sheet;
+}
+
+namespace {
+
+bool simple_matches(const CssSimpleSelector& simple, const DomNode& node) {
+  if (!node.is_element()) return false;
+  if (!simple.tag.empty() && simple.tag != node.tag()) return false;
+  if (!simple.id.empty() && simple.id != node.attr("id")) return false;
+  if (!simple.classes.empty()) {
+    const std::string& cls = node.attr("class");
+    for (const auto& wanted : simple.classes) {
+      // Whole-word containment in the space-separated class list.
+      std::size_t pos = 0;
+      bool found = false;
+      while ((pos = cls.find(wanted, pos)) != std::string::npos) {
+        const bool start_ok = pos == 0 || cls[pos - 1] == ' ';
+        const std::size_t end = pos + wanted.size();
+        const bool end_ok = end == cls.size() || cls[end] == ' ';
+        if (start_ok && end_ok) {
+          found = true;
+          break;
+        }
+        ++pos;
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool selector_matches(const CssSelector& selector, const DomNode& node) {
+  if (selector.steps.empty()) return false;
+  // The last step must match the node itself; earlier steps must match some
+  // chain of ancestors, outermost-first.
+  if (!simple_matches(selector.steps.back(), node)) return false;
+  std::size_t step = selector.steps.size() - 1;
+  const DomNode* ancestor = node.parent();
+  while (step > 0) {
+    if (ancestor == nullptr) return false;
+    if (simple_matches(selector.steps[step - 1], *ancestor)) --step;
+    ancestor = ancestor->parent();
+  }
+  return step == 0;
+}
+
+std::vector<const DomNode*> select_all(const DomNode& root,
+                                       std::string_view selector_text) {
+  // Reuse the stylesheet selector grammar (comma-separated descendant
+  // selectors) — "div.x, #nav li" works exactly as in a rule head.
+  std::vector<CssSelector> selectors;
+  std::size_t start = 0;
+  while (start <= selector_text.size()) {
+    const std::size_t comma = selector_text.find(',', start);
+    const auto piece = selector_text.substr(
+        start,
+        comma == std::string_view::npos ? std::string_view::npos : comma - start);
+    CssSelector selector = parse_selector(piece);
+    if (!selector.steps.empty()) selectors.push_back(std::move(selector));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+
+  std::vector<const DomNode*> matches;
+  root.visit([&](const DomNode& node) {
+    if (!node.is_element()) return;
+    for (const CssSelector& selector : selectors) {
+      if (selector_matches(selector, node)) {
+        matches.push_back(&node);
+        return;
+      }
+    }
+  });
+  return matches;
+}
+
+const DomNode* select_first(const DomNode& root, std::string_view selector) {
+  const auto matches = select_all(root, selector);
+  return matches.empty() ? nullptr : matches.front();
+}
+
+std::size_t matching_declarations(const StyleSheet& sheet, const DomNode& node) {
+  std::size_t n = 0;
+  for (const auto& rule : sheet.rules) {
+    for (const auto& selector : rule.selectors) {
+      if (selector_matches(selector, node)) {
+        n += rule.declarations.size();
+        break;  // one match per rule is enough for the cascade
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace eab::web

@@ -1,0 +1,80 @@
+// CSS processing.
+//
+// Two deliberately distinct code paths, because the paper's technique depends
+// on the difference between them (Section 4.1):
+//   - scan_css_urls: a cheap linear scan that extracts only url(...) and
+//     @import references — the phase-1 "data transmission computation".
+//   - parse_css: a real tokenizer + rule parser producing selectors and
+//     declarations — the expensive layout-phase work the energy-aware
+//     pipeline postpones until after the radio is released.
+// Selector matching is a simplified cascade (tag / .class / #id / descendant)
+// used by the style-formatting cost model.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "web/dom.hpp"
+
+namespace eab::web {
+
+/// One "prop: value" declaration.
+struct CssDeclaration {
+  std::string property;
+  std::string value;
+};
+
+/// One simple selector step (e.g. "div", ".hero", "#nav", "img.thumb").
+struct CssSimpleSelector {
+  std::string tag;    ///< empty = any
+  std::string id;     ///< empty = none
+  std::vector<std::string> classes;
+};
+
+/// A descendant-combinator selector: steps matched outermost-first.
+struct CssSelector {
+  std::vector<CssSimpleSelector> steps;
+};
+
+/// selector-list { declarations }
+struct CssRule {
+  std::vector<CssSelector> selectors;
+  std::vector<CssDeclaration> declarations;
+};
+
+/// A parsed stylesheet.
+struct StyleSheet {
+  std::vector<CssRule> rules;
+  std::vector<std::string> imports;     ///< @import targets
+  std::vector<std::string> url_refs;    ///< url(...) references
+  /// Total selector-step count across all rules (style-matching cost driver).
+  std::size_t selector_steps() const;
+  /// Total declaration count across all rules.
+  std::size_t declaration_count() const;
+};
+
+/// Cheap reference scan: url(...) bodies and @import targets, in order.
+/// Never throws; tolerates arbitrarily malformed input.
+std::vector<std::string> scan_css_urls(std::string_view css);
+
+/// Full parse. Never throws; skips malformed rules the way browsers do.
+StyleSheet parse_css(std::string_view css);
+
+/// True if `selector` matches `node` (walking ancestors for descendant
+/// steps).
+bool selector_matches(const CssSelector& selector, const DomNode& node);
+
+/// Number of declarations that apply to `node` across the whole sheet.
+/// This is the per-node style formatting workload.
+std::size_t matching_declarations(const StyleSheet& sheet, const DomNode& node);
+
+/// Parses a selector string and returns every matching element under `root`
+/// in document order (querySelectorAll over the supported selector subset).
+std::vector<const DomNode*> select_all(const DomNode& root,
+                                       std::string_view selector);
+
+/// First match of select_all, or nullptr.
+const DomNode* select_first(const DomNode& root, std::string_view selector);
+
+}  // namespace eab::web

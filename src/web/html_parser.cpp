@@ -1,0 +1,126 @@
+#include "web/html_parser.hpp"
+
+#include <array>
+#include <algorithm>
+
+#include "web/html_tokenizer.hpp"
+
+namespace eab::web {
+namespace {
+
+bool is_void_element(const std::string& tag) {
+  static constexpr std::array<std::string_view, 14> kVoid = {
+      "area", "base", "br",    "col",   "embed",  "hr",    "img",
+      "input", "link", "meta", "param", "source", "track", "wbr"};
+  return std::find(kVoid.begin(), kVoid.end(), tag) != kVoid.end();
+}
+
+bool is_whitespace_only(const std::string& text) {
+  return std::all_of(text.begin(), text.end(), [](unsigned char c) {
+    return std::isspace(c);
+  });
+}
+
+/// Extracts references/scripts from one element as it is inserted.
+/// References with empty URLs (src="" and friends) are dropped here — they
+/// can never be fetched and would otherwise leak to every consumer.
+void harvest(const DomNode& node, ParsedHtml& out) {
+  auto add_ref = [&out](const std::string& url, net::ResourceKind kind) {
+    if (!url.empty()) out.references.push_back({url, kind});
+  };
+  const std::string& tag = node.tag();
+  if (tag == "img") {
+    if (node.has_attr("src")) {
+      add_ref(node.attr("src"), net::ResourceKind::kImage);
+    }
+  } else if (tag == "script") {
+    if (node.has_attr("src")) {
+      add_ref(node.attr("src"), net::ResourceKind::kJs);
+    }
+  } else if (tag == "link") {
+    if (node.attr("rel") == "stylesheet" && node.has_attr("href")) {
+      add_ref(node.attr("href"), net::ResourceKind::kCss);
+    }
+  } else if (tag == "embed") {
+    if (node.has_attr("src")) {
+      add_ref(node.attr("src"), net::ResourceKind::kFlash);
+    }
+  } else if (tag == "object") {
+    if (node.has_attr("data")) {
+      add_ref(node.attr("data"), net::ResourceKind::kFlash);
+    }
+  } else if (tag == "iframe") {
+    if (node.has_attr("src")) {
+      add_ref(node.attr("src"), net::ResourceKind::kHtml);
+    }
+  } else if (tag == "a") {
+    if (!node.attr("href").empty()) {
+      out.secondary_urls.push_back(node.attr("href"));
+    }
+  }
+}
+
+/// Shared tree-construction pass used for documents and fragments.
+void build_tree(const std::vector<HtmlToken>& tokens, DomNode& root,
+                ParsedHtml& out) {
+  std::vector<DomNode*> stack{&root};
+
+  for (const auto& token : tokens) {
+    DomNode& parent = *stack.back();
+    switch (token.type) {
+      case HtmlToken::Type::kDoctype:
+        break;  // no DOM node
+      case HtmlToken::Type::kComment:
+        break;  // comments carry no layout or fetch information here
+      case HtmlToken::Type::kText: {
+        // Inside <script>, the body is an inline script, not page text.
+        if (parent.tag() == "script" && !parent.has_attr("src")) {
+          out.inline_scripts.push_back(token.text);
+          parent.append_child(DomNode::text(token.text));
+          break;
+        }
+        if (is_whitespace_only(token.text)) break;
+        out.text_bytes += token.text.size();
+        parent.append_child(DomNode::text(token.text));
+        break;
+      }
+      case HtmlToken::Type::kStartTag: {
+        auto element = DomNode::element(token.name);
+        for (const auto& [name, value] : token.attrs) {
+          element->set_attr(name, value);
+        }
+        DomNode& inserted = parent.append_child(std::move(element));
+        harvest(inserted, out);
+        if (!token.self_closing && !is_void_element(inserted.tag())) {
+          stack.push_back(&inserted);
+        }
+        break;
+      }
+      case HtmlToken::Type::kEndTag: {
+        // Pop to the matching open element; ignore stray end tags.
+        for (std::size_t i = stack.size(); i-- > 1;) {
+          if (stack[i]->tag() == token.name) {
+            stack.resize(i);
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ParsedHtml parse_html(std::string_view html) {
+  ParsedHtml out;
+  build_tree(tokenize_html(html), out.dom.root(), out);
+  return out;
+}
+
+void parse_html_fragment(std::string_view fragment, DomNode& parent,
+                         ParsedHtml& out) {
+  build_tree(tokenize_html(fragment), parent, out);
+}
+
+}  // namespace eab::web

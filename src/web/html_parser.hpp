@@ -1,0 +1,45 @@
+// HTML tree construction and reference extraction.
+//
+// Builds a DOM tree from the token stream with browser-style error recovery
+// (void elements, implied end tags, stray end tags ignored), then extracts
+// exactly what the two pipelines need from it:
+//   - subresource references (images, scripts, stylesheets, flash, iframes)
+//     in document order — the "data transmission computation" discovers these;
+//   - inline script bodies in document order — they must run sequentially in
+//     the page's global context (paper Section 4.1);
+//   - anchor hrefs ("secondary URLs", feature #9 of Table 1).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/resource.hpp"
+#include "web/dom.hpp"
+
+namespace eab::web {
+
+/// A subresource reference discovered in markup.
+struct ResourceRef {
+  std::string url;
+  net::ResourceKind kind = net::ResourceKind::kOther;
+};
+
+/// Everything extracted from one parsed HTML document.
+struct ParsedHtml {
+  DomTree dom;
+  std::vector<ResourceRef> references;     ///< fetchable subresources
+  std::vector<std::string> inline_scripts; ///< script bodies, document order
+  std::vector<std::string> secondary_urls; ///< anchor hrefs
+  std::size_t text_bytes = 0;              ///< visible text payload
+};
+
+/// Parses a full document.
+ParsedHtml parse_html(std::string_view html);
+
+/// Appends nodes parsed from an HTML fragment under `parent` and merges any
+/// discovered references/scripts into `out` (document.write path).
+void parse_html_fragment(std::string_view fragment, DomNode& parent,
+                         ParsedHtml& out);
+
+}  // namespace eab::web

@@ -1,0 +1,265 @@
+#include "web/html_tokenizer.hpp"
+
+#include <cctype>
+
+namespace eab::web {
+namespace {
+
+char to_lower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' ||
+         c == ':';
+}
+
+/// Cursor over the raw document with small parsing helpers.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view html) : html_(html) {}
+
+  bool done() const { return pos_ >= html_.size(); }
+  char peek() const { return html_[pos_]; }
+  char take() { return html_[pos_++]; }
+  std::size_t pos() const { return pos_; }
+
+  bool starts_with(std::string_view prefix) const {
+    if (pos_ + prefix.size() > html_.size()) return false;
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+      if (to_lower(html_[pos_ + i]) != to_lower(prefix[i])) return false;
+    }
+    return true;
+  }
+
+  void skip(std::size_t n) { pos_ = std::min(pos_ + n, html_.size()); }
+
+  void skip_whitespace() {
+    while (!done() && std::isspace(static_cast<unsigned char>(peek()))) take();
+  }
+
+  std::string take_name() {
+    std::string name;
+    while (!done() && is_name_char(peek())) name.push_back(to_lower(take()));
+    return name;
+  }
+
+  /// Everything up to (not including) the first case-insensitive occurrence
+  /// of `needle`; consumes the needle too. Consumes to end if absent.
+  std::string take_until(std::string_view needle) {
+    std::string out;
+    while (!done()) {
+      if (starts_with(needle)) {
+        skip(needle.size());
+        return out;
+      }
+      out.push_back(take());
+    }
+    return out;
+  }
+
+ private:
+  std::string_view html_;
+  std::size_t pos_ = 0;
+};
+
+/// Decodes the handful of character references that matter in practice
+/// (named: amp/lt/gt/quot/apos/nbsp; numeric: &#NN; and &#xHH;). Unknown
+/// references pass through literally, like browsers in quirks handling.
+std::string decode_entities(std::string_view text) {
+  if (text.find('&') == std::string_view::npos) return std::string(text);
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '&') {
+      out.push_back(text[i++]);
+      continue;
+    }
+    const std::size_t semi = text.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 10) {
+      out.push_back(text[i++]);
+      continue;
+    }
+    const std::string_view name = text.substr(i + 1, semi - i - 1);
+    if (name == "amp") {
+      out.push_back('&');
+    } else if (name == "lt") {
+      out.push_back('<');
+    } else if (name == "gt") {
+      out.push_back('>');
+    } else if (name == "quot") {
+      out.push_back('"');
+    } else if (name == "apos") {
+      out.push_back('\'');
+    } else if (name == "nbsp") {
+      out.push_back(' ');
+    } else if (!name.empty() && name[0] == '#') {
+      long code = 0;
+      bool valid = name.size() > 1;
+      if (name.size() > 2 && (name[1] == 'x' || name[1] == 'X')) {
+        for (std::size_t k = 2; k < name.size(); ++k) {
+          const char c = name[k];
+          if (!std::isxdigit(static_cast<unsigned char>(c))) {
+            valid = false;
+            break;
+          }
+          code = code * 16 + (std::isdigit(static_cast<unsigned char>(c))
+                                  ? c - '0'
+                                  : std::tolower(c) - 'a' + 10);
+        }
+      } else {
+        for (std::size_t k = 1; k < name.size(); ++k) {
+          if (!std::isdigit(static_cast<unsigned char>(name[k]))) {
+            valid = false;
+            break;
+          }
+          code = code * 10 + (name[k] - '0');
+        }
+      }
+      if (!valid || code <= 0 || code > 126) {
+        out.push_back(text[i++]);  // outside ASCII: keep the raw reference
+        continue;
+      }
+      out.push_back(static_cast<char>(code));
+    } else {
+      out.push_back(text[i++]);  // unknown entity: literal ampersand
+      continue;
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+
+/// Parses the attribute list of a start tag; leaves the cursor after '>'.
+void parse_attributes(Cursor& cursor, HtmlToken& token) {
+  while (!cursor.done()) {
+    cursor.skip_whitespace();
+    if (cursor.done()) return;
+    if (cursor.peek() == '>') {
+      cursor.take();
+      return;
+    }
+    if (cursor.peek() == '/') {
+      cursor.take();
+      cursor.skip_whitespace();
+      if (!cursor.done() && cursor.peek() == '>') {
+        cursor.take();
+        token.self_closing = true;
+        return;
+      }
+      continue;  // stray slash: ignore, like browsers do
+    }
+    std::string name = cursor.take_name();
+    if (name.empty()) {
+      cursor.take();  // unparseable character inside a tag: drop it
+      continue;
+    }
+    std::string value;
+    cursor.skip_whitespace();
+    if (!cursor.done() && cursor.peek() == '=') {
+      cursor.take();
+      cursor.skip_whitespace();
+      if (!cursor.done() && (cursor.peek() == '"' || cursor.peek() == '\'')) {
+        const char quote = cursor.take();
+        while (!cursor.done() && cursor.peek() != quote) value.push_back(cursor.take());
+        if (!cursor.done()) cursor.take();  // closing quote
+      } else {
+        while (!cursor.done() && !std::isspace(static_cast<unsigned char>(cursor.peek())) &&
+               cursor.peek() != '>') {
+          value.push_back(cursor.take());
+        }
+      }
+    }
+    token.attrs.emplace_back(std::move(name), decode_entities(value));
+  }
+}
+
+}  // namespace
+
+std::vector<HtmlToken> tokenize_html(std::string_view html) {
+  std::vector<HtmlToken> tokens;
+  Cursor cursor(html);
+  std::string pending_text;
+
+  auto flush_text = [&] {
+    if (pending_text.empty()) return;
+    HtmlToken token;
+    token.type = HtmlToken::Type::kText;
+    token.text = decode_entities(pending_text);
+    pending_text.clear();
+    tokens.push_back(std::move(token));
+  };
+
+  while (!cursor.done()) {
+    if (cursor.peek() != '<') {
+      pending_text.push_back(cursor.take());
+      continue;
+    }
+    // '<' — decide what construct this opens.
+    if (cursor.starts_with("<!--")) {
+      flush_text();
+      cursor.skip(4);
+      HtmlToken token;
+      token.type = HtmlToken::Type::kComment;
+      token.text = cursor.take_until("-->");
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (cursor.starts_with("<!doctype")) {
+      flush_text();
+      cursor.skip(2);  // "<!"
+      HtmlToken token;
+      token.type = HtmlToken::Type::kDoctype;
+      token.text = cursor.take_until(">");
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (cursor.starts_with("</")) {
+      flush_text();
+      cursor.skip(2);
+      HtmlToken token;
+      token.type = HtmlToken::Type::kEndTag;
+      token.name = cursor.take_name();
+      cursor.take_until(">");  // discard anything else inside the end tag
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Possible start tag: '<' must be followed by a letter, otherwise it is
+    // literal text (e.g. "a < b").
+    if (cursor.pos() + 1 < html.size() &&
+        std::isalpha(static_cast<unsigned char>(html[cursor.pos() + 1]))) {
+      flush_text();
+      cursor.take();  // '<'
+      HtmlToken token;
+      token.type = HtmlToken::Type::kStartTag;
+      token.name = cursor.take_name();
+      parse_attributes(cursor, token);
+      const std::string name = token.name;
+      const bool self_closing = token.self_closing;
+      tokens.push_back(std::move(token));
+      // script/style bodies are raw text up to the matching end tag.
+      if (!self_closing && (name == "script" || name == "style")) {
+        const std::string close = "</" + name + ">";
+        std::string body = cursor.take_until(close);
+        if (!body.empty()) {
+          HtmlToken text_token;
+          text_token.type = HtmlToken::Type::kText;
+          text_token.text = std::move(body);
+          tokens.push_back(std::move(text_token));
+        }
+        HtmlToken end_token;
+        end_token.type = HtmlToken::Type::kEndTag;
+        end_token.name = name;
+        tokens.push_back(std::move(end_token));
+      }
+      continue;
+    }
+    pending_text.push_back(cursor.take());  // literal '<'
+  }
+  flush_text();
+  return tokens;
+}
+
+}  // namespace eab::web

@@ -1,0 +1,33 @@
+// HTML tokenizer.
+//
+// A pragmatic HTML5-flavoured tokenizer: tags with quoted/unquoted
+// attributes, comments, doctype, and raw-text handling for <script> and
+// <style> contents (their bodies are emitted as a single text token and are
+// never tag-scanned, matching real tokenizer treatment of CDATA-ish
+// elements).  Malformed input never throws — unclosed constructs are
+// recovered the way browsers recover, because the corpus generator and the
+// failure-injection tests both feed imperfect markup.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace eab::web {
+
+/// One lexical token of an HTML document.
+struct HtmlToken {
+  enum class Type { kStartTag, kEndTag, kText, kComment, kDoctype };
+
+  Type type = Type::kText;
+  std::string name;  ///< tag name, lower-cased (start/end tags only)
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::string text;  ///< text/comment/doctype payload
+  bool self_closing = false;
+};
+
+/// Tokenizes an entire document.
+std::vector<HtmlToken> tokenize_html(std::string_view html);
+
+}  // namespace eab::web

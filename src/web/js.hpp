@@ -1,0 +1,207 @@
+// MiniScript — a small JavaScript-like engine.
+//
+// The paper's hardest separation problem (Section 4.1) is JavaScript: scripts
+// run in the page's global context, must execute in document order, and there
+// is no way to know whether one will trigger a fetch without running it.  To
+// reproduce that, corpus pages embed real scripts in a JS subset and both
+// pipelines *execute* them through this engine:
+//   lexer -> recursive-descent parser -> AST -> tree-walking interpreter.
+//
+// Scripts reach the outside world through a JsHost: document.write() feeds
+// markup back into the HTML parser (possibly discovering more resources) and
+// the load*()/fetch() builtins request subresources.  The interpreter counts
+// every evaluation step; the browser cost model converts that count into CPU
+// time, which is also Table 1's "JavaScript Running Time" feature.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "net/resource.hpp"
+
+namespace eab::web::js {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokenType {
+  kNumber,
+  kString,
+  kIdentifier,
+  kKeyword,
+  kPunct,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  double number = 0;
+  std::size_t offset = 0;  ///< source offset for diagnostics
+};
+
+/// Tokenizes a script. Throws JsError on malformed literals.
+std::vector<Token> tokenize(std::string_view source);
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Expr {
+  enum class Kind {
+    kNumber,
+    kString,
+    kBool,
+    kNull,
+    kIdentifier,
+    kArray,     ///< [a, b, c]
+    kObject,    ///< {k: v, ...}; operands are values, keys joined in text
+    kUnary,     ///< op operand
+    kBinary,    ///< lhs op rhs (also && and ||, short-circuiting)
+    kAssign,    ///< target (identifier/index) = value, or +=
+    kCall,      ///< callee(args); callee may be a member expression
+    kMember,    ///< object.name
+    kIndex,     ///< object[expr]
+  };
+
+  Kind kind;
+  double number = 0;
+  bool boolean = false;
+  std::string text;  ///< identifier / string value / operator / member name
+  std::vector<ExprPtr> operands;
+};
+
+struct Stmt {
+  enum class Kind {
+    kExpr,
+    kVarDecl,   ///< text = name, operands[0] = initialiser (optional)
+    kBlock,
+    kIf,        ///< exprs[0] cond, stmts[0] then, stmts[1] else (optional)
+    kWhile,
+    kFor,       ///< init (stmt), cond (expr), step (expr), body
+    kFunction,  ///< text = name, params, body
+    kReturn,
+    kBreak,
+    kContinue,
+  };
+
+  Kind kind;
+  std::string text;
+  std::vector<std::string> params;
+  std::vector<ExprPtr> exprs;
+  std::vector<StmtPtr> stmts;
+};
+
+/// A parsed program.
+struct Program {
+  std::vector<StmtPtr> statements;
+};
+
+/// Parses a script. Throws JsError with a source offset on syntax errors.
+Program parse(std::string_view source);
+
+// ---------------------------------------------------------------------------
+// Values and runtime
+// ---------------------------------------------------------------------------
+
+class JsError : public std::runtime_error {
+ public:
+  explicit JsError(const std::string& message) : std::runtime_error(message) {}
+};
+
+struct Value;
+using Array = std::vector<Value>;
+/// Script objects: ordered keys keep printing and iteration deterministic.
+using Object = std::map<std::string, Value>;
+
+/// Sentinels for host-provided namespace objects (document, Math, window).
+enum class HostObject { kDocument, kMath, kWindow };
+
+struct Value {
+  using Storage = std::variant<std::monostate,           // undefined
+                               std::nullptr_t,           // null
+                               bool, double, std::string,
+                               std::shared_ptr<Array>,   // array
+                               std::shared_ptr<Object>,  // object literal
+                               const Stmt*,              // script function
+                               HostObject>;
+  Storage storage;
+
+  Value() = default;
+  static Value undefined() { return Value(); }
+  static Value null() { return make(nullptr); }
+  static Value make(Storage s) {
+    Value v;
+    v.storage = std::move(s);
+    return v;
+  }
+
+  bool is_undefined() const { return std::holds_alternative<std::monostate>(storage); }
+  bool is_string() const { return std::holds_alternative<std::string>(storage); }
+  bool is_number() const { return std::holds_alternative<double>(storage); }
+
+  bool truthy() const;
+  double to_number() const;
+  std::string to_string() const;
+};
+
+/// The environment a script can observe and act on.
+class JsHost {
+ public:
+  virtual ~JsHost() = default;
+  /// document.write(html): markup appended to the document.
+  virtual void document_write(const std::string& html) = 0;
+  /// loadImage/loadScript/loadCss/fetch builtins: a subresource request.
+  virtual void request_resource(const std::string& url,
+                                net::ResourceKind kind) = 0;
+  /// Math.random() — hosts supply deterministic randomness.
+  virtual double random() = 0;
+};
+
+/// Outcome of running one script.
+struct RunResult {
+  std::uint64_t ops = 0;          ///< evaluation steps executed
+  bool completed = false;         ///< false when aborted by error/budget
+  std::string error;              ///< diagnostic when !completed
+};
+
+/// Tree-walking interpreter with a persistent global scope, so consecutive
+/// scripts on one page share state exactly as the paper requires.
+class Interpreter {
+ public:
+  explicit Interpreter(JsHost& host, std::uint64_t op_budget = 50'000'000);
+
+  /// Parses and runs a script in the page's global context. Runtime errors
+  /// and budget exhaustion are reported in the result, not thrown: a broken
+  /// script must not take the whole page load down.
+  RunResult run(std::string_view source);
+
+  /// Total ops across all scripts run so far.
+  std::uint64_t total_ops() const { return total_ops_; }
+
+  /// Reads a global variable (tests / diagnostics).
+  Value global(const std::string& name) const;
+
+ private:
+  JsHost& host_;
+  std::uint64_t op_budget_;
+  std::uint64_t total_ops_ = 0;
+  std::unordered_map<std::string, Value> globals_;
+  /// Function declarations stay alive across scripts.
+  std::vector<std::shared_ptr<Program>> retained_programs_;
+};
+
+}  // namespace eab::web::js

@@ -1,0 +1,122 @@
+#include "browser/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "browser/text_render.hpp"
+#include "web/html_parser.hpp"
+
+namespace eab::browser {
+namespace {
+
+TEST(Layout, TextWrapsAtViewportWidth) {
+  Viewport viewport;  // 320 px, 7 px/char -> 45 chars per line
+  const std::string long_text(450, 'x');  // 10 lines
+  const auto doc = web::parse_html("<p>" + long_text + "</p>");
+  const PageGeometry geometry = estimate_geometry(doc.dom.root(), viewport);
+  EXPECT_EQ(geometry.text_nodes, 1u);
+  EXPECT_GE(geometry.height_px, 10 * viewport.line_height_px);
+}
+
+TEST(Layout, ImagesUseDeclaredDimensions) {
+  Viewport viewport;
+  const auto doc =
+      web::parse_html("<img src='a' width='200' height='300'>");
+  const PageGeometry geometry = estimate_geometry(doc.dom.root(), viewport);
+  EXPECT_EQ(geometry.image_nodes, 1u);
+  EXPECT_GE(geometry.height_px, 300);
+}
+
+TEST(Layout, ImagesWithoutDimensionsUseDefaults) {
+  Viewport viewport;
+  const auto doc = web::parse_html("<img src='a'>");
+  const PageGeometry geometry = estimate_geometry(doc.dom.root(), viewport);
+  EXPECT_GE(geometry.height_px, viewport.default_image_height_px);
+}
+
+TEST(Layout, ScriptAndHeadContentNotMeasured) {
+  Viewport viewport;
+  const auto with_script = web::parse_html(
+      "<script>var t = 'aaaaaaaaaaaaaaaaaaaaaaaaaaaaaa';</script><p>hi</p>");
+  const auto without = web::parse_html("<p>hi</p>");
+  const PageGeometry a = estimate_geometry(with_script.dom.root(), viewport);
+  const PageGeometry b = estimate_geometry(without.dom.root(), viewport);
+  EXPECT_EQ(a.height_px, b.height_px);
+  EXPECT_EQ(a.text_nodes, b.text_nodes);
+}
+
+TEST(Layout, TallerPageForMoreContent) {
+  Viewport viewport;
+  std::string small = "<p>word</p>";
+  std::string big;
+  for (int i = 0; i < 50; ++i) big += "<p>some words that wrap a little</p>";
+  const auto doc_small = web::parse_html(small);
+  const auto doc_big = web::parse_html(big);
+  EXPECT_GT(estimate_geometry(doc_big.dom.root(), viewport).height_px,
+            estimate_geometry(doc_small.dom.root(), viewport).height_px * 10);
+}
+
+TEST(Layout, WidthAtLeastViewport) {
+  Viewport viewport;
+  const auto doc = web::parse_html("<p>x</p>");
+  EXPECT_GE(estimate_geometry(doc.dom.root(), viewport).width_px,
+            viewport.width_px);
+}
+
+TEST(Layout, WideImageStretchesWidth) {
+  Viewport viewport;
+  const auto doc = web::parse_html("<img src='a' width='900' height='10'>");
+  EXPECT_GE(estimate_geometry(doc.dom.root(), viewport).width_px, 900);
+}
+
+TEST(TextRender, WrapsAndJoinsWords) {
+  Viewport viewport;
+  const auto doc = web::parse_html("<p>alpha beta gamma</p>");
+  const std::string out =
+      render_text(doc.dom.root(), viewport, RenderStyle::kFull);
+  EXPECT_NE(out.find("alpha beta gamma"), std::string::npos);
+}
+
+TEST(TextRender, FullStyleShowsImageBoxes) {
+  Viewport viewport;
+  const auto doc = web::parse_html("<img src='a' width='10' height='20'>");
+  const std::string full =
+      render_text(doc.dom.root(), viewport, RenderStyle::kFull);
+  EXPECT_NE(full.find("[image 10x20]"), std::string::npos);
+}
+
+TEST(TextRender, SimplifiedStyleSkipsImages) {
+  Viewport viewport;
+  const auto doc =
+      web::parse_html("<p>text</p><img src='a' width='10' height='20'>");
+  const std::string simplified =
+      render_text(doc.dom.root(), viewport, RenderStyle::kSimplifiedText);
+  EXPECT_EQ(simplified.find("[image"), std::string::npos);
+  EXPECT_NE(simplified.find("text"), std::string::npos);
+}
+
+TEST(TextRender, ScriptsNotRendered) {
+  Viewport viewport;
+  const auto doc = web::parse_html("<script>var visible = 'no';</script>");
+  const std::string out =
+      render_text(doc.dom.root(), viewport, RenderStyle::kFull);
+  EXPECT_EQ(out.find("visible"), std::string::npos);
+}
+
+TEST(TextRender, MaxLinesTruncates) {
+  Viewport viewport;
+  std::string html;
+  for (int i = 0; i < 40; ++i) html += "<p>line " + std::to_string(i) + "</p>";
+  const auto doc = web::parse_html(html);
+  const std::string out =
+      render_text(doc.dom.root(), viewport, RenderStyle::kFull, 5);
+  EXPECT_LE(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+TEST(TextRender, LongWordsDoNotInfiniteLoop) {
+  Viewport viewport;
+  const auto doc = web::parse_html("<p>" + std::string(500, 'w') + "</p>");
+  EXPECT_NO_THROW(render_text(doc.dom.root(), viewport, RenderStyle::kFull));
+}
+
+}  // namespace
+}  // namespace eab::browser

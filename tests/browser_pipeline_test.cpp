@@ -1,0 +1,311 @@
+#include "browser/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "corpus/generator.hpp"
+#include "corpus/page_spec.hpp"
+
+namespace eab::browser {
+namespace {
+
+/// A full measurement stack around one WebServer, for direct pipeline tests
+/// (including ones that deliberately break the hosted content).
+struct Stack {
+  sim::Simulator sim;
+  radio::RrcConfig rrc_config;
+  radio::RadioPowerModel power;
+  radio::LinkConfig link_config;
+  radio::RrcMachine rrc{sim, rrc_config, power};
+  net::SharedLink link{sim, link_config.dch_bandwidth};
+  net::WebServer server;
+  net::HttpClient client{sim, server, link, rrc, link_config};
+  CpuScheduler cpu{sim, power.cpu_busy_extra};
+
+  std::optional<LoadMetrics> load(const std::string& url, PipelineConfig config,
+                                  PageLoad** out = nullptr) {
+    auto page = std::make_unique<PageLoad>(sim, client, cpu, config, 1);
+    if (out) *out = page.get();
+    std::optional<LoadMetrics> metrics;
+    page->start(url, [&](const LoadMetrics& m) { metrics = m; });
+    sim.run();
+    loads.push_back(std::move(page));
+    return metrics;
+  }
+
+  std::vector<std::unique_ptr<PageLoad>> loads;
+};
+
+PipelineConfig config_for(PipelineMode mode, bool mobile) {
+  PipelineConfig config;
+  config.mode = mode;
+  config.mobile_page = mobile;
+  return config;
+}
+
+TEST(Pipeline, LoadsSimplePageEndToEnd) {
+  Stack stack;
+  net::Resource page;
+  page.url = "http://s/index.html";
+  page.kind = net::ResourceKind::kHtml;
+  page.body = "<html><body><p>hello</p><img src='http://s/a.jpg'></body></html>";
+  page.size = page.body.size();
+  stack.server.host(page);
+  net::Resource image;
+  image.url = "http://s/a.jpg";
+  image.kind = net::ResourceKind::kImage;
+  image.size = kilobytes(5);
+  stack.server.host(image);
+
+  PageLoad* load = nullptr;
+  const auto metrics = stack.load("http://s/index.html",
+                                  config_for(PipelineMode::kOriginal, false),
+                                  &load);
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->objects_fetched, 2);
+  EXPECT_EQ(metrics->bytes_fetched, page.size + image.size);
+  EXPECT_GT(metrics->final_display, metrics->transmission_done);
+  EXPECT_EQ(load->dom().find_all("img").size(), 1u);
+}
+
+// The paper's Fig 5 invariant: both pipelines end with the same DOM and the
+// same downloaded bytes — only the schedule differs.  Checked across the
+// whole Table 3 benchmark.
+class PipelineEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineEquivalence, SameFinalDomSameBytesFasterTx) {
+  const auto mobile = corpus::mobile_benchmark();
+  const auto full = corpus::full_benchmark();
+  const corpus::PageSpec& spec = GetParam() < 10
+                                     ? mobile[static_cast<std::size_t>(GetParam())]
+                                     : full[static_cast<std::size_t>(GetParam() - 10)];
+
+  auto run = [&](PipelineMode mode) {
+    Stack stack;
+    corpus::PageGenerator generator(7);
+    const std::string url = generator.host_page(spec, stack.server);
+    PageLoad* load = nullptr;
+    const auto metrics =
+        stack.load(url, config_for(mode, spec.mobile), &load);
+    EXPECT_TRUE(metrics.has_value());
+    return std::tuple<std::string, Bytes, Seconds, int>(
+        load->dom().signature(), metrics->bytes_fetched,
+        metrics->transmission_time(), metrics->objects_fetched);
+  };
+
+  const auto [dom_orig, bytes_orig, tx_orig, objects_orig] =
+      run(PipelineMode::kOriginal);
+  const auto [dom_ea, bytes_ea, tx_ea, objects_ea] =
+      run(PipelineMode::kEnergyAware);
+
+  EXPECT_EQ(dom_orig, dom_ea) << spec.site;
+  EXPECT_EQ(bytes_orig, bytes_ea) << spec.site;
+  EXPECT_EQ(objects_orig, objects_ea) << spec.site;
+  EXPECT_LE(tx_ea, tx_orig + 1e-9) << spec.site;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarkPages, PipelineEquivalence,
+                         ::testing::Range(0, 20));
+
+TEST(Pipeline, EnergyAwareDefersLayoutWork) {
+  Stack orig_stack;
+  Stack ea_stack;
+  corpus::PageGenerator generator(7);
+  const corpus::PageSpec spec = corpus::espn_sports_spec();
+  const std::string url_a = generator.host_page(spec, orig_stack.server);
+  const std::string url_b = generator.host_page(spec, ea_stack.server);
+
+  const auto orig =
+      orig_stack.load(url_a, config_for(PipelineMode::kOriginal, false));
+  const auto ea =
+      ea_stack.load(url_b, config_for(PipelineMode::kEnergyAware, false));
+  // Energy-aware pays for CSS parse + decode after the last byte.
+  EXPECT_GT(ea->layout_tail_time(), orig->layout_tail_time() * 0.5);
+  // Original draws intermediate displays, energy-aware exactly one.
+  EXPECT_GE(orig->intermediate_displays, 2);
+  EXPECT_EQ(ea->intermediate_displays, 1);
+  EXPECT_LT(ea->first_display, orig->first_display);
+}
+
+TEST(Pipeline, MobileEnergyAwareSkipsIntermediateDisplay) {
+  Stack stack;
+  corpus::PageGenerator generator(7);
+  const corpus::PageSpec spec = corpus::m_cnn_spec();
+  const std::string url = generator.host_page(spec, stack.server);
+  const auto metrics =
+      stack.load(url, config_for(PipelineMode::kEnergyAware, true));
+  EXPECT_EQ(metrics->intermediate_displays, 0);
+  EXPECT_DOUBLE_EQ(metrics->first_display, metrics->final_display);
+}
+
+TEST(Pipeline, TransmissionCompleteHookFiresBeforeLayout) {
+  Stack stack;
+  corpus::PageGenerator generator(7);
+  const std::string url =
+      generator.host_page(corpus::m_cnn_spec(), stack.server);
+
+  auto page = std::make_unique<PageLoad>(
+      stack.sim, stack.client, stack.cpu,
+      config_for(PipelineMode::kEnergyAware, true), 1);
+  Seconds hook_at = -1;
+  int hook_count = 0;
+  page->set_on_transmission_complete([&] {
+    hook_at = stack.sim.now();
+    ++hook_count;
+  });
+  std::optional<LoadMetrics> metrics;
+  page->start(url, [&](const LoadMetrics& m) { metrics = m; });
+  stack.sim.run();
+
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(hook_count, 1);
+  EXPECT_GE(hook_at, metrics->transmission_done);
+  EXPECT_LE(hook_at, metrics->final_display);
+}
+
+TEST(Pipeline, MissingResourcesDoNotHangTheLoad) {
+  Stack stack;
+  net::Resource page;
+  page.url = "http://s/index.html";
+  page.kind = net::ResourceKind::kHtml;
+  page.body =
+      "<link rel='stylesheet' href='http://s/gone.css'>"
+      "<img src='http://s/gone.jpg'><p>content</p>"
+      "<script src='http://s/gone.js'></script>";
+  page.size = page.body.size();
+  stack.server.host(page);
+
+  for (const PipelineMode mode :
+       {PipelineMode::kOriginal, PipelineMode::kEnergyAware}) {
+    Stack fresh;
+    fresh.server.host(page);
+    const auto metrics = fresh.load("http://s/index.html",
+                                    config_for(mode, false));
+    ASSERT_TRUE(metrics.has_value());
+    EXPECT_EQ(metrics->objects_fetched, 1);  // only the HTML existed
+  }
+}
+
+TEST(Pipeline, BrokenScriptDoesNotWedgeTheLoad) {
+  Stack stack;
+  net::Resource page;
+  page.url = "http://s/index.html";
+  page.kind = net::ResourceKind::kHtml;
+  page.body =
+      "<script>this is not ((( valid js</script>"
+      "<script>loadImage('http://s/ok.jpg');</script><p>x</p>";
+  page.size = page.body.size();
+  stack.server.host(page);
+  net::Resource image;
+  image.url = "http://s/ok.jpg";
+  image.kind = net::ResourceKind::kImage;
+  image.size = 1000;
+  stack.server.host(image);
+
+  const auto metrics =
+      stack.load("http://s/index.html", config_for(PipelineMode::kEnergyAware, false));
+  ASSERT_TRUE(metrics.has_value());
+  // The second script still ran and fetched its image.
+  EXPECT_EQ(metrics->objects_fetched, 2);
+}
+
+TEST(Pipeline, MalformedHtmlAndCssComplete) {
+  Stack stack;
+  net::Resource page;
+  page.url = "http://s/index.html";
+  page.kind = net::ResourceKind::kHtml;
+  page.body = "<div><p>unclosed <b>everything<link rel='stylesheet' "
+              "href='http://s/b.css'>";
+  page.size = page.body.size();
+  stack.server.host(page);
+  net::Resource css;
+  css.url = "http://s/b.css";
+  css.kind = net::ResourceKind::kCss;
+  css.body = ".a { color: ; url( } @media {";
+  css.size = css.body.size();
+  stack.server.host(css);
+
+  for (const PipelineMode mode :
+       {PipelineMode::kOriginal, PipelineMode::kEnergyAware}) {
+    Stack fresh;
+    fresh.server.host(page);
+    fresh.server.host(css);
+    const auto metrics = fresh.load("http://s/index.html", config_for(mode, false));
+    ASSERT_TRUE(metrics.has_value());
+    EXPECT_EQ(metrics->objects_fetched, 2);
+  }
+}
+
+TEST(Pipeline, DocumentWriteDiscoversResources) {
+  Stack stack;
+  net::Resource page;
+  page.url = "http://s/index.html";
+  page.kind = net::ResourceKind::kHtml;
+  page.body =
+      "<script>document.write(\"<img src='http://s/w.jpg'>\");</script>";
+  page.size = page.body.size();
+  stack.server.host(page);
+  net::Resource image;
+  image.url = "http://s/w.jpg";
+  image.kind = net::ResourceKind::kImage;
+  image.size = 2048;
+  stack.server.host(image);
+
+  PageLoad* load = nullptr;
+  const auto metrics = stack.load("http://s/index.html",
+                                  config_for(PipelineMode::kOriginal, false),
+                                  &load);
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->objects_fetched, 2);
+  EXPECT_EQ(load->dom().find_all("img").size(), 1u);
+}
+
+TEST(Pipeline, FeaturesMatchTable1Semantics) {
+  Stack stack;
+  corpus::PageGenerator generator(7);
+  const corpus::PageSpec spec = corpus::espn_sports_spec();
+  const std::string url = generator.host_page(spec, stack.server);
+  PageLoad* load = nullptr;
+  const auto metrics =
+      stack.load(url, config_for(PipelineMode::kEnergyAware, false), &load);
+  ASSERT_TRUE(metrics.has_value());
+  const PageFeatures& features = load->features();
+
+  EXPECT_NEAR(features.transmission_time, metrics->transmission_time(), 1e-9);
+  EXPECT_EQ(static_cast<int>(features.object_count), metrics->objects_fetched);
+  EXPECT_EQ(static_cast<int>(features.js_file_count), spec.js_files);
+  // Figures: html images + css images + js images + flash.
+  const int expected_figures = spec.html_images +
+                               spec.css_files * spec.css_images +
+                               spec.js_files * spec.js_images +
+                               spec.flash_objects;
+  EXPECT_EQ(static_cast<int>(features.figure_count), expected_figures);
+  EXPECT_GT(features.figure_size_kb, 0);
+  EXPECT_GT(features.page_size_kb, 0);
+  EXPECT_GT(features.js_running_time, 0);
+  EXPECT_GE(static_cast<int>(features.secondary_url_count), spec.anchors);
+  EXPECT_GT(features.page_height, 0);
+  EXPECT_GE(features.page_width, 320);
+  EXPECT_EQ(features.to_row().size(), PageFeatures::kCount);
+}
+
+TEST(Pipeline, DoubleStartThrows) {
+  Stack stack;
+  net::Resource page;
+  page.url = "http://s/index.html";
+  page.kind = net::ResourceKind::kHtml;
+  page.body = "<p>x</p>";
+  page.size = page.body.size();
+  stack.server.host(page);
+
+  PageLoad load(stack.sim, stack.client, stack.cpu,
+                config_for(PipelineMode::kOriginal, false), 1);
+  load.start("http://s/index.html", [](const LoadMetrics&) {});
+  EXPECT_THROW(load.start("http://s/index.html", [](const LoadMetrics&) {}),
+               std::logic_error);
+  stack.sim.run();
+}
+
+}  // namespace
+}  // namespace eab::browser

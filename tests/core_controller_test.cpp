@@ -1,0 +1,75 @@
+#include "core/controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eab::core {
+namespace {
+
+TEST(Controller, DelayDrivenSwitchesOnlyAboveTd) {
+  ControllerParams params;
+  params.mode = DecisionMode::kDelayDriven;
+  EnergyAwareController controller(params);
+  EXPECT_FALSE(controller.should_switch(5.0));
+  EXPECT_FALSE(controller.should_switch(10.0));   // > Tp but delay-driven
+  EXPECT_FALSE(controller.should_switch(20.0));   // boundary: not strictly >
+  EXPECT_TRUE(controller.should_switch(20.1));
+  EXPECT_TRUE(controller.should_switch(600.0));
+}
+
+TEST(Controller, PowerDrivenSwitchesAboveTp) {
+  ControllerParams params;
+  params.mode = DecisionMode::kPowerDriven;
+  EnergyAwareController controller(params);
+  EXPECT_FALSE(controller.should_switch(8.9));
+  EXPECT_FALSE(controller.should_switch(9.0));    // boundary
+  EXPECT_TRUE(controller.should_switch(9.1));
+  EXPECT_TRUE(controller.should_switch(25.0));
+}
+
+TEST(Controller, CustomThresholds) {
+  ControllerParams params;
+  params.tp = 5.0;
+  params.td = 12.0;
+  params.mode = DecisionMode::kPowerDriven;
+  EnergyAwareController controller(params);
+  EXPECT_TRUE(controller.should_switch(6.0));
+  params.mode = DecisionMode::kDelayDriven;
+  EnergyAwareController delay_controller(params);
+  EXPECT_FALSE(delay_controller.should_switch(6.0));
+  EXPECT_TRUE(delay_controller.should_switch(13.0));
+}
+
+TEST(Controller, PaperDefaultsMatchTable2) {
+  const ControllerParams params;
+  EXPECT_DOUBLE_EQ(params.alpha, 2.0);
+  EXPECT_DOUBLE_EQ(params.td, 20.0);  // T1 + T2 + 1... the paper's 20 s
+  EXPECT_DOUBLE_EQ(params.tp, 9.0);   // Fig 3 crossover
+}
+
+TEST(ReadingPredictor, LogDomainConversion) {
+  // A model that always outputs ln(30) should predict 30 s in log mode and
+  // ln(30) s in raw mode.
+  const auto model =
+      gbrt::GbrtModel::assemble(std::log(30.0), 1.0, {});
+  browser::PageFeatures features;
+
+  ReadingPredictor log_predictor{&model, true};
+  EXPECT_NEAR(log_predictor.predict_seconds(features), 30.0, 1e-9);
+
+  ReadingPredictor raw_predictor{&model, false};
+  EXPECT_NEAR(raw_predictor.predict_seconds(features), std::log(30.0), 1e-9);
+}
+
+TEST(Controller, PredictsThroughPredictor) {
+  const auto model = gbrt::GbrtModel::assemble(std::log(50.0), 1.0, {});
+  ReadingPredictor predictor{&model, true};
+  EnergyAwareController controller(ControllerParams{});
+  browser::PageFeatures features;
+  const Seconds predicted =
+      controller.predict_reading_time(predictor, features);
+  EXPECT_NEAR(predicted, 50.0, 1e-9);
+  EXPECT_TRUE(controller.should_switch(predicted));
+}
+
+}  // namespace
+}  // namespace eab::core

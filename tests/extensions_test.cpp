@@ -1,0 +1,209 @@
+// Tests for the post-reproduction extensions: Huber/early-stopping GBRT,
+// Weibull dwell analysis, capacity confidence intervals, DOM selectors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "capacity/mgn.hpp"
+#include "gbrt/model.hpp"
+#include "trace/reading_model.hpp"
+#include "util/rng.hpp"
+#include "web/css.hpp"
+#include "web/html_parser.hpp"
+
+namespace eab {
+namespace {
+
+// --- GBRT: Huber loss ------------------------------------------------------
+
+gbrt::Dataset outlier_data(std::uint64_t seed, int n) {
+  Rng rng(seed);
+  gbrt::Dataset data(1);
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(-2, 2);
+    double y = 3.0 * x + rng.normal(0, 0.1);
+    if (rng.chance(0.05)) y += 80.0;  // gross positive outliers
+    data.add({x}, y);
+  }
+  return data;
+}
+
+TEST(GbrtHuber, MoreRobustToOutliersThanSquaredLoss) {
+  const gbrt::Dataset train = outlier_data(1, 1500);
+  // Clean evaluation grid: y = 3x exactly.
+  gbrt::Dataset clean(1);
+  for (double x = -2; x <= 2; x += 0.05) clean.add({x}, 3.0 * x);
+
+  gbrt::GbrtParams params;
+  params.trees = 150;
+  params.shrinkage = 0.1;
+  params.loss = gbrt::Loss::kSquared;
+  const auto squared = gbrt::train_gbrt(train, params, 1);
+  params.loss = gbrt::Loss::kHuber;
+  const auto huber = gbrt::train_gbrt(train, params, 1);
+
+  EXPECT_LT(gbrt::mse(huber, clean), gbrt::mse(squared, clean) * 0.8);
+}
+
+TEST(GbrtHuber, ValidatesQuantile) {
+  const gbrt::Dataset data = outlier_data(2, 50);
+  gbrt::GbrtParams params;
+  params.huber_quantile = 0.0;
+  EXPECT_THROW(gbrt::train_gbrt(data, params, 1), std::invalid_argument);
+  params.huber_quantile = 1.5;
+  EXPECT_THROW(gbrt::train_gbrt(data, params, 1), std::invalid_argument);
+}
+
+// --- GBRT: early stopping ----------------------------------------------------
+
+TEST(GbrtEarlyStopping, StopsWhenValidationPlateausAndTruncates) {
+  Rng rng(3);
+  gbrt::Dataset train(1);
+  gbrt::Dataset valid(1);
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform(-3, 3);
+    const double y = std::sin(x) + rng.normal(0, 0.4);
+    (i % 4 == 0 ? valid : train).add({x}, y);
+  }
+  gbrt::GbrtParams params;
+  params.trees = 500;
+  params.shrinkage = 0.3;  // aggressive: overfits quickly
+  params.early_stopping_rounds = 15;
+  gbrt::BoostTrace trace;
+  const auto model = gbrt::train_gbrt(train, params, 1, &trace, &valid);
+
+  EXPECT_TRUE(trace.stopped_early);
+  EXPECT_LT(model.tree_count(), 500u);
+  EXPECT_EQ(model.tree_count(), trace.best_iteration + 1);
+  EXPECT_FALSE(trace.valid_mse.empty());
+  // The kept prefix is the validation optimum.
+  const double best = *std::min_element(trace.valid_mse.begin(),
+                                        trace.valid_mse.end());
+  EXPECT_NEAR(trace.valid_mse[trace.best_iteration], best, 1e-12);
+}
+
+TEST(GbrtEarlyStopping, NoValidationMeansFullEnsemble) {
+  const gbrt::Dataset data = outlier_data(5, 200);
+  gbrt::GbrtParams params;
+  params.trees = 40;
+  params.early_stopping_rounds = 3;  // ignored without a validation set
+  const auto model = gbrt::train_gbrt(data, params, 1);
+  EXPECT_EQ(model.tree_count(), 40u);
+}
+
+// --- Weibull dwell analysis ---------------------------------------------------
+
+TEST(Weibull, RecoversKnownParameters) {
+  Rng rng(7);
+  const double true_shape = 1.8;
+  const double true_scale = 12.0;
+  std::vector<double> samples;
+  for (int i = 0; i < 30000; ++i) {
+    // Inverse CDF sampling: x = lambda * (-ln U)^(1/k).
+    samples.push_back(true_scale *
+                      std::pow(-std::log(1.0 - rng.uniform()), 1.0 / true_shape));
+  }
+  const trace::WeibullFit fit = trace::fit_weibull(samples);
+  EXPECT_NEAR(fit.shape, true_shape, 0.05);
+  EXPECT_NEAR(fit.scale, true_scale, 0.3);
+}
+
+TEST(Weibull, ExponentialIsShapeOne) {
+  Rng rng(8);
+  std::vector<double> samples;
+  for (int i = 0; i < 30000; ++i) samples.push_back(rng.exponential(5.0));
+  const trace::WeibullFit fit = trace::fit_weibull(samples);
+  EXPECT_NEAR(fit.shape, 1.0, 0.03);
+  EXPECT_NEAR(fit.scale, 5.0, 0.15);
+}
+
+TEST(Weibull, RejectsDegenerateInput) {
+  EXPECT_THROW(trace::fit_weibull({}), std::invalid_argument);
+  EXPECT_THROW(trace::fit_weibull({1.0}), std::invalid_argument);
+  EXPECT_THROW(trace::fit_weibull({-1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(Weibull, ReadingTraceShowsNegativeAging) {
+  // Liu/White/Dumais (the paper's ref [12]): web dwell times fit Weibull
+  // with shape < 1. Our generated trace must reproduce that signature.
+  Rng rng(9);
+  std::vector<trace::PageRecord> records;
+  for (int t = 0; t < corpus::kTopicCount; ++t) {
+    trace::PageRecord record;
+    record.spec.site = "s" + std::to_string(t);
+    record.spec.topic = static_cast<corpus::Topic>(t);
+    record.features.transmission_time = 8;
+    record.features.page_height = rng.uniform(800, 4000);
+    record.features.figure_count = rng.uniform(4, 30);
+    records.push_back(record);
+  }
+  trace::TraceGenerator generator(records, trace::TraceConfig{}, 9);
+  std::vector<double> readings;
+  for (const auto& view : generator.generate()) {
+    readings.push_back(view.reading_time);
+  }
+  const trace::WeibullFit fit = trace::fit_weibull(readings);
+  EXPECT_LT(fit.shape, 1.0);
+  EXPECT_GT(fit.shape, 0.3);
+}
+
+// --- capacity confidence intervals ---------------------------------------------
+
+TEST(CapacityEstimate, CoversTheSingleRunEstimate) {
+  capacity::CapacityConfig config;
+  config.users = 420;
+  config.horizon = 2000;
+  const capacity::ServiceTimeDistribution service({14.0, 18.0});
+  const auto estimate = capacity::estimate_capacity(config, service, 3, 8);
+  EXPECT_GT(estimate.mean_drop, 0.0);
+  EXPECT_GT(estimate.ci_halfwidth, 0.0);
+  EXPECT_LT(estimate.ci_halfwidth, estimate.mean_drop);  // informative CI
+  EXPECT_EQ(estimate.replications, 8);
+  // An independent run lands inside a few halfwidths.
+  const auto single = capacity::simulate_capacity(config, service, 999);
+  EXPECT_NEAR(single.drop_probability, estimate.mean_drop,
+              4 * estimate.ci_halfwidth + 1e-3);
+}
+
+TEST(CapacityEstimate, MoreReplicationsTightenTheInterval) {
+  capacity::CapacityConfig config;
+  config.users = 420;
+  config.horizon = 1500;
+  const capacity::ServiceTimeDistribution service({15.0});
+  const auto few = capacity::estimate_capacity(config, service, 3, 4);
+  const auto many = capacity::estimate_capacity(config, service, 3, 32);
+  EXPECT_LT(many.ci_halfwidth, few.ci_halfwidth);
+  EXPECT_THROW(capacity::estimate_capacity(config, service, 3, 1),
+               std::invalid_argument);
+}
+
+// --- DOM selectors ----------------------------------------------------------------
+
+TEST(Select, QuerySelectorSemantics) {
+  const auto doc = web::parse_html(
+      "<div id='top' class='wrap'><ul><li class='item'>a</li>"
+      "<li class='item hot'>b</li></ul></div><p class='item'>c</p>");
+  const auto& root = doc.dom.root();
+
+  EXPECT_EQ(web::select_all(root, "li").size(), 2u);
+  EXPECT_EQ(web::select_all(root, ".item").size(), 3u);
+  EXPECT_EQ(web::select_all(root, "#top li.hot").size(), 1u);
+  EXPECT_EQ(web::select_all(root, "ul .item, p").size(), 3u);
+  EXPECT_EQ(web::select_all(root, "table").size(), 0u);
+
+  const web::DomNode* hot = web::select_first(root, "li.hot");
+  ASSERT_NE(hot, nullptr);
+  EXPECT_EQ(hot->text_content(), "b");
+  EXPECT_EQ(web::select_first(root, "video"), nullptr);
+}
+
+TEST(Select, DocumentOrderPreserved) {
+  const auto doc = web::parse_html("<b id='x'>1</b><b id='y'>2</b><b id='z'>3</b>");
+  const auto matches = web::select_all(doc.dom.root(), "b");
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0]->attr("id"), "x");
+  EXPECT_EQ(matches[2]->attr("id"), "z");
+}
+
+}  // namespace
+}  // namespace eab

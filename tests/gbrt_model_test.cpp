@@ -1,0 +1,187 @@
+#include "gbrt/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace eab::gbrt {
+namespace {
+
+Dataset nonlinear_data(std::uint64_t seed, int n, double noise) {
+  Rng rng(seed);
+  Dataset data(2);
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.uniform(-3, 3);
+    const double b = rng.uniform(-3, 3);
+    // Non-monotone target: a bell over `a` plus an interaction.
+    const double y = 5 * std::exp(-a * a) + (a > 0 && b > 0 ? 2.0 : 0.0) +
+                     rng.normal(0, noise);
+    data.add({a, b}, y);
+  }
+  return data;
+}
+
+TEST(GbrtTrainer, TrainingLossDecreasesMonotonically) {
+  const Dataset data = nonlinear_data(1, 500, 0.1);
+  GbrtParams params;
+  params.trees = 60;
+  params.shrinkage = 0.1;
+  BoostTrace trace;
+  train_gbrt(data, params, 1, &trace);
+  ASSERT_EQ(trace.train_mse.size(), 60u);
+  for (std::size_t i = 1; i < trace.train_mse.size(); ++i) {
+    EXPECT_LE(trace.train_mse[i], trace.train_mse[i - 1] + 1e-9) << i;
+  }
+  EXPECT_LT(trace.train_mse.back(), trace.train_mse.front() * 0.3);
+}
+
+TEST(GbrtTrainer, BeatsConstantBaselineOnHeldOut) {
+  const Dataset data = nonlinear_data(2, 2000, 0.2);
+  const auto [train, test] = data.split(0.75);
+  GbrtParams params;
+  params.trees = 150;
+  params.shrinkage = 0.1;
+  const GbrtModel model = train_gbrt(train, params, 1);
+
+  // Constant baseline: median of training targets.
+  std::vector<double> targets = train.targets();
+  std::nth_element(targets.begin(), targets.begin() + targets.size() / 2,
+                   targets.end());
+  const double constant = targets[targets.size() / 2];
+  double constant_mse = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const double diff = test.target(i) - constant;
+    constant_mse += diff * diff;
+  }
+  constant_mse /= static_cast<double>(test.size());
+
+  EXPECT_LT(mse(model, test), constant_mse * 0.35);
+}
+
+TEST(GbrtTrainer, BaseScoreIsTargetMedian) {
+  Dataset data(1);
+  for (double y : {1.0, 2.0, 3.0, 4.0, 100.0}) data.add({y}, y);
+  GbrtParams params;
+  params.trees = 0;
+  const GbrtModel model = train_gbrt(data, params, 1);
+  EXPECT_DOUBLE_EQ(model.base_score(), 3.0);
+  EXPECT_DOUBLE_EQ(model.predict({0.0}), 3.0);
+}
+
+TEST(GbrtTrainer, DeterministicGivenSeed) {
+  const Dataset data = nonlinear_data(3, 300, 0.1);
+  GbrtParams params;
+  params.trees = 20;
+  const GbrtModel a = train_gbrt(data, params, 7);
+  const GbrtModel b = train_gbrt(data, params, 7);
+  EXPECT_EQ(a.serialize(), b.serialize());
+}
+
+TEST(GbrtTrainer, SubsamplingStillLearns) {
+  const Dataset data = nonlinear_data(4, 2000, 0.2);
+  const auto [train, test] = data.split(0.75);
+  GbrtParams params;
+  params.trees = 150;
+  params.subsample = 0.5;
+  const GbrtModel model = train_gbrt(train, params, 1);
+  EXPECT_LT(mse(model, test), 1.5);
+}
+
+TEST(GbrtTrainer, ValidatesParams) {
+  const Dataset data = nonlinear_data(5, 50, 0.1);
+  GbrtParams params;
+  params.shrinkage = 0.0;
+  EXPECT_THROW(train_gbrt(data, params, 1), std::invalid_argument);
+  params.shrinkage = 0.1;
+  params.subsample = 0.0;
+  EXPECT_THROW(train_gbrt(data, params, 1), std::invalid_argument);
+  EXPECT_THROW(train_gbrt(Dataset(1), GbrtParams{}, 1), std::invalid_argument);
+}
+
+TEST(GbrtModel, PredictionIsShrunkSumOfTrees) {
+  const GbrtModel model = GbrtModel::assemble(
+      10.0, 0.5,
+      {RegressionTree::constant(2.0), RegressionTree::constant(4.0)});
+  EXPECT_DOUBLE_EQ(model.predict({0.0}), 10.0 + 0.5 * (2.0 + 4.0));
+  EXPECT_EQ(model.tree_count(), 2u);
+}
+
+TEST(GbrtModel, SerializeRoundTrip) {
+  const Dataset data = nonlinear_data(6, 400, 0.1);
+  GbrtParams params;
+  params.trees = 25;
+  const GbrtModel model = train_gbrt(data, params, 1);
+  const GbrtModel parsed = GbrtModel::parse(model.serialize());
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x = {rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    EXPECT_DOUBLE_EQ(parsed.predict(x), model.predict(x));
+  }
+}
+
+TEST(GbrtModel, ParseRejectsGarbage) {
+  EXPECT_THROW(GbrtModel::parse(""), std::invalid_argument);
+  EXPECT_THROW(GbrtModel::parse("nope 1 2 3"), std::invalid_argument);
+  EXPECT_THROW(GbrtModel::parse("gbrt 0 0.1 5\n"), std::invalid_argument);
+}
+
+TEST(GbrtModel, FeatureImportanceConcentratesOnSignal) {
+  Rng rng(7);
+  Dataset data(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double signal = rng.uniform(-1, 1);
+    data.add({rng.uniform(-1, 1), signal, rng.uniform(-1, 1)}, signal * 3);
+  }
+  GbrtParams params;
+  params.trees = 40;
+  const GbrtModel model = train_gbrt(data, params, 1);
+  const auto importance = model.feature_importance(3);
+  EXPECT_GT(importance[1], 0.9);
+  EXPECT_NEAR(importance[0] + importance[1] + importance[2], 1.0, 1e-9);
+}
+
+TEST(GbrtModel, RandomModelShape) {
+  const GbrtModel model = GbrtModel::random_model(50, 4, 10, 3);
+  EXPECT_EQ(model.tree_count(), 50u);
+  // Deterministic and usable.
+  const GbrtModel again = GbrtModel::random_model(50, 4, 10, 3);
+  std::vector<double> x(10, 0.5);
+  EXPECT_DOUBLE_EQ(model.predict(x), again.predict(x));
+}
+
+TEST(Metrics, ThresholdAccuracy) {
+  EXPECT_DOUBLE_EQ(threshold_accuracy({1, 10, 3, 20}, {2, 15, 1, 30}, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(threshold_accuracy({1, 10}, {10, 1}, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(threshold_accuracy({1, 10, 10, 1}, {2, 2, 20, 20}, 5.0), 0.5);
+  EXPECT_THROW(threshold_accuracy({1}, {1, 2}, 5.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(threshold_accuracy({}, {}, 5.0), 0.0);
+}
+
+TEST(Metrics, MseOfPerfectModelIsZero) {
+  Dataset data(1);
+  data.add({1.0}, 5.0);
+  const GbrtModel model =
+      GbrtModel::assemble(5.0, 1.0, std::vector<RegressionTree>{});
+  EXPECT_DOUBLE_EQ(mse(model, data), 0.0);
+}
+
+// Property sweep over shrinkage: smaller steps need more trees but converge
+// to at least as good a fit.
+class ShrinkageSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ShrinkageSweep, ConvergesOnTrainingData) {
+  const Dataset data = nonlinear_data(8, 600, 0.15);
+  GbrtParams params;
+  params.trees = static_cast<std::size_t>(30.0 / GetParam());
+  params.shrinkage = GetParam();
+  const GbrtModel model = train_gbrt(data, params, 1);
+  EXPECT_LT(mse(model, data), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ShrinkageSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.5));
+
+}  // namespace
+}  // namespace eab::gbrt

@@ -1,0 +1,210 @@
+#include "gbrt/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace eab::gbrt {
+namespace {
+
+Dataset step_data() {
+  // y = 0 for x < 5, y = 10 for x >= 5; plenty of samples per side.
+  Dataset data(1);
+  for (int i = 0; i < 20; ++i) {
+    data.add({static_cast<double>(i)}, i < 5 ? 0.0 : 10.0);
+  }
+  return data;
+}
+
+TEST(Dataset, BasicAccess) {
+  Dataset data(2);
+  data.add({1.0, 2.0}, 3.0);
+  data.add({4.0, 5.0}, 6.0);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.feature_count(), 2u);
+  EXPECT_DOUBLE_EQ(data.target(1), 6.0);
+  EXPECT_EQ(data.column(1), (std::vector<double>{2.0, 5.0}));
+  EXPECT_THROW(data.add({1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(data.column(5), std::out_of_range);
+}
+
+TEST(Dataset, SplitIsPositional) {
+  Dataset data(1);
+  for (int i = 0; i < 10; ++i) data.add({static_cast<double>(i)}, i);
+  const auto [train, test] = data.split(0.7);
+  EXPECT_EQ(train.size(), 7u);
+  EXPECT_EQ(test.size(), 3u);
+  EXPECT_DOUBLE_EQ(test.target(0), 7.0);
+}
+
+TEST(Dataset, FeatureNames) {
+  Dataset data;
+  data.set_feature_names({"a", "b"});
+  EXPECT_EQ(data.feature_count(), 2u);
+  EXPECT_THROW(data.add({1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(RegressionTree, FindsObviousSplit) {
+  const Dataset data = step_data();
+  TreeParams params;
+  params.max_leaves = 2;
+  const RegressionTree tree = RegressionTree::fit(data, data.targets(), params);
+  EXPECT_EQ(tree.leaf_count(), 2u);
+  EXPECT_DOUBLE_EQ(tree.predict({0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(tree.predict({19.0}), 10.0);
+  EXPECT_DOUBLE_EQ(tree.predict({4.0}), 0.0);
+  EXPECT_DOUBLE_EQ(tree.predict({5.0}), 10.0);
+}
+
+TEST(RegressionTree, SingleLeafPredictsMean) {
+  Dataset data(1);
+  data.add({1.0}, 2.0);
+  data.add({2.0}, 4.0);
+  TreeParams params;
+  params.max_leaves = 1;
+  const RegressionTree tree = RegressionTree::fit(data, data.targets(), params);
+  EXPECT_DOUBLE_EQ(tree.predict({1.0}), 3.0);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+}
+
+TEST(RegressionTree, RespectsMinSamplesLeaf) {
+  Dataset data(1);
+  for (int i = 0; i < 8; ++i) data.add({static_cast<double>(i)}, i == 0 ? 100.0 : 0.0);
+  TreeParams params;
+  params.max_leaves = 8;
+  params.min_samples_leaf = 3;
+  const RegressionTree tree = RegressionTree::fit(data, data.targets(), params);
+  // No leaf may hold fewer than 3 samples, so the lone outlier cannot be
+  // isolated: at most floor(8/3)=2 leaves.
+  EXPECT_LE(tree.leaf_count(), 2u);
+}
+
+TEST(RegressionTree, ConstantTargetsYieldSingleLeaf) {
+  Dataset data(1);
+  for (int i = 0; i < 10; ++i) data.add({static_cast<double>(i)}, 7.0);
+  TreeParams params;
+  const RegressionTree tree = RegressionTree::fit(data, data.targets(), params);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict({3.0}), 7.0);
+}
+
+TEST(RegressionTree, PicksMostInformativeFeature) {
+  // Feature 1 is pure noise; feature 0 carries the signal.
+  Rng rng(1);
+  Dataset data(2);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0, 10);
+    data.add({x, rng.uniform(0, 10)}, x < 5 ? -1.0 : 1.0);
+  }
+  TreeParams params;
+  params.max_leaves = 2;
+  const RegressionTree tree = RegressionTree::fit(data, data.targets(), params);
+  EXPECT_GT(tree.split_gains()[0], 0.0);
+  EXPECT_DOUBLE_EQ(tree.split_gains()[1], 0.0);
+}
+
+TEST(RegressionTree, BestFirstGrowthReducesSse) {
+  Rng rng(2);
+  Dataset data(1);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform(0, 10);
+    data.add({x}, std::sin(x));
+  }
+  auto sse = [&](const RegressionTree& tree) {
+    double total = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const double diff = tree.predict(data.row(i)) - data.target(i);
+      total += diff * diff;
+    }
+    return total;
+  };
+  double previous = 1e300;
+  for (std::size_t leaves : {1u, 2u, 4u, 8u, 16u}) {
+    TreeParams params;
+    params.max_leaves = leaves;
+    const double error = sse(RegressionTree::fit(data, data.targets(), params));
+    EXPECT_LE(error, previous + 1e-9);
+    previous = error;
+  }
+}
+
+TEST(RegressionTree, FitValidatesArguments) {
+  Dataset data(1);
+  data.add({1.0}, 1.0);
+  TreeParams params;
+  EXPECT_THROW(RegressionTree::fit(data, {1.0, 2.0}, params),
+               std::invalid_argument);
+  EXPECT_THROW(RegressionTree::fit(Dataset(1), {}, params),
+               std::invalid_argument);
+  params.max_leaves = 0;
+  EXPECT_THROW(RegressionTree::fit(data, data.targets(), params),
+               std::invalid_argument);
+}
+
+TEST(RegressionTree, SerializeRoundTrip) {
+  const Dataset data = step_data();
+  TreeParams params;
+  params.max_leaves = 4;
+  const RegressionTree tree = RegressionTree::fit(data, data.targets(), params);
+  const RegressionTree parsed = RegressionTree::parse(tree.serialize());
+  for (double x = -1; x < 21; x += 0.5) {
+    EXPECT_DOUBLE_EQ(parsed.predict({x}), tree.predict({x}));
+  }
+}
+
+TEST(RegressionTree, ParseRejectsGarbage) {
+  EXPECT_THROW(RegressionTree::parse(""), std::invalid_argument);
+  EXPECT_THROW(RegressionTree::parse("not a tree"), std::invalid_argument);
+  EXPECT_THROW(RegressionTree::parse("0:1.5:99:100:0.0;"),
+               std::invalid_argument);  // child out of range
+}
+
+TEST(RegressionTree, ConstantFactory) {
+  const RegressionTree tree = RegressionTree::constant(3.5);
+  EXPECT_DOUBLE_EQ(tree.predict({1, 2, 3}), 3.5);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(RegressionTree, RandomStructureHasRequestedShape) {
+  const RegressionTree tree = RegressionTree::random_structure(10, 4, 123);
+  EXPECT_EQ(tree.leaf_count(), 4u);
+  EXPECT_EQ(tree.node_count(), 7u);  // 4 leaves -> 3 internal
+  // Deterministic in the seed.
+  const RegressionTree again = RegressionTree::random_structure(10, 4, 123);
+  EXPECT_EQ(again.serialize(), tree.serialize());
+  EXPECT_THROW(RegressionTree::random_structure(0, 4, 1), std::invalid_argument);
+}
+
+// Parameterized sweep: trees never exceed the leaf budget and always
+// round-trip through serialization.
+class TreeShapeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeShapeSweep, LeafBudgetAndRoundTrip) {
+  Rng rng(GetParam());
+  Dataset data(3);
+  for (int i = 0; i < 150; ++i) {
+    const double a = rng.uniform(-1, 1);
+    const double b = rng.uniform(-1, 1);
+    const double c = rng.uniform(-1, 1);
+    data.add({a, b, c}, a * 2 + b * b - c + rng.normal(0, 0.1));
+  }
+  TreeParams params;
+  params.max_leaves = GetParam();
+  const RegressionTree tree = RegressionTree::fit(data, data.targets(), params);
+  EXPECT_LE(tree.leaf_count(), GetParam());
+  EXPECT_GE(tree.leaf_count(), 1u);
+  const RegressionTree parsed = RegressionTree::parse(tree.serialize());
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> x = {rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                   rng.uniform(-1, 1)};
+    EXPECT_DOUBLE_EQ(parsed.predict(x), tree.predict(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafBudgets, TreeShapeSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace eab::gbrt

@@ -1,0 +1,130 @@
+#include "net/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+
+namespace eab::net {
+namespace {
+
+Resource image(const std::string& url, Bytes size) {
+  Resource resource;
+  resource.url = url;
+  resource.kind = ResourceKind::kImage;
+  resource.size = size;
+  return resource;
+}
+
+TEST(ResourceCache, HitAfterInsert) {
+  ResourceCache cache(1000);
+  cache.insert(image("a", 100));
+  const Resource* hit = cache.lookup("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size, 100u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.lookup("b"), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResourceCache, DocumentsAreNeverCached) {
+  ResourceCache cache(1000);
+  Resource html;
+  html.url = "page";
+  html.kind = ResourceKind::kHtml;
+  html.size = 10;
+  cache.insert(html);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_FALSE(ResourceCache::cacheable(ResourceKind::kHtml));
+  EXPECT_FALSE(ResourceCache::cacheable(ResourceKind::kOther));
+  EXPECT_TRUE(ResourceCache::cacheable(ResourceKind::kCss));
+  EXPECT_TRUE(ResourceCache::cacheable(ResourceKind::kImage));
+}
+
+TEST(ResourceCache, EvictsLeastRecentlyUsed) {
+  ResourceCache cache(300);
+  cache.insert(image("a", 100));
+  cache.insert(image("b", 100));
+  cache.insert(image("c", 100));
+  // Touch "a" so "b" is the LRU victim.
+  EXPECT_NE(cache.lookup("a"), nullptr);
+  cache.insert(image("d", 100));
+  EXPECT_NE(cache.lookup("a"), nullptr);
+  EXPECT_EQ(cache.lookup("b"), nullptr);
+  EXPECT_NE(cache.lookup("c"), nullptr);
+  EXPECT_NE(cache.lookup("d"), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_LE(cache.used(), cache.capacity());
+}
+
+TEST(ResourceCache, OversizedResourceIgnored) {
+  ResourceCache cache(100);
+  cache.insert(image("big", 500));
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(ResourceCache, ReinsertReplacesAndAccountsBytes) {
+  ResourceCache cache(1000);
+  cache.insert(image("a", 100));
+  cache.insert(image("a", 300));
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.used(), 300u);
+  EXPECT_EQ(cache.lookup("a")->size, 300u);
+}
+
+TEST(ResourceCache, ClearResetsContents) {
+  ResourceCache cache(1000);
+  cache.insert(image("a", 100));
+  cache.clear();
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.used(), 0u);
+  EXPECT_EQ(cache.lookup("a"), nullptr);
+}
+
+TEST(ResourceCache, ZeroCapacityRejected) {
+  EXPECT_THROW(ResourceCache(0), std::invalid_argument);
+}
+
+TEST(ResourceCache, ManyInsertionsStayWithinCapacity) {
+  ResourceCache cache(10'000);
+  for (int i = 0; i < 500; ++i) {
+    cache.insert(image("r" + std::to_string(i), 333));
+  }
+  EXPECT_LE(cache.used(), cache.capacity());
+  EXPECT_GT(cache.evictions(), 400u);
+}
+
+TEST(CachedSession, RevisitSkipsTransfersAndSavesEnergy) {
+  const corpus::PageSpec page = corpus::espn_sports_spec();
+  const std::vector<core::PageVisit> visits = {{&page, 20.0}, {&page, 20.0}};
+
+  core::SessionConfig cold;
+  cold.policy = core::SessionPolicy::kBaseline;
+  core::SessionConfig warm = cold;
+  warm.stack.use_browser_cache = true;
+
+  const auto without = core::run_session(visits, cold, 1);
+  const auto with_cache = core::run_session(visits, warm, 1);
+
+  // The second page's subresources come from cache: faster and cheaper.
+  EXPECT_LT(with_cache.total_load_delay, without.total_load_delay);
+  EXPECT_LT(with_cache.energy, without.energy);
+  ASSERT_EQ(with_cache.page_load_times.size(), 2u);
+  EXPECT_LT(with_cache.page_load_times[1], with_cache.page_load_times[0]);
+  // Without the cache the revisit repeats the first load exactly.
+  EXPECT_NEAR(without.page_load_times[1], without.page_load_times[0], 0.5);
+}
+
+TEST(CachedSession, CacheComposesWithEnergyAwarePipeline) {
+  const corpus::PageSpec page = corpus::espn_sports_spec();
+  const std::vector<core::PageVisit> visits = {{&page, 25.0}, {&page, 25.0}};
+  core::SessionConfig config;
+  config.policy = core::SessionPolicy::kAccurate;
+  config.threshold = 9.0;
+  config.stack.use_browser_cache = true;
+  const auto result = core::run_session(visits, config, 1);
+  ASSERT_EQ(result.page_load_times.size(), 2u);
+  EXPECT_LT(result.page_load_times[1], result.page_load_times[0]);
+}
+
+}  // namespace
+}  // namespace eab::net

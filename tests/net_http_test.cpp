@@ -1,0 +1,174 @@
+#include "net/http_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/socket_downloader.hpp"
+
+namespace eab::net {
+namespace {
+
+struct HttpFixture : ::testing::Test {
+  sim::Simulator sim;
+  radio::RrcConfig rrc_config;
+  radio::RadioPowerModel power;
+  radio::LinkConfig link_config;
+  WebServer server;
+
+  HttpFixture() {
+    Resource resource;
+    resource.url = "http://x/a.html";
+    resource.kind = ResourceKind::kHtml;
+    resource.size = kilobytes(10);
+    resource.body = "<html></html>";
+    server.host(resource);
+
+    Resource image;
+    image.url = "http://x/i.jpg";
+    image.kind = ResourceKind::kImage;
+    image.size = kilobytes(5);
+    server.host(image);
+  }
+};
+
+TEST_F(HttpFixture, WebServerLookup) {
+  EXPECT_NE(server.find("http://x/a.html"), nullptr);
+  EXPECT_EQ(server.find("http://x/missing"), nullptr);
+  EXPECT_EQ(server.resource_count(), 2u);
+  EXPECT_EQ(server.total_bytes(), kilobytes(15));
+}
+
+TEST_F(HttpFixture, WebServerReplacesSameUrl) {
+  Resource updated;
+  updated.url = "http://x/a.html";
+  updated.size = 123;
+  server.host(updated);
+  EXPECT_EQ(server.resource_count(), 2u);
+  EXPECT_EQ(server.find("http://x/a.html")->size, 123u);
+}
+
+TEST_F(HttpFixture, WebServerRejectsEmptyUrl) {
+  EXPECT_THROW(server.host(Resource{}), std::invalid_argument);
+}
+
+TEST_F(HttpFixture, FetchDeliversResourceAfterPromotionAndTransfer) {
+  radio::RrcMachine rrc(sim, rrc_config, power);
+  SharedLink link(sim, link_config.dch_bandwidth);
+  HttpClient client(sim, server, link, rrc, link_config);
+
+  FetchResult result;
+  client.fetch("http://x/a.html", [&](const FetchResult& r) { result = r; });
+  sim.run();
+
+  ASSERT_NE(result.resource, nullptr);
+  EXPECT_EQ(result.resource->url, "http://x/a.html");
+  // Time = promotion + rtt + server latency (+ slow start if over threshold)
+  // + transfer.
+  const Seconds expected = rrc_config.idle_to_dch_delay + link_config.rtt +
+                           link_config.server_latency +
+                           link_config.slow_start_delay(kilobytes(10)) +
+                           static_cast<double>(kilobytes(10)) /
+                               link_config.dch_bandwidth;
+  EXPECT_NEAR(result.completed_at, expected, 1e-6);
+}
+
+TEST_F(HttpFixture, UnknownUrlReportsNullResource) {
+  radio::RrcMachine rrc(sim, rrc_config, power);
+  SharedLink link(sim, link_config.dch_bandwidth);
+  HttpClient client(sim, server, link, rrc, link_config);
+
+  bool called = false;
+  client.fetch("http://x/missing", [&](const FetchResult& r) {
+    called = true;
+    EXPECT_EQ(r.resource, nullptr);
+  });
+  sim.run();
+  EXPECT_TRUE(called);
+  EXPECT_EQ(client.stats().not_found, 1u);
+}
+
+TEST_F(HttpFixture, ParallelismIsBounded) {
+  radio::RrcMachine rrc(sim, rrc_config, power);
+  SharedLink link(sim, link_config.dch_bandwidth);
+  HttpClient client(sim, server, link, rrc, link_config, 2);
+
+  for (int i = 0; i < 5; ++i) {
+    client.fetch("http://x/i.jpg", [](const FetchResult&) {});
+  }
+  EXPECT_EQ(client.in_flight(), 2);
+  EXPECT_EQ(client.queued(), 3u);
+  sim.run();
+  EXPECT_EQ(client.in_flight(), 0);
+  EXPECT_EQ(client.stats().fetches, 5u);
+}
+
+TEST_F(HttpFixture, HighPriorityJumpsQueue) {
+  radio::RrcMachine rrc(sim, rrc_config, power);
+  SharedLink link(sim, link_config.dch_bandwidth);
+  HttpClient client(sim, server, link, rrc, link_config, 1);
+
+  std::vector<std::string> completion_order;
+  auto record = [&](const FetchResult& r) { completion_order.push_back(r.url); };
+  client.fetch("http://x/a.html", record);          // starts immediately
+  client.fetch("http://x/i.jpg", record);           // queued
+  client.fetch("http://x/a.html", record, true);    // jumps the image
+  sim.run();
+  ASSERT_EQ(completion_order.size(), 3u);
+  EXPECT_EQ(completion_order[1], "http://x/a.html");
+  EXPECT_EQ(completion_order[2], "http://x/i.jpg");
+}
+
+TEST_F(HttpFixture, StatsTrackBytesAndTimes) {
+  radio::RrcMachine rrc(sim, rrc_config, power);
+  SharedLink link(sim, link_config.dch_bandwidth);
+  HttpClient client(sim, server, link, rrc, link_config);
+
+  client.fetch("http://x/a.html", [](const FetchResult&) {});
+  client.fetch("http://x/i.jpg", [](const FetchResult&) {});
+  sim.run();
+  EXPECT_EQ(client.stats().bytes_fetched, kilobytes(15));
+  EXPECT_DOUBLE_EQ(client.stats().first_request_at, 0.0);
+  EXPECT_GT(client.stats().last_byte_at, 0.0);
+}
+
+TEST_F(HttpFixture, RadioReturnsToIdleAfterFetchAndTimers) {
+  radio::RrcMachine rrc(sim, rrc_config, power);
+  SharedLink link(sim, link_config.dch_bandwidth);
+  HttpClient client(sim, server, link, rrc, link_config);
+
+  client.fetch("http://x/a.html", [](const FetchResult&) {});
+  sim.run();
+  EXPECT_EQ(rrc.state(), radio::RrcState::kIdle);
+  EXPECT_GT(rrc.time_in(radio::RrcState::kDch), 0.0);
+  EXPECT_NEAR(rrc.time_in(radio::RrcState::kFach), rrc_config.t2, 1e-6);
+}
+
+TEST_F(HttpFixture, SocketDownloaderSingleStream) {
+  radio::RrcMachine rrc(sim, rrc_config, power);
+  SharedLink link(sim, link_config.dch_bandwidth);
+  SocketDownloader downloader(sim, link, rrc, link_config);
+
+  Seconds finished = -1;
+  downloader.download(kilobytes(760), [&](Seconds, Seconds end) { finished = end; });
+  sim.run();
+  const Seconds expected = rrc_config.idle_to_dch_delay + link_config.rtt +
+                           link_config.server_latency +
+                           static_cast<double>(kilobytes(760)) /
+                               link_config.dch_bandwidth;
+  EXPECT_NEAR(finished, expected, 1e-6);
+  EXPECT_EQ(rrc.idle_promotions(), 1);
+}
+
+TEST_F(HttpFixture, SlowStartDelayShape) {
+  radio::LinkConfig config;
+  EXPECT_DOUBLE_EQ(config.slow_start_delay(config.slow_start_threshold), 0.0);
+  EXPECT_GT(config.slow_start_delay(config.slow_start_threshold * 4), 0.0);
+  // Capped for huge responses.
+  EXPECT_NEAR(config.slow_start_delay(kilobytes(100000)),
+              config.rtt * config.slow_start_rounds_cap, 1e-9);
+  // Monotone in size.
+  EXPECT_LE(config.slow_start_delay(kilobytes(20)),
+            config.slow_start_delay(kilobytes(40)));
+}
+
+}  // namespace
+}  // namespace eab::net

@@ -1,0 +1,139 @@
+#include "net/shared_link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/resource.hpp"
+
+namespace eab::net {
+namespace {
+
+TEST(SharedLink, SingleFlowTakesBytesOverCapacity) {
+  sim::Simulator sim;
+  SharedLink link(sim, 1000.0);  // 1000 B/s
+  Seconds done_at = -1;
+  link.start_flow(5000, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 5.0, 1e-9);
+}
+
+TEST(SharedLink, TwoEqualFlowsShareFairly) {
+  sim::Simulator sim;
+  SharedLink link(sim, 1000.0);
+  Seconds first = -1;
+  Seconds second = -1;
+  link.start_flow(1000, [&] { first = sim.now(); });
+  link.start_flow(1000, [&] { second = sim.now(); });
+  sim.run();
+  // Each gets 500 B/s until the first finishes; both finish at t=2.
+  EXPECT_NEAR(first, 2.0, 1e-9);
+  EXPECT_NEAR(second, 2.0, 1e-9);
+}
+
+TEST(SharedLink, ShortFlowFinishesFirstThenLongSpeedsUp) {
+  sim::Simulator sim;
+  SharedLink link(sim, 1000.0);
+  Seconds small_done = -1;
+  Seconds large_done = -1;
+  link.start_flow(500, [&] { small_done = sim.now(); });
+  link.start_flow(2000, [&] { large_done = sim.now(); });
+  sim.run();
+  // Shared at 500 B/s: small done at t=1 (large has 1500 left), then full
+  // rate: large done at t=1 + 1.5 = 2.5.
+  EXPECT_NEAR(small_done, 1.0, 1e-9);
+  EXPECT_NEAR(large_done, 2.5, 1e-9);
+}
+
+TEST(SharedLink, LateJoinerSlowsExistingFlow) {
+  sim::Simulator sim;
+  SharedLink link(sim, 1000.0);
+  Seconds first_done = -1;
+  link.start_flow(2000, [&] { first_done = sim.now(); });
+  sim.schedule_at(1.0, [&] { link.start_flow(10000, [] {}); });
+  sim.run_until(10.0);
+  // First second alone (1000 B), then shared 500 B/s for remaining 1000 B.
+  EXPECT_NEAR(first_done, 3.0, 1e-9);
+}
+
+TEST(SharedLink, ZeroByteFlowCompletes) {
+  sim::Simulator sim;
+  SharedLink link(sim, 1000.0);
+  bool done = false;
+  link.start_flow(0, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(SharedLink, DeliveredBytesAccumulate) {
+  sim::Simulator sim;
+  SharedLink link(sim, 1000.0);
+  link.start_flow(300, [] {});
+  link.start_flow(700, [] {});
+  sim.run();
+  EXPECT_EQ(link.delivered(), 1000u);
+}
+
+TEST(SharedLink, RateHistoryShowsBusyAndIdle) {
+  sim::Simulator sim;
+  SharedLink link(sim, 1000.0);
+  link.start_flow(1000, [] {});
+  sim.run();
+  sim.run_until(5.0);
+  // Busy on [0,1): integral of rate = total bytes.
+  EXPECT_NEAR(link.rate_history().energy(0.0, 5.0), 1000.0, 1e-6);
+  EXPECT_DOUBLE_EQ(link.rate_history().current_power(), 0.0);
+}
+
+TEST(SharedLink, ChainedFlowsFromCompletionCallback) {
+  sim::Simulator sim;
+  SharedLink link(sim, 100.0);
+  int completed = 0;
+  std::function<void()> chain = [&] {
+    if (++completed < 5) link.start_flow(100, chain);
+  };
+  link.start_flow(100, chain);
+  sim.run();
+  EXPECT_EQ(completed, 5);
+  EXPECT_NEAR(sim.now(), 5.0, 1e-9);
+}
+
+TEST(SharedLink, RejectsBadArguments) {
+  sim::Simulator sim;
+  EXPECT_THROW(SharedLink(sim, 0.0), std::invalid_argument);
+  SharedLink link(sim, 10.0);
+  EXPECT_THROW(link.start_flow(1, nullptr), std::invalid_argument);
+}
+
+TEST(SharedLink, ConservesBytesUnderManyOverlappingFlows) {
+  sim::Simulator sim;
+  SharedLink link(sim, 1234.0);
+  Bytes total = 0;
+  for (int i = 1; i <= 20; ++i) {
+    const Bytes size = static_cast<Bytes>(i * 137);
+    total += size;
+    sim.schedule_at(i * 0.1, [&link, size] { link.start_flow(size, [] {}); });
+  }
+  sim.run();
+  EXPECT_EQ(link.delivered(), total);
+  // All bytes drained through the rate history too.
+  EXPECT_NEAR(link.rate_history().energy(0, sim.now()),
+              static_cast<double>(total), 1.0);
+}
+
+TEST(ResourceKind, FromUrl) {
+  EXPECT_EQ(kind_from_url("http://a/b.css"), ResourceKind::kCss);
+  EXPECT_EQ(kind_from_url("http://a/b.js"), ResourceKind::kJs);
+  EXPECT_EQ(kind_from_url("http://a/b.JPG"), ResourceKind::kImage);
+  EXPECT_EQ(kind_from_url("http://a/b.png?v=2"), ResourceKind::kImage);
+  EXPECT_EQ(kind_from_url("http://a/b.swf"), ResourceKind::kFlash);
+  EXPECT_EQ(kind_from_url("http://a/b.html"), ResourceKind::kHtml);
+  EXPECT_EQ(kind_from_url("http://a/page"), ResourceKind::kHtml);
+  EXPECT_EQ(kind_from_url("b.weird"), ResourceKind::kOther);
+}
+
+TEST(ResourceKind, Names) {
+  EXPECT_STREQ(to_string(ResourceKind::kHtml), "html");
+  EXPECT_STREQ(to_string(ResourceKind::kImage), "image");
+}
+
+}  // namespace
+}  // namespace eab::net

@@ -1,0 +1,127 @@
+#include "radio/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "corpus/page_spec.hpp"
+
+namespace eab::radio {
+namespace {
+
+TEST(Profiles, UmtsIsTheLibraryDefault) {
+  const RadioProfile umts = umts_profile();
+  EXPECT_STREQ(umts.name, "UMTS (3G)");
+  EXPECT_DOUBLE_EQ(umts.rrc.t1, RrcConfig{}.t1);
+  EXPECT_DOUBLE_EQ(umts.power.fach, RadioPowerModel{}.fach);
+  EXPECT_DOUBLE_EQ(umts.link.dch_bandwidth, LinkConfig{}.dch_bandwidth);
+}
+
+TEST(Profiles, LteIsFasterInEveryControlPlaneDimension) {
+  const RadioProfile umts = umts_profile();
+  const RadioProfile lte = lte_profile();
+  EXPECT_LT(lte.rrc.idle_to_dch_delay, umts.rrc.idle_to_dch_delay);
+  EXPECT_LT(lte.rrc.fach_to_dch_delay, umts.rrc.fach_to_dch_delay);
+  EXPECT_LT(lte.rrc.t1 + lte.rrc.t2, umts.rrc.t1 + umts.rrc.t2);
+  EXPECT_GT(lte.link.dch_bandwidth, umts.link.dch_bandwidth * 4);
+  EXPECT_LT(lte.link.rtt, umts.link.rtt);
+}
+
+TEST(Profiles, LteHasNoSharedChannelDataPath) {
+  sim::Simulator sim;
+  const RadioProfile lte = lte_profile();
+  RrcMachine rrc(sim, lte.rrc, lte.power);
+  rrc.request_channel([&] {
+    rrc.begin_transfer();
+    rrc.end_transfer();
+  });
+  sim.run_until(lte.rrc.idle_to_dch_delay + lte.rrc.t1 + 0.2);
+  ASSERT_EQ(rrc.state(), RrcState::kFach);  // DRX tail
+  EXPECT_FALSE(rrc.small_transfer(100, [] {}));
+}
+
+TEST(Profiles, PagesLoadFasterOnLte) {
+  core::StackConfig umts_cfg =
+      core::StackConfig::for_mode(browser::PipelineMode::kOriginal);
+  core::StackConfig lte_cfg = umts_cfg;
+  const RadioProfile lte = lte_profile();
+  lte_cfg.rrc = lte.rrc;
+  lte_cfg.power = lte.power;
+  lte_cfg.link = lte.link;
+
+  const auto spec = corpus::m_cnn_spec();
+  const auto on_umts = core::run_single_load(spec, umts_cfg);
+  const auto on_lte = core::run_single_load(spec, lte_cfg);
+  EXPECT_LT(on_lte.metrics.total_time(), on_umts.metrics.total_time());
+  EXPECT_LT(on_lte.energy_with_reading, on_umts.energy_with_reading);
+  // Same page either way.
+  EXPECT_EQ(on_lte.dom_signature, on_umts.dom_signature);
+}
+
+TEST(Profiles, TechniqueStillWinsOnLte) {
+  const RadioProfile lte = lte_profile();
+  core::StackConfig orig_cfg =
+      core::StackConfig::for_mode(browser::PipelineMode::kOriginal);
+  core::StackConfig ea_cfg =
+      core::StackConfig::for_mode(browser::PipelineMode::kEnergyAware);
+  for (core::StackConfig* config : {&orig_cfg, &ea_cfg}) {
+    config->rrc = lte.rrc;
+    config->power = lte.power;
+    config->link = lte.link;
+  }
+  const auto spec = corpus::espn_sports_spec();
+  const auto orig = core::run_single_load(spec, orig_cfg);
+  const auto ea = core::run_single_load(spec, ea_cfg);
+  EXPECT_LT(ea.energy_with_reading, orig.energy_with_reading);
+  // ...but the absolute joules recovered shrink vs UMTS.
+  const auto umts_orig = core::run_single_load(
+      spec, core::StackConfig::for_mode(browser::PipelineMode::kOriginal));
+  const auto umts_ea = core::run_single_load(
+      spec, core::StackConfig::for_mode(browser::PipelineMode::kEnergyAware));
+  const Joules saved_umts = umts_orig.energy_with_reading - umts_ea.energy_with_reading;
+  const Joules saved_lte = orig.energy_with_reading - ea.energy_with_reading;
+  EXPECT_LT(saved_lte, saved_umts);
+}
+
+TEST(Proxy, BundlesTheWholePageIntoOneStream) {
+  const auto spec = corpus::espn_sports_spec();
+  const auto config =
+      core::StackConfig::for_mode(browser::PipelineMode::kOriginal);
+  const auto proxy = core::run_proxy_load(spec, config);
+  const auto direct = core::run_single_load(spec, config);
+
+  // Compressed bundle: fewer bytes than the raw page.
+  EXPECT_LT(proxy.bundle_bytes, direct.bytes_fetched);
+  EXPECT_GT(proxy.bundle_bytes, direct.bytes_fetched / 4);
+  // One grouped stream beats even the reorganized pipeline on time/energy.
+  EXPECT_LT(proxy.total_time, direct.metrics.total_time());
+  EXPECT_LT(proxy.energy_with_reading, direct.energy_with_reading);
+  EXPECT_GT(proxy.total_time, 0.0);
+  EXPECT_GE(proxy.total_time, proxy.transmission_time);
+}
+
+TEST(Proxy, DeterministicAndSeedSensitive) {
+  const auto spec = corpus::m_cnn_spec();
+  const auto config =
+      core::StackConfig::for_mode(browser::PipelineMode::kOriginal);
+  const auto a = core::run_proxy_load(spec, config, {}, 20.0, 5);
+  const auto b = core::run_proxy_load(spec, config, {}, 20.0, 5);
+  EXPECT_DOUBLE_EQ(a.energy_with_reading, b.energy_with_reading);
+  EXPECT_EQ(a.bundle_bytes, b.bundle_bytes);
+}
+
+TEST(Proxy, CompressionRatioScalesBundle) {
+  const auto spec = corpus::m_cnn_spec();
+  const auto config =
+      core::StackConfig::for_mode(browser::PipelineMode::kOriginal);
+  core::ProxyConfig heavy;
+  heavy.compression_ratio = 0.8;
+  core::ProxyConfig light;
+  light.compression_ratio = 0.2;
+  const auto big = core::run_proxy_load(spec, config, heavy);
+  const auto small = core::run_proxy_load(spec, config, light);
+  EXPECT_GT(big.bundle_bytes, small.bundle_bytes * 3);
+  EXPECT_GE(big.total_time, small.total_time);
+}
+
+}  // namespace
+}  // namespace eab::radio

@@ -1,0 +1,299 @@
+#include "radio/rrc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eab::radio {
+namespace {
+
+struct RrcFixture : ::testing::Test {
+  sim::Simulator sim;
+  RrcConfig config;
+  RadioPowerModel power;
+
+  RrcMachine make() { return RrcMachine(sim, config, power); }
+};
+
+TEST_F(RrcFixture, StartsIdleAtIdlePower) {
+  RrcMachine rrc = make();
+  EXPECT_EQ(rrc.state(), RrcState::kIdle);
+  EXPECT_EQ(rrc.phase(), RadioPhase::kStable);
+  EXPECT_DOUBLE_EQ(rrc.power().current_power(), power.idle);
+}
+
+TEST_F(RrcFixture, PromotionFromIdleTakesConfiguredDelay) {
+  RrcMachine rrc = make();
+  Seconds ready_at = -1;
+  rrc.request_channel([&] { ready_at = sim.now(); });
+  EXPECT_EQ(rrc.phase(), RadioPhase::kPromoting);
+  EXPECT_DOUBLE_EQ(rrc.power().current_power(), config.idle_to_dch_power);
+  sim.run_until(config.idle_to_dch_delay + 0.1);
+  EXPECT_DOUBLE_EQ(ready_at, config.idle_to_dch_delay);
+  EXPECT_EQ(rrc.state(), RrcState::kDch);
+  EXPECT_EQ(rrc.idle_promotions(), 1);
+}
+
+TEST_F(RrcFixture, RequestOnDchIsImmediate) {
+  RrcMachine rrc = make();
+  // Pin the radio on DCH with an active transfer (otherwise T1 demotes it).
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(config.idle_to_dch_delay + 0.5);
+  ASSERT_EQ(rrc.state(), RrcState::kDch);
+  bool ready = false;
+  rrc.request_channel([&] { ready = true; });
+  EXPECT_TRUE(ready);  // synchronous when already on DCH
+  rrc.end_transfer();
+}
+
+TEST_F(RrcFixture, MultipleWaitersFlushTogether) {
+  RrcMachine rrc = make();
+  int ready = 0;
+  rrc.request_channel([&] { ++ready; });
+  rrc.request_channel([&] { ++ready; });
+  rrc.request_channel([&] { ++ready; });
+  sim.run_until(config.idle_to_dch_delay + 0.1);
+  EXPECT_EQ(ready, 3);
+  EXPECT_EQ(rrc.idle_promotions(), 1);  // one promotion serves all
+}
+
+TEST_F(RrcFixture, TransferPowerAndDemotionChain) {
+  RrcMachine rrc = make();
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(config.idle_to_dch_delay + 0.1);
+  EXPECT_DOUBLE_EQ(rrc.power().current_power(), power.dch_transfer);
+
+  rrc.end_transfer();
+  EXPECT_DOUBLE_EQ(rrc.power().current_power(), power.dch_no_transfer);
+  const Seconds transfer_end = sim.now();
+
+  // T1 demotes to FACH.
+  sim.run_until(transfer_end + config.t1 + 0.1);
+  EXPECT_EQ(rrc.state(), RrcState::kFach);
+  EXPECT_DOUBLE_EQ(rrc.power().current_power(), power.fach);
+
+  // T2 releases to IDLE.
+  sim.run_until(transfer_end + config.t1 + config.t2 + 0.1);
+  EXPECT_EQ(rrc.state(), RrcState::kIdle);
+  EXPECT_DOUBLE_EQ(rrc.power().current_power(), power.idle);
+}
+
+TEST_F(RrcFixture, OverlappingTransfersKeepDchUntilLastEnds) {
+  RrcMachine rrc = make();
+  rrc.request_channel([&] {
+    rrc.begin_transfer();
+    rrc.begin_transfer();
+  });
+  sim.run_until(config.idle_to_dch_delay + 0.1);
+  rrc.end_transfer();
+  EXPECT_DOUBLE_EQ(rrc.power().current_power(), power.dch_transfer);
+  rrc.end_transfer();
+  EXPECT_DOUBLE_EQ(rrc.power().current_power(), power.dch_no_transfer);
+}
+
+TEST_F(RrcFixture, NewTransferResetsT1) {
+  RrcMachine rrc = make();
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(config.idle_to_dch_delay + 0.1);
+  rrc.end_transfer();
+  const Seconds first_end = sim.now();
+
+  // Just before T1 expiry, transfer again.
+  sim.run_until(first_end + config.t1 - 0.5);
+  rrc.begin_transfer();
+  sim.run_until(first_end + config.t1 + 1.0);
+  EXPECT_EQ(rrc.state(), RrcState::kDch);  // T1 was reset
+  rrc.end_transfer();
+  sim.run_until(sim.now() + config.t1 + 0.1);
+  EXPECT_EQ(rrc.state(), RrcState::kFach);
+}
+
+TEST_F(RrcFixture, PromotionFromFachIsFaster) {
+  RrcMachine rrc = make();
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(config.idle_to_dch_delay + 0.1);
+  rrc.end_transfer();
+  sim.run_until(sim.now() + config.t1 + 0.5);  // now FACH
+  ASSERT_EQ(rrc.state(), RrcState::kFach);
+
+  const Seconds requested = sim.now();
+  Seconds ready_at = -1;
+  rrc.request_channel([&] { ready_at = sim.now(); });
+  EXPECT_DOUBLE_EQ(rrc.power().current_power(), config.fach_to_dch_power);
+  sim.run_until(requested + config.fach_to_dch_delay + 0.1);
+  EXPECT_DOUBLE_EQ(ready_at, requested + config.fach_to_dch_delay);
+  EXPECT_EQ(rrc.fach_promotions(), 1);
+}
+
+TEST_F(RrcFixture, TouchResetsTimers) {
+  RrcMachine rrc = make();
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(config.idle_to_dch_delay + 0.1);
+  rrc.end_transfer();
+  const Seconds end = sim.now();
+  sim.run_until(end + config.t1 - 0.5);
+  rrc.touch();  // resets T1
+  sim.run_until(end + config.t1 + 1.0);
+  EXPECT_EQ(rrc.state(), RrcState::kDch);
+}
+
+TEST_F(RrcFixture, ForceIdleReleasesAfterSignalling) {
+  RrcMachine rrc = make();
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(config.idle_to_dch_delay + 0.1);
+  rrc.end_transfer();
+  const Seconds release_start = sim.now();
+  EXPECT_TRUE(rrc.force_idle());
+  EXPECT_EQ(rrc.phase(), RadioPhase::kReleasing);
+  EXPECT_DOUBLE_EQ(rrc.power().current_power(), config.release_power);
+  sim.run_until(release_start + config.release_delay + 0.1);
+  EXPECT_EQ(rrc.state(), RrcState::kIdle);
+  EXPECT_EQ(rrc.forced_releases(), 1);
+}
+
+TEST_F(RrcFixture, ForceIdleRefusedDuringTransferOrIdle) {
+  RrcMachine rrc = make();
+  EXPECT_FALSE(rrc.force_idle());  // already idle
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(config.idle_to_dch_delay + 0.1);
+  EXPECT_FALSE(rrc.force_idle());  // transfer active
+  rrc.end_transfer();
+  EXPECT_TRUE(rrc.force_idle());
+  EXPECT_FALSE(rrc.force_idle());  // already releasing
+}
+
+TEST_F(RrcFixture, RequestDuringReleaseRepromotesAfterwards) {
+  RrcMachine rrc = make();
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(config.idle_to_dch_delay + 0.1);
+  rrc.end_transfer();
+  const Seconds release_start = sim.now();
+  rrc.force_idle();
+  Seconds ready_at = -1;
+  rrc.request_channel([&] { ready_at = sim.now(); });
+  sim.run_until(release_start + config.release_delay + config.idle_to_dch_delay + 0.5);
+  EXPECT_DOUBLE_EQ(ready_at,
+                   release_start + config.release_delay + config.idle_to_dch_delay);
+}
+
+TEST_F(RrcFixture, MisuseThrows) {
+  RrcMachine rrc = make();
+  EXPECT_THROW(rrc.begin_transfer(), std::logic_error);  // not on DCH
+  EXPECT_THROW(rrc.end_transfer(), std::logic_error);    // nothing active
+  EXPECT_THROW(rrc.request_channel(nullptr), std::invalid_argument);
+}
+
+TEST_F(RrcFixture, ResidencyAccountingSumsToElapsed) {
+  RrcMachine rrc = make();
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(5.0);
+  rrc.end_transfer();
+  sim.run_until(60.0);
+  const Seconds total = rrc.time_in(RrcState::kIdle) +
+                        rrc.time_in(RrcState::kFach) +
+                        rrc.time_in(RrcState::kDch);
+  EXPECT_NEAR(total, 60.0, 1e-9);
+  EXPECT_GT(rrc.time_in(RrcState::kFach), config.t2 - 0.1);
+}
+
+TEST_F(RrcFixture, EnergyMatchesHandComputedCycle) {
+  RrcMachine rrc = make();
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run();
+  const Seconds ready = config.idle_to_dch_delay;
+  rrc.end_transfer();  // transfer of zero length: DCH reached, ends instantly
+  sim.run_until(ready + config.t1 + config.t2 + 5.0);
+  const Joules expected = config.idle_to_dch_power * config.idle_to_dch_delay +
+                          power.dch_no_transfer * config.t1 +
+                          power.fach * config.t2 + power.idle * 5.0;
+  EXPECT_NEAR(rrc.power().energy(0, ready + config.t1 + config.t2 + 5.0),
+              expected, 1e-6);
+}
+
+TEST_F(RrcFixture, SmallTransferRidesFachAndResetsT2) {
+  RrcMachine rrc = make();
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(config.idle_to_dch_delay + 0.1);
+  rrc.end_transfer();
+  sim.run_until(sim.now() + config.t1 + 0.5);
+  ASSERT_EQ(rrc.state(), RrcState::kFach);
+
+  const Seconds fach_mark = sim.now();
+  bool done = false;
+  EXPECT_TRUE(rrc.small_transfer(300, [&] { done = true; }));
+  EXPECT_DOUBLE_EQ(rrc.power().current_power(), power.fach_transfer);
+  sim.run_until(fach_mark + 300.0 / 300.0 + 0.01);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rrc.small_transfers(), 1);
+  EXPECT_DOUBLE_EQ(rrc.power().current_power(), power.fach);
+  // T2 was reset by the shared-channel activity: still FACH at the time the
+  // original T2 would have fired.
+  sim.run_until(fach_mark + config.t2 + 0.5);
+  EXPECT_EQ(rrc.state(), RrcState::kFach);
+  sim.run_until(fach_mark + 1.0 + config.t2 + 0.5);
+  EXPECT_EQ(rrc.state(), RrcState::kIdle);
+}
+
+TEST_F(RrcFixture, SmallTransferRefusedOffFachOrOversized) {
+  RrcMachine rrc = make();
+  EXPECT_FALSE(rrc.small_transfer(100, [] {}));  // IDLE
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(config.idle_to_dch_delay + 0.1);
+  EXPECT_FALSE(rrc.small_transfer(100, [] {}));  // DCH
+  rrc.end_transfer();
+  sim.run_until(sim.now() + config.t1 + 0.5);
+  ASSERT_EQ(rrc.state(), RrcState::kFach);
+  EXPECT_FALSE(rrc.small_transfer(config.fach_data_threshold + 1, [] {}));
+  EXPECT_THROW(rrc.small_transfer(10, nullptr), std::invalid_argument);
+}
+
+TEST_F(RrcFixture, OnlyOneSharedChannelSlot) {
+  RrcMachine rrc = make();
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(config.idle_to_dch_delay + 0.1);
+  rrc.end_transfer();
+  sim.run_until(sim.now() + config.t1 + 0.5);
+  ASSERT_EQ(rrc.state(), RrcState::kFach);
+  EXPECT_TRUE(rrc.small_transfer(300, [] {}));
+  EXPECT_FALSE(rrc.small_transfer(300, [] {}));  // slot busy
+  sim.run_until(sim.now() + 1.5);
+  EXPECT_TRUE(rrc.small_transfer(300, [] {}));  // freed
+}
+
+// Property sweep: timers compose for arbitrary configurations.
+struct TimerParams {
+  double t1;
+  double t2;
+};
+
+class RrcTimerSweep : public ::testing::TestWithParam<TimerParams> {};
+
+TEST_P(RrcTimerSweep, DemotionTimesFollowConfig) {
+  sim::Simulator sim;
+  RrcConfig config;
+  config.t1 = GetParam().t1;
+  config.t2 = GetParam().t2;
+  RadioPowerModel power;
+  RrcMachine rrc(sim, config, power);
+
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(config.idle_to_dch_delay + 0.01);
+  rrc.end_transfer();
+  const Seconds end = sim.now();
+
+  sim.run_until(end + config.t1 - 0.01);
+  EXPECT_EQ(rrc.state(), RrcState::kDch);
+  sim.run_until(end + config.t1 + 0.01);
+  EXPECT_EQ(rrc.state(), RrcState::kFach);
+  sim.run_until(end + config.t1 + config.t2 - 0.01);
+  EXPECT_EQ(rrc.state(), RrcState::kFach);
+  sim.run_until(end + config.t1 + config.t2 + 0.01);
+  EXPECT_EQ(rrc.state(), RrcState::kIdle);
+}
+
+INSTANTIATE_TEST_SUITE_P(TimerGrid, RrcTimerSweep,
+                         ::testing::Values(TimerParams{1, 2}, TimerParams{4, 15},
+                                           TimerParams{2, 30}, TimerParams{8, 8},
+                                           TimerParams{0.5, 60},
+                                           TimerParams{10, 1}));
+
+}  // namespace
+}  // namespace eab::radio

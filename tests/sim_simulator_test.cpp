@@ -1,0 +1,170 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eab::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimesRunInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  Seconds fired_at = -1;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_in(5.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_in(1.0, chain);
+  const std::size_t ran = sim.run();
+  EXPECT_EQ(ran, 100u);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, EmptyActionThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1.0, Simulator::Action{}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelIsIdempotent) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(EventId{}));
+}
+
+TEST(Simulator, CancelAfterFiringIsNoOp) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, PendingTracksLifecycle) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.pending(id));
+  sim.run();
+  EXPECT_FALSE(sim.pending(id));
+  EXPECT_FALSE(sim.pending(EventId{}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  sim.schedule_at(5.0, [&] { fired.push_back(5.0); });
+  sim.schedule_at(9.0, [&] { fired.push_back(9.0); });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 5.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run_until(20.0);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(sim.now(), 20.0);
+}
+
+TEST(Simulator, RunUntilWithEmptyQueueAdvancesClock) {
+  Simulator sim;
+  sim.run_until(42.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+TEST(Simulator, StepRunsExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, PendingCountExcludesCancelled) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  const EventId id = sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending_count(), 2u);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_count(), 1u);
+}
+
+TEST(Simulator, CancelledEventDoesNotAdvanceClock) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(100.0, [] {});
+  sim.schedule_at(1.0, [] {});
+  sim.cancel(id);
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  Seconds last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 5000; ++i) {
+    const Seconds at = static_cast<Seconds>((i * 7919) % 1000);
+    sim.schedule_at(at, [&, at] {
+      if (at < last) monotone = false;
+      last = at;
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace eab::sim

@@ -1,0 +1,199 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace eab {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(7);
+  const auto first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(7);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(6);
+  std::array<int, 7> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(7)];
+  for (int count : counts) {
+    EXPECT_NEAR(count, n / 7, n / 7 * 0.1);
+  }
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(8);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng rng(10);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(25.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 25.0, 0.6);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(4.5));
+  EXPECT_NEAR(sum / n, 4.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesApproximation) {
+  Rng rng(14);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(100.0));
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(15);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(16);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsBadWeights) {
+  Rng rng(17);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({1.0, -0.5}), std::invalid_argument);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(18);
+  Rng child = parent.fork();
+  // The child stream differs from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(19);
+  Rng b(19);
+  Rng child_a = a.fork();
+  Rng child_b = b.fork();
+  EXPECT_EQ(child_a.next_u64(), child_b.next_u64());
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(20);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(1.0, 0.5), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace eab

@@ -1,0 +1,124 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace eab {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({-1.0, 1.0}), 0.0);
+}
+
+TEST(Stats, VarianceBasics) {
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({7.0}), 0.0);
+  // Sample variance of {2, 4, 4, 4, 5, 5, 7, 9} is 32/7.
+  EXPECT_NEAR(variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, StddevIsRootOfVariance) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(variance(xs)));
+}
+
+TEST(Stats, PercentileEndpointsAndMedian) {
+  const std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(median(xs), 25);
+  EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 9.0}), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {0, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75), 7.5);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({9, 1, 5}, 50), 5);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {2, 5, 9}), 0.0);
+}
+
+TEST(Stats, PearsonIndependentNearZero) {
+  Rng rng(1);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.normal());
+    ys.push_back(rng.normal());
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.03);
+}
+
+TEST(Stats, PearsonSizeMismatchThrows) {
+  EXPECT_THROW(pearson({1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(Stats, EmpiricalCdf) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(empirical_cdf_at(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empirical_cdf_at(xs, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(empirical_cdf_at(xs, 10), 1.0);
+  EXPECT_DOUBLE_EQ(empirical_cdf_at({}, 1.0), 0.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0, 10, 5);
+  h.add(1.0);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(-5.0);  // clamped to bin 0
+  h.add(99.0);  // clamped to bin 4
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0, 10, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 8.0);
+}
+
+TEST(Histogram, CumulativeFraction) {
+  Histogram h(0, 4, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(2.5);
+  h.add(3.5);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(3), 1.0);
+}
+
+TEST(Histogram, RejectsBadRange) {
+  EXPECT_THROW(Histogram(0, 0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eab

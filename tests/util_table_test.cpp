@@ -1,0 +1,55 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eab {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"bb", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header, underline, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable table({"a", "b"});
+  table.add_row({"longvalue", "x"});
+  const std::string out = table.render();
+  // 'b' must start at the same column in header as 'x' in the row.
+  const auto header_line = out.substr(0, out.find('\n'));
+  const auto b_col = header_line.find('b');
+  const auto row_start = out.rfind("longvalue");
+  const auto row_line = out.substr(row_start, out.find('\n', row_start) - row_start);
+  EXPECT_EQ(row_line.find('x'), b_col);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, ArityMismatchThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Format, FixedDecimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(-1.5, 1), "-1.5");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.27), "27.0%");
+  EXPECT_EQ(format_percent(-0.015, 1), "-1.5%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace eab

@@ -1,0 +1,106 @@
+#include "util/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eab {
+namespace {
+
+TEST(PowerTimeline, ConstantLevelIntegratesLinearly) {
+  PowerTimeline timeline(2.0);
+  EXPECT_DOUBLE_EQ(timeline.energy(0, 10), 20.0);
+  EXPECT_DOUBLE_EQ(timeline.energy(3, 7), 8.0);
+}
+
+TEST(PowerTimeline, StepChangeSplitsIntegral) {
+  PowerTimeline timeline(1.0);
+  timeline.set_power(5.0, 3.0);
+  EXPECT_DOUBLE_EQ(timeline.energy(0, 10), 5.0 * 1.0 + 5.0 * 3.0);
+  EXPECT_DOUBLE_EQ(timeline.energy(4, 6), 1.0 + 3.0);
+}
+
+TEST(PowerTimeline, EnergyBeyondLastChangeUsesFinalLevel) {
+  PowerTimeline timeline(0.5);
+  timeline.set_power(2.0, 1.5);
+  EXPECT_DOUBLE_EQ(timeline.energy(100, 102), 3.0);
+}
+
+TEST(PowerTimeline, ZeroWidthWindow) {
+  PowerTimeline timeline(5.0);
+  EXPECT_DOUBLE_EQ(timeline.energy(3, 3), 0.0);
+}
+
+TEST(PowerTimeline, BackwardsWindowThrows) {
+  PowerTimeline timeline(1.0);
+  EXPECT_THROW(timeline.energy(5, 4), std::invalid_argument);
+}
+
+TEST(PowerTimeline, TimeMovingBackwardsThrows) {
+  PowerTimeline timeline(1.0);
+  timeline.set_power(5.0, 2.0);
+  EXPECT_THROW(timeline.set_power(4.0, 1.0), std::invalid_argument);
+}
+
+TEST(PowerTimeline, SameInstantUpdateCoalesces) {
+  PowerTimeline timeline(1.0);
+  timeline.set_power(2.0, 5.0);
+  timeline.set_power(2.0, 7.0);  // overrides at the same instant
+  EXPECT_DOUBLE_EQ(timeline.current_power(), 7.0);
+  EXPECT_DOUBLE_EQ(timeline.energy(2, 3), 7.0);
+}
+
+TEST(PowerTimeline, NoOpChangeIsDropped) {
+  PowerTimeline timeline(1.0);
+  const auto before = timeline.change_count();
+  timeline.set_power(5.0, 1.0);  // same level
+  EXPECT_EQ(timeline.change_count(), before);
+}
+
+TEST(PowerTimeline, AddPowerLayersDelta) {
+  PowerTimeline timeline(1.0);
+  timeline.add_power(2.0, 0.45);
+  EXPECT_DOUBLE_EQ(timeline.current_power(), 1.45);
+  timeline.add_power(4.0, -0.45);
+  EXPECT_DOUBLE_EQ(timeline.current_power(), 1.0);
+  EXPECT_DOUBLE_EQ(timeline.energy(0, 6), 2.0 + 2 * 1.45 + 2.0);
+}
+
+TEST(PowerTimeline, SampleProducesLevelAtEachInstant) {
+  PowerTimeline timeline(1.0);
+  timeline.set_power(1.0, 2.0);
+  const auto samples = timeline.sample(0, 2, 0.5);
+  ASSERT_EQ(samples.size(), 5u);
+  EXPECT_DOUBLE_EQ(samples[0].power, 1.0);
+  EXPECT_DOUBLE_EQ(samples[1].power, 1.0);
+  EXPECT_DOUBLE_EQ(samples[2].power, 2.0);  // t=1.0: new level in effect
+  EXPECT_DOUBLE_EQ(samples[4].power, 2.0);
+}
+
+TEST(PowerTimeline, SampleRejectsBadStep) {
+  PowerTimeline timeline(1.0);
+  EXPECT_THROW(timeline.sample(0, 1, 0), std::invalid_argument);
+}
+
+TEST(PowerTimeline, SumPointwise) {
+  PowerTimeline a(1.0);
+  a.set_power(2.0, 3.0);
+  PowerTimeline b(0.5);
+  b.set_power(4.0, 1.5);
+  const PowerTimeline total = PowerTimeline::sum(a, b);
+  EXPECT_DOUBLE_EQ(total.energy(0, 2), 2 * 1.5);   // 1.0 + 0.5
+  EXPECT_DOUBLE_EQ(total.energy(2, 4), 2 * 3.5);   // 3.0 + 0.5
+  EXPECT_DOUBLE_EQ(total.energy(4, 6), 2 * 4.5);   // 3.0 + 1.5
+}
+
+TEST(PowerTimeline, SumMatchesComponentEnergies) {
+  PowerTimeline a(0.15);
+  PowerTimeline b(0.0);
+  a.set_power(1.0, 1.25);
+  b.set_power(1.5, 0.45);
+  a.set_power(3.0, 0.63);
+  b.set_power(4.0, 0.0);
+  const PowerTimeline total = PowerTimeline::sum(a, b);
+  EXPECT_NEAR(total.energy(0, 10), a.energy(0, 10) + b.energy(0, 10), 1e-9);
+}
+
+}  // namespace
+}  // namespace eab

@@ -1,0 +1,157 @@
+#include "web/css.hpp"
+
+#include <gtest/gtest.h>
+
+#include "web/html_parser.hpp"
+
+namespace eab::web {
+namespace {
+
+TEST(CssScanner, FindsUrlReferences) {
+  const auto urls = scan_css_urls(
+      ".a { background: url(img/a.png); }\n"
+      ".b { background-image: url(\"img/b.png\"); }\n"
+      ".c { cursor: url('img/c.cur'); }");
+  ASSERT_EQ(urls.size(), 3u);
+  EXPECT_EQ(urls[0], "img/a.png");
+  EXPECT_EQ(urls[1], "img/b.png");
+  EXPECT_EQ(urls[2], "img/c.cur");
+}
+
+TEST(CssScanner, FindsImports) {
+  const auto urls = scan_css_urls(
+      "@import url(base.css);\n@import \"theme.css\";\n@import 'more.css';");
+  ASSERT_EQ(urls.size(), 3u);
+  EXPECT_EQ(urls[0], "base.css");
+  EXPECT_EQ(urls[1], "theme.css");
+  EXPECT_EQ(urls[2], "more.css");
+}
+
+TEST(CssScanner, CaseInsensitiveAndMalformedTolerant) {
+  EXPECT_EQ(scan_css_urls(".x { background: URL(a.png); }").size(), 1u);
+  EXPECT_TRUE(scan_css_urls("url(").empty());
+  EXPECT_TRUE(scan_css_urls("@import").empty());
+  EXPECT_TRUE(scan_css_urls("").empty());
+}
+
+TEST(CssParser, RulesSelectorsDeclarations) {
+  const StyleSheet sheet = parse_css(
+      "div.note, #top { color: red; margin: 4px; }\n"
+      "p { font-size: 12px; }");
+  ASSERT_EQ(sheet.rules.size(), 2u);
+  EXPECT_EQ(sheet.rules[0].selectors.size(), 2u);
+  EXPECT_EQ(sheet.rules[0].declarations.size(), 2u);
+  EXPECT_EQ(sheet.rules[0].declarations[0].property, "color");
+  EXPECT_EQ(sheet.rules[0].declarations[0].value, "red");
+  EXPECT_EQ(sheet.declaration_count(), 3u);
+}
+
+TEST(CssParser, DescendantSelectorSteps) {
+  const StyleSheet sheet = parse_css("div ul li.item { padding: 0; }");
+  ASSERT_EQ(sheet.rules.size(), 1u);
+  const CssSelector& selector = sheet.rules[0].selectors[0];
+  ASSERT_EQ(selector.steps.size(), 3u);
+  EXPECT_EQ(selector.steps[0].tag, "div");
+  EXPECT_EQ(selector.steps[2].tag, "li");
+  ASSERT_EQ(selector.steps[2].classes.size(), 1u);
+  EXPECT_EQ(selector.steps[2].classes[0], "item");
+  EXPECT_EQ(sheet.selector_steps(), 3u);
+}
+
+TEST(CssParser, CommentsStripped) {
+  const StyleSheet sheet =
+      parse_css("/* header */ .a { /* inner */ color: blue; }");
+  ASSERT_EQ(sheet.rules.size(), 1u);
+  EXPECT_EQ(sheet.rules[0].declarations[0].value, "blue");
+}
+
+TEST(CssParser, UrlRefsCollectedFromDeclarations) {
+  const StyleSheet sheet =
+      parse_css("@import url(x.css); .a { background: url(y.png); }");
+  ASSERT_EQ(sheet.url_refs.size(), 2u);
+  EXPECT_EQ(sheet.imports.size(), 1u);
+}
+
+TEST(CssParser, MediaBlockRulesSplicedIn) {
+  const StyleSheet sheet = parse_css(
+      "@media screen { .mob { width: 100%; } .two { color: red; } }\n"
+      ".after { color: green; }");
+  EXPECT_EQ(sheet.rules.size(), 3u);
+}
+
+TEST(CssParser, MalformedInputDoesNotThrow) {
+  EXPECT_NO_THROW(parse_css("{} } { ;;; "));
+  EXPECT_NO_THROW(parse_css(".a { color: "));
+  EXPECT_NO_THROW(parse_css("@media screen {"));
+  EXPECT_NO_THROW(parse_css("p"));
+  EXPECT_EQ(parse_css("garbage without braces").rules.size(), 0u);
+}
+
+TEST(CssParser, EmptyDeclarationsSkipped) {
+  const StyleSheet sheet = parse_css(".a { ; : bad ; color: red; }");
+  ASSERT_EQ(sheet.rules.size(), 1u);
+  EXPECT_EQ(sheet.rules[0].declarations.size(), 1u);
+}
+
+struct MatchFixture : ::testing::Test {
+  ParsedHtml doc = parse_html(
+      "<div class='outer'><ul id='nav'><li class='item hot'>x</li></ul></div>"
+      "<p class='item'>y</p>");
+
+  const DomNode* li() const {
+    auto nodes = doc.dom.find_all("li");
+    return nodes.empty() ? nullptr : nodes[0];
+  }
+  const DomNode* p() const {
+    auto nodes = doc.dom.find_all("p");
+    return nodes.empty() ? nullptr : nodes[0];
+  }
+};
+
+TEST_F(MatchFixture, TagClassIdMatching) {
+  const StyleSheet sheet = parse_css(
+      "li { a: 1; } .item { b: 2; } #nav { c: 3; } li.hot { d: 4; } p.hot { e: 5; }");
+  ASSERT_NE(li(), nullptr);
+  EXPECT_TRUE(selector_matches(sheet.rules[0].selectors[0], *li()));
+  EXPECT_TRUE(selector_matches(sheet.rules[1].selectors[0], *li()));
+  EXPECT_FALSE(selector_matches(sheet.rules[2].selectors[0], *li()));
+  EXPECT_TRUE(selector_matches(sheet.rules[3].selectors[0], *li()));
+  EXPECT_FALSE(selector_matches(sheet.rules[4].selectors[0], *li()));
+}
+
+TEST_F(MatchFixture, DescendantMatchingWalksAncestors) {
+  const StyleSheet sheet = parse_css(
+      "div li { a: 1; } div.outer ul li { b: 2; } ul div li { c: 3; }");
+  EXPECT_TRUE(selector_matches(sheet.rules[0].selectors[0], *li()));
+  EXPECT_TRUE(selector_matches(sheet.rules[1].selectors[0], *li()));
+  EXPECT_FALSE(selector_matches(sheet.rules[2].selectors[0], *li()));
+}
+
+TEST_F(MatchFixture, ClassWordBoundaries) {
+  // 'item' must not match class='items'.
+  const auto doc2 = parse_html("<p class='items'>z</p>");
+  const StyleSheet sheet = parse_css(".item { a: 1; }");
+  EXPECT_FALSE(
+      selector_matches(sheet.rules[0].selectors[0], *doc2.dom.find_first("p")));
+  EXPECT_TRUE(selector_matches(sheet.rules[0].selectors[0], *p()));
+}
+
+TEST_F(MatchFixture, MatchingDeclarationsCountsCascade) {
+  const StyleSheet sheet = parse_css(
+      "li { a: 1; b: 2; } .hot { c: 3; } #nowhere { d: 4; }");
+  EXPECT_EQ(matching_declarations(sheet, *li()), 3u);
+  EXPECT_EQ(matching_declarations(sheet, *p()), 0u);
+}
+
+TEST(CssParser, UniversalAndPseudoSelectors) {
+  const StyleSheet sheet = parse_css("* { margin: 0; } a:hover { color: red; }");
+  ASSERT_EQ(sheet.rules.size(), 2u);
+  const auto doc = parse_html("<a href='x'>l</a>");
+  EXPECT_TRUE(selector_matches(sheet.rules[0].selectors[0],
+                               *doc.dom.find_first("a")));
+  EXPECT_TRUE(selector_matches(sheet.rules[1].selectors[0],
+                               *doc.dom.find_first("a")));
+}
+
+}  // namespace
+}  // namespace eab::web

@@ -1,0 +1,208 @@
+#include "web/html_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "web/html_tokenizer.hpp"
+
+namespace eab::web {
+namespace {
+
+TEST(HtmlTokenizer, BasicTagsAndText) {
+  const auto tokens = tokenize_html("<p>hello</p>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, HtmlToken::Type::kStartTag);
+  EXPECT_EQ(tokens[0].name, "p");
+  EXPECT_EQ(tokens[1].type, HtmlToken::Type::kText);
+  EXPECT_EQ(tokens[1].text, "hello");
+  EXPECT_EQ(tokens[2].type, HtmlToken::Type::kEndTag);
+}
+
+TEST(HtmlTokenizer, AttributesQuotedAndUnquoted) {
+  const auto tokens =
+      tokenize_html(R"(<img src="a.jpg" width=120 alt='the pic' disabled>)");
+  ASSERT_EQ(tokens.size(), 1u);
+  const auto& tag = tokens[0];
+  ASSERT_EQ(tag.attrs.size(), 4u);
+  EXPECT_EQ(tag.attrs[0], (std::pair<std::string, std::string>{"src", "a.jpg"}));
+  EXPECT_EQ(tag.attrs[1].second, "120");
+  EXPECT_EQ(tag.attrs[2].second, "the pic");
+  EXPECT_EQ(tag.attrs[3].second, "");  // bare attribute
+}
+
+TEST(HtmlTokenizer, TagNamesLowercased) {
+  const auto tokens = tokenize_html("<DIV CLASS=x></DIV>");
+  EXPECT_EQ(tokens[0].name, "div");
+  EXPECT_EQ(tokens[0].attrs[0].first, "class");
+  EXPECT_EQ(tokens[1].name, "div");
+}
+
+TEST(HtmlTokenizer, CommentsAndDoctype) {
+  const auto tokens = tokenize_html("<!doctype html><!-- note --><b>x</b>");
+  EXPECT_EQ(tokens[0].type, HtmlToken::Type::kDoctype);
+  EXPECT_EQ(tokens[1].type, HtmlToken::Type::kComment);
+  EXPECT_EQ(tokens[1].text, " note ");
+}
+
+TEST(HtmlTokenizer, SelfClosingTag) {
+  const auto tokens = tokenize_html("<br/>");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].self_closing);
+}
+
+TEST(HtmlTokenizer, ScriptBodyIsRawText) {
+  const auto tokens =
+      tokenize_html("<script>if (a < b) { x = \"<div>\"; }</script>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].type, HtmlToken::Type::kText);
+  EXPECT_EQ(tokens[1].text, "if (a < b) { x = \"<div>\"; }");
+  EXPECT_EQ(tokens[2].type, HtmlToken::Type::kEndTag);
+}
+
+TEST(HtmlTokenizer, LiteralLessThanIsText) {
+  const auto tokens = tokenize_html("a < b and c<5");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].text, "a < b and c<5");
+}
+
+TEST(HtmlTokenizer, UnterminatedConstructsDoNotThrow) {
+  EXPECT_NO_THROW(tokenize_html("<div class='x"));
+  EXPECT_NO_THROW(tokenize_html("<!-- never closed"));
+  EXPECT_NO_THROW(tokenize_html("<script>var x = 1;"));
+  EXPECT_NO_THROW(tokenize_html("<"));
+}
+
+TEST(HtmlParser, BuildsNestedTree) {
+  const auto parsed = parse_html("<div><p>one</p><p>two</p></div>");
+  const auto divs = parsed.dom.find_all("div");
+  ASSERT_EQ(divs.size(), 1u);
+  EXPECT_EQ(divs[0]->children().size(), 2u);
+  EXPECT_EQ(parsed.dom.find_all("p").size(), 2u);
+  EXPECT_EQ(parsed.dom.root().text_content(), "onetwo");
+}
+
+TEST(HtmlParser, VoidElementsDoNotNest) {
+  const auto parsed = parse_html("<p><img src='a.jpg'>text</p>");
+  const auto imgs = parsed.dom.find_all("img");
+  ASSERT_EQ(imgs.size(), 1u);
+  EXPECT_TRUE(imgs[0]->children().empty());
+  // The text lands in <p>, not inside <img>.
+  EXPECT_EQ(imgs[0]->parent()->tag(), "p");
+  EXPECT_EQ(parsed.dom.root().text_content(), "text");
+}
+
+TEST(HtmlParser, StrayEndTagsIgnored) {
+  const auto parsed = parse_html("</div><p>ok</p></span>");
+  EXPECT_EQ(parsed.dom.find_all("p").size(), 1u);
+}
+
+TEST(HtmlParser, MisnestedTagsRecover) {
+  const auto parsed = parse_html("<b><i>x</b></i>");
+  EXPECT_EQ(parsed.dom.find_all("b").size(), 1u);
+  EXPECT_EQ(parsed.dom.find_all("i").size(), 1u);
+}
+
+TEST(HtmlParser, HarvestsImageScriptCssRefs) {
+  const auto parsed = parse_html(R"(
+    <link rel="stylesheet" href="s.css">
+    <link rel="icon" href="fav.ico">
+    <img src="a.jpg"><img>
+    <script src="x.js"></script>
+    <embed src="f.swf">
+    <object data="g.swf"></object>
+    <iframe src="frame.html"></iframe>
+  )");
+  ASSERT_EQ(parsed.references.size(), 6u);
+  EXPECT_EQ(parsed.references[0].url, "s.css");
+  EXPECT_EQ(parsed.references[0].kind, net::ResourceKind::kCss);
+  EXPECT_EQ(parsed.references[1].kind, net::ResourceKind::kImage);
+  EXPECT_EQ(parsed.references[2].kind, net::ResourceKind::kJs);
+  EXPECT_EQ(parsed.references[3].kind, net::ResourceKind::kFlash);
+  EXPECT_EQ(parsed.references[4].kind, net::ResourceKind::kFlash);
+  EXPECT_EQ(parsed.references[5].kind, net::ResourceKind::kHtml);
+}
+
+TEST(HtmlParser, InlineScriptsCollectedInOrder) {
+  const auto parsed = parse_html(
+      "<script>first();</script><p>x</p><script>second();</script>");
+  ASSERT_EQ(parsed.inline_scripts.size(), 2u);
+  EXPECT_EQ(parsed.inline_scripts[0], "first();");
+  EXPECT_EQ(parsed.inline_scripts[1], "second();");
+}
+
+TEST(HtmlParser, ScriptWithSrcIsNotInline) {
+  const auto parsed = parse_html("<script src='x.js'></script>");
+  EXPECT_TRUE(parsed.inline_scripts.empty());
+  ASSERT_EQ(parsed.references.size(), 1u);
+}
+
+TEST(HtmlParser, SecondaryUrlsFromAnchors) {
+  const auto parsed =
+      parse_html("<a href='one.html'>1</a><a>no-href</a><a href='two.html'>2</a>");
+  ASSERT_EQ(parsed.secondary_urls.size(), 2u);
+  EXPECT_EQ(parsed.secondary_urls[0], "one.html");
+}
+
+TEST(HtmlParser, TextBytesCountVisibleTextOnly) {
+  const auto parsed = parse_html("<p>12345</p>  <script>abcdef</script>");
+  EXPECT_EQ(parsed.text_bytes, 5u);
+}
+
+TEST(HtmlParser, FragmentAppendsUnderParent) {
+  ParsedHtml doc = parse_html("<div id='host'></div>");
+  auto hosts = doc.dom.find_all("div");
+  ASSERT_EQ(hosts.size(), 1u);
+  // Find the mutable node: root's first child.
+  DomNode& host = *doc.dom.root().children().front();
+  parse_html_fragment("<p>added</p><img src='d.jpg'>", host, doc);
+  EXPECT_EQ(host.children().size(), 2u);
+  ASSERT_EQ(doc.references.size(), 1u);
+  EXPECT_EQ(doc.references[0].url, "d.jpg");
+}
+
+TEST(DomTree, SignatureDetectsStructuralDifference) {
+  const auto a = parse_html("<div><p>abc</p></div>");
+  const auto b = parse_html("<div><p>abc</p></div>");
+  const auto c = parse_html("<div><p>abcd</p></div>");
+  EXPECT_EQ(a.dom.signature(), b.dom.signature());
+  EXPECT_NE(a.dom.signature(), c.dom.signature());
+}
+
+TEST(DomTree, SignatureIgnoresAttributeOrder) {
+  const auto a = parse_html("<div a='1' b='2'></div>");
+  const auto b = parse_html("<div b='2' a='1'></div>");
+  EXPECT_EQ(a.dom.signature(), b.dom.signature());
+}
+
+TEST(DomNode, SubtreeMetrics) {
+  const auto parsed = parse_html("<div><p>x</p><p><b>y</b></p></div>");
+  EXPECT_EQ(parsed.dom.node_count(), 7u);  // root, div, p, text, p, b, text
+  EXPECT_EQ(parsed.dom.root().subtree_depth(), 5u);
+}
+
+TEST(DomNode, AttributeAccess) {
+  const auto parsed = parse_html("<img src='a.jpg' width='10'>");
+  const DomNode* img = parsed.dom.find_first("img");
+  ASSERT_NE(img, nullptr);
+  EXPECT_EQ(img->attr("src"), "a.jpg");
+  EXPECT_TRUE(img->has_attr("width"));
+  EXPECT_FALSE(img->has_attr("height"));
+  EXPECT_EQ(img->attr("height"), "");
+}
+
+TEST(HtmlParser, EmptyAndWhitespaceDocuments) {
+  EXPECT_EQ(parse_html("").dom.node_count(), 1u);
+  EXPECT_EQ(parse_html("   \n\t  ").dom.node_count(), 1u);
+}
+
+TEST(HtmlParser, DeeplyNestedDocumentSurvives) {
+  std::string html;
+  for (int i = 0; i < 200; ++i) html += "<div>";
+  html += "deep";
+  for (int i = 0; i < 200; ++i) html += "</div>";
+  const auto parsed = parse_html(html);
+  EXPECT_EQ(parsed.dom.find_all("div").size(), 200u);
+  EXPECT_EQ(parsed.dom.root().text_content(), "deep");
+}
+
+}  // namespace
+}  // namespace eab::web

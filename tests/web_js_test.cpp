@@ -1,0 +1,398 @@
+#include "web/js.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eab::web::js {
+namespace {
+
+/// Records everything a script does to the outside world.
+class RecordingHost : public JsHost {
+ public:
+  void document_write(const std::string& html) override {
+    writes.push_back(html);
+  }
+  void request_resource(const std::string& url,
+                        net::ResourceKind kind) override {
+    requests.emplace_back(url, kind);
+  }
+  double random() override { return next_random; }
+
+  std::vector<std::string> writes;
+  std::vector<std::pair<std::string, net::ResourceKind>> requests;
+  double next_random = 0.5;
+};
+
+struct JsFixture : ::testing::Test {
+  RecordingHost host;
+  Interpreter interp{host};
+
+  Value run_and_get(const std::string& source, const std::string& global) {
+    const RunResult result = interp.run(source);
+    EXPECT_TRUE(result.completed) << result.error;
+    return interp.global(global);
+  }
+};
+
+// --- lexer ---------------------------------------------------------------
+
+TEST(JsLexer, TokenKinds) {
+  const auto tokens = tokenize("var x = 12.5; // comment\n'str' >= &&");
+  ASSERT_GE(tokens.size(), 7u);
+  EXPECT_EQ(tokens[0].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[2].text, "=");
+  EXPECT_EQ(tokens[3].type, TokenType::kNumber);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 12.5);
+  EXPECT_EQ(tokens[5].type, TokenType::kString);
+  EXPECT_EQ(tokens[5].text, "str");
+  EXPECT_EQ(tokens[6].text, ">=");
+  EXPECT_EQ(tokens.back().type, TokenType::kEnd);
+}
+
+TEST(JsLexer, StringEscapes) {
+  const auto tokens = tokenize(R"("a\nb\"c\\d")");
+  EXPECT_EQ(tokens[0].text, "a\nb\"c\\d");
+}
+
+TEST(JsLexer, BlockComments) {
+  const auto tokens = tokenize("1 /* skip \n lines */ 2");
+  ASSERT_EQ(tokens.size(), 3u);  // two numbers + end
+}
+
+TEST(JsLexer, ErrorsOnBadInput) {
+  EXPECT_THROW(tokenize("\"unterminated"), JsError);
+  EXPECT_THROW(tokenize("var x = @;"), JsError);
+  EXPECT_THROW(tokenize("/* never closed"), JsError);
+}
+
+// --- parser --------------------------------------------------------------
+
+TEST(JsParser, SyntaxErrorsCarryOffsets) {
+  try {
+    parse("var = 5;");
+    FAIL() << "expected JsError";
+  } catch (const JsError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+  EXPECT_THROW(parse("if (x { }"), JsError);
+  EXPECT_THROW(parse("function () {}"), JsError);
+  EXPECT_THROW(parse("x = ;"), JsError);
+  EXPECT_THROW(parse("{ unclosed"), JsError);
+}
+
+TEST(JsParser, AcceptsRepresentativePrograms) {
+  EXPECT_NO_THROW(parse("var a = 1, b = 2; a = a + b;"));
+  EXPECT_NO_THROW(parse("for (var i = 0; i < 10; i = i + 1) { work(i); }"));
+  EXPECT_NO_THROW(parse("function f(a, b) { return a * b; } f(2, 3);"));
+  EXPECT_NO_THROW(parse("while (x < 3) { x += 1; }"));
+  EXPECT_NO_THROW(parse("var a = [1, 2, 3]; a[0] = a[1] + a[2];"));
+  EXPECT_NO_THROW(parse("for (;;) { break_me = 1; }"));
+}
+
+// --- interpreter ----------------------------------------------------------
+
+TEST_F(JsFixture, ArithmeticAndPrecedence) {
+  EXPECT_DOUBLE_EQ(run_and_get("var x = 2 + 3 * 4;", "x").to_number(), 14);
+  EXPECT_DOUBLE_EQ(run_and_get("var y = (2 + 3) * 4;", "y").to_number(), 20);
+  EXPECT_DOUBLE_EQ(run_and_get("var z = 17 % 5;", "z").to_number(), 2);
+  EXPECT_DOUBLE_EQ(run_and_get("var w = -3 + 1;", "w").to_number(), -2);
+}
+
+TEST_F(JsFixture, StringConcatenation) {
+  EXPECT_EQ(run_and_get("var s = 'a' + 'b' + 1;", "s").to_string(), "ab1");
+  EXPECT_EQ(run_and_get("var t = 1 + 2 + 'x';", "t").to_string(), "3x");
+}
+
+TEST_F(JsFixture, ComparisonAndLogic) {
+  EXPECT_TRUE(run_and_get("var a = 3 < 5 && 5 <= 5;", "a").truthy());
+  EXPECT_FALSE(run_and_get("var b = 1 == 2 || false;", "b").truthy());
+  EXPECT_TRUE(run_and_get("var c = 'x' == 'x';", "c").truthy());
+  EXPECT_TRUE(run_and_get("var d = !0;", "d").truthy());
+}
+
+TEST_F(JsFixture, ShortCircuitSkipsSideEffects) {
+  interp.run("var hit = 0; function boom() { hit = 1; return true; }");
+  interp.run("var r = false && boom();");
+  EXPECT_DOUBLE_EQ(interp.global("hit").to_number(), 0);
+  interp.run("var r2 = true || boom();");
+  EXPECT_DOUBLE_EQ(interp.global("hit").to_number(), 0);
+}
+
+TEST_F(JsFixture, WhileAndForLoops) {
+  EXPECT_DOUBLE_EQ(
+      run_and_get("var s = 0; for (var i = 1; i <= 10; i = i + 1) { s += i; }",
+                  "s")
+          .to_number(),
+      55);
+  EXPECT_DOUBLE_EQ(
+      run_and_get("var n = 0; while (n < 7) { n += 2; }", "n").to_number(), 8);
+}
+
+TEST_F(JsFixture, IncrementOperators) {
+  EXPECT_DOUBLE_EQ(
+      run_and_get("var k = 0; for (var i = 0; i < 4; i++) { k++; }", "k")
+          .to_number(),
+      4);
+  EXPECT_DOUBLE_EQ(run_and_get("var m = 5; --m;", "m").to_number(), 4);
+}
+
+TEST_F(JsFixture, FunctionsParamsReturnRecursion) {
+  interp.run("function add(a, b) { return a + b; } var r = add(2, 40);");
+  EXPECT_DOUBLE_EQ(interp.global("r").to_number(), 42);
+  interp.run(
+      "function fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }"
+      "var f = fib(10);");
+  EXPECT_DOUBLE_EQ(interp.global("f").to_number(), 55);
+}
+
+TEST_F(JsFixture, FunctionLocalsDoNotLeak) {
+  interp.run("function f() { var secret = 1; return 2; } f();");
+  EXPECT_TRUE(interp.global("secret").is_undefined());
+}
+
+TEST_F(JsFixture, GlobalsPersistAcrossScripts) {
+  interp.run("var counter = 1;");
+  interp.run("counter = counter + 1;");
+  EXPECT_DOUBLE_EQ(interp.global("counter").to_number(), 2);
+}
+
+TEST_F(JsFixture, FunctionsPersistAcrossScripts) {
+  interp.run("function mk(u) { loadImage(u); }");
+  interp.run("mk('late.jpg');");
+  ASSERT_EQ(host.requests.size(), 1u);
+  EXPECT_EQ(host.requests[0].first, "late.jpg");
+}
+
+TEST_F(JsFixture, Arrays) {
+  interp.run("var a = [10, 20]; a[2] = 30; var n = len(a); var s = a[0] + a[2];");
+  EXPECT_DOUBLE_EQ(interp.global("n").to_number(), 3);
+  EXPECT_DOUBLE_EQ(interp.global("s").to_number(), 40);
+  interp.run("push(a, 99); var m = a.length;");
+  EXPECT_DOUBLE_EQ(interp.global("m").to_number(), 4);
+}
+
+TEST_F(JsFixture, StringLengthAndIndex) {
+  interp.run("var s = 'hello'; var n = s.length; var c = s[1];");
+  EXPECT_DOUBLE_EQ(interp.global("n").to_number(), 5);
+  EXPECT_EQ(interp.global("c").to_string(), "e");
+}
+
+TEST_F(JsFixture, DocumentWriteReachesHost) {
+  interp.run("document.write('<div>' + 'x' + '</div>');");
+  ASSERT_EQ(host.writes.size(), 1u);
+  EXPECT_EQ(host.writes[0], "<div>x</div>");
+}
+
+TEST_F(JsFixture, ResourceBuiltinsReachHost) {
+  interp.run(
+      "loadImage('a.jpg'); loadScript('b.js'); loadCss('c.css');"
+      "fetchData('d.bin'); window.loadImage('e.png');");
+  ASSERT_EQ(host.requests.size(), 5u);
+  EXPECT_EQ(host.requests[0].second, net::ResourceKind::kImage);
+  EXPECT_EQ(host.requests[1].second, net::ResourceKind::kJs);
+  EXPECT_EQ(host.requests[2].second, net::ResourceKind::kCss);
+  EXPECT_EQ(host.requests[3].second, net::ResourceKind::kOther);
+  EXPECT_EQ(host.requests[4].first, "e.png");
+}
+
+TEST_F(JsFixture, MathBuiltins) {
+  interp.run(
+      "var f = Math.floor(3.9); var c = Math.ceil(3.1); var a = Math.abs(-2);"
+      "var mx = Math.max(1, 7); var mn = Math.min(1, 7);"
+      "var r = Math.random();");
+  EXPECT_DOUBLE_EQ(interp.global("f").to_number(), 3);
+  EXPECT_DOUBLE_EQ(interp.global("c").to_number(), 4);
+  EXPECT_DOUBLE_EQ(interp.global("a").to_number(), 2);
+  EXPECT_DOUBLE_EQ(interp.global("mx").to_number(), 7);
+  EXPECT_DOUBLE_EQ(interp.global("mn").to_number(), 1);
+  EXPECT_DOUBLE_EQ(interp.global("r").to_number(), 0.5);
+}
+
+TEST_F(JsFixture, DynamicUrlConstruction) {
+  interp.run(
+      "var base = 'http://s/img/';"
+      "for (var i = 0; i < 3; i = i + 1) { loadImage(base + 'p' + i + '.jpg'); }");
+  ASSERT_EQ(host.requests.size(), 3u);
+  EXPECT_EQ(host.requests[2].first, "http://s/img/p2.jpg");
+}
+
+TEST_F(JsFixture, RuntimeErrorsReportedNotThrown) {
+  const RunResult r1 = interp.run("undefinedFn();");
+  EXPECT_FALSE(r1.completed);
+  EXPECT_FALSE(r1.error.empty());
+  const RunResult r2 = interp.run("var x = 5[0];");
+  EXPECT_FALSE(r2.completed);
+  const RunResult r3 = interp.run("return 5;");
+  EXPECT_FALSE(r3.completed);
+}
+
+TEST_F(JsFixture, SyntaxErrorReportedNotThrown) {
+  const RunResult result = interp.run("var = broken");
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.error.find("parse error"), std::string::npos);
+}
+
+TEST_F(JsFixture, InterpreterSurvivesErrorAndContinues) {
+  interp.run("var ok = 1;");
+  interp.run("totally broken ((");
+  interp.run("ok = ok + 1;");
+  EXPECT_DOUBLE_EQ(interp.global("ok").to_number(), 2);
+}
+
+TEST(JsInterpreter, OpBudgetStopsRunaways) {
+  RecordingHost host;
+  Interpreter interp(host, 10'000);
+  const RunResult result = interp.run("while (true) { var x = 1; }");
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.error.find("budget"), std::string::npos);
+  EXPECT_LE(result.ops, 10'001u);
+}
+
+TEST(JsInterpreter, StackOverflowGuard) {
+  RecordingHost host;
+  Interpreter interp(host);
+  const RunResult result = interp.run("function f() { return f(); } f();");
+  EXPECT_FALSE(result.completed);
+}
+
+TEST_F(JsFixture, OpsScaleWithWork) {
+  const RunResult small = interp.run("for (var i = 0; i < 10; i++) { }");
+  const RunResult large = interp.run("for (var j = 0; j < 1000; j++) { }");
+  EXPECT_GT(large.ops, small.ops * 20);
+  EXPECT_EQ(interp.total_ops(), small.ops + large.ops);
+}
+
+TEST_F(JsFixture, CompoundAssignmentOperators) {
+  interp.run("var x = 10; x += 5; x -= 3; x *= 2; x /= 4;");
+  EXPECT_DOUBLE_EQ(interp.global("x").to_number(), 6);
+  interp.run("var s = 'a'; s += 'b';");
+  EXPECT_EQ(interp.global("s").to_string(), "ab");
+}
+
+TEST_F(JsFixture, ValueCoercions) {
+  EXPECT_DOUBLE_EQ(run_and_get("var a = '12' * 2;", "a").to_number(), 24);
+  EXPECT_TRUE(run_and_get("var b = 'nonempty';", "b").truthy());
+  EXPECT_FALSE(run_and_get("var c = '';", "c").truthy());
+  EXPECT_FALSE(run_and_get("var d = null;", "d").truthy());
+  EXPECT_EQ(run_and_get("var e = undefined;", "e").to_string(), "undefined");
+}
+
+TEST_F(JsFixture, BreakExitsLoop) {
+  interp.run(
+      "var n = 0;"
+      "for (var i = 0; i < 100; i++) { if (i == 5) { break; } n = n + 1; }");
+  EXPECT_DOUBLE_EQ(interp.global("n").to_number(), 5);
+  interp.run("var m = 0; while (true) { m = m + 1; if (m >= 3) { break; } }");
+  EXPECT_DOUBLE_EQ(interp.global("m").to_number(), 3);
+}
+
+TEST_F(JsFixture, ContinueSkipsIteration) {
+  interp.run(
+      "var evens = 0;"
+      "for (var i = 0; i < 10; i++) { if (i % 2 == 1) { continue; }"
+      " evens = evens + 1; }");
+  EXPECT_DOUBLE_EQ(interp.global("evens").to_number(), 5);
+}
+
+TEST_F(JsFixture, BreakOutsideLoopIsError) {
+  EXPECT_FALSE(interp.run("break;").completed);
+  EXPECT_FALSE(interp.run("continue;").completed);
+  EXPECT_FALSE(interp.run("function f() { break; } f();").completed);
+}
+
+TEST_F(JsFixture, TypeofOperator) {
+  interp.run(
+      "var tn = typeof 1; var ts = typeof 'x'; var tb = typeof true;"
+      "var tu = typeof undefined; var to = typeof null;"
+      "function g() {} var tf = typeof g; var ta = typeof [1];");
+  EXPECT_EQ(interp.global("tn").to_string(), "number");
+  EXPECT_EQ(interp.global("ts").to_string(), "string");
+  EXPECT_EQ(interp.global("tb").to_string(), "boolean");
+  EXPECT_EQ(interp.global("tu").to_string(), "undefined");
+  EXPECT_EQ(interp.global("to").to_string(), "object");
+  EXPECT_EQ(interp.global("tf").to_string(), "function");
+  EXPECT_EQ(interp.global("ta").to_string(), "object");
+}
+
+TEST_F(JsFixture, StringBuiltins) {
+  interp.run(
+      "var i1 = indexOf('hello world', 'world');"
+      "var i2 = indexOf('hello', 'zzz');"
+      "var sub = substring('browser', 1, 4);"
+      "var tail = substring('browser', 4);"
+      "var ch = charAt('abc', 1);");
+  EXPECT_DOUBLE_EQ(interp.global("i1").to_number(), 6);
+  EXPECT_DOUBLE_EQ(interp.global("i2").to_number(), -1);
+  EXPECT_EQ(interp.global("sub").to_string(), "row");
+  EXPECT_EQ(interp.global("tail").to_string(), "ser");
+  EXPECT_EQ(interp.global("ch").to_string(), "b");
+}
+
+TEST_F(JsFixture, SplitBuiltin) {
+  interp.run(
+      "var parts = split('a,b,c', ',');"
+      "var n = parts.length; var first = parts[0]; var last = parts[2];"
+      "var chars = split('xy', '');");
+  EXPECT_DOUBLE_EQ(interp.global("n").to_number(), 3);
+  EXPECT_EQ(interp.global("first").to_string(), "a");
+  EXPECT_EQ(interp.global("last").to_string(), "c");
+  interp.run("var c0 = chars[0];");
+  EXPECT_EQ(interp.global("c0").to_string(), "x");
+}
+
+TEST_F(JsFixture, UrlParsingWithBuiltins) {
+  // A realistic corpus-script pattern: derive an image path from a URL.
+  interp.run(
+      "var url = 'http://site/img/photo.jpg';"
+      "var slash = indexOf(url, '/img/');"
+      "var name = substring(url, slash + 5);"
+      "if (typeof name == 'string' && name.length > 0) { loadImage(name); }");
+  ASSERT_EQ(host.requests.size(), 1u);
+  EXPECT_EQ(host.requests[0].first, "photo.jpg");
+}
+
+TEST_F(JsFixture, ObjectLiteralsGetAndSet) {
+  interp.run(
+      "var cfg = {width: 300, name: 'banner', 'with-dash': 7};"
+      "var w = cfg.width; var n = cfg.name; var d = cfg['with-dash'];"
+      "cfg.height = 150; cfg['depth'] = 2;"
+      "var h = cfg.height; var dp = cfg.depth; var missing = cfg.nope;");
+  EXPECT_DOUBLE_EQ(interp.global("w").to_number(), 300);
+  EXPECT_EQ(interp.global("n").to_string(), "banner");
+  EXPECT_DOUBLE_EQ(interp.global("d").to_number(), 7);
+  EXPECT_DOUBLE_EQ(interp.global("h").to_number(), 150);
+  EXPECT_DOUBLE_EQ(interp.global("dp").to_number(), 2);
+  EXPECT_TRUE(interp.global("missing").is_undefined());
+}
+
+TEST_F(JsFixture, ObjectsShareByReference) {
+  interp.run(
+      "var a = {count: 1}; var b = a; b.count = 5; var c = a.count;");
+  EXPECT_DOUBLE_EQ(interp.global("c").to_number(), 5);
+}
+
+TEST_F(JsFixture, NestedObjectsAndArrays) {
+  interp.run(
+      "var site = {imgs: ['a.jpg', 'b.jpg'], meta: {lang: 'en'}};"
+      "for (var i = 0; i < site.imgs.length; i++) { loadImage(site.imgs[i]); }"
+      "var lang = site.meta.lang;");
+  ASSERT_EQ(host.requests.size(), 2u);
+  EXPECT_EQ(host.requests[1].first, "b.jpg");
+  EXPECT_EQ(interp.global("lang").to_string(), "en");
+}
+
+TEST_F(JsFixture, TypeofObjectAndToString) {
+  interp.run("var o = {}; var t = typeof o; var s = '' + o;");
+  EXPECT_EQ(interp.global("t").to_string(), "object");
+  EXPECT_EQ(interp.global("s").to_string(), "[object Object]");
+}
+
+TEST_F(JsFixture, SetPropertyOnNonObjectFails) {
+  const RunResult result = interp.run("var n = 5; n.x = 1;");
+  EXPECT_FALSE(result.completed);
+}
+
+}  // namespace
+}  // namespace eab::web::js

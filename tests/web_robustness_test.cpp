@@ -1,0 +1,162 @@
+// Fuzz-style robustness sweeps for the content engines.
+//
+// The parsers consume whatever a server sends.  These property tests feed
+// structured-random and mutated inputs into the HTML/CSS/JS front ends and
+// assert the engine-level invariants: never crash, never loop, and always
+// produce a usable (possibly empty) result.
+#include <gtest/gtest.h>
+
+#include "browser/text_render.hpp"
+#include "util/rng.hpp"
+#include "web/css.hpp"
+#include "web/html_parser.hpp"
+#include "web/js.hpp"
+
+namespace eab::web {
+namespace {
+
+/// Random soup with markup-significant characters over-represented.
+std::string random_soup(Rng& rng, std::size_t length) {
+  static constexpr std::string_view kAlphabet =
+      "<>=\"'/&;:{}()[]#.@!- \n\tabcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[rng.uniform_index(kAlphabet.size())]);
+  }
+  return out;
+}
+
+/// Takes valid markup and damages it: truncation, splicing, duplication.
+std::string mutate(Rng& rng, std::string input) {
+  switch (rng.uniform_index(4)) {
+    case 0:  // truncate
+      return input.substr(0, rng.uniform_index(input.size() + 1));
+    case 1: {  // splice soup into the middle
+      const std::size_t at = rng.uniform_index(input.size() + 1);
+      return input.substr(0, at) + random_soup(rng, 20) + input.substr(at);
+    }
+    case 2: {  // delete a chunk
+      if (input.size() < 10) return input;
+      const std::size_t at = rng.uniform_index(input.size() - 8);
+      return input.substr(0, at) + input.substr(at + 8);
+    }
+    default:  // duplicate a chunk
+      return input + input.substr(input.size() / 2);
+  }
+}
+
+const char* const kValidHtml =
+    "<!doctype html><html><head><title>t</title>"
+    "<link rel='stylesheet' href='a.css'></head>"
+    "<body><div class='x'><p>hello &amp; goodbye</p>"
+    "<img src='i.jpg' width='10'><script>var a = 1 + 2;</script>"
+    "<a href='n.html'>go</a></div></body></html>";
+
+class HtmlFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HtmlFuzz, SoupNeverCrashesAndRendersSafely) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 40; ++round) {
+    const std::string soup = random_soup(rng, 50 + rng.uniform_index(400));
+    ParsedHtml parsed;
+    ASSERT_NO_THROW(parsed = parse_html(soup));
+    ASSERT_GE(parsed.dom.node_count(), 1u);
+    // Downstream consumers must be able to walk whatever came out.
+    browser::Viewport viewport;
+    ASSERT_NO_THROW(browser::estimate_geometry(parsed.dom.root(), viewport));
+    ASSERT_NO_THROW(browser::render_text(parsed.dom.root(), viewport,
+                                         browser::RenderStyle::kFull, 50));
+  }
+}
+
+TEST_P(HtmlFuzz, MutatedMarkupKeepsInvariants) {
+  Rng rng(GetParam() ^ 0xABCD);
+  for (int round = 0; round < 40; ++round) {
+    const std::string damaged = mutate(rng, kValidHtml);
+    ParsedHtml parsed;
+    ASSERT_NO_THROW(parsed = parse_html(damaged));
+    for (const auto& ref : parsed.references) {
+      EXPECT_FALSE(ref.url.empty());
+    }
+    // The signature function must work on any tree shape.
+    ASSERT_NO_THROW(parsed.dom.signature());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HtmlFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+class CssFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CssFuzz, SoupAndMutationsNeverCrash) {
+  Rng rng(GetParam());
+  const std::string valid_css =
+      ".a, div#b .c { color: red; background: url(x.png); }"
+      "@import url(y.css); @media screen { p { margin: 0; } }";
+  for (int round = 0; round < 60; ++round) {
+    const std::string input = round % 2 == 0
+                                  ? random_soup(rng, 30 + rng.uniform_index(300))
+                                  : mutate(rng, valid_css);
+    ASSERT_NO_THROW(scan_css_urls(input));
+    StyleSheet sheet;
+    ASSERT_NO_THROW(sheet = parse_css(input));
+    // Matching must be safe against any parsed rule set.
+    const auto doc = parse_html("<div class='a'><p id='b'>x</p></div>");
+    ASSERT_NO_THROW(matching_declarations(sheet, *doc.dom.find_first("p")));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CssFuzz, ::testing::Values(10, 20, 30));
+
+class JsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Host that tolerates anything the fuzzer-driven scripts do.
+class NullHost : public js::JsHost {
+ public:
+  void document_write(const std::string&) override {}
+  void request_resource(const std::string&, net::ResourceKind) override {}
+  double random() override { return 0.5; }
+};
+
+TEST_P(JsFuzz, GarbageIsReportedNeverThrown) {
+  Rng rng(GetParam());
+  NullHost host;
+  js::Interpreter interp(host, 100'000);  // tight budget: loops get cut
+  const std::string valid_js =
+      "var a = 1; for (var i = 0; i < 9; i++) { a = a + i % 3; }"
+      "function f(x) { return x * 2; } var b = f(a);";
+  for (int round = 0; round < 60; ++round) {
+    const std::string input = round % 2 == 0
+                                  ? random_soup(rng, 20 + rng.uniform_index(200))
+                                  : mutate(rng, valid_js);
+    js::RunResult result;
+    ASSERT_NO_THROW(result = interp.run(input));
+    // Either it completed, or it carries a diagnostic.
+    EXPECT_TRUE(result.completed || !result.error.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsFuzz, ::testing::Values(100, 200, 300));
+
+TEST(HtmlEntities, DecodedInTextAndAttributes) {
+  const auto parsed = parse_html(
+      "<p title='a &amp; b'>1 &lt; 2 &gt; 0 &quot;q&quot; &#65;&#x42;"
+      " &unknown; &nbsp;</p>");
+  EXPECT_EQ(parsed.dom.root().text_content(),
+            "1 < 2 > 0 \"q\" AB &unknown;  ");
+  EXPECT_EQ(parsed.dom.find_first("p")->attr("title"), "a & b");
+}
+
+TEST(HtmlEntities, MalformedReferencesStayLiteral) {
+  const auto parsed = parse_html("<p>fish &chips; 5&6 &#; &#xZZ; tail&</p>");
+  EXPECT_EQ(parsed.dom.root().text_content(),
+            "fish &chips; 5&6 &#; &#xZZ; tail&");
+}
+
+TEST(HtmlEntities, NumericOutOfAsciiKeptRaw) {
+  const auto parsed = parse_html("<p>&#8364;</p>");  // euro sign
+  EXPECT_EQ(parsed.dom.root().text_content(), "&#8364;");
+}
+
+}  // namespace
+}  // namespace eab::web
