@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_gbrt"
+  "../bench/bench_ablation_gbrt.pdb"
+  "CMakeFiles/bench_ablation_gbrt.dir/bench_ablation_gbrt.cpp.o"
+  "CMakeFiles/bench_ablation_gbrt.dir/bench_ablation_gbrt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gbrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

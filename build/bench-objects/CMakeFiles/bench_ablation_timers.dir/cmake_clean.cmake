@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_timers"
+  "../bench/bench_ablation_timers.pdb"
+  "CMakeFiles/bench_ablation_timers.dir/bench_ablation_timers.cpp.o"
+  "CMakeFiles/bench_ablation_timers.dir/bench_ablation_timers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_timers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

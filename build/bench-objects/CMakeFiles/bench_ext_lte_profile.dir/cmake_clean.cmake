@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_lte_profile"
+  "../bench/bench_ext_lte_profile.pdb"
+  "CMakeFiles/bench_ext_lte_profile.dir/bench_ext_lte_profile.cpp.o"
+  "CMakeFiles/bench_ext_lte_profile.dir/bench_ext_lte_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_lte_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_proxy"
+  "../bench/bench_ext_proxy.pdb"
+  "CMakeFiles/bench_ext_proxy.dir/bench_ext_proxy.cpp.o"
+  "CMakeFiles/bench_ext_proxy.dir/bench_ext_proxy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_power_states"
+  "../bench/bench_fig01_power_states.pdb"
+  "CMakeFiles/bench_fig01_power_states.dir/bench_fig01_power_states.cpp.o"
+  "CMakeFiles/bench_fig01_power_states.dir/bench_fig01_power_states.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_power_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_interval_crossover"
+  "../bench/bench_fig03_interval_crossover.pdb"
+  "CMakeFiles/bench_fig03_interval_crossover.dir/bench_fig03_interval_crossover.cpp.o"
+  "CMakeFiles/bench_fig03_interval_crossover.dir/bench_fig03_interval_crossover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_interval_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

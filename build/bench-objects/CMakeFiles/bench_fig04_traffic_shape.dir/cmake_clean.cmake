@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_traffic_shape"
+  "../bench/bench_fig04_traffic_shape.pdb"
+  "CMakeFiles/bench_fig04_traffic_shape.dir/bench_fig04_traffic_shape.cpp.o"
+  "CMakeFiles/bench_fig04_traffic_shape.dir/bench_fig04_traffic_shape.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_traffic_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_capacity"
+  "../bench/bench_fig11_capacity.pdb"
+  "CMakeFiles/bench_fig11_capacity.dir/bench_fig11_capacity.cpp.o"
+  "CMakeFiles/bench_fig11_capacity.dir/bench_fig11_capacity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

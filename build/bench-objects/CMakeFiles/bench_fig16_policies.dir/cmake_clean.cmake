@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_policies"
+  "../bench/bench_fig16_policies.pdb"
+  "CMakeFiles/bench_fig16_policies.dir/bench_fig16_policies.cpp.o"
+  "CMakeFiles/bench_fig16_policies.dir/bench_fig16_policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

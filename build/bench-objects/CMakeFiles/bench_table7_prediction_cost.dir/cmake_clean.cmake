@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_prediction_cost"
+  "../bench/bench_table7_prediction_cost.pdb"
+  "CMakeFiles/bench_table7_prediction_cost.dir/bench_table7_prediction_cost.cpp.o"
+  "CMakeFiles/bench_table7_prediction_cost.dir/bench_table7_prediction_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_prediction_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

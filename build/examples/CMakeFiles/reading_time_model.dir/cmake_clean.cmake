@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reading_time_model.dir/reading_time_model.cpp.o"
+  "CMakeFiles/reading_time_model.dir/reading_time_model.cpp.o.d"
+  "reading_time_model"
+  "reading_time_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reading_time_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_debug.dir/timeline_debug.cpp.o"
+  "CMakeFiles/timeline_debug.dir/timeline_debug.cpp.o.d"
+  "timeline_debug"
+  "timeline_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/browser/cpu.cpp" "src/browser/CMakeFiles/eab_browser.dir/cpu.cpp.o" "gcc" "src/browser/CMakeFiles/eab_browser.dir/cpu.cpp.o.d"
+  "/root/repo/src/browser/layout.cpp" "src/browser/CMakeFiles/eab_browser.dir/layout.cpp.o" "gcc" "src/browser/CMakeFiles/eab_browser.dir/layout.cpp.o.d"
+  "/root/repo/src/browser/pipeline.cpp" "src/browser/CMakeFiles/eab_browser.dir/pipeline.cpp.o" "gcc" "src/browser/CMakeFiles/eab_browser.dir/pipeline.cpp.o.d"
+  "/root/repo/src/browser/text_render.cpp" "src/browser/CMakeFiles/eab_browser.dir/text_render.cpp.o" "gcc" "src/browser/CMakeFiles/eab_browser.dir/text_render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/web/CMakeFiles/eab_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/eab_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

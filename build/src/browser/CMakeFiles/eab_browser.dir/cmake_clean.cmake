@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eab_browser.dir/cpu.cpp.o"
+  "CMakeFiles/eab_browser.dir/cpu.cpp.o.d"
+  "CMakeFiles/eab_browser.dir/layout.cpp.o"
+  "CMakeFiles/eab_browser.dir/layout.cpp.o.d"
+  "CMakeFiles/eab_browser.dir/pipeline.cpp.o"
+  "CMakeFiles/eab_browser.dir/pipeline.cpp.o.d"
+  "CMakeFiles/eab_browser.dir/text_render.cpp.o"
+  "CMakeFiles/eab_browser.dir/text_render.cpp.o.d"
+  "libeab_browser.a"
+  "libeab_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eab_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eab_capacity.dir/mgn.cpp.o"
+  "CMakeFiles/eab_capacity.dir/mgn.cpp.o.d"
+  "libeab_capacity.a"
+  "libeab_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eab_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

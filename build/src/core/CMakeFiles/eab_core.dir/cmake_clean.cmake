@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eab_core.dir/experiment.cpp.o"
+  "CMakeFiles/eab_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/eab_core.dir/ril.cpp.o"
+  "CMakeFiles/eab_core.dir/ril.cpp.o.d"
+  "CMakeFiles/eab_core.dir/session.cpp.o"
+  "CMakeFiles/eab_core.dir/session.cpp.o.d"
+  "libeab_core.a"
+  "libeab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/generator.cpp" "src/corpus/CMakeFiles/eab_corpus.dir/generator.cpp.o" "gcc" "src/corpus/CMakeFiles/eab_corpus.dir/generator.cpp.o.d"
+  "/root/repo/src/corpus/page_spec.cpp" "src/corpus/CMakeFiles/eab_corpus.dir/page_spec.cpp.o" "gcc" "src/corpus/CMakeFiles/eab_corpus.dir/page_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/eab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/eab_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eab_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

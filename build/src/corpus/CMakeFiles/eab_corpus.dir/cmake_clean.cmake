@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eab_corpus.dir/generator.cpp.o"
+  "CMakeFiles/eab_corpus.dir/generator.cpp.o.d"
+  "CMakeFiles/eab_corpus.dir/page_spec.cpp.o"
+  "CMakeFiles/eab_corpus.dir/page_spec.cpp.o.d"
+  "libeab_corpus.a"
+  "libeab_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eab_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gbrt/dataset.cpp" "src/gbrt/CMakeFiles/eab_gbrt.dir/dataset.cpp.o" "gcc" "src/gbrt/CMakeFiles/eab_gbrt.dir/dataset.cpp.o.d"
+  "/root/repo/src/gbrt/model.cpp" "src/gbrt/CMakeFiles/eab_gbrt.dir/model.cpp.o" "gcc" "src/gbrt/CMakeFiles/eab_gbrt.dir/model.cpp.o.d"
+  "/root/repo/src/gbrt/tree.cpp" "src/gbrt/CMakeFiles/eab_gbrt.dir/tree.cpp.o" "gcc" "src/gbrt/CMakeFiles/eab_gbrt.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eab_gbrt.dir/dataset.cpp.o"
+  "CMakeFiles/eab_gbrt.dir/dataset.cpp.o.d"
+  "CMakeFiles/eab_gbrt.dir/model.cpp.o"
+  "CMakeFiles/eab_gbrt.dir/model.cpp.o.d"
+  "CMakeFiles/eab_gbrt.dir/tree.cpp.o"
+  "CMakeFiles/eab_gbrt.dir/tree.cpp.o.d"
+  "libeab_gbrt.a"
+  "libeab_gbrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eab_gbrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

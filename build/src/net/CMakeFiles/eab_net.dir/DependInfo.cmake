@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cache.cpp" "src/net/CMakeFiles/eab_net.dir/cache.cpp.o" "gcc" "src/net/CMakeFiles/eab_net.dir/cache.cpp.o.d"
+  "/root/repo/src/net/http_client.cpp" "src/net/CMakeFiles/eab_net.dir/http_client.cpp.o" "gcc" "src/net/CMakeFiles/eab_net.dir/http_client.cpp.o.d"
+  "/root/repo/src/net/resource.cpp" "src/net/CMakeFiles/eab_net.dir/resource.cpp.o" "gcc" "src/net/CMakeFiles/eab_net.dir/resource.cpp.o.d"
+  "/root/repo/src/net/shared_link.cpp" "src/net/CMakeFiles/eab_net.dir/shared_link.cpp.o" "gcc" "src/net/CMakeFiles/eab_net.dir/shared_link.cpp.o.d"
+  "/root/repo/src/net/socket_downloader.cpp" "src/net/CMakeFiles/eab_net.dir/socket_downloader.cpp.o" "gcc" "src/net/CMakeFiles/eab_net.dir/socket_downloader.cpp.o.d"
+  "/root/repo/src/net/web_server.cpp" "src/net/CMakeFiles/eab_net.dir/web_server.cpp.o" "gcc" "src/net/CMakeFiles/eab_net.dir/web_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/eab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/eab_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

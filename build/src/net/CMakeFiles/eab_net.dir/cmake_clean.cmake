@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eab_net.dir/cache.cpp.o"
+  "CMakeFiles/eab_net.dir/cache.cpp.o.d"
+  "CMakeFiles/eab_net.dir/http_client.cpp.o"
+  "CMakeFiles/eab_net.dir/http_client.cpp.o.d"
+  "CMakeFiles/eab_net.dir/resource.cpp.o"
+  "CMakeFiles/eab_net.dir/resource.cpp.o.d"
+  "CMakeFiles/eab_net.dir/shared_link.cpp.o"
+  "CMakeFiles/eab_net.dir/shared_link.cpp.o.d"
+  "CMakeFiles/eab_net.dir/socket_downloader.cpp.o"
+  "CMakeFiles/eab_net.dir/socket_downloader.cpp.o.d"
+  "CMakeFiles/eab_net.dir/web_server.cpp.o"
+  "CMakeFiles/eab_net.dir/web_server.cpp.o.d"
+  "libeab_net.a"
+  "libeab_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eab_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

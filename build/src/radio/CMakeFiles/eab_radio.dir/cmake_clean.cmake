@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eab_radio.dir/profiles.cpp.o"
+  "CMakeFiles/eab_radio.dir/profiles.cpp.o.d"
+  "CMakeFiles/eab_radio.dir/rrc.cpp.o"
+  "CMakeFiles/eab_radio.dir/rrc.cpp.o.d"
+  "libeab_radio.a"
+  "libeab_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eab_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

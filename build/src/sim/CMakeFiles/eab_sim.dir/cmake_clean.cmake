@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eab_sim.dir/simulator.cpp.o"
+  "CMakeFiles/eab_sim.dir/simulator.cpp.o.d"
+  "libeab_sim.a"
+  "libeab_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eab_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

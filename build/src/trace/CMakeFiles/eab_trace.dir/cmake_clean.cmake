@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eab_trace.dir/reading_model.cpp.o"
+  "CMakeFiles/eab_trace.dir/reading_model.cpp.o.d"
+  "libeab_trace.a"
+  "libeab_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eab_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

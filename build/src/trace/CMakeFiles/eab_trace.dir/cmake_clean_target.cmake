@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeab_trace.a"
+)

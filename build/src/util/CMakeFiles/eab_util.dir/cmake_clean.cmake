@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eab_util.dir/rng.cpp.o"
+  "CMakeFiles/eab_util.dir/rng.cpp.o.d"
+  "CMakeFiles/eab_util.dir/stats.cpp.o"
+  "CMakeFiles/eab_util.dir/stats.cpp.o.d"
+  "CMakeFiles/eab_util.dir/table.cpp.o"
+  "CMakeFiles/eab_util.dir/table.cpp.o.d"
+  "CMakeFiles/eab_util.dir/timeline.cpp.o"
+  "CMakeFiles/eab_util.dir/timeline.cpp.o.d"
+  "libeab_util.a"
+  "libeab_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eab_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/css.cpp" "src/web/CMakeFiles/eab_web.dir/css.cpp.o" "gcc" "src/web/CMakeFiles/eab_web.dir/css.cpp.o.d"
+  "/root/repo/src/web/dom.cpp" "src/web/CMakeFiles/eab_web.dir/dom.cpp.o" "gcc" "src/web/CMakeFiles/eab_web.dir/dom.cpp.o.d"
+  "/root/repo/src/web/html_parser.cpp" "src/web/CMakeFiles/eab_web.dir/html_parser.cpp.o" "gcc" "src/web/CMakeFiles/eab_web.dir/html_parser.cpp.o.d"
+  "/root/repo/src/web/html_tokenizer.cpp" "src/web/CMakeFiles/eab_web.dir/html_tokenizer.cpp.o" "gcc" "src/web/CMakeFiles/eab_web.dir/html_tokenizer.cpp.o.d"
+  "/root/repo/src/web/js_interpreter.cpp" "src/web/CMakeFiles/eab_web.dir/js_interpreter.cpp.o" "gcc" "src/web/CMakeFiles/eab_web.dir/js_interpreter.cpp.o.d"
+  "/root/repo/src/web/js_lexer.cpp" "src/web/CMakeFiles/eab_web.dir/js_lexer.cpp.o" "gcc" "src/web/CMakeFiles/eab_web.dir/js_lexer.cpp.o.d"
+  "/root/repo/src/web/js_parser.cpp" "src/web/CMakeFiles/eab_web.dir/js_parser.cpp.o" "gcc" "src/web/CMakeFiles/eab_web.dir/js_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/eab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/eab_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eab_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

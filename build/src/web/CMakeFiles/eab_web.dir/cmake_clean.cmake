@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eab_web.dir/css.cpp.o"
+  "CMakeFiles/eab_web.dir/css.cpp.o.d"
+  "CMakeFiles/eab_web.dir/dom.cpp.o"
+  "CMakeFiles/eab_web.dir/dom.cpp.o.d"
+  "CMakeFiles/eab_web.dir/html_parser.cpp.o"
+  "CMakeFiles/eab_web.dir/html_parser.cpp.o.d"
+  "CMakeFiles/eab_web.dir/html_tokenizer.cpp.o"
+  "CMakeFiles/eab_web.dir/html_tokenizer.cpp.o.d"
+  "CMakeFiles/eab_web.dir/js_interpreter.cpp.o"
+  "CMakeFiles/eab_web.dir/js_interpreter.cpp.o.d"
+  "CMakeFiles/eab_web.dir/js_lexer.cpp.o"
+  "CMakeFiles/eab_web.dir/js_lexer.cpp.o.d"
+  "CMakeFiles/eab_web.dir/js_parser.cpp.o"
+  "CMakeFiles/eab_web.dir/js_parser.cpp.o.d"
+  "libeab_web.a"
+  "libeab_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eab_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_cpu_test.dir/browser_cpu_test.cpp.o"
+  "CMakeFiles/browser_cpu_test.dir/browser_cpu_test.cpp.o.d"
+  "browser_cpu_test"
+  "browser_cpu_test.pdb"
+  "browser_cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

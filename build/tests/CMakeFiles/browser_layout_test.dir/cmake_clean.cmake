@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_layout_test.dir/browser_layout_test.cpp.o"
+  "CMakeFiles/browser_layout_test.dir/browser_layout_test.cpp.o.d"
+  "browser_layout_test"
+  "browser_layout_test.pdb"
+  "browser_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

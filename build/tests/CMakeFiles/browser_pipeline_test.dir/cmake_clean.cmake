@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_pipeline_test.dir/browser_pipeline_test.cpp.o"
+  "CMakeFiles/browser_pipeline_test.dir/browser_pipeline_test.cpp.o.d"
+  "browser_pipeline_test"
+  "browser_pipeline_test.pdb"
+  "browser_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

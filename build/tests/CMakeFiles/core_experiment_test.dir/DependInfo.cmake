@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_experiment_test.cpp" "tests/CMakeFiles/core_experiment_test.dir/core_experiment_test.cpp.o" "gcc" "tests/CMakeFiles/core_experiment_test.dir/core_experiment_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/eab_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/capacity/CMakeFiles/eab_capacity.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/eab_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/eab_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/eab_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/eab_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbrt/CMakeFiles/eab_gbrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ril_test.dir/core_ril_test.cpp.o"
+  "CMakeFiles/core_ril_test.dir/core_ril_test.cpp.o.d"
+  "core_ril_test"
+  "core_ril_test.pdb"
+  "core_ril_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ril_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

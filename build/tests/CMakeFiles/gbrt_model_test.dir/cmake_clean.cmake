@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbrt_model_test.dir/gbrt_model_test.cpp.o"
+  "CMakeFiles/gbrt_model_test.dir/gbrt_model_test.cpp.o.d"
+  "gbrt_model_test"
+  "gbrt_model_test.pdb"
+  "gbrt_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbrt_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

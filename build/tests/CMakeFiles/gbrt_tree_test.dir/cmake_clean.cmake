@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbrt_tree_test.dir/gbrt_tree_test.cpp.o"
+  "CMakeFiles/gbrt_tree_test.dir/gbrt_tree_test.cpp.o.d"
+  "gbrt_tree_test"
+  "gbrt_tree_test.pdb"
+  "gbrt_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbrt_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

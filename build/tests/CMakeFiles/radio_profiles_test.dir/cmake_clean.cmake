@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_profiles_test.dir/radio_profiles_test.cpp.o"
+  "CMakeFiles/radio_profiles_test.dir/radio_profiles_test.cpp.o.d"
+  "radio_profiles_test"
+  "radio_profiles_test.pdb"
+  "radio_profiles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_profiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

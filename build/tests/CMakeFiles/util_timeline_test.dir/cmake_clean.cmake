@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_timeline_test.dir/util_timeline_test.cpp.o"
+  "CMakeFiles/util_timeline_test.dir/util_timeline_test.cpp.o.d"
+  "util_timeline_test"
+  "util_timeline_test.pdb"
+  "util_timeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_css_test.dir/web_css_test.cpp.o"
+  "CMakeFiles/web_css_test.dir/web_css_test.cpp.o.d"
+  "web_css_test"
+  "web_css_test.pdb"
+  "web_css_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_css_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_html_test.dir/web_html_test.cpp.o"
+  "CMakeFiles/web_html_test.dir/web_html_test.cpp.o.d"
+  "web_html_test"
+  "web_html_test.pdb"
+  "web_html_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_html_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

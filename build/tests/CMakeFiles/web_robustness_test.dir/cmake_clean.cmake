@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_robustness_test.dir/web_robustness_test.cpp.o"
+  "CMakeFiles/web_robustness_test.dir/web_robustness_test.cpp.o.d"
+  "web_robustness_test"
+  "web_robustness_test.pdb"
+  "web_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

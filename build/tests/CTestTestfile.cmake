@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/util_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/util_timeline_test[1]_include.cmake")
+include("/root/repo/build/tests/util_table_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/radio_rrc_test[1]_include.cmake")
+include("/root/repo/build/tests/radio_profiles_test[1]_include.cmake")
+include("/root/repo/build/tests/net_link_test[1]_include.cmake")
+include("/root/repo/build/tests/net_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/net_http_test[1]_include.cmake")
+include("/root/repo/build/tests/web_html_test[1]_include.cmake")
+include("/root/repo/build/tests/web_css_test[1]_include.cmake")
+include("/root/repo/build/tests/web_js_test[1]_include.cmake")
+include("/root/repo/build/tests/web_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/browser_cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/browser_layout_test[1]_include.cmake")
+include("/root/repo/build/tests/browser_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/gbrt_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/gbrt_model_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/capacity_test[1]_include.cmake")
+include("/root/repo/build/tests/core_ril_test[1]_include.cmake")
+include("/root/repo/build/tests/core_controller_test[1]_include.cmake")
+include("/root/repo/build/tests/core_experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/core_session_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
