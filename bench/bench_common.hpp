@@ -4,12 +4,19 @@
 // measured from this reproduction, so the "same shape" claim is checkable at
 // a glance.  Keep these binaries self-contained: each one regenerates its
 // table/figure from scratch when run.
+//
+// All page loads issued from here go through one process-wide BatchRunner:
+// independent loads fan out over a thread pool (EAB_JOBS workers) and repeat
+// loads — e.g. a figure re-measuring pages an earlier table already loaded —
+// come back from the memo cache.  Results are in submission order, so every
+// number printed is bit-identical to the old serial loops.
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "core/batch.hpp"
 #include "core/experiment.hpp"
 #include "corpus/page_spec.hpp"
 #include "util/table.hpp"
@@ -23,6 +30,26 @@ inline void print_header(const std::string& figure, const std::string& what) {
   std::printf("==============================================================\n");
 }
 
+/// The process-wide batch engine every harness shares: one thread pool plus
+/// one memo cache, so paired Original/Energy-Aware sweeps reuse loads.
+inline core::BatchRunner& shared_runner() {
+  static core::BatchRunner runner;
+  return runner;
+}
+
+/// Runs every spec under `config` in one batch and returns the results in
+/// spec order (each equal to run_single_load(spec, config, 20.0, seed)).
+inline std::vector<core::SingleLoadResult> run_loads(
+    const std::vector<corpus::PageSpec>& specs, const core::StackConfig& config,
+    Seconds reading_window = 20.0, std::uint64_t seed = 1) {
+  std::vector<core::BatchJob> jobs;
+  jobs.reserve(specs.size());
+  for (const auto& spec : specs) {
+    jobs.push_back(core::BatchJob{spec, config, reading_window, seed});
+  }
+  return shared_runner().run(jobs);
+}
+
 /// Average single-load results over a list of specs.
 struct BenchmarkAverages {
   double tx_time = 0;        ///< mean data transmission time (s)
@@ -34,13 +61,14 @@ struct BenchmarkAverages {
   double dch_time = 0;       ///< mean DCH residency (s)
 };
 
-/// Runs every spec under `config` and averages the measurements.
+/// Runs every spec under `config` and averages the measurements.  An empty
+/// spec list yields zeroed averages (not NaNs).
 inline BenchmarkAverages run_benchmark(const std::vector<corpus::PageSpec>& specs,
                                        const core::StackConfig& config,
                                        std::uint64_t seed = 1) {
   BenchmarkAverages avg;
-  for (const auto& spec : specs) {
-    const auto r = core::run_single_load(spec, config, 20.0, seed);
+  if (specs.empty()) return avg;
+  for (const auto& r : run_loads(specs, config, 20.0, seed)) {
     avg.tx_time += r.metrics.transmission_time();
     avg.total_time += r.metrics.total_time();
     avg.first_display += r.metrics.first_display - r.metrics.started;
@@ -75,26 +103,36 @@ namespace eab::bench {
 /// Builds the page library the trace generator browses: every benchmark page
 /// plus size-jittered sub-page variants, each loaded once through the
 /// energy-aware pipeline to measure its Table 1 features (the paper collects
-/// features with its modified browser the same way).
+/// features with its modified browser the same way).  The variant specs are
+/// derived serially — variant seeding depends on the record count — and the
+/// feature loads then run as one batch.
 inline std::vector<trace::PageRecord> build_page_library(
     int variants_per_site = 4, std::uint64_t seed = 7) {
   std::vector<trace::PageRecord> records;
-  const auto ea_cfg =
-      core::StackConfig::for_mode(browser::PipelineMode::kEnergyAware);
   auto add_benchmark = [&](const std::vector<corpus::PageSpec>& specs) {
     for (const auto& base : specs) {
       for (const auto& spec :
            corpus::spec_variants(base, variants_per_site, seed ^ records.size())) {
         trace::PageRecord record;
         record.spec = spec;
-        record.features =
-            core::run_single_load(spec, ea_cfg, 0.0, seed).features;
         records.push_back(std::move(record));
       }
     }
   };
   add_benchmark(corpus::mobile_benchmark());
   add_benchmark(corpus::full_benchmark());
+
+  const auto ea_cfg =
+      core::StackConfig::for_mode(browser::PipelineMode::kEnergyAware);
+  std::vector<core::BatchJob> jobs;
+  jobs.reserve(records.size());
+  for (const auto& record : records) {
+    jobs.push_back(core::BatchJob{record.spec, ea_cfg, 0.0, seed});
+  }
+  const auto results = shared_runner().run(jobs);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    records[i].features = results[i].features;
+  }
   return records;
 }
 

@@ -1,0 +1,141 @@
+// Measures the batch experiment engine itself: wall-clock loads/sec and
+// simulator events/sec for a 64-load sweep, run serially (the old per-spec
+// loop) and through BatchRunner's thread pool, plus the memo-cache replay
+// rate.  Asserts the engine's core promise — parallel results bit-identical
+// to serial — and emits machine-readable BENCH_throughput.json.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace eab;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// 64 distinct jobs: both benchmarks, both pipeline modes, per-job derived
+/// seeds — every memo key unique, so the pool (not the cache) does the work.
+std::vector<core::BatchJob> make_sweep() {
+  std::vector<corpus::PageSpec> pool = corpus::mobile_benchmark();
+  const auto full = corpus::full_benchmark();
+  pool.insert(pool.end(), full.begin(), full.end());
+
+  std::vector<core::BatchJob> jobs;
+  for (std::size_t i = 0; i < 64; ++i) {
+    core::BatchJob job;
+    job.spec = pool[i % pool.size()];
+    job.config = core::StackConfig::for_mode(
+        (i / pool.size()) % 2 == 0 ? browser::PipelineMode::kOriginal
+                                   : browser::PipelineMode::kEnergyAware);
+    job.reading_window = 20.0;
+    job.seed = derive_seed(1, i);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+bool identical(const core::SingleLoadResult& a, const core::SingleLoadResult& b) {
+  return a.load_energy == b.load_energy &&
+         a.energy_with_reading == b.energy_with_reading &&
+         a.metrics.total_time() == b.metrics.total_time() &&
+         a.metrics.transmission_time() == b.metrics.transmission_time() &&
+         a.dch_time == b.dch_time && a.bytes_fetched == b.bytes_fetched &&
+         a.sim_events == b.sim_events && a.dom_signature == b.dom_signature;
+}
+
+std::uint64_t total_events(const std::vector<core::SingleLoadResult>& results) {
+  std::uint64_t events = 0;
+  for (const auto& r : results) events += r.sim_events;
+  return events;
+}
+
+}  // namespace
+
+int main() {
+  using namespace eab;
+  bench::print_header("Throughput",
+                      "batch engine: serial vs parallel vs memo-cache replay");
+
+  const auto jobs = make_sweep();
+
+  // Serial baseline: the loop every harness used to run.
+  const auto serial_start = Clock::now();
+  std::vector<core::SingleLoadResult> serial;
+  serial.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    serial.push_back(
+        core::run_single_load(job.spec, job.config, job.reading_window, job.seed));
+  }
+  const double serial_s = seconds_since(serial_start);
+
+  // Parallel: cold runner, every key a miss.
+  core::BatchRunner runner;
+  const auto parallel_start = Clock::now();
+  const auto parallel = runner.run(jobs);
+  const double parallel_s = seconds_since(parallel_start);
+
+  // Memo replay: same sweep again, every key a hit.
+  const auto replay_start = Clock::now();
+  const auto replay = runner.run(jobs);
+  const double replay_s = seconds_since(replay_start);
+
+  bool all_identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; all_identical && i < serial.size(); ++i) {
+    all_identical = identical(serial[i], parallel[i]) &&
+                    identical(serial[i], replay[i]);
+  }
+
+  const auto n = static_cast<double>(jobs.size());
+  const auto events = static_cast<double>(total_events(serial));
+  const double speedup = parallel_s > 0 ? serial_s / parallel_s : 0;
+
+  TextTable table({"path", "wall (s)", "loads/s", "sim events/s"});
+  table.add_row({"serial loop", format_fixed(serial_s, 3),
+                 format_fixed(n / serial_s, 1),
+                 format_fixed(events / serial_s, 0)});
+  table.add_row({"BatchRunner x" + std::to_string(runner.threads()),
+                 format_fixed(parallel_s, 3), format_fixed(n / parallel_s, 1),
+                 format_fixed(events / parallel_s, 0)});
+  table.add_row({"memo replay", format_fixed(replay_s, 3),
+                 format_fixed(n / std::max(replay_s, 1e-9), 1), "-"});
+  std::printf("%s", table.render().c_str());
+  std::printf("loads: %zu  threads: %d  speedup: %.2fx  "
+              "cache hits/misses: %zu/%zu  bit-identical: %s\n",
+              jobs.size(), runner.threads(), speedup, runner.cache_hits(),
+              runner.cache_misses(), all_identical ? "yes" : "NO");
+
+  FILE* json = std::fopen("BENCH_throughput.json", "w");
+  if (json) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"loads\": %zu,\n"
+        "  \"threads\": %d,\n"
+        "  \"serial_seconds\": %.6f,\n"
+        "  \"parallel_seconds\": %.6f,\n"
+        "  \"replay_seconds\": %.6f,\n"
+        "  \"serial_loads_per_sec\": %.3f,\n"
+        "  \"parallel_loads_per_sec\": %.3f,\n"
+        "  \"serial_events_per_sec\": %.1f,\n"
+        "  \"parallel_events_per_sec\": %.1f,\n"
+        "  \"speedup\": %.3f,\n"
+        "  \"cache_hits\": %zu,\n"
+        "  \"cache_misses\": %zu,\n"
+        "  \"bit_identical\": %s\n"
+        "}\n",
+        jobs.size(), runner.threads(), serial_s, parallel_s, replay_s,
+        n / serial_s, n / parallel_s, events / serial_s, events / parallel_s,
+        speedup, runner.cache_hits(), runner.cache_misses(),
+        all_identical ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_throughput.json\n");
+  }
+  return all_identical ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the batch engine.
+#
+#   scripts/check.sh            # full check
+#   JOBS=8 scripts/check.sh     # pin build/test parallelism
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== TSan: core_batch_test under -fsanitize=thread =="
+cmake -B build-tsan -S . -DEAB_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS" --target core_batch_test
+# Force multiple workers even on small machines so the pool is exercised.
+EAB_JOBS=4 ./build-tsan/tests/core_batch_test
+
+echo "== all checks passed =="

@@ -1,0 +1,96 @@
+// Parallel batch experiment engine.
+//
+// Every figure/table harness runs hundreds of fully independent
+// run_single_load stacks — each load owns its own sim::Simulator, WebServer
+// and radio, so they parallelise perfectly.  BatchRunner fans
+// (PageSpec, StackConfig, reading window, seed) jobs out over a fixed thread
+// pool and returns results in submission order, so a batched sweep is
+// bit-identical to the serial loop it replaces.
+//
+// A content-addressed memo cache sits in front of the pool: each job is
+// serialised to a canonical byte key (batch_memo_key) hashed with FNV-1a,
+// and jobs whose keys match an already-computed load — paired
+// Original/Energy-Aware sweeps re-measuring the same pages, the page
+// library's repeated per-variant feature loads — reuse the stored
+// SingleLoadResult instead of simulating again.  run_single_load is a pure
+// function of the key's fields, which is what makes memoisation sound.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace eab::core {
+
+/// One unit of batch work: a single page load and its reading window.
+struct BatchJob {
+  corpus::PageSpec spec;
+  StackConfig config;
+  Seconds reading_window = 20.0;
+  std::uint64_t seed = 1;
+};
+
+/// Canonical byte encoding of everything run_single_load's output depends
+/// on: every PageSpec field, every StackConfig field (including the nested
+/// radio, power, link and pipeline configs), the reading window and the
+/// seed.  Two jobs with equal keys produce bit-identical SingleLoadResults.
+/// NOTE: any new field added to PageSpec or StackConfig must be appended
+/// here, or loads differing only in that field would collide in the cache.
+std::string batch_memo_key(const BatchJob& job);
+
+/// 64-bit FNV-1a over a byte string (the memo cache's hash function).
+std::uint64_t fnv1a_64(std::string_view bytes);
+
+/// Fixed-size thread pool + memo cache for batches of single-load jobs.
+class BatchRunner {
+ public:
+  /// `jobs` > 0 pins the worker count; 0 resolves it from the EAB_JOBS
+  /// environment variable, falling back to hardware_concurrency().  A runner
+  /// with one worker executes jobs inline on the calling thread.
+  explicit BatchRunner(int jobs = 0);
+  ~BatchRunner();
+
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  /// Runs every job and returns results in submission order.  Jobs with
+  /// identical memo keys are simulated once; previously-run keys are served
+  /// from the cache.  Exceptions thrown by a load are rethrown here after
+  /// the batch drains.
+  std::vector<SingleLoadResult> run(const std::vector<BatchJob>& jobs);
+
+  /// Worker threads this runner uses (1 = serial).
+  int threads() const { return threads_; }
+
+  /// Jobs served from the memo cache (including duplicates within a batch).
+  std::size_t cache_hits() const { return cache_hits_; }
+  /// Jobs that required an actual simulation.
+  std::size_t cache_misses() const { return cache_misses_; }
+  /// Distinct loads currently memoised.
+  std::size_t cache_size() const { return cache_.size(); }
+  void clear_cache() { cache_.clear(); }
+
+  /// EAB_JOBS / hardware_concurrency resolution (exposed for tests).
+  static int resolve_jobs(int requested);
+
+ private:
+  struct Fnv1aHash {
+    std::size_t operator()(const std::string& key) const {
+      return static_cast<std::size_t>(fnv1a_64(key));
+    }
+  };
+  class Pool;
+
+  int threads_ = 1;
+  std::unique_ptr<Pool> pool_;  ///< null when threads_ == 1
+  std::unordered_map<std::string, SingleLoadResult, Fnv1aHash> cache_;
+  std::size_t cache_hits_ = 0;
+  std::size_t cache_misses_ = 0;
+};
+
+}  // namespace eab::core

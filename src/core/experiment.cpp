@@ -64,6 +64,7 @@ SingleLoadResult run_single_load(const corpus::PageSpec& spec,
   result.idle_promotions = rrc.idle_promotions();
   result.forced_releases = rrc.forced_releases();
   result.bytes_fetched = metrics.bytes_fetched;
+  result.sim_events = sim.fired_count();
   result.dom_signature = load.dom().signature();
   return result;
 }

@@ -49,6 +49,7 @@ struct SingleLoadResult {
   int idle_promotions = 0;
   int forced_releases = 0;
   Bytes bytes_fetched = 0;
+  std::uint64_t sim_events = 0;    ///< discrete events the load's simulator fired
   std::string dom_signature;       ///< structural DOM fingerprint
   PowerTimeline total_power;       ///< radio + CPU (Figs 1 and 9)
   PowerTimeline link_rate;         ///< delivered bytes/s (Fig 4)

@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 namespace eab::sim {
 
 EventId Simulator::schedule_at(Seconds at, Action action) {
@@ -10,8 +12,10 @@ EventId Simulator::schedule_at(Seconds at, Action action) {
     throw std::invalid_argument("Simulator::schedule_at: empty action");
   }
   const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{at, seq});
-  actions_.emplace(seq, std::move(action));
+  state_.push_back(EventState::kPending);
+  ++live_;
+  heap_.push_back(Entry{at, seq, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   return EventId(seq);
 }
 
@@ -23,24 +27,35 @@ EventId Simulator::schedule_in(Seconds delay, Action action) {
 }
 
 bool Simulator::cancel(EventId id) {
-  if (!id.valid()) return false;
-  return actions_.erase(id.seq_) > 0;
+  if (!id.valid() || id.seq_ >= next_seq_) return false;
+  EventState& state = state_[id.seq_ - 1];
+  if (state != EventState::kPending) return false;
+  state = EventState::kCancelled;  // heap entry becomes a tombstone
+  --live_;
+  return true;
 }
 
 bool Simulator::pending(EventId id) const {
-  return id.valid() && actions_.contains(id.seq_);
+  return id.valid() && id.seq_ < next_seq_ &&
+         state_[id.seq_ - 1] == EventState::kPending;
+}
+
+Simulator::Entry Simulator::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  return entry;
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    const Entry top = queue_.top();
-    queue_.pop();
-    auto it = actions_.find(top.seq);
-    if (it == actions_.end()) continue;  // cancelled
-    Action action = std::move(it->second);
-    actions_.erase(it);
-    now_ = top.at;
-    action();
+  while (!heap_.empty()) {
+    Entry entry = pop_top();
+    if (state_[entry.seq - 1] == EventState::kCancelled) continue;  // tombstone
+    state_[entry.seq - 1] = EventState::kFired;
+    --live_;
+    ++fired_count_;
+    now_ = entry.at;
+    entry.action();
     return true;
   }
   return false;
@@ -54,10 +69,10 @@ std::size_t Simulator::run() {
 
 std::size_t Simulator::run_until(Seconds until) {
   std::size_t n = 0;
-  while (!queue_.empty()) {
-    const Entry top = queue_.top();
-    if (!actions_.contains(top.seq)) {
-      queue_.pop();
+  while (!heap_.empty()) {
+    const Entry& top = heap_.front();
+    if (state_[top.seq - 1] == EventState::kCancelled) {
+      pop_top();  // drop the tombstone
       continue;
     }
     if (top.at > until) break;

@@ -5,13 +5,17 @@
 // Simulator.  Events at equal timestamps fire in scheduling order, which
 // keeps runs deterministic; events can be cancelled (RRC inactivity timers
 // are rescheduled constantly).
+//
+// Hot path: the action lives inside the heap entry itself, so scheduling and
+// firing an event never touches a hash table.  Cancellation flips a byte in
+// a per-sequence state table; the heap entry becomes a tombstone that is
+// discarded when it surfaces.  The cancelled action's captured state is
+// therefore kept alive until its timestamp passes, but it is never invoked.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
 #include "util/units.hpp"
@@ -64,26 +68,36 @@ class Simulator {
   bool step();
 
   /// Number of events currently pending (excludes cancelled ones).
-  std::size_t pending_count() const { return actions_.size(); }
+  std::size_t pending_count() const { return live_; }
+
+  /// Total number of events that have fired over the simulator's lifetime.
+  std::uint64_t fired_count() const { return fired_count_; }
 
  private:
   struct Entry {
     Seconds at;
     std::uint64_t seq;
+    Action action;
   };
+  // "Less" for std::push_heap/pop_heap: the max element under this ordering
+  // is the entry that fires earliest, so heap_.front() is the next event.
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
+  enum class EventState : std::uint8_t { kPending, kFired, kCancelled };
+
+  /// Pops the heap top; returns the entry by move.
+  Entry pop_top();
 
   Seconds now_ = 0;
   std::uint64_t next_seq_ = 1;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  // Pending actions by seq; cancellation simply removes the action and the
-  // queued entry becomes a no-op when it surfaces.
-  std::unordered_map<std::uint64_t, Action> actions_;
+  std::uint64_t fired_count_ = 0;
+  std::size_t live_ = 0;              ///< pending (scheduled, not cancelled/fired)
+  std::vector<Entry> heap_;           ///< binary heap; tombstones stay until popped
+  std::vector<EventState> state_;     ///< lifecycle per seq; index = seq - 1
 };
 
 }  // namespace eab::sim

@@ -21,6 +21,16 @@ constexpr std::uint64_t rotl(std::uint64_t v, int k) {
 
 }  // namespace
 
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) {
+  // SplitMix64 output function evaluated at state base + (index+1)·gamma —
+  // equivalent to seeding SplitMix64 with `base_seed` and taking draw
+  // `index + 1`, but O(1) in the index.
+  std::uint64_t z = base_seed + (index + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 void Rng::reseed(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);

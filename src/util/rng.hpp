@@ -14,6 +14,13 @@
 
 namespace eab {
 
+/// Derives the seed of job `index` in a sweep seeded with `base_seed`: the
+/// SplitMix64 finaliser applied to `base_seed + (index + 1) * gamma`.  Pure
+/// arithmetic on the inputs, so a parallel batch and a serial loop that both
+/// use derive_seed(base, i) for the i-th job consume identical seed streams
+/// regardless of execution order.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index);
+
 /// xoshiro256** PRNG with explicit, stable seeding and portable sampling.
 class Rng {
  public:

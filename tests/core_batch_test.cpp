@@ -1,0 +1,211 @@
+#include "core/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "corpus/page_spec.hpp"
+#include "util/rng.hpp"
+
+namespace eab::core {
+namespace {
+
+/// A deliberately small page so each test load stays cheap.
+corpus::PageSpec tiny_spec(int variant) {
+  corpus::PageSpec spec;
+  spec.site = "test.example/" + std::to_string(variant);
+  spec.mobile = true;
+  spec.html_bytes = kilobytes(6);
+  spec.css_files = 1;
+  spec.css_bytes = kilobytes(2);
+  spec.css_images = 1;
+  spec.js_files = 1;
+  spec.js_bytes = kilobytes(2);
+  spec.js_busy_iterations = 200;
+  spec.js_images = 1;
+  spec.html_images = 2;
+  spec.image_bytes = kilobytes(3);
+  spec.anchors = 4;
+  spec.paragraphs = 4;
+  return spec;
+}
+
+std::vector<BatchJob> sweep_jobs(int count) {
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < count; ++i) {
+    BatchJob job;
+    job.spec = tiny_spec(i % 4);
+    job.config = StackConfig::for_mode(i % 2 == 0
+                                           ? browser::PipelineMode::kOriginal
+                                           : browser::PipelineMode::kEnergyAware);
+    job.reading_window = 5.0;
+    job.seed = derive_seed(99, static_cast<std::uint64_t>(i));
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void expect_identical(const SingleLoadResult& a, const SingleLoadResult& b) {
+  EXPECT_EQ(a.load_energy, b.load_energy);
+  EXPECT_EQ(a.energy_with_reading, b.energy_with_reading);
+  EXPECT_EQ(a.metrics.total_time(), b.metrics.total_time());
+  EXPECT_EQ(a.metrics.transmission_time(), b.metrics.transmission_time());
+  EXPECT_EQ(a.dch_time, b.dch_time);
+  EXPECT_EQ(a.fach_time, b.fach_time);
+  EXPECT_EQ(a.bytes_fetched, b.bytes_fetched);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.dom_signature, b.dom_signature);
+  EXPECT_EQ(a.features.to_row(), b.features.to_row());
+}
+
+TEST(BatchRunner, ParallelMatchesSerialElementwise) {
+  const auto jobs = sweep_jobs(8);
+  std::vector<SingleLoadResult> serial;
+  for (const auto& job : jobs) {
+    serial.push_back(
+        run_single_load(job.spec, job.config, job.reading_window, job.seed));
+  }
+
+  BatchRunner runner(4);
+  EXPECT_EQ(runner.threads(), 4);
+  const auto parallel = runner.run(jobs);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST(BatchRunner, MemoCacheHitsReturnIdenticalResults) {
+  const auto jobs = sweep_jobs(4);
+  BatchRunner runner(2);
+  const auto first = runner.run(jobs);
+  EXPECT_EQ(runner.cache_hits(), 0u);
+  EXPECT_EQ(runner.cache_misses(), jobs.size());
+  EXPECT_EQ(runner.cache_size(), jobs.size());
+
+  const auto second = runner.run(jobs);
+  EXPECT_EQ(runner.cache_hits(), jobs.size());
+  EXPECT_EQ(runner.cache_misses(), jobs.size());
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(first[i], second[i]);
+  }
+}
+
+TEST(BatchRunner, DuplicateJobsWithinBatchComputedOnce) {
+  auto jobs = sweep_jobs(2);
+  jobs.push_back(jobs[0]);  // exact duplicate of job 0
+  jobs.push_back(jobs[1]);  // exact duplicate of job 1
+  BatchRunner runner(2);
+  const auto results = runner.run(jobs);
+  EXPECT_EQ(runner.cache_misses(), 2u);  // only the distinct keys simulated
+  EXPECT_EQ(runner.cache_hits(), 2u);    // duplicates served from the batch
+  expect_identical(results[0], results[2]);
+  expect_identical(results[1], results[3]);
+}
+
+TEST(BatchRunner, ClearCacheForcesRecomputation) {
+  const auto jobs = sweep_jobs(2);
+  BatchRunner runner(2);
+  const auto first = runner.run(jobs);
+  runner.clear_cache();
+  EXPECT_EQ(runner.cache_size(), 0u);
+  const auto second = runner.run(jobs);
+  EXPECT_EQ(runner.cache_misses(), 2 * jobs.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    expect_identical(first[i], second[i]);
+  }
+}
+
+TEST(BatchRunner, EabJobsOneDegradesToSerial) {
+  ASSERT_EQ(setenv("EAB_JOBS", "1", 1), 0);
+  BatchRunner runner;  // resolves from the environment
+  unsetenv("EAB_JOBS");
+  EXPECT_EQ(runner.threads(), 1);
+
+  const auto jobs = sweep_jobs(4);
+  const auto results = runner.run(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(i);
+    const auto expected = run_single_load(jobs[i].spec, jobs[i].config,
+                                          jobs[i].reading_window, jobs[i].seed);
+    expect_identical(expected, results[i]);
+  }
+}
+
+TEST(BatchRunner, ResolveJobsPrecedence) {
+  ASSERT_EQ(setenv("EAB_JOBS", "3", 1), 0);
+  EXPECT_EQ(BatchRunner::resolve_jobs(0), 3);   // env wins when unpinned
+  EXPECT_EQ(BatchRunner::resolve_jobs(7), 7);   // explicit request wins
+  ASSERT_EQ(setenv("EAB_JOBS", "not-a-number", 1), 0);
+  EXPECT_GE(BatchRunner::resolve_jobs(0), 1);   // garbage falls back
+  unsetenv("EAB_JOBS");
+  EXPECT_GE(BatchRunner::resolve_jobs(0), 1);
+}
+
+TEST(BatchRunner, EmptyBatchReturnsEmpty) {
+  BatchRunner runner(2);
+  EXPECT_TRUE(runner.run({}).empty());
+  EXPECT_EQ(runner.cache_hits(), 0u);
+  EXPECT_EQ(runner.cache_misses(), 0u);
+}
+
+TEST(BatchMemoKey, DistinguishesEveryKeyedInput) {
+  BatchJob base;
+  base.spec = tiny_spec(0);
+  base.config = StackConfig::for_mode(browser::PipelineMode::kOriginal);
+  const auto key = batch_memo_key(base);
+
+  auto other = base;
+  other.seed += 1;
+  EXPECT_NE(key, batch_memo_key(other));
+
+  other = base;
+  other.reading_window += 1.0;
+  EXPECT_NE(key, batch_memo_key(other));
+
+  other = base;
+  other.spec.html_bytes += 1;
+  EXPECT_NE(key, batch_memo_key(other));
+
+  other = base;
+  other.config.pipeline.mode = browser::PipelineMode::kEnergyAware;
+  EXPECT_NE(key, batch_memo_key(other));
+
+  other = base;
+  other.config.rrc.t1 += 0.5;
+  EXPECT_NE(key, batch_memo_key(other));
+
+  other = base;
+  other.config.force_idle_at_tx = !other.config.force_idle_at_tx;
+  EXPECT_NE(key, batch_memo_key(other));
+
+  EXPECT_EQ(key, batch_memo_key(base));  // and it is deterministic
+}
+
+TEST(Fnv1a, MatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a_64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(fnv1a_64("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(fnv1a_64("foobar"), 0x85944171F73967E8ULL);
+}
+
+TEST(RunBenchmark, EmptySpecListYieldsZeroedAverages) {
+  const auto avg = bench::run_benchmark(
+      {}, StackConfig::for_mode(browser::PipelineMode::kOriginal));
+  EXPECT_EQ(avg.tx_time, 0.0);
+  EXPECT_EQ(avg.total_time, 0.0);
+  EXPECT_EQ(avg.first_display, 0.0);
+  EXPECT_EQ(avg.final_display, 0.0);
+  EXPECT_EQ(avg.load_energy, 0.0);
+  EXPECT_EQ(avg.energy_20s, 0.0);
+  EXPECT_EQ(avg.dch_time, 0.0);
+}
+
+}  // namespace
+}  // namespace eab::core

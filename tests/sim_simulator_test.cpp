@@ -151,6 +151,114 @@ TEST(Simulator, CancelledEventDoesNotAdvanceClock) {
   EXPECT_DOUBLE_EQ(sim.now(), 1.0);
 }
 
+TEST(Simulator, CancelAfterFireWithOtherEventsPending) {
+  Simulator sim;
+  int fired = 0;
+  const EventId first = sim.schedule_at(1.0, [&] { ++fired; });
+  const EventId second = sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());  // fires `first`
+  EXPECT_FALSE(sim.cancel(first));
+  EXPECT_TRUE(sim.pending(second));
+  EXPECT_EQ(sim.pending_count(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelTwiceAcrossRunBoundary) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  sim.run();  // the tombstone surfaces and is discarded here
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.pending(id));
+}
+
+TEST(Simulator, RescheduleStormKeepsOneTimerLive) {
+  // RRC-style inactivity timer churn: every "packet" cancels the running
+  // timer and schedules a fresh one.  Only the last survivor may fire.
+  Simulator sim;
+  int fires = 0;
+  Seconds fired_at = -1;
+  EventId timer;
+  for (int i = 0; i < 10000; ++i) {
+    sim.cancel(timer);
+    timer = sim.schedule_at(static_cast<Seconds>(i) + 4.0, [&] {
+      ++fires;
+      fired_at = sim.now();
+    });
+    EXPECT_EQ(sim.pending_count(), 1u);
+  }
+  sim.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_DOUBLE_EQ(fired_at, 9999.0 + 4.0);
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(Simulator, PendingCountInvariantUnderMixedLifecycles) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.schedule_at(static_cast<Seconds>(i + 1), [] {}));
+  }
+  EXPECT_EQ(sim.pending_count(), 100u);
+  // Cancel every third event; scheduled - cancelled must remain pending.
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    EXPECT_TRUE(sim.cancel(ids[i]));
+    ++cancelled;
+    EXPECT_EQ(sim.pending_count(), 100u - cancelled);
+  }
+  // Fire the rest one at a time; each step drops exactly one pending event.
+  std::size_t remaining = 100u - cancelled;
+  while (sim.step()) {
+    --remaining;
+    EXPECT_EQ(sim.pending_count(), remaining);
+  }
+  EXPECT_EQ(remaining, 0u);
+  EXPECT_EQ(sim.fired_count(), 100u - cancelled);
+}
+
+TEST(Simulator, CancelInsideActionSuppressesSameTimePeer) {
+  Simulator sim;
+  bool peer_fired = false;
+  EventId peer;
+  sim.schedule_at(1.0, [&] { sim.cancel(peer); });
+  peer = sim.schedule_at(1.0, [&] { peer_fired = true; });
+  sim.run();
+  EXPECT_FALSE(peer_fired);
+  EXPECT_EQ(sim.fired_count(), 1u);
+}
+
+TEST(Simulator, FiredCountAccumulatesAcrossRuns) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  sim.run_until(1.0);
+  EXPECT_EQ(sim.fired_count(), 1u);
+  sim.schedule_at(3.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.fired_count(), 3u);
+}
+
+TEST(Simulator, RunUntilSkipsLeadingTombstones) {
+  Simulator sim;
+  // Earliest events all cancelled: run_until must discard their tombstones
+  // and still stop before later-than-until work.
+  for (int i = 0; i < 10; ++i) {
+    sim.cancel(sim.schedule_at(1.0, [] {}));
+  }
+  bool fired_5 = false;
+  bool fired_9 = false;
+  sim.schedule_at(5.0, [&] { fired_5 = true; });
+  sim.schedule_at(9.0, [&] { fired_9 = true; });
+  EXPECT_EQ(sim.run_until(6.0), 1u);
+  EXPECT_TRUE(fired_5);
+  EXPECT_FALSE(fired_9);
+  EXPECT_DOUBLE_EQ(sim.now(), 6.0);
+}
+
 TEST(Simulator, ManyEventsStressOrdering) {
   Simulator sim;
   Seconds last = -1;
