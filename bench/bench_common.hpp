@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,19 @@ inline BenchmarkAverages run_benchmark(const std::vector<corpus::PageSpec>& spec
 /// Percentage saving helper: (base - ours) / base.
 inline double saving(double base, double ours) {
   return base <= 0 ? 0 : (base - ours) / base;
+}
+
+/// Fault-plan seed for the fault benches: EAB_FAULT_SEED overrides the
+/// built-in default so a sweep can be re-rolled without recompiling (the
+/// whole stack stays deterministic for any fixed value).  Unset, empty or
+/// unparsable values fall back to `fallback`.
+inline std::uint64_t fault_seed_from_env(std::uint64_t fallback) {
+  const char* raw = std::getenv("EAB_FAULT_SEED");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(value);
 }
 
 }  // namespace eab::bench

@@ -1,0 +1,177 @@
+// Extension: page loads on a faulty 3G link.
+//
+// The paper measures loads on a healthy network.  Real 3G links drop
+// connections, blackhole responses, cut transfers short and fade entirely
+// when the user moves; the energy-aware reorganization compresses the
+// transmission window, so the open question is whether its savings survive
+// — or even grow — once every failed attempt costs retry energy and the
+// radio stays up longer waiting for recoveries.
+//
+// This bench sweeps a composite fault rate (a mix of connection losses,
+// stalls, truncations and slow first bytes in fixed proportion) over both
+// pipelines on the full-version benchmark, plus one link-fade scenario, all
+// through the shared batch engine.  Emits BENCH_faults.json.  The fault
+// seed honors EAB_FAULT_SEED (the sweep is deterministic for any fixed
+// value).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace eab;
+
+/// Composite plan at total fault rate `rate`: the mix keeps each kind in
+/// fixed proportion (40% connection losses, 20% stalls, 20% truncations,
+/// 20% slow first bytes), so one knob sweeps overall link quality.
+net::FaultPlan plan_at(double rate, std::uint64_t seed) {
+  net::FaultPlan plan;
+  plan.seed = seed;
+  plan.connection_loss_rate = 0.40 * rate;
+  plan.stall_rate = 0.20 * rate;
+  plan.truncate_rate = 0.20 * rate;
+  plan.slow_first_byte_rate = 0.20 * rate;
+  return plan;
+}
+
+core::StackConfig config_at(browser::PipelineMode mode, double rate,
+                            std::uint64_t seed) {
+  auto config = core::StackConfig::for_mode(mode);
+  config.fault_plan = plan_at(rate, seed);
+  // Watchdog generous against the 3.25 s promotion + slow-start setup;
+  // bounded retries so every load settles.
+  config.retry.request_timeout = 8.0;
+  config.retry.max_retries = 2;
+  config.retry.backoff_initial = 0.5;
+  config.retry.backoff_factor = 2.0;
+  return config;
+}
+
+struct SweepPoint {
+  double rate = 0;
+  double energy = 0;          ///< mean load energy (J)
+  double total_time = 0;      ///< mean load time (s)
+  double retries = 0;         ///< mean extra attempts per load
+  double timeouts = 0;        ///< mean watchdog expiries per load
+  double degraded = 0;        ///< mean degraded fraction of settled fetches
+};
+
+SweepPoint measure(browser::PipelineMode mode, double rate,
+                   std::uint64_t seed) {
+  const auto specs = corpus::full_benchmark();
+  const auto results =
+      bench::run_loads(specs, config_at(mode, rate, seed), 20.0, 1);
+  SweepPoint point;
+  point.rate = rate;
+  for (const auto& r : results) {
+    point.energy += r.load_energy;
+    point.total_time += r.metrics.total_time();
+    point.retries += r.fetch_retries;
+    point.timeouts += r.fetch_timeouts;
+    point.degraded += r.metrics.degraded_fraction();
+  }
+  const auto n = static_cast<double>(results.size());
+  point.energy /= n;
+  point.total_time /= n;
+  point.retries /= n;
+  point.timeouts /= n;
+  point.degraded /= n;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  using namespace eab;
+  const std::uint64_t seed = bench::fault_seed_from_env(20130707);
+  bench::print_header("Extension", "page loads on a faulty 3G link");
+  std::printf("fault seed %llu (override with EAB_FAULT_SEED)\n\n",
+              static_cast<unsigned long long>(seed));
+
+  const double kRates[] = {0.0, 0.05, 0.10, 0.20};
+
+  TextTable table({"fault rate", "orig energy", "EA energy", "saving",
+                   "orig load", "EA load", "retries o/EA", "degraded o/EA"});
+  std::vector<SweepPoint> original, energy_aware;
+  for (const double rate : kRates) {
+    const SweepPoint o = measure(browser::PipelineMode::kOriginal, rate, seed);
+    const SweepPoint e =
+        measure(browser::PipelineMode::kEnergyAware, rate, seed);
+    original.push_back(o);
+    energy_aware.push_back(e);
+    table.add_row({format_percent(rate), format_fixed(o.energy, 1) + " J",
+                   format_fixed(e.energy, 1) + " J",
+                   format_percent(bench::saving(o.energy, e.energy)),
+                   format_fixed(o.total_time, 1) + " s",
+                   format_fixed(e.total_time, 1) + " s",
+                   format_fixed(o.retries, 1) + "/" +
+                       format_fixed(e.retries, 1),
+                   format_percent(o.degraded) + "/" +
+                       format_percent(e.degraded)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  // One deep-fade scenario: the link dies twice for 3 s mid-load (walking
+  // into an elevator), no per-request faults at all.
+  core::StackConfig fade_orig =
+      core::StackConfig::for_mode(browser::PipelineMode::kOriginal);
+  fade_orig.fault_plan.seed = seed;
+  fade_orig.fault_plan.fade_count = 2;
+  fade_orig.fault_plan.fade_start = 2.0;
+  fade_orig.fault_plan.fade_period = 8.0;
+  fade_orig.fault_plan.fade_duration = 3.0;
+  fade_orig.retry.request_timeout = 20.0;  // fades stall, they don't kill
+  auto fade_ea = fade_orig;
+  fade_ea.pipeline.mode = browser::PipelineMode::kEnergyAware;
+
+  const auto specs = corpus::full_benchmark();
+  const auto fo = bench::run_loads(specs, fade_orig, 20.0, 1);
+  const auto fe = bench::run_loads(specs, fade_ea, 20.0, 1);
+  double fade_o_energy = 0, fade_e_energy = 0, fade_o_time = 0, fade_e_time = 0;
+  for (const auto& r : fo) {
+    fade_o_energy += r.load_energy;
+    fade_o_time += r.metrics.total_time();
+  }
+  for (const auto& r : fe) {
+    fade_e_energy += r.load_energy;
+    fade_e_time += r.metrics.total_time();
+  }
+  const auto n = static_cast<double>(specs.size());
+  fade_o_energy /= n;
+  fade_e_energy /= n;
+  fade_o_time /= n;
+  fade_e_time /= n;
+  std::printf("\nlink fades (2 x 3 s mid-load): original %.1f J / %.1f s, "
+              "energy-aware %.1f J / %.1f s (saving %s)\n",
+              fade_o_energy, fade_o_time, fade_e_energy, fade_e_time,
+              format_percent(bench::saving(fade_o_energy, fade_e_energy)).c_str());
+
+  FILE* json = std::fopen("BENCH_faults.json", "w");
+  if (json) {
+    std::fprintf(json, "{\n  \"fault_seed\": %llu,\n  \"sweep\": [\n",
+                 static_cast<unsigned long long>(seed));
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      const SweepPoint& o = original[i];
+      const SweepPoint& e = energy_aware[i];
+      std::fprintf(
+          json,
+          "    {\"fault_rate\": %.2f,\n"
+          "     \"original\": {\"energy_j\": %.3f, \"load_s\": %.3f, "
+          "\"retries\": %.2f, \"timeouts\": %.2f, \"degraded\": %.4f},\n"
+          "     \"energy_aware\": {\"energy_j\": %.3f, \"load_s\": %.3f, "
+          "\"retries\": %.2f, \"timeouts\": %.2f, \"degraded\": %.4f},\n"
+          "     \"energy_saving\": %.4f}%s\n",
+          o.rate, o.energy, o.total_time, o.retries, o.timeouts, o.degraded,
+          e.energy, e.total_time, e.retries, e.timeouts, e.degraded,
+          bench::saving(o.energy, e.energy),
+          i + 1 < original.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n"
+                 "  \"fades\": {\"original_energy_j\": %.3f, "
+                 "\"original_load_s\": %.3f, \"energy_aware_energy_j\": %.3f, "
+                 "\"energy_aware_load_s\": %.3f}\n}\n",
+                 fade_o_energy, fade_o_time, fade_e_energy, fade_e_time);
+    std::fclose(json);
+    std::printf("wrote BENCH_faults.json\n");
+  }
+  return 0;
+}

@@ -19,4 +19,15 @@ cmake --build build-tsan -j "$JOBS" --target core_batch_test
 # Force multiple workers even on small machines so the pool is exercised.
 EAB_JOBS=4 ./build-tsan/tests/core_batch_test
 
+echo "== ASan: fault-path tests under -fsanitize=address =="
+# The fault layer synthesizes partial resources and cancels in-flight
+# events/flows; ASan guards the lifetime contracts (retained partial bodies,
+# stale-callback drops, cancelled-flow teardown).
+cmake -B build-asan -S . -DEAB_SANITIZE=address
+cmake --build build-asan -j "$JOBS" \
+  --target net_fault_test --target net_http_test --target web_robustness_test
+./build-asan/tests/net_fault_test
+./build-asan/tests/net_http_test
+./build-asan/tests/web_robustness_test
+
 echo "== all checks passed =="

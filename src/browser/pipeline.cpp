@@ -69,10 +69,19 @@ void PageLoad::issue_fetch(const std::string& url, net::ResourceKind kind) {
 
 void PageLoad::on_resource(const net::FetchResult& result,
                            net::ResourceKind declared_kind) {
+  if (result.attempts > 1) metrics_.fetch_retries += result.attempts - 1;
   if (result.resource == nullptr) {
-    // 404: nothing to process. The paper's pages do reference dead URLs;
-    // the load must not hang on them (nor block the first paint forever on
-    // a stylesheet — or later scripts on a script — that will never come).
+    // Nothing usable arrived: a 404, or a network failure that exhausted
+    // its retries. Either way the load degrades instead of hanging — a
+    // missing stylesheet must not block the first paint forever, a missing
+    // script is skipped when its document-order turn comes, and a missing
+    // image keeps its DOM node, which the layout estimator sizes as a
+    // default placeholder box.
+    ++metrics_.failed_resources;
+    if (declared_kind == net::ResourceKind::kImage ||
+        declared_kind == net::ResourceKind::kFlash) {
+      ++metrics_.placeholder_images;
+    }
     if (declared_kind == net::ResourceKind::kCss) ++css_settled_;
     if (declared_kind == net::ResourceKind::kJs) {
       settle_script(result.url, nullptr);
@@ -80,6 +89,14 @@ void PageLoad::on_resource(const net::FetchResult& result,
     }
     work_finished();
     return;
+  }
+  if (result.status == net::FetchStatus::kTruncated) {
+    ++metrics_.truncated_resources;
+  }
+  if (result.owned != nullptr) {
+    // Partial bodies are owned by the fetch result, not the server; keep
+    // them alive for the deferred parse/decode passes.
+    retained_resources_.push_back(result.owned);
   }
   const net::Resource& resource = *result.resource;
   ++metrics_.objects_fetched;

@@ -77,9 +77,28 @@ struct LoadMetrics {
   int intermediate_displays = 0;   ///< draws before the final one
   Seconds js_time = 0;             ///< CPU seconds executing scripts
 
+  // Degradation accounting (all zero on a healthy network).  A load that
+  // loses resources still finishes: failed scripts are skipped in document
+  // order, truncated markup flows through the fuzz-hardened parsers, and
+  // missing images keep their DOM nodes — the layout estimator gives those
+  // nodes default-sized placeholder boxes, exactly as a real engine draws a
+  // broken-image frame.
+  int failed_resources = 0;        ///< fetches settled with no body (404/timeout/abort)
+  int truncated_resources = 0;     ///< partial bodies parsed
+  int placeholder_images = 0;      ///< figure fetches that failed -> placeholder box
+  int fetch_retries = 0;           ///< extra network attempts behind the objects
+
   Seconds transmission_time() const { return transmission_done - started; }
   Seconds total_time() const { return final_display - started; }
   Seconds layout_tail_time() const { return final_display - transmission_done; }
+  /// Fraction of settled fetches that ended degraded (failed or truncated).
+  double degraded_fraction() const {
+    const int settled = objects_fetched + failed_resources;
+    return settled == 0
+               ? 0.0
+               : static_cast<double>(failed_resources + truncated_resources) /
+                     static_cast<double>(settled);
+  }
 };
 
 /// One page load in flight; create via start(), then run the simulator.
@@ -153,6 +172,10 @@ class PageLoad : public web::js::JsHost {
   OnEvent on_tx_complete_;
 
   web::ParsedHtml doc_;  ///< the DOM plus harvest accumulators
+  /// Backing storage for partial (truncated) bodies: the pipeline keeps
+  /// `const Resource*` pointers in its deferred/script maps, so a resource
+  /// synthesized by the HTTP client must live as long as the load does.
+  std::vector<std::shared_ptr<const net::Resource>> retained_resources_;
   std::set<std::string> requested_urls_;
   std::vector<std::string> script_order_;  ///< external scripts, document order
   std::size_t next_script_ = 0;            ///< index into script_order_

@@ -112,6 +112,24 @@ void write_config(KeyWriter& w, const StackConfig& config) {
   w.i32(config.max_parallel_connections);
   w.boolean(config.use_browser_cache);
   w.u64(config.browser_cache_bytes);
+
+  const auto& fault = config.fault_plan;
+  w.u64(fault.seed);
+  w.f64(fault.connection_loss_rate);
+  w.f64(fault.stall_rate);
+  w.f64(fault.truncate_rate);
+  w.f64(fault.slow_first_byte_rate);
+  w.f64(fault.slow_first_byte_extra);
+  w.i32(fault.fade_count);
+  w.f64(fault.fade_start);
+  w.f64(fault.fade_period);
+  w.f64(fault.fade_duration);
+
+  const auto& retry = config.retry;
+  w.f64(retry.request_timeout);
+  w.i32(retry.max_retries);
+  w.f64(retry.backoff_initial);
+  w.f64(retry.backoff_factor);
 }
 
 }  // namespace
@@ -125,15 +143,6 @@ std::string batch_memo_key(const BatchJob& job) {
   w.f64(job.reading_window);
   w.u64(job.seed);
   return key;
-}
-
-std::uint64_t fnv1a_64(std::string_view bytes) {
-  std::uint64_t hash = 0xCBF29CE484222325ULL;
-  for (const char c : bytes) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 0x100000001B3ULL;
-  }
-  return hash;
 }
 
 /// A plain fixed-size worker pool: tasks queue under one mutex, run_all

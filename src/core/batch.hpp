@@ -24,8 +24,14 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "util/hash.hpp"
 
 namespace eab::core {
+
+// The memo cache's hash function lives in util/hash.hpp (the fault layer
+// seeds per-URL decisions with the same function); keep the historical
+// core::fnv1a_64 name valid.
+using ::eab::fnv1a_64;
 
 /// One unit of batch work: a single page load and its reading window.
 struct BatchJob {
@@ -39,12 +45,10 @@ struct BatchJob {
 /// on: every PageSpec field, every StackConfig field (including the nested
 /// radio, power, link and pipeline configs), the reading window and the
 /// seed.  Two jobs with equal keys produce bit-identical SingleLoadResults.
-/// NOTE: any new field added to PageSpec or StackConfig must be appended
-/// here, or loads differing only in that field would collide in the cache.
+/// NOTE: any new field added to PageSpec or StackConfig (the fault plan and
+/// retry policy included) must be appended here, or loads differing only in
+/// that field would collide in the cache.
 std::string batch_memo_key(const BatchJob& job);
-
-/// 64-bit FNV-1a over a byte string (the memo cache's hash function).
-std::uint64_t fnv1a_64(std::string_view bytes);
 
 /// Fixed-size thread pool + memo cache for batches of single-load jobs.
 class BatchRunner {

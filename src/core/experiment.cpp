@@ -1,10 +1,23 @@
 #include "core/experiment.hpp"
 
+#include <optional>
+#include <stdexcept>
+
 #include "core/ril.hpp"
 #include "net/socket_downloader.hpp"
 #include "sim/simulator.hpp"
 
 namespace eab::core {
+
+void validate_fault_wiring(const StackConfig& config) {
+  // A blackholed response produces no event at all; without a watchdog the
+  // fetch would never settle and the load would hang. Reject the
+  // configuration up front instead of diagnosing a stuck simulation.
+  if (config.fault_plan.stall_rate > 0 && config.retry.request_timeout <= 0) {
+    throw std::invalid_argument(
+        "StackConfig: fault_plan.stall_rate needs retry.request_timeout > 0");
+  }
+}
 
 StackConfig StackConfig::for_mode(browser::PipelineMode mode) {
   StackConfig config;
@@ -27,6 +40,16 @@ SingleLoadResult run_single_load(const corpus::PageSpec& spec,
                          config.max_parallel_connections);
   browser::CpuScheduler cpu(sim, config.power.cpu_busy_extra);
   RilStateSwitcher ril(sim, rrc);
+
+  validate_fault_wiring(config);
+  client.set_retry_policy(config.retry);
+  // Only an enabled plan instantiates the injector: a disabled one must
+  // leave the event stream (and thus sim_events) untouched.
+  std::optional<net::FaultInjector> faults;
+  if (config.fault_plan.enabled()) {
+    faults.emplace(sim, link, config.fault_plan);
+    client.set_fault_injector(&*faults);
+  }
 
   browser::PipelineConfig pipeline_config = config.pipeline;
   pipeline_config.mobile_page = spec.mobile;
@@ -64,6 +87,11 @@ SingleLoadResult run_single_load(const corpus::PageSpec& spec,
   result.idle_promotions = rrc.idle_promotions();
   result.forced_releases = rrc.forced_releases();
   result.bytes_fetched = metrics.bytes_fetched;
+  result.fetch_retries = static_cast<int>(client.stats().retries);
+  result.fetch_timeouts = static_cast<int>(client.stats().timeouts);
+  result.failed_resources = metrics.failed_resources;
+  result.truncated_resources = metrics.truncated_resources;
+  result.link_fades = faults ? faults->fades_started() : 0;
   result.sim_events = sim.fired_count();
   result.dom_signature = load.dom().signature();
   return result;

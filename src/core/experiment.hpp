@@ -12,6 +12,7 @@
 
 #include "browser/pipeline.hpp"
 #include "corpus/generator.hpp"
+#include "net/fault.hpp"
 #include "radio/rrc_config.hpp"
 #include "util/timeline.hpp"
 
@@ -31,6 +32,14 @@ struct StackConfig {
   /// loads). When enabled, subresources persist across a session's pages.
   bool use_browser_cache = false;
   Bytes browser_cache_bytes = 4 * 1024 * 1024;
+  /// Deterministic network fault injection (robustness extension).  The
+  /// default plan is disabled and schedules nothing: a zero-fault stack is
+  /// byte-identical to one built before the fault layer existed.
+  net::FaultPlan fault_plan;
+  /// Watchdog/retry policy for the HTTP client.  The default watchdog is
+  /// off (no extra events); any plan with a stall rate requires a positive
+  /// request_timeout or the load could hang forever.
+  net::RetryPolicy retry;
 
   /// Convenience: a stack for the given mode with everything else default.
   static StackConfig for_mode(browser::PipelineMode mode);
@@ -49,11 +58,22 @@ struct SingleLoadResult {
   int idle_promotions = 0;
   int forced_releases = 0;
   Bytes bytes_fetched = 0;
+  // Degradation accounting (all zero on a fault-free load).
+  int fetch_retries = 0;       ///< extra network attempts behind the load
+  int fetch_timeouts = 0;      ///< watchdog expiries
+  int failed_resources = 0;    ///< fetches settled without a body
+  int truncated_resources = 0; ///< partial bodies delivered and parsed
+  int link_fades = 0;          ///< fade windows that began during the run
   std::uint64_t sim_events = 0;    ///< discrete events the load's simulator fired
   std::string dom_signature;       ///< structural DOM fingerprint
   PowerTimeline total_power;       ///< radio + CPU (Figs 1 and 9)
   PowerTimeline link_rate;         ///< delivered bytes/s (Fig 4)
 };
+
+/// Rejects fault/retry combinations that could hang a simulation (a stall
+/// rate with no watchdog).  Called by every stack assembler; exposed so
+/// other harnesses wiring their own stacks can share the check.
+void validate_fault_wiring(const StackConfig& config);
 
 /// Generates `spec`, loads it under `config`, lets `reading_window` seconds
 /// of reading elapse, and reports the measurements.

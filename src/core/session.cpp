@@ -2,10 +2,12 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <set>
 #include <stdexcept>
 
 #include "core/ril.hpp"
+#include "net/fault.hpp"
 #include "sim/simulator.hpp"
 
 namespace eab::core {
@@ -58,7 +60,16 @@ SessionResult run_session(const std::vector<PageVisit>& visits,
   net::SharedLink link(sim, config.stack.link.dch_bandwidth);
   browser::CpuScheduler cpu(sim, config.stack.power.cpu_busy_extra);
   RilStateSwitcher ril(sim, rrc);
+  if (config.ril_socket_failures > 0) ril.fail_next(config.ril_socket_failures);
   net::ResourceCache cache(config.stack.browser_cache_bytes);
+
+  // One injector for the whole session: fade windows are absolute-time
+  // events on the shared link, and per-request outcomes are stateless.
+  validate_fault_wiring(config.stack);
+  std::optional<net::FaultInjector> faults;
+  if (config.stack.fault_plan.enabled()) {
+    faults.emplace(sim, link, config.stack.fault_plan);
+  }
 
   SessionResult result;
   std::vector<std::unique_ptr<net::HttpClient>> clients;
@@ -79,6 +90,8 @@ SessionResult run_session(const std::vector<PageVisit>& visits,
         sim, server, link, rrc, config.stack.link,
         config.stack.max_parallel_connections));
     if (config.stack.use_browser_cache) clients.back()->set_cache(&cache);
+    clients.back()->set_retry_policy(config.stack.retry);
+    if (faults) clients.back()->set_fault_injector(&*faults);
     browser::PipelineConfig pipeline = config.stack.pipeline;
     pipeline.mode = uses_original_pipeline(config.policy)
                         ? browser::PipelineMode::kOriginal
@@ -147,6 +160,8 @@ SessionResult run_session(const std::vector<PageVisit>& visits,
   result.duration = sim.now();
   result.energy =
       PowerTimeline::sum(rrc.power(), cpu.power()).energy(0.0, result.duration);
+  result.ril_socket_failures = ril.socket_failures();
+  result.radio_idle_time = rrc.time_in(radio::RrcState::kIdle);
   return result;
 }
 

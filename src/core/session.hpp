@@ -44,6 +44,10 @@ struct SessionConfig {
   /// Algorithm 2's parameters (kAlgorithm2 only): Td, Tp and the
   /// power-driven / delay-driven mode switch.
   ControllerParams controller;
+  /// Failure injection: the first `ril_socket_failures` switch-to-IDLE
+  /// requests die at the framework->rild socket hop (a crashed/restarting
+  /// rild).  The radio must then demote via its T1/T2 timers alone.
+  int ril_socket_failures = 0;
 };
 
 /// Aggregates of one session run.
@@ -53,6 +57,8 @@ struct SessionResult {
   Seconds duration = 0;         ///< session wall-clock
   int pages = 0;
   int switches_to_idle = 0;     ///< policy-initiated releases
+  int ril_socket_failures = 0;  ///< injected socket-hop failures consumed
+  Seconds radio_idle_time = 0;  ///< total IDLE residency over the session
   std::vector<Seconds> page_load_times;
 };
 

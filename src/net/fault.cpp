@@ -1,0 +1,110 @@
+#include "net/fault.hpp"
+
+#include <stdexcept>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace eab::net {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kConnectionLost: return "connection-lost";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kSlowFirstByte: return "slow-first-byte";
+  }
+  return "?";
+}
+
+namespace {
+
+void validate(const FaultPlan& plan) {
+  const double rates[] = {plan.connection_loss_rate, plan.stall_rate,
+                          plan.truncate_rate, plan.slow_first_byte_rate};
+  double sum = 0;
+  for (const double rate : rates) {
+    if (rate < 0 || rate > 1) {
+      throw std::invalid_argument("FaultPlan: rates must be in [0, 1]");
+    }
+    sum += rate;
+  }
+  if (sum > 1.0 + 1e-12) {
+    throw std::invalid_argument("FaultPlan: fault rates must sum to <= 1");
+  }
+  if (plan.fade_count < 0) {
+    throw std::invalid_argument("FaultPlan: fade_count must be >= 0");
+  }
+  if (plan.has_fades()) {
+    if (plan.fade_start < 0 || plan.fade_duration <= 0) {
+      throw std::invalid_argument("FaultPlan: bad fade window geometry");
+    }
+    if (plan.fade_count > 1 && plan.fade_period <= plan.fade_duration) {
+      throw std::invalid_argument(
+          "FaultPlan: fade_period must exceed fade_duration");
+    }
+  }
+  if (plan.slow_first_byte_rate > 0 && plan.slow_first_byte_extra < 0) {
+    throw std::invalid_argument("FaultPlan: negative slow-first-byte latency");
+  }
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulator& sim, SharedLink& link,
+                             FaultPlan plan)
+    : sim_(sim), link_(link), plan_(plan) {
+  validate(plan_);
+  // Fade windows are scheduled as a bounded, explicit list so the event
+  // queue always drains — an open-ended repeating fade would keep every
+  // simulation alive forever.
+  for (int i = 0; i < plan_.fade_count; ++i) {
+    const Seconds begin = plan_.fade_start + i * plan_.fade_period;
+    sim_.schedule_at(begin, [this] {
+      ++fades_started_;
+      link_.pause();
+    });
+    sim_.schedule_at(begin + plan_.fade_duration, [this] { link_.resume(); });
+  }
+}
+
+FaultDecision FaultInjector::decide(const std::string& url,
+                                    int attempt) const {
+  FaultDecision decision;
+  if (!plan_.has_request_faults()) return decision;
+  // Seeded by (plan seed, url, attempt) only: the same attempt at the same
+  // URL meets the same fate regardless of pipeline, concurrency or call
+  // order.  Retries (attempt 2, 3, ...) draw fresh outcomes.
+  Rng rng(derive_seed(plan_.seed ^ fnv1a_64(url),
+                      static_cast<std::uint64_t>(attempt)));
+  const double roll = rng.uniform();
+  double edge = plan_.connection_loss_rate;
+  if (roll < edge) {
+    decision.kind = FaultKind::kConnectionLost;
+    return decision;
+  }
+  edge += plan_.stall_rate;
+  if (roll < edge) {
+    decision.kind = FaultKind::kStall;
+    return decision;
+  }
+  edge += plan_.truncate_rate;
+  if (roll < edge) {
+    decision.kind = FaultKind::kTruncate;
+    // Keep the cut strictly inside the body: at least a sliver arrives, and
+    // at least a sliver is missing.
+    decision.truncate_fraction = 0.05 + 0.90 * rng.uniform();
+    return decision;
+  }
+  edge += plan_.slow_first_byte_rate;
+  if (roll < edge) {
+    decision.kind = FaultKind::kSlowFirstByte;
+    decision.extra_first_byte_latency =
+        plan_.slow_first_byte_extra * rng.uniform(0.5, 1.5);
+    return decision;
+  }
+  return decision;
+}
+
+}  // namespace eab::net

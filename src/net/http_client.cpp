@@ -1,6 +1,6 @@
 #include "net/http_client.hpp"
 
-#include <memory>
+#include <algorithm>
 #include <stdexcept>
 
 namespace eab::net {
@@ -8,6 +8,17 @@ namespace {
 /// Reading a cached object off flash (Android 1.6-era storage).
 constexpr Seconds kCacheLookupLatency = 0.012;
 }  // namespace
+
+const char* to_string(FetchStatus status) {
+  switch (status) {
+    case FetchStatus::kOk: return "ok";
+    case FetchStatus::kNotFound: return "not-found";
+    case FetchStatus::kTruncated: return "truncated";
+    case FetchStatus::kTimedOut: return "timed-out";
+    case FetchStatus::kAborted: return "aborted";
+  }
+  return "?";
+}
 
 HttpClient::HttpClient(sim::Simulator& sim, const WebServer& server,
                        SharedLink& link, radio::RrcMachine& rrc,
@@ -36,8 +47,11 @@ void HttpClient::fetch(const std::string& url, OnFetched done,
                         done = std::move(done)] {
                          ++stats_.fetches;
                          ++stats_.cache_hits;
+                         stats_.last_byte_at = sim_.now();
                          FetchResult result;
                          result.resource = cached;
+                         result.status = FetchStatus::kOk;
+                         result.attempts = 0;
                          result.url = url;
                          result.requested_at = requested_at;
                          result.completed_at = sim_.now();
@@ -64,43 +78,201 @@ void HttpClient::pump() {
 }
 
 void HttpClient::start_request(PendingRequest request) {
-  const Seconds requested_at = sim_.now();
-  if (stats_.first_request_at < 0) stats_.first_request_at = requested_at;
+  auto state = std::make_shared<RequestState>();
+  state->url = std::move(request.url);
+  state->done = std::move(request.done);
+  state->requested_at = sim_.now();
+  if (stats_.first_request_at < 0) stats_.first_request_at = state->requested_at;
+  run_attempt(state);
+}
 
-  // Shared state for the request's completion path. A shared_ptr keeps it
-  // alive through the chain of scheduled callbacks.
-  auto state = std::make_shared<PendingRequest>(std::move(request));
+void HttpClient::run_attempt(const StatePtr& state) {
+  ++state->attempt;
+  const int attempt = state->attempt;
+  const FaultDecision fault =
+      faults_ != nullptr ? faults_->decide(state->url, attempt)
+                         : FaultDecision{};
 
-  rrc_.request_channel([this, state, requested_at] {
-    // Channel is up; the request goes on the air now.
+  // Arm the watchdog for this attempt.  Promotion time counts against it —
+  // a phone that cannot get dedicated channels is as stuck as one whose
+  // server went silent.
+  if (retry_.request_timeout > 0) {
+    state->timeout_event = sim_.schedule_in(
+        retry_.request_timeout,
+        [this, state, attempt] { on_timeout(state, attempt); });
+  }
+
+  rrc_.request_channel([this, state, attempt, fault] {
+    // The promotion may complete after the watchdog already abandoned (or
+    // even terminally failed) this attempt; a stale notification must not
+    // touch the radio.
+    if (stale(*state, attempt)) return;
     rrc_.begin_transfer();
+    state->transfer_active = true;
+
+    if (fault.kind == FaultKind::kConnectionLost) {
+      // The connection drops before the response; TCP surfaces the reset
+      // after about one round trip, so the failure is detected (unlike a
+      // stall) and retried without waiting for the watchdog.  The radio
+      // was up and transmitting for the attempt — that energy is spent.
+      state->setup_event =
+          sim_.schedule_in(link_config_.rtt, [this, state, attempt] {
+            if (stale(*state, attempt)) return;
+            ++stats_.connection_losses;
+            abort_attempt(*state);
+            retry_or_fail(state, FetchStatus::kAborted);
+          });
+      return;
+    }
+    if (fault.kind == FaultKind::kStall) {
+      // Response blackhole: the request went out, nothing ever comes back.
+      // Only the watchdog rescues the attempt; until then the transfer
+      // marker pins the radio at transmit power — the realistic cost of a
+      // dead server on a 3G link.
+      return;
+    }
+
     const Resource* lookup = server_.find(state->url);
     const Seconds setup = link_config_.rtt + link_config_.server_latency +
-                          link_config_.slow_start_delay(lookup ? lookup->size : 0);
-    sim_.schedule_in(setup, [this, state, requested_at] {
+                          link_config_.slow_start_delay(lookup ? lookup->size : 0) +
+                          fault.extra_first_byte_latency;
+    state->setup_event = sim_.schedule_in(setup, [this, state, attempt, fault] {
+      if (stale(*state, attempt)) return;
+      state->setup_event = {};
       const Resource* resource = server_.find(state->url);
-      const Bytes size = resource ? resource->size : 0;
-      link_.start_flow(size, [this, state, requested_at, resource] {
-        rrc_.end_transfer();
-        --in_flight_;
-        ++stats_.fetches;
-        if (resource) {
-          stats_.bytes_fetched += resource->size;
-          if (cache_ != nullptr) cache_->insert(*resource);
-        } else {
-          ++stats_.not_found;
-        }
-        stats_.last_byte_at = sim_.now();
-        FetchResult result;
-        result.resource = resource;
-        result.url = state->url;
-        result.requested_at = requested_at;
-        result.completed_at = sim_.now();
-        state->done(result);
-        pump();
-      });
+      if (resource == nullptr) {
+        // 404: the error response is headers-only (a zero-byte flow).
+        state->flow = link_.start_flow(0, [this, state, attempt] {
+          if (stale(*state, attempt)) return;
+          finish(state, nullptr, nullptr, FetchStatus::kNotFound, 0);
+        });
+        return;
+      }
+      Bytes wire_bytes = resource->size;
+      bool truncate = fault.kind == FaultKind::kTruncate && resource->size >= 2;
+      if (truncate) {
+        // Cut at a random byte offset strictly inside the transfer.
+        const auto offset = static_cast<Bytes>(
+            fault.truncate_fraction * static_cast<double>(resource->size));
+        wire_bytes = std::clamp<Bytes>(offset, 1, resource->size - 1);
+      }
+      state->flow = link_.start_flow(
+          wire_bytes, [this, state, attempt, resource, truncate, wire_bytes] {
+            if (stale(*state, attempt)) return;
+            state->flow = 0;
+            if (!truncate) {
+              finish(state, resource, nullptr, FetchStatus::kOk,
+                     resource->size);
+              return;
+            }
+            // The connection died mid-body: synthesize the partial resource
+            // the browser actually holds.  The body is cut at the same
+            // offset as the wire transfer (capped by the real text length;
+            // binary resources carry no body to cut).
+            auto partial = std::make_shared<Resource>();
+            partial->url = resource->url;
+            partial->kind = resource->kind;
+            partial->size = wire_bytes;
+            partial->body = resource->body.substr(
+                0, std::min<std::size_t>(resource->body.size(),
+                                         static_cast<std::size_t>(wire_bytes)));
+            // Grab the raw pointer before the shared_ptr argument is moved
+            // from (argument evaluation order is unspecified).
+            const Resource* body = partial.get();
+            finish(state, body, std::move(partial), FetchStatus::kTruncated,
+                   wire_bytes);
+          });
     });
   });
+}
+
+void HttpClient::abort_attempt(RequestState& state) {
+  sim_.cancel(state.timeout_event);
+  state.timeout_event = {};
+  sim_.cancel(state.setup_event);
+  state.setup_event = {};
+  if (state.flow != 0) {
+    link_.cancel_flow(state.flow);
+    state.flow = 0;
+  }
+  if (state.transfer_active) {
+    // Abandoning the attempt must release the radio transfer marker, or the
+    // RRC machine would pin DCH-transmit power forever (and never rearm its
+    // inactivity timers).
+    rrc_.end_transfer();
+    state.transfer_active = false;
+  }
+}
+
+void HttpClient::on_timeout(const StatePtr& state, int attempt) {
+  if (stale(*state, attempt)) return;
+  ++stats_.timeouts;
+  abort_attempt(*state);
+  retry_or_fail(state, FetchStatus::kTimedOut);
+}
+
+void HttpClient::retry_or_fail(const StatePtr& state, FetchStatus failure) {
+  const int retry_number = state->attempt;  // retry n follows attempt n
+  if (retry_number > retry_.max_retries) {
+    finish(state, nullptr, nullptr, failure, 0);
+    return;
+  }
+  ++stats_.retries;
+  // Exponential backoff before re-driving the whole path — channel request,
+  // transfer marker, first byte — from scratch.  The radio may demote (T1)
+  // during a long backoff; the retry then pays the promotion again, which
+  // is exactly the recovery energy the fault benches measure.
+  sim_.schedule_in(retry_.backoff_before_retry(retry_number),
+                   [this, state] {
+                     if (state->settled) return;
+                     run_attempt(state);
+                   });
+}
+
+void HttpClient::finish(const StatePtr& state, const Resource* resource,
+                        std::shared_ptr<const Resource> owned,
+                        FetchStatus status, Bytes delivered_bytes) {
+  sim_.cancel(state->timeout_event);
+  state->timeout_event = {};
+  state->flow = 0;
+  if (state->transfer_active) {
+    rrc_.end_transfer();
+    state->transfer_active = false;
+  }
+  state->settled = true;
+  --in_flight_;
+  ++stats_.fetches;
+  switch (status) {
+    case FetchStatus::kOk:
+      stats_.bytes_fetched += delivered_bytes;
+      if (cache_ != nullptr && resource != nullptr) cache_->insert(*resource);
+      break;
+    case FetchStatus::kTruncated:
+      // Partial bytes crossed the air interface and are charged, but a
+      // truncated body never enters the cache (a real cache drops entries
+      // shorter than their Content-Length).
+      stats_.bytes_fetched += delivered_bytes;
+      ++stats_.truncated;
+      break;
+    case FetchStatus::kNotFound:
+      ++stats_.not_found;
+      break;
+    case FetchStatus::kTimedOut:
+    case FetchStatus::kAborted:
+      ++stats_.failed;
+      break;
+  }
+  stats_.last_byte_at = sim_.now();
+  FetchResult result;
+  result.resource = resource;
+  result.owned = std::move(owned);
+  result.status = status;
+  result.attempts = state->attempt;
+  result.url = state->url;
+  result.requested_at = state->requested_at;
+  result.completed_at = sim_.now();
+  state->done(result);
+  pump();
 }
 
 }  // namespace eab::net

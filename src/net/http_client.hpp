@@ -8,13 +8,26 @@
 //   4. drains the response body through the processor-shared downlink.
 // The radio transfer marker is held from request send to last byte, so the
 // power model sees exactly when the air interface is busy.
+//
+// Robustness: each network attempt may run under a watchdog timeout
+// (RetryPolicy) and may be perturbed by an attached FaultInjector.  Failed
+// attempts — lost connections, blackholed responses, watchdog expiries —
+// are retried with exponential backoff up to a bounded count; every retry
+// re-drives the radio (channel request, transfer marker) so failed
+// transfers burn realistic promotion and tail energy, and an abandoned
+// attempt always releases its transfer marker before the retry or the
+// terminal report.  A fetch therefore always settles with a terminal
+// FetchStatus; truncated bodies are delivered as partial resources for the
+// fuzz-hardened parsers to chew on.
 #pragma once
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "net/cache.hpp"
+#include "net/fault.hpp"
 #include "net/shared_link.hpp"
 #include "net/web_server.hpp"
 #include "radio/rrc.hpp"
@@ -22,9 +35,46 @@
 
 namespace eab::net {
 
+/// Terminal outcome of one fetch (after all retries).
+enum class FetchStatus {
+  kOk,         ///< full body delivered
+  kNotFound,   ///< the server does not host the URL (404)
+  kTruncated,  ///< connection died mid-body; a partial body was delivered
+  kTimedOut,   ///< watchdog expired on every attempt; nothing usable arrived
+  kAborted,    ///< connection lost on every attempt before the response
+};
+
+const char* to_string(FetchStatus status);
+
+/// Watchdog and retry knobs.  The defaults keep the zero-fault network
+/// byte-identical to a client without any retry machinery: no watchdog
+/// event is ever scheduled when request_timeout is 0, and the retry path
+/// is only reachable through faults or timeouts.
+struct RetryPolicy {
+  /// Per-attempt watchdog; 0 disables it (a blackholed response then hangs
+  /// the load, so enable it whenever stalls are possible).
+  Seconds request_timeout = 0.0;
+  /// Extra attempts after the first (0 = fail fast).
+  int max_retries = 2;
+  /// Backoff before retry n (1-based) is backoff_initial * factor^(n-1).
+  Seconds backoff_initial = 0.5;
+  double backoff_factor = 2.0;
+
+  Seconds backoff_before_retry(int retry_number) const {
+    Seconds wait = backoff_initial;
+    for (int i = 1; i < retry_number; ++i) wait *= backoff_factor;
+    return wait;
+  }
+};
+
 /// Result of one fetch.
 struct FetchResult {
-  const Resource* resource = nullptr;  ///< nullptr when the URL 404s
+  const Resource* resource = nullptr;  ///< nullptr unless kOk / kTruncated
+  /// Backing storage when `resource` is a synthesized partial body
+  /// (kTruncated); keep this alive for as long as `resource` is used.
+  std::shared_ptr<const Resource> owned;
+  FetchStatus status = FetchStatus::kNotFound;
+  int attempts = 1;  ///< network attempts consumed (0 for a cache hit)
   std::string url;
   Seconds requested_at = 0;
   Seconds completed_at = 0;
@@ -32,11 +82,20 @@ struct FetchResult {
 
 /// Statistics over the life of a client.
 struct HttpClientStats {
-  std::size_t fetches = 0;
+  std::size_t fetches = 0;      ///< settled fetches, any status, cache included
   std::size_t not_found = 0;
   std::size_t cache_hits = 0;
-  Bytes bytes_fetched = 0;
+  std::size_t retries = 0;      ///< extra attempts scheduled after failures
+  std::size_t timeouts = 0;     ///< watchdog expiries (attempt-level)
+  std::size_t truncated = 0;    ///< fetches settled with a partial body
+  std::size_t connection_losses = 0;  ///< attempts killed by connection loss
+  std::size_t failed = 0;       ///< fetches settled kTimedOut / kAborted
+  Bytes bytes_fetched = 0;      ///< full + partial bytes actually delivered
   Seconds first_request_at = -1;
+  /// When the most recent fetch settled — network last byte, cache read
+  /// completion, or terminal failure.  Cache hits count: the transfer
+  /// window reported for a cache-heavy revisit load ends at the last
+  /// *delivery*, wherever the bytes came from.
   Seconds last_byte_at = 0;
 };
 
@@ -54,8 +113,16 @@ class HttpClient {
   /// a local lookup latency without touching the radio.
   void set_cache(ResourceCache* cache) { cache_ = cache; }
 
-  /// Queues a fetch; `done` fires when the body has fully arrived (or
-  /// immediately-ish with a null resource for unknown URLs).  High-priority
+  /// Attaches a fault injector (not owned; must outlive the client).  Null
+  /// detaches.  Without one, every attempt proceeds fault-free.
+  void set_fault_injector(const FaultInjector* injector) { faults_ = injector; }
+
+  /// Replaces the watchdog/retry policy for subsequently started attempts.
+  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Queues a fetch; `done` fires when the fetch settles — full body, partial
+  /// body, 404, or terminal network failure after retries.  High-priority
   /// requests jump ahead of queued normal ones (the energy-aware pipeline
   /// fetches discovery-bearing resources — HTML/CSS/JS — before leaf
   /// images, so the reference chain unrolls as early as possible).
@@ -63,7 +130,9 @@ class HttpClient {
 
   /// Number of requests queued but not yet started.
   std::size_t queued() const { return queue_.size(); }
-  /// Number of requests currently in flight.
+  /// Number of requests currently holding a connection slot (a request in
+  /// backoff between attempts keeps its slot: the connection is dedicated
+  /// to the request until it settles).
   int in_flight() const { return in_flight_; }
 
   const HttpClientStats& stats() const { return stats_; }
@@ -74,8 +143,42 @@ class HttpClient {
     OnFetched done;
   };
 
+  /// One fetch's mutable state across its attempts.  A shared_ptr keeps it
+  /// alive through the chain of scheduled callbacks; `attempt` doubles as a
+  /// generation counter so stale callbacks from an aborted attempt (e.g. a
+  /// channel-ready notification arriving after the watchdog fired) are
+  /// recognised and dropped.
+  struct RequestState {
+    std::string url;
+    OnFetched done;
+    Seconds requested_at = 0;
+    int attempt = 0;             ///< 1-based; bumped by every run_attempt
+    bool settled = false;        ///< terminal callback delivered
+    bool transfer_active = false;  ///< begin_transfer not yet matched
+    sim::EventId timeout_event;
+    sim::EventId setup_event;
+    SharedLink::FlowId flow = 0;
+  };
+  using StatePtr = std::shared_ptr<RequestState>;
+
   void pump();
   void start_request(PendingRequest request);
+  void run_attempt(const StatePtr& state);
+  /// True when a callback belonging to attempt `attempt` is stale.
+  static bool stale(const RequestState& state, int attempt) {
+    return state.settled || state.attempt != attempt;
+  }
+  /// Tears down the current attempt's in-flight pieces: watchdog, pending
+  /// first-byte event, link flow, and — critically — the RRC transfer
+  /// marker, which must never outlive an abandoned attempt.
+  void abort_attempt(RequestState& state);
+  void on_timeout(const StatePtr& state, int attempt);
+  /// Schedules the next attempt after backoff, or settles terminally.
+  void retry_or_fail(const StatePtr& state, FetchStatus failure);
+  /// Settles the fetch and frees its connection slot.
+  void finish(const StatePtr& state, const Resource* resource,
+              std::shared_ptr<const Resource> owned, FetchStatus status,
+              Bytes delivered_bytes);
 
   sim::Simulator& sim_;
   const WebServer& server_;
@@ -84,6 +187,8 @@ class HttpClient {
   radio::LinkConfig link_config_;
   int max_parallel_;
   ResourceCache* cache_ = nullptr;
+  const FaultInjector* faults_ = nullptr;
+  RetryPolicy retry_;
   int in_flight_ = 0;
   std::deque<PendingRequest> queue_;
   HttpClientStats stats_;

@@ -12,18 +12,47 @@ SharedLink::SharedLink(sim::Simulator& sim, BytesPerSecond capacity)
   }
 }
 
-void SharedLink::start_flow(Bytes bytes, OnComplete done) {
+SharedLink::FlowId SharedLink::start_flow(Bytes bytes, OnComplete done) {
   if (!done) throw std::invalid_argument("SharedLink::start_flow: empty callback");
   advance_and_reschedule();  // settle elapsed progress before the set changes
-  flows_.push_back(
-      Flow{next_id_++, static_cast<double>(bytes), bytes, std::move(done)});
+  const FlowId id = next_id_++;
+  flows_.push_back(Flow{id, static_cast<double>(bytes), bytes, std::move(done)});
+  advance_and_reschedule();
+  return id;
+}
+
+bool SharedLink::cancel_flow(FlowId id) {
+  // Settle progress first: the flow may in fact have completed at exactly
+  // now(), in which case its callback fires here and the cancel is a miss.
+  advance_and_reschedule();
+  const auto it = std::find_if(flows_.begin(), flows_.end(),
+                               [id](const Flow& f) { return f.id == id; });
+  if (it == flows_.end()) return false;
+  flows_.erase(it);
+  advance_and_reschedule();  // remaining flows split the freed capacity
+  return true;
+}
+
+void SharedLink::pause() {
+  if (paused_) return;
+  advance_and_reschedule();  // bank progress earned before the fade
+  paused_ = true;
+  advance_and_reschedule();  // cancels the pending completion, zeroes the rate
+}
+
+void SharedLink::resume() {
+  if (!paused_) return;
+  // Settle the clock across the frozen window (no bytes drain while paused),
+  // then un-freeze and reschedule from the banked progress.
+  advance_and_reschedule();
+  paused_ = false;
   advance_and_reschedule();
 }
 
 void SharedLink::advance_and_reschedule() {
   const Seconds now = sim_.now();
   const Seconds elapsed = now - last_advance_;
-  if (elapsed > 0 && !flows_.empty()) {
+  if (elapsed > 0 && !flows_.empty() && !paused_) {
     const double drained = capacity_ / static_cast<double>(flows_.size()) * elapsed;
     for (auto& flow : flows_) {
       flow.remaining = std::max(0.0, flow.remaining - drained);
@@ -46,10 +75,11 @@ void SharedLink::advance_and_reschedule() {
     }
   }
 
-  rate_.set_power(now, flows_.empty() ? 0.0 : capacity_);
+  rate_.set_power(now, flows_.empty() || paused_ ? 0.0 : capacity_);
 
   sim_.cancel(next_completion_);
-  if (!flows_.empty()) {
+  next_completion_ = {};
+  if (!flows_.empty() && !paused_) {
     const double min_remaining =
         std::min_element(flows_.begin(), flows_.end(),
                          [](const Flow& a, const Flow& b) {

@@ -5,6 +5,12 @@
 // approximation of TCP fairness on a shared bottleneck).  The link also
 // exposes its instantaneous aggregate rate as a timeline, which is how the
 // Fig 4 traffic-shape experiment observes transfer burstiness.
+//
+// Robustness hooks: flows can be cancelled mid-drain (an HTTP timeout
+// abandoning a stalled response) and the whole link can be paused/resumed
+// (a fault-injected fade window during which every in-flight flow stalls).
+// Neither facility costs anything when unused: a run that never cancels or
+// pauses schedules exactly the same events as before they existed.
 #pragma once
 
 #include <cstdint>
@@ -21,28 +27,46 @@ namespace eab::net {
 class SharedLink {
  public:
   using OnComplete = std::function<void()>;
+  /// Handle to an in-flight flow; 0 is never a valid id.
+  using FlowId = std::uint64_t;
 
   SharedLink(sim::Simulator& sim, BytesPerSecond capacity);
 
   /// Starts a flow of `bytes`; `done` fires when the last byte has drained.
-  /// Zero-byte flows complete on the next simulator step.
-  void start_flow(Bytes bytes, OnComplete done);
+  /// Zero-byte flows complete on the next simulator step.  Returns a handle
+  /// usable with cancel_flow until `done` fires.
+  FlowId start_flow(Bytes bytes, OnComplete done);
 
-  /// Number of flows currently draining.
+  /// Abandons an in-flight flow: its callback never fires and its partially
+  /// delivered bytes are not counted toward delivered().  Returns false if
+  /// the id is unknown (already completed or cancelled).
+  bool cancel_flow(FlowId id);
+
+  /// Freezes the link: in-flight flows stop draining and the delivered rate
+  /// drops to zero until resume().  Flows may still be started (they queue
+  /// at zero progress) and cancelled while paused.  Idempotent.
+  void pause();
+
+  /// Ends a pause; flows resume draining from their frozen progress.
+  void resume();
+
+  bool paused() const { return paused_; }
+
+  /// Number of flows currently draining (or frozen by a pause).
   std::size_t active_flows() const { return flows_.size(); }
 
   /// Aggregate delivered-rate history in bytes/second (capacity when at
-  /// least one flow is active, 0 when idle).
+  /// least one flow is active and the link is not paused, else 0).
   const PowerTimeline& rate_history() const { return rate_; }
 
-  /// Total bytes fully delivered so far.
+  /// Total bytes fully delivered so far (cancelled flows excluded).
   Bytes delivered() const { return delivered_; }
 
   BytesPerSecond capacity() const { return capacity_; }
 
  private:
   struct Flow {
-    std::uint64_t id;
+    FlowId id;
     double remaining;  // bytes still to deliver (fractional during sharing)
     Bytes total;       // original size, for delivered-byte accounting
     OnComplete done;
@@ -57,8 +81,9 @@ class SharedLink {
   std::vector<Flow> flows_;
   Seconds last_advance_ = 0;
   sim::EventId next_completion_;
-  std::uint64_t next_id_ = 1;
+  FlowId next_id_ = 1;
   Bytes delivered_ = 0;
+  bool paused_ = false;
   PowerTimeline rate_;  // reused as a bytes/s step function
 };
 

@@ -1,0 +1,24 @@
+// Stable byte hashing shared by the batch memo cache and the fault layer.
+//
+// FNV-1a is used everywhere a key must hash identically across runs,
+// platforms and standard libraries: the batch engine's content-addressed
+// memo cache and the fault injector's per-URL decision seeding both depend
+// on the exact 64-bit value, so std::hash (unspecified) is not an option.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace eab {
+
+/// 64-bit FNV-1a over a byte string.
+constexpr std::uint64_t fnv1a_64(std::string_view bytes) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+}  // namespace eab

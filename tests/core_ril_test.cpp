@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/session.hpp"
+
 namespace eab::core {
 namespace {
 
@@ -80,6 +82,39 @@ TEST_F(RilFixture, FailureInjectionIsConsumed) {
   ril.request_idle([&](bool ok) { switched = ok; });
   sim.run();
   EXPECT_TRUE(switched);
+}
+
+TEST(RilSessionFallback, ExhaustedRetriesStillDemoteViaTimersInSession) {
+  // The isolated SocketFailureLeavesRadioUnderTimerControl test drives the
+  // switcher by hand; this one asserts the same guarantee inside a full
+  // run_session, where the policy fires the requests and the next page's
+  // promotion depends on the radio actually being timer-controlled.
+  corpus::PageSpec mobile = corpus::m_cnn_spec();
+  corpus::PageSpec full = corpus::espn_sports_spec();
+  const std::vector<PageVisit> visits = {
+      {&mobile, 25.0}, {&full, 40.0}, {&mobile, 8.0}};
+
+  SessionConfig config;
+  config.policy = SessionPolicy::kOriginalAlwaysOff;  // requests IDLE per page
+  config.ril_socket_failures = 3;  // every request dies at the socket hop
+
+  const SessionResult result = run_session(visits, config, 1);
+  EXPECT_EQ(result.pages, 3);
+  // No release ever started: every switch attempt failed...
+  EXPECT_EQ(result.switches_to_idle, 0);
+  EXPECT_EQ(result.ril_socket_failures, 3);
+  // ...yet the radio still reached IDLE during the long reading gaps: the
+  // T1/T2 timers demoted it (a wedged transfer marker would pin DCH and
+  // radio_idle_time would be zero).
+  EXPECT_GT(result.radio_idle_time, 0.0);
+  // And the session matches the plain baseline bit for bit: failed releases
+  // leave the radio exactly as if the policy had never asked.
+  SessionConfig baseline;
+  baseline.policy = SessionPolicy::kBaseline;
+  const SessionResult plain = run_session(visits, baseline, 1);
+  EXPECT_DOUBLE_EQ(result.energy, plain.energy);
+  EXPECT_DOUBLE_EQ(result.radio_idle_time, plain.radio_idle_time);
+  EXPECT_DOUBLE_EQ(result.total_load_delay, plain.total_load_delay);
 }
 
 TEST_F(RilFixture, CallbackIsOptional) {

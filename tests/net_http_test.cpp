@@ -130,6 +130,41 @@ TEST_F(HttpFixture, StatsTrackBytesAndTimes) {
   EXPECT_GT(client.stats().last_byte_at, 0.0);
 }
 
+TEST_F(HttpFixture, CacheHitUpdatesLastByteAt) {
+  // Regression: the cache-hit path used to leave last_byte_at at whatever
+  // the previous *network* fetch set, so a revisit load that ended on cache
+  // hits reported a transfer window that excluded its final deliveries.
+  // Semantics now: last_byte_at is when the most recent fetch settled,
+  // wherever the bytes came from.
+  radio::RrcMachine rrc(sim, rrc_config, power);
+  SharedLink link(sim, link_config.dch_bandwidth);
+  ResourceCache cache(kilobytes(512));
+  HttpClient client(sim, server, link, rrc, link_config);
+  client.set_cache(&cache);
+
+  // Use the image: documents always revalidate, subresources cache.
+  client.fetch("http://x/i.jpg", [](const FetchResult&) {});
+  sim.run();
+  const Seconds network_last_byte = client.stats().last_byte_at;
+  EXPECT_GT(network_last_byte, 0.0);
+
+  // Much later, the same URL is served from the cache.
+  Seconds hit_completed = -1;
+  sim.schedule_in(100.0, [&] {
+    client.fetch("http://x/i.jpg", [&](const FetchResult& r) {
+      EXPECT_EQ(r.attempts, 0);  // no network attempt behind a hit
+      EXPECT_EQ(r.status, FetchStatus::kOk);
+      hit_completed = r.completed_at;
+    });
+  });
+  sim.run();
+  EXPECT_EQ(client.stats().cache_hits, 1u);
+  ASSERT_GT(hit_completed, 100.0);
+  // The stat moved forward to the cache delivery, matching completed_at.
+  EXPECT_DOUBLE_EQ(client.stats().last_byte_at, hit_completed);
+  EXPECT_GT(client.stats().last_byte_at, network_last_byte);
+}
+
 TEST_F(HttpFixture, RadioReturnsToIdleAfterFetchAndTimers) {
   radio::RrcMachine rrc(sim, rrc_config, power);
   SharedLink link(sim, link_config.dch_bandwidth);

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include "browser/text_render.hpp"
+#include "net/fault.hpp"
+#include "net/http_client.hpp"
 #include "util/rng.hpp"
 #include "web/css.hpp"
 #include "web/html_parser.hpp"
@@ -137,6 +139,101 @@ TEST_P(JsFuzz, GarbageIsReportedNeverThrown) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JsFuzz, ::testing::Values(100, 200, 300));
+
+// --- network-layer truncation -------------------------------------------------
+//
+// The fuzz suites above damage inputs by hand; these tests damage them the
+// way the network actually does — a FaultInjector cuts the body at a random
+// wire offset inside a real fetch — and assert the same engine invariants on
+// whatever partial payload the HTTP client delivers.
+
+class NetworkTruncationFuzz : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  /// Fetches `url` (hosted with `body`) under a truncate-everything plan and
+  /// returns the partial body the client delivered.
+  std::string truncated_fetch(const std::string& url, net::ResourceKind kind,
+                              const std::string& body, std::uint64_t seed) {
+    sim::Simulator sim;
+    radio::RrcConfig rrc_config;
+    radio::RadioPowerModel power;
+    radio::LinkConfig link_config;
+    net::WebServer server;
+    net::Resource resource;
+    resource.url = url;
+    resource.kind = kind;
+    resource.size = body.size();
+    resource.body = body;
+    server.host(resource);
+
+    radio::RrcMachine rrc(sim, rrc_config, power);
+    net::SharedLink link(sim, link_config.dch_bandwidth);
+    net::FaultPlan plan;
+    plan.seed = seed;
+    plan.truncate_rate = 1.0;
+    net::FaultInjector injector(sim, link, plan);
+    net::HttpClient client(sim, server, link, rrc, link_config);
+    client.set_fault_injector(&injector);
+
+    net::FetchResult result;
+    client.fetch(url, [&](const net::FetchResult& r) { result = r; });
+    sim.run();
+    EXPECT_EQ(result.status, net::FetchStatus::kTruncated);
+    if (result.resource == nullptr) return {};
+    EXPECT_LT(result.resource->body.size(), body.size());
+    return result.resource->body;
+  }
+};
+
+TEST_P(NetworkTruncationFuzz, HtmlSurvivesFetchParseLayout) {
+  const std::string full = std::string(kValidHtml);
+  for (int round = 0; round < 10; ++round) {
+    const std::string partial = truncated_fetch(
+        "http://t/" + std::to_string(round) + ".html", net::ResourceKind::kHtml,
+        full, GetParam() + round);
+    ParsedHtml parsed;
+    ASSERT_NO_THROW(parsed = parse_html(partial));
+    ASSERT_GE(parsed.dom.node_count(), 1u);
+    browser::Viewport viewport;
+    ASSERT_NO_THROW(browser::estimate_geometry(parsed.dom.root(), viewport));
+    ASSERT_NO_THROW(browser::render_text(parsed.dom.root(), viewport,
+                                         browser::RenderStyle::kFull, 50));
+  }
+}
+
+TEST_P(NetworkTruncationFuzz, CssSurvivesFetchParseMatch) {
+  const std::string full =
+      ".a, div#b .c { color: red; background: url(x.png); }"
+      "@import url(y.css); @media screen { p { margin: 0; } }";
+  for (int round = 0; round < 10; ++round) {
+    const std::string partial = truncated_fetch(
+        "http://t/" + std::to_string(round) + ".css", net::ResourceKind::kCss,
+        full, GetParam() + round);
+    ASSERT_NO_THROW(scan_css_urls(partial));
+    StyleSheet sheet;
+    ASSERT_NO_THROW(sheet = parse_css(partial));
+    const auto doc = parse_html("<div class='a'><p id='b'>x</p></div>");
+    ASSERT_NO_THROW(matching_declarations(sheet, *doc.dom.find_first("p")));
+  }
+}
+
+TEST_P(NetworkTruncationFuzz, JsSurvivesFetchAndExecution) {
+  const std::string full =
+      "var a = 1; for (var i = 0; i < 9; i++) { a = a + i % 3; }"
+      "function f(x) { return x * 2; } var b = f(a);";
+  NullHost host;
+  js::Interpreter interp(host, 100'000);
+  for (int round = 0; round < 10; ++round) {
+    const std::string partial = truncated_fetch(
+        "http://t/" + std::to_string(round) + ".js", net::ResourceKind::kJs,
+        full, GetParam() + round);
+    js::RunResult result;
+    ASSERT_NO_THROW(result = interp.run(partial));
+    EXPECT_TRUE(result.completed || !result.error.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkTruncationFuzz,
+                         ::testing::Values(1000, 2000, 3000));
 
 TEST(HtmlEntities, DecodedInTextAndAttributes) {
   const auto parsed = parse_html(
