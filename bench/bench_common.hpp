@@ -12,6 +12,7 @@
 // number printed is bit-identical to the old serial loops.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -20,6 +21,8 @@
 #include "core/batch.hpp"
 #include "core/experiment.hpp"
 #include "corpus/page_spec.hpp"
+#include "obs/audit.hpp"
+#include "obs/chrome_trace.hpp"
 #include "util/table.hpp"
 
 namespace eab::bench {
@@ -62,14 +65,13 @@ struct BenchmarkAverages {
   double dch_time = 0;       ///< mean DCH residency (s)
 };
 
-/// Runs every spec under `config` and averages the measurements.  An empty
-/// spec list yields zeroed averages (not NaNs).
-inline BenchmarkAverages run_benchmark(const std::vector<corpus::PageSpec>& specs,
-                                       const core::StackConfig& config,
-                                       std::uint64_t seed = 1) {
+/// Averages a batch of already-run loads.  An empty result list yields
+/// zeroed averages (not NaNs).
+inline BenchmarkAverages averages_of(
+    const std::vector<core::SingleLoadResult>& results) {
   BenchmarkAverages avg;
-  if (specs.empty()) return avg;
-  for (const auto& r : run_loads(specs, config, 20.0, seed)) {
+  if (results.empty()) return avg;
+  for (const auto& r : results) {
     avg.tx_time += r.metrics.transmission_time();
     avg.total_time += r.metrics.total_time();
     avg.first_display += r.metrics.first_display - r.metrics.started;
@@ -78,7 +80,7 @@ inline BenchmarkAverages run_benchmark(const std::vector<corpus::PageSpec>& spec
     avg.energy_20s += r.energy_with_reading;
     avg.dch_time += r.dch_time;
   }
-  const auto n = static_cast<double>(specs.size());
+  const auto n = static_cast<double>(results.size());
   avg.tx_time /= n;
   avg.total_time /= n;
   avg.first_display /= n;
@@ -87,6 +89,13 @@ inline BenchmarkAverages run_benchmark(const std::vector<corpus::PageSpec>& spec
   avg.energy_20s /= n;
   avg.dch_time /= n;
   return avg;
+}
+
+/// Runs every spec under `config` and averages the measurements.
+inline BenchmarkAverages run_benchmark(const std::vector<corpus::PageSpec>& specs,
+                                       const core::StackConfig& config,
+                                       std::uint64_t seed = 1) {
+  return averages_of(run_loads(specs, config, 20.0, seed));
 }
 
 /// Percentage saving helper: (base - ours) / base.
@@ -105,6 +114,94 @@ inline std::uint64_t fault_seed_from_env(std::uint64_t fallback) {
   const unsigned long long value = std::strtoull(raw, &end, 10);
   if (end == raw || *end != '\0') return fallback;
   return static_cast<std::uint64_t>(value);
+}
+
+/// EAB_TRACE=1 (anything but unset/empty/"0") turns structured tracing on in
+/// the harnesses that honor it: loads record full traces, every trace is
+/// audited, and the process exits non-zero on any violation.  Off by
+/// default: tracing never changes results, but the recordings cost memory.
+inline bool trace_enabled() {
+  const char* raw = std::getenv("EAB_TRACE");
+  return raw != nullptr && *raw != '\0' &&
+         !(raw[0] == '0' && raw[1] == '\0');
+}
+
+/// Optional directory for Chrome-trace dumps (EAB_TRACE_OUT).  When set and
+/// tracing is on, audited recordings are also serialized to
+/// `<dir>/<label>.trace.json` for Perfetto / chrome://tracing.  Empty = no
+/// dumps.
+inline std::string trace_out_dir() {
+  const char* raw = std::getenv("EAB_TRACE_OUT");
+  return raw == nullptr ? std::string() : std::string(raw);
+}
+
+/// The auditor inputs for one batched load: the run's own radio config,
+/// retry budget and PowerTimeline integral over the observed window.
+inline obs::AuditInputs make_audit_inputs(const core::StackConfig& config,
+                                          const core::SingleLoadResult& r) {
+  obs::AuditInputs inputs;
+  inputs.rrc = config.rrc;
+  inputs.power = config.power;
+  inputs.max_retries = config.retry.max_retries;
+  inputs.radio_energy = r.radio_energy;
+  inputs.t_end = r.observed_until;
+  return inputs;
+}
+
+/// Audits every traced result in `results` against `config`, printing each
+/// violation.  Dumps Chrome traces under EAB_TRACE_OUT when set.  Returns
+/// the number of loads whose audit failed (0 = all invariants held).
+inline int audit_results(const std::vector<core::SingleLoadResult>& results,
+                         const core::StackConfig& config,
+                         const std::string& label) {
+  const obs::TraceAuditor auditor;
+  const std::string out_dir = trace_out_dir();
+  std::string file_label = label;  // labels may hold spaces or URL slashes
+  for (char& c : file_label) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-') c = '_';
+  }
+  int failed = 0;
+  int audited = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::SingleLoadResult& r = results[i];
+    if (!r.trace) continue;
+    ++audited;
+    const auto report = auditor.audit(*r.trace, make_audit_inputs(config, r));
+    if (!report.ok()) {
+      ++failed;
+      std::printf("AUDIT FAIL [%s #%zu]:\n%s\n", label.c_str(), i,
+                  report.summary().c_str());
+    }
+    if (!out_dir.empty()) {
+      obs::write_chrome_trace(out_dir + "/" + file_label + "_" +
+                                  std::to_string(i) + ".trace.json",
+                              *r.trace, r.observed_until);
+    }
+  }
+  if (audited > 0) {
+    std::printf("audit [%s]: %d/%d traced loads passed\n", label.c_str(),
+                audited - failed, audited);
+  }
+  return failed;
+}
+
+/// Writes a metrics registry snapshot beside the bench's JSON output.
+inline void write_metrics_snapshot(const std::string& bench_name,
+                                   const obs::MetricsRegistry& metrics) {
+  const std::string path = "BENCH_" + bench_name + ".metrics.json";
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return;
+  const std::string json = metrics.to_json();
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Snapshot of the shared runner — every load this process batched, merged
+/// in submission order.
+inline void write_metrics_snapshot(const std::string& bench_name) {
+  write_metrics_snapshot(bench_name, shared_runner().metrics());
 }
 
 }  // namespace eab::bench

@@ -42,8 +42,11 @@ core::StackConfig config_at(browser::PipelineMode mode, double rate,
   config.retry.max_retries = 2;
   config.retry.backoff_initial = 0.5;
   config.retry.backoff_factor = 2.0;
+  config.trace = bench::trace_enabled();
   return config;
 }
+
+int g_audit_failures = 0;
 
 struct SweepPoint {
   double rate = 0;
@@ -57,8 +60,12 @@ struct SweepPoint {
 SweepPoint measure(browser::PipelineMode mode, double rate,
                    std::uint64_t seed) {
   const auto specs = corpus::full_benchmark();
-  const auto results =
-      bench::run_loads(specs, config_at(mode, rate, seed), 20.0, 1);
+  const auto config = config_at(mode, rate, seed);
+  const auto results = bench::run_loads(specs, config, 20.0, 1);
+  g_audit_failures += bench::audit_results(
+      results, config,
+      std::string(mode == browser::PipelineMode::kOriginal ? "orig" : "ea") +
+          "-rate" + std::to_string(static_cast<int>(rate * 100)));
   SweepPoint point;
   point.rate = rate;
   for (const auto& r : results) {
@@ -119,12 +126,15 @@ int main() {
   fade_orig.fault_plan.fade_period = 8.0;
   fade_orig.fault_plan.fade_duration = 3.0;
   fade_orig.retry.request_timeout = 20.0;  // fades stall, they don't kill
+  fade_orig.trace = bench::trace_enabled();
   auto fade_ea = fade_orig;
   fade_ea.pipeline.mode = browser::PipelineMode::kEnergyAware;
 
   const auto specs = corpus::full_benchmark();
   const auto fo = bench::run_loads(specs, fade_orig, 20.0, 1);
   const auto fe = bench::run_loads(specs, fade_ea, 20.0, 1);
+  g_audit_failures += bench::audit_results(fo, fade_orig, "fade-orig");
+  g_audit_failures += bench::audit_results(fe, fade_ea, "fade-ea");
   double fade_o_energy = 0, fade_e_energy = 0, fade_o_time = 0, fade_e_time = 0;
   for (const auto& r : fo) {
     fade_o_energy += r.load_energy;
@@ -172,6 +182,11 @@ int main() {
                  fade_o_energy, fade_o_time, fade_e_energy, fade_e_time);
     std::fclose(json);
     std::printf("wrote BENCH_faults.json\n");
+  }
+  bench::write_metrics_snapshot("faults");
+  if (g_audit_failures > 0) {
+    std::printf("FAIL: %d loads violated trace invariants\n", g_audit_failures);
+    return 1;
   }
   return 0;
 }

@@ -17,11 +17,14 @@ using namespace eab;
 struct SessionTotals {
   Joules energy = 0;
   Seconds delay = 0;
+  int audit_failures = 0;  ///< sessions whose trace violated an invariant
 };
 
 /// Runs every user's visit sequence under one policy and sums the totals.
 /// Sessions of different policies end at different times; energy is compared
 /// over a common horizon by padding the shorter session with IDLE power.
+/// Under EAB_TRACE=1 each session records a full trace and the TraceAuditor
+/// replays it against the session's own radio config and energy integral.
 SessionTotals run_policy(
     const std::vector<std::vector<core::PageVisit>>& sessions,
     core::SessionPolicy policy, Seconds threshold, const gbrt::GbrtModel* model,
@@ -31,8 +34,11 @@ SessionTotals run_policy(
   config.policy = policy;
   config.threshold = threshold;
   config.predictor.model = model;
+  const bool traced = bench::trace_enabled();
   std::uint64_t seed = 1;
   for (const auto& visits : sessions) {
+    obs::TraceRecorder recorder;
+    config.trace = traced ? &recorder : nullptr;
     const auto result = core::run_session(visits, config, seed++);
     totals.energy += result.energy;
     if (result.duration < horizon_per_user) {
@@ -40,6 +46,22 @@ SessionTotals run_policy(
           config.stack.power.idle * (horizon_per_user - result.duration);
     }
     totals.delay += result.total_load_delay;
+    if (traced) {
+      obs::AuditInputs inputs;
+      inputs.rrc = config.stack.rrc;
+      inputs.power = config.stack.power;
+      inputs.max_retries = config.stack.retry.max_retries;
+      inputs.radio_energy = result.radio_energy;
+      inputs.t_end = result.duration;
+      const auto report = obs::TraceAuditor().audit(recorder, inputs);
+      if (!report.ok()) {
+        ++totals.audit_failures;
+        std::printf("AUDIT FAIL [%s user %llu]:\n%s\n",
+                    core::to_string(policy),
+                    static_cast<unsigned long long>(seed - 1),
+                    report.summary().c_str());
+      }
+    }
   }
   return totals;
 }
@@ -101,16 +123,22 @@ int main() {
        "slightly below Accurate-20"},
   };
 
+  int audit_failures = baseline.audit_failures;
   TextTable table({"case", "power saving", "delay saving", "paper"});
   for (const Case& c : cases) {
     const SessionTotals totals =
         run_policy(sessions, c.policy, c.threshold,
                    c.needs_model ? &model : nullptr, horizon);
+    audit_failures += totals.audit_failures;
     table.add_row({c.name,
                    format_percent(bench::saving(baseline.energy, totals.energy)),
                    format_percent(bench::saving(baseline.delay, totals.delay)),
                    c.paper});
   }
   std::printf("%s", table.render().c_str());
-  return 0;
+  if (bench::trace_enabled()) {
+    std::printf("audit: %d session traces violated invariants\n",
+                audit_failures);
+  }
+  return audit_failures > 0 ? 1 : 0;
 }

@@ -1,0 +1,138 @@
+// Measures what structured tracing costs: the 64-load batch sweep from
+// bench_throughput run untraced and traced, best-of-N wall clock each.
+//
+// The cost contract (obs/trace.hpp) is that a disabled recorder is one
+// predicted-not-taken branch per site and an enabled one only appends to a
+// vector — never schedules simulator events — so traced results must be
+// bit-identical to untraced ones and the slowdown must stay within a few
+// percent.  This bench asserts the identity (exit 1 on any divergence) and
+// reports the overhead against a 5 % budget in BENCH_obs_overhead.json.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace eab;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<core::BatchJob> make_sweep(bool traced) {
+  std::vector<corpus::PageSpec> pool = corpus::mobile_benchmark();
+  const auto full = corpus::full_benchmark();
+  pool.insert(pool.end(), full.begin(), full.end());
+
+  std::vector<core::BatchJob> jobs;
+  for (std::size_t i = 0; i < 64; ++i) {
+    core::BatchJob job;
+    job.spec = pool[i % pool.size()];
+    job.config = core::StackConfig::for_mode(
+        (i / pool.size()) % 2 == 0 ? browser::PipelineMode::kOriginal
+                                   : browser::PipelineMode::kEnergyAware);
+    job.config.trace = traced;
+    job.reading_window = 20.0;
+    job.seed = derive_seed(1, i);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+/// Best-of-`reps` wall clock for one cold run of `jobs` (a fresh runner per
+/// repetition: the memo cache would otherwise answer every repeat for free).
+double best_wall(const std::vector<core::BatchJob>& jobs, int reps,
+                 std::vector<core::SingleLoadResult>* out) {
+  double best = 1e9;
+  for (int rep = 0; rep < reps; ++rep) {
+    core::BatchRunner runner;
+    const auto start = Clock::now();
+    auto results = runner.run(jobs);
+    best = std::min(best, seconds_since(start));
+    if (out != nullptr && rep == 0) *out = std::move(results);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace eab;
+  bench::print_header("Obs overhead", "tracing cost on the 64-load batch sweep");
+
+  const int kReps = 3;
+  const auto untraced_jobs = make_sweep(false);
+  const auto traced_jobs = make_sweep(true);
+
+  std::vector<core::SingleLoadResult> untraced, traced;
+  const double untraced_s = best_wall(untraced_jobs, kReps, &untraced);
+  const double traced_s = best_wall(traced_jobs, kReps, &traced);
+
+  // The identity the whole subsystem stands on: tracing changes nothing.
+  bool identical = untraced.size() == traced.size();
+  for (std::size_t i = 0; identical && i < untraced.size(); ++i) {
+    const auto& u = untraced[i];
+    const auto& t = traced[i];
+    identical = u.sim_events == t.sim_events &&
+                u.load_energy == t.load_energy &&
+                u.energy_with_reading == t.energy_with_reading &&
+                u.dom_signature == t.dom_signature &&
+                u.metrics.total_time() == t.metrics.total_time() &&
+                u.trace == nullptr && t.trace != nullptr;
+  }
+
+  // While the traces are here, audit every one of them.
+  int audit_failures = 0;
+  for (std::size_t i = 0; i < traced.size(); ++i) {
+    const auto report = obs::TraceAuditor().audit(
+        *traced[i].trace,
+        bench::make_audit_inputs(traced_jobs[i].config, traced[i]));
+    if (!report.ok()) {
+      ++audit_failures;
+      std::printf("AUDIT FAIL [load %zu]:\n%s\n", i, report.summary().c_str());
+    }
+  }
+
+  const double overhead = untraced_s > 0 ? traced_s / untraced_s - 1.0 : 0;
+  double trace_events = 0;
+  for (const auto& t : traced) {
+    trace_events += static_cast<double>(t.trace->size());
+  }
+
+  std::printf("loads: %zu  reps: %d (best-of)\n", untraced_jobs.size(), kReps);
+  std::printf("untraced: %.3f s   traced: %.3f s   overhead: %+.2f%% "
+              "(budget 5%%)\n",
+              untraced_s, traced_s, overhead * 100.0);
+  std::printf("trace events recorded: %.0f (%.0f per load)\n", trace_events,
+              trace_events / static_cast<double>(traced.size()));
+  std::printf("results bit-identical traced vs untraced: %s   audits: %s\n",
+              identical ? "yes" : "NO",
+              audit_failures == 0 ? "all passed" : "FAILED");
+
+  FILE* json = std::fopen("BENCH_obs_overhead.json", "w");
+  if (json) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"loads\": %zu,\n"
+                 "  \"reps\": %d,\n"
+                 "  \"untraced_seconds\": %.6f,\n"
+                 "  \"traced_seconds\": %.6f,\n"
+                 "  \"overhead\": %.6f,\n"
+                 "  \"overhead_budget\": 0.05,\n"
+                 "  \"within_budget\": %s,\n"
+                 "  \"trace_events\": %.0f,\n"
+                 "  \"bit_identical\": %s,\n"
+                 "  \"audit_failures\": %d\n"
+                 "}\n",
+                 untraced_jobs.size(), kReps, untraced_s, traced_s, overhead,
+                 overhead <= 0.05 ? "true" : "false", trace_events,
+                 identical ? "true" : "false", audit_failures);
+    std::fclose(json);
+    std::printf("wrote BENCH_obs_overhead.json\n");
+  }
+  return (identical && audit_failures == 0) ? 0 : 1;
+}

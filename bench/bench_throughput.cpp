@@ -50,12 +50,6 @@ bool identical(const core::SingleLoadResult& a, const core::SingleLoadResult& b)
          a.sim_events == b.sim_events && a.dom_signature == b.dom_signature;
 }
 
-std::uint64_t total_events(const std::vector<core::SingleLoadResult>& results) {
-  std::uint64_t events = 0;
-  for (const auto& r : results) events += r.sim_events;
-  return events;
-}
-
 }  // namespace
 
 int main() {
@@ -81,6 +75,16 @@ int main() {
   const auto parallel = runner.run(jobs);
   const double parallel_s = seconds_since(parallel_start);
 
+  // Simulator internals come from the runner's merged registry (each job
+  // snapshots its own simulator; the merge is submission-ordered), not from
+  // re-summing result fields by hand.  Captured before the replay run so the
+  // totals cover exactly the 64 cold loads.
+  const obs::MetricsRegistry& metrics = runner.metrics();
+  const double events = metrics.value("sim.events_fired");
+  const double cancelled = metrics.value("sim.events_cancelled");
+  const double tombstones = metrics.value("sim.tombstones_popped");
+  const double peak_heap = metrics.value("sim.peak_heap");
+
   // Memo replay: same sweep again, every key a hit.
   const auto replay_start = Clock::now();
   const auto replay = runner.run(jobs);
@@ -93,7 +97,6 @@ int main() {
   }
 
   const auto n = static_cast<double>(jobs.size());
-  const auto events = static_cast<double>(total_events(serial));
   const double speedup = parallel_s > 0 ? serial_s / parallel_s : 0;
 
   TextTable table({"path", "wall (s)", "loads/s", "sim events/s"});
@@ -110,6 +113,9 @@ int main() {
               "cache hits/misses: %zu/%zu  bit-identical: %s\n",
               jobs.size(), runner.threads(), speedup, runner.cache_hits(),
               runner.cache_misses(), all_identical ? "yes" : "NO");
+  std::printf("simulator: %.0f events fired, %.0f cancelled, "
+              "%.0f tombstones popped, peak heap %.0f\n",
+              events, cancelled, tombstones, peak_heap);
 
   FILE* json = std::fopen("BENCH_throughput.json", "w");
   if (json) {
@@ -128,14 +134,19 @@ int main() {
         "  \"speedup\": %.3f,\n"
         "  \"cache_hits\": %zu,\n"
         "  \"cache_misses\": %zu,\n"
+        "  \"events_fired\": %.0f,\n"
+        "  \"events_cancelled\": %.0f,\n"
+        "  \"tombstones_popped\": %.0f,\n"
+        "  \"peak_heap\": %.0f,\n"
         "  \"bit_identical\": %s\n"
         "}\n",
         jobs.size(), runner.threads(), serial_s, parallel_s, replay_s,
         n / serial_s, n / parallel_s, events / serial_s, events / parallel_s,
-        speedup, runner.cache_hits(), runner.cache_misses(),
-        all_identical ? "true" : "false");
+        speedup, runner.cache_hits(), runner.cache_misses(), events, cancelled,
+        tombstones, peak_heap, all_identical ? "true" : "false");
     std::fclose(json);
     std::printf("wrote BENCH_throughput.json\n");
   }
+  bench::write_metrics_snapshot("throughput", runner.metrics());
   return all_identical ? 0 : 1;
 }

@@ -1,42 +1,96 @@
-// Development aid: dumps the link-rate timeline and load milestones for one
-// page under both pipelines, to inspect where transmissions cluster.
+// Development aid: dumps the exact simulated timeline of one page load under
+// both pipelines — load milestones, link-busy windows, RRC state residency,
+// pipeline stage spans and every power-level change point — straight from
+// the structured trace and the recorded PowerTimeline change points, with no
+// fixed-rate resampling to blur edges.
+//
+// Usage: timeline_debug [mobile] [--json]
+//   mobile  use the m.cnn.com spec instead of espn.go.com/sports
+//   --json  additionally write Chrome-trace exports (timeline_orig.trace.json
+//           and timeline_ea.trace.json) loadable in Perfetto/chrome://tracing
 #include <cstdio>
+#include <string>
 
 #include "core/experiment.hpp"
 #include "corpus/page_spec.hpp"
+#include "obs/chrome_trace.hpp"
+#include "radio/rrc_config.hpp"
 
 int main(int argc, char** argv) {
   using namespace eab;
-  const bool mobile = argc > 1 && std::string(argv[1]) == "mobile";
+  bool mobile = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "mobile") mobile = true;
+    if (arg == "--json") json = true;
+  }
   const corpus::PageSpec page =
       mobile ? corpus::m_cnn_spec() : corpus::espn_sports_spec();
 
   for (auto mode : {browser::PipelineMode::kOriginal,
                     browser::PipelineMode::kEnergyAware}) {
-    const auto r = core::run_single_load(page, core::StackConfig::for_mode(mode));
-    std::printf("%s: tx=%.1f total=%.1f first=%.1f layouttail=%.1f E=%.1fJ E20=%.1fJ dch=%.1f\n",
-                mode == browser::PipelineMode::kOriginal ? "ORIG" : "EA  ",
-                r.metrics.transmission_time(), r.metrics.total_time(),
-                r.metrics.first_display, r.metrics.layout_tail_time(),
-                r.load_energy, r.energy_with_reading, r.dch_time);
-    // Link busy intervals (rate switches between 0 and capacity).
+    const bool original = mode == browser::PipelineMode::kOriginal;
+    auto config = core::StackConfig::for_mode(mode);
+    config.trace = true;
+    const auto r = core::run_single_load(page, config);
+    std::printf("%s: tx=%.1f total=%.1f first=%.1f layouttail=%.1f E=%.1fJ "
+                "E20=%.1fJ dch=%.1f trace=%zu events\n",
+                original ? "ORIG" : "EA  ", r.metrics.transmission_time(),
+                r.metrics.total_time(), r.metrics.first_display,
+                r.metrics.layout_tail_time(), r.load_energy,
+                r.energy_with_reading, r.dch_time, r.trace->size());
+
+    // Link busy intervals, read off the exact rate change points (the rate
+    // switches between 0 and capacity; no sampling grid involved).
     std::printf("  link busy: ");
-    const auto samples = r.link_rate.sample(0, r.metrics.total_time(), 0.5);
     bool busy = false;
     double start = 0;
-    for (const auto& s : samples) {
-      const bool now_busy = s.power > 0;
-      if (now_busy && !busy) start = s.time;
-      if (!now_busy && busy) std::printf("[%.1f-%.1f] ", start, s.time);
+    for (const auto& c : r.link_rate.change_points()) {
+      const bool now_busy = c.power > 0;
+      if (now_busy && !busy) start = c.at;
+      if (!now_busy && busy) std::printf("[%.3f-%.3f] ", start, c.at);
       busy = now_busy;
     }
-    if (busy) std::printf("[%.1f-end]", start);
-    std::printf("\n  tail power: ");
-    for (const auto& s2 : r.total_power.sample(r.metrics.transmission_done,
-                                               r.metrics.final_display, 0.25)) {
-      std::printf("%.2f ", s2.power);
+    if (busy) std::printf("[%.3f-end]", start);
+    std::printf("\n");
+
+    // RRC residency reconstructed from the trace's state-enter events.
+    std::printf("  rrc:       ");
+    for (const auto& span : r.trace->rrc_state_spans(r.observed_until)) {
+      std::printf("%s[%.3f-%.3f] ",
+                  radio::to_string(static_cast<radio::RrcState>(span.tag)),
+                  span.begin, span.end);
     }
     std::printf("\n");
+
+    // CPU stage execution spans (parse, scan, decode, reflow, display).
+    std::printf("  stages:    ");
+    for (const auto& span : r.trace->stage_spans()) {
+      std::printf("%s[%.3f-%.3f] ",
+                  obs::to_string(static_cast<obs::Stage>(span.tag)), span.begin,
+                  span.end);
+    }
+    std::printf("\n");
+
+    // Every total-power change point in the layout tail — the window Fig 9
+    // argues from — exactly as recorded.
+    std::printf("  tail power:");
+    for (const auto& c : r.total_power.change_points()) {
+      if (c.at < r.metrics.transmission_done) continue;
+      if (c.at > r.metrics.final_display) break;
+      std::printf(" %.3f@%.3fs", c.power, c.at);
+    }
+    std::printf("\n");
+
+    if (json) {
+      const std::string path =
+          original ? "timeline_orig.trace.json" : "timeline_ea.trace.json";
+      if (obs::write_chrome_trace(path, *r.trace, r.observed_until)) {
+        std::printf("  wrote %s (load in Perfetto / chrome://tracing)\n",
+                    path.c_str());
+      }
+    }
   }
   return 0;
 }

@@ -1,0 +1,111 @@
+// Trace inspection CLI: runs one traced page load, prints the recording in
+// human terms — per-kind event counts, RRC residency, a per-fetch table —
+// runs the cross-layer TraceAuditor over it, and optionally exports the
+// Chrome-trace JSON.  Exits 1 if any audit invariant is violated, so it
+// doubles as a one-shot smoke check of the instrumentation.
+//
+// Usage: trace_inspect [mobile] [--faults] [--json FILE]
+//   mobile       use the m.cnn.com spec instead of espn.go.com/sports
+//   --faults     inject the 20 % composite fault mix (retry/timeout events)
+//   --json FILE  write the Chrome-trace export to FILE
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "corpus/page_spec.hpp"
+#include "obs/audit.hpp"
+#include "obs/chrome_trace.hpp"
+#include "radio/rrc_config.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eab;
+  bool mobile = false;
+  bool faults = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "mobile") mobile = true;
+    if (arg == "--faults") faults = true;
+    if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+  }
+  const corpus::PageSpec page =
+      mobile ? corpus::m_cnn_spec() : corpus::espn_sports_spec();
+
+  auto config = core::StackConfig::for_mode(browser::PipelineMode::kEnergyAware);
+  config.trace = true;
+  if (faults) {
+    config.fault_plan.seed = 20130707;
+    config.fault_plan.connection_loss_rate = 0.08;
+    config.fault_plan.stall_rate = 0.04;
+    config.fault_plan.truncate_rate = 0.04;
+    config.fault_plan.slow_first_byte_rate = 0.04;
+    config.retry.request_timeout = 8.0;
+    config.retry.max_retries = 2;
+    config.retry.backoff_initial = 0.5;
+    config.retry.backoff_factor = 2.0;
+  }
+
+  const auto r = core::run_single_load(page, config);
+  const obs::TraceRecorder& trace = *r.trace;
+  std::printf("page %s  load %.2f s  energy %.1f J  %zu trace events\n\n",
+              page.site.c_str(), r.metrics.total_time(), r.load_energy,
+              trace.size());
+
+  // Per-kind counts, sorted by label.
+  std::map<std::string, std::size_t> by_kind;
+  for (const auto& event : trace.events()) {
+    ++by_kind[obs::to_string(event.kind)];
+  }
+  std::printf("events by kind:\n");
+  for (const auto& [kind, n] : by_kind) {
+    std::printf("  %-22s %zu\n", kind.c_str(), n);
+  }
+
+  // RRC residency, reconstructed from the state-enter stream.
+  std::printf("\nrrc residency (to %.2f s):\n", r.observed_until);
+  for (const auto& span : trace.rrc_state_spans(r.observed_until)) {
+    std::printf("  %-5s %8.3f - %8.3f  (%.3f s)\n",
+                radio::to_string(static_cast<radio::RrcState>(span.tag)),
+                span.begin, span.end, span.duration());
+  }
+
+  // Per-fetch table from the settled events.
+  std::printf("\nfetches:\n");
+  std::printf("  %-40s %8s %6s %10s %9s\n", "url", "settled", "tries", "bytes",
+              "status");
+  for (const auto& event : trace.events()) {
+    if (event.kind != obs::TraceKind::kHttpFetchSettled) continue;
+    std::printf("  %-40s %8.3f %6lld %10.0f %9s\n",
+                trace.name(event.name).c_str(), event.t,
+                static_cast<long long>(event.a), event.x,
+                net::to_string(static_cast<net::FetchStatus>(event.b)));
+  }
+
+  // The cross-layer audit: legality, timers, markers, retries, energy.
+  obs::AuditInputs inputs;
+  inputs.rrc = config.rrc;
+  inputs.power = config.power;
+  inputs.max_retries = config.retry.max_retries;
+  inputs.radio_energy = r.radio_energy;
+  inputs.t_end = r.observed_until;
+  const auto report = obs::TraceAuditor().audit(trace, inputs);
+  std::printf("\naudit: %d transitions, %d fetches, trace energy %.6f J vs "
+              "timeline %.6f J\n",
+              report.transitions_checked, report.fetches_checked,
+              report.trace_energy, report.reference_energy);
+  if (report.ok()) {
+    std::printf("audit: all invariants held\n");
+  } else {
+    std::printf("audit FAILED:\n%s\n", report.summary().c_str());
+  }
+
+  if (!json_path.empty()) {
+    if (obs::write_chrome_trace(json_path, trace, r.observed_until)) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::printf("could not write %s\n", json_path.c_str());
+    }
+  }
+  return report.ok() ? 0 : 1;
+}

@@ -30,4 +30,15 @@ cmake --build build-asan -j "$JOBS" \
 ./build-asan/tests/net_http_test
 ./build-asan/tests/web_robustness_test
 
+echo "== trace audit: benches under EAB_TRACE=1 =="
+# Every load/session records a structured trace and the TraceAuditor replays
+# it (RRC legality, timer discipline, transfer markers, retry budget, energy
+# reconciliation).  The benches exit non-zero on any violation or epsilon
+# breach, which fails this script.
+(cd build/bench && EAB_TRACE=1 ./bench_fig10_energy > /dev/null)
+(cd build/bench && EAB_TRACE=1 ./bench_fig16_policies > /dev/null)
+(cd build/bench && EAB_TRACE=1 ./bench_ext_faults > /dev/null)
+(cd build/bench && ./bench_obs_overhead > /dev/null)
+echo "trace audits passed"
+
 echo "== all checks passed =="

@@ -30,7 +30,18 @@ void PageLoad::start(const std::string& url, OnLoaded done) {
   main_url_ = url;
   on_loaded_ = std::move(done);
   metrics_.started = sim_.now();
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kLoadStart, 0, 0, 0,
+                   trace_->intern(url));
+  }
   issue_fetch(url, net::ResourceKind::kHtml);
+}
+
+void PageLoad::trace_stage(obs::Stage stage, Seconds cost) {
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kStageRun,
+                   static_cast<std::int64_t>(stage), 0, cost);
+  }
 }
 
 // --- JsHost ------------------------------------------------------------------
@@ -138,7 +149,9 @@ void PageLoad::on_resource(const net::FetchResult& result,
 // --- per-kind processing --------------------------------------------------------
 
 void PageLoad::handle_html(const net::Resource& resource, bool is_main) {
-  cpu_.submit(config_.costs.html_parse(resource.size), [this, &resource, is_main] {
+  const Seconds parse_cost = config_.costs.html_parse(resource.size);
+  cpu_.submit(parse_cost, [this, &resource, is_main, parse_cost] {
+    trace_stage(obs::Stage::kHtmlParse, parse_cost);
     web::ParsedHtml harvest;
     web::parse_html_fragment(resource.body, doc_.dom.root(), harvest);
     after_discovery(harvest);
@@ -156,7 +169,11 @@ void PageLoad::handle_html(const net::Resource& resource, bool is_main) {
           config_.costs.text_display_discount *
               (config_.costs.layout_per_node + config_.costs.render_per_node) *
               static_cast<double>(doc_.dom.node_count());
-      cpu_.submit(cost, [this] {
+      cpu_.submit(cost, [this, cost] {
+        trace_stage(obs::Stage::kTextDisplay, cost);
+        if (trace_) {
+          trace_->record(sim_.now(), obs::TraceKind::kIntermediateDisplay);
+        }
         if (metrics_.first_display == 0) metrics_.first_display = sim_.now();
         ++metrics_.intermediate_displays;
       });
@@ -168,7 +185,9 @@ void PageLoad::handle_html(const net::Resource& resource, bool is_main) {
 void PageLoad::handle_css(const net::Resource& resource) {
   if (config_.mode == PipelineMode::kOriginal || !config_.defer_css_parse) {
     // Stock browser: full rule extraction as soon as the sheet arrives.
-    cpu_.submit(config_.costs.css_parse(resource.size), [this, &resource] {
+    const Seconds parse_cost = config_.costs.css_parse(resource.size);
+    cpu_.submit(parse_cost, [this, &resource, parse_cost] {
+      trace_stage(obs::Stage::kCssParse, parse_cost);
       web::StyleSheet sheet = web::parse_css(resource.body);
       for (const auto& url : sheet.url_refs) {
         issue_fetch(url, net::kind_from_url(url));
@@ -184,7 +203,9 @@ void PageLoad::handle_css(const net::Resource& resource) {
     return;
   }
   // Energy-aware: cheap reference scan now, full parse postponed to phase 2.
-  cpu_.submit(config_.costs.css_scan(resource.size), [this, &resource] {
+  const Seconds scan_cost = config_.costs.css_scan(resource.size);
+  cpu_.submit(scan_cost, [this, &resource, scan_cost] {
+    trace_stage(obs::Stage::kCssScan, scan_cost);
     for (const auto& url : web::scan_css_urls(resource.body)) {
       issue_fetch(url, net::kind_from_url(url));
     }
@@ -217,7 +238,9 @@ void PageLoad::pump_scripts() {
 
 void PageLoad::handle_binary(const net::Resource& resource) {
   if (config_.mode == PipelineMode::kOriginal) {
-    cpu_.submit(config_.costs.image_decode(resource.size), [this, &resource] {
+    const Seconds decode_cost = config_.costs.image_decode(resource.size);
+    cpu_.submit(decode_cost, [this, &resource, decode_cost] {
+      trace_stage(obs::Stage::kImageDecode, decode_cost);
       decoded_image_bytes_ += resource.size;
       ++processed_since_redraw_;
       maybe_intermediate_display();
@@ -250,8 +273,9 @@ void PageLoad::run_script(const std::string& source) {
   cost += config_.costs.html_parse(written_bytes);
   metrics_.js_time += cost;
 
-  cpu_.submit(cost, [this, writes = std::move(writes),
+  cpu_.submit(cost, [this, cost, writes = std::move(writes),
                      requests = std::move(requests)] {
+    trace_stage(obs::Stage::kJsRun, cost);
     for (const auto& [url, kind] : requests) issue_fetch(url, kind);
     for (const auto& fragment : writes) {
       web::ParsedHtml harvest;
@@ -305,7 +329,9 @@ void PageLoad::submit_reflow() {
       (sheets_.empty() ? 0.0 : config_.costs.style_format_per_node);
   const Seconds cost = config_.costs.display_overhead +
                        config_.costs.reflow_factor * per_node * nodes;
-  pending_reflow_ = cpu_.submit(cost, [this] {
+  pending_reflow_ = cpu_.submit(cost, [this, cost] {
+    trace_stage(obs::Stage::kReflow, cost);
+    if (trace_) trace_->record(sim_.now(), obs::TraceKind::kIntermediateDisplay);
     redraw_queued_ = false;
     pending_reflow_ = {};
     if (metrics_.first_display == 0) metrics_.first_display = sim_.now();
@@ -332,6 +358,10 @@ void PageLoad::transmission_complete() {
   // The paper's "data transmission time" runs to the last received byte;
   // any processing still draining after it is computation, not transmission.
   metrics_.transmission_done = last_byte_at_ > 0 ? last_byte_at_ : sim_.now();
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kTransmissionComplete, 0, 0,
+                   metrics_.transmission_done);
+  }
   if (on_tx_complete_) on_tx_complete_();
   begin_layout_phase();
 }
@@ -346,12 +376,16 @@ void PageLoad::begin_layout_phase() {
   if (config_.mode == PipelineMode::kEnergyAware) {
     // Postponed layout computation: full CSS parse, then image decodes.
     for (const net::Resource* css : deferred_css_) {
-      cpu_.submit(config_.costs.css_parse(css->size), [this, css] {
+      const Seconds parse_cost = config_.costs.css_parse(css->size);
+      cpu_.submit(parse_cost, [this, css, parse_cost] {
+        trace_stage(obs::Stage::kCssParse, parse_cost);
         sheets_.push_back(web::parse_css(css->body));
       });
     }
     for (const net::Resource* image : deferred_images_) {
-      cpu_.submit(config_.costs.image_decode(image->size), [this, image] {
+      const Seconds decode_cost = config_.costs.image_decode(image->size);
+      cpu_.submit(decode_cost, [this, image, decode_cost] {
+        trace_stage(obs::Stage::kImageDecode, decode_cost);
         decoded_image_bytes_ += image->size;
       });
     }
@@ -365,8 +399,11 @@ void PageLoad::begin_layout_phase() {
           ? style_layout_render_cost()
           : config_.costs.render_per_node *
                 static_cast<double>(doc_.dom.node_count());
-  cpu_.submit(final_cost + config_.costs.display_overhead,
-              [this] { finish_load(); });
+  const Seconds display_cost = final_cost + config_.costs.display_overhead;
+  cpu_.submit(display_cost, [this, display_cost] {
+    trace_stage(obs::Stage::kFinalDisplay, display_cost);
+    finish_load();
+  });
 }
 
 Seconds PageLoad::style_layout_render_cost() const {
@@ -379,6 +416,10 @@ Seconds PageLoad::style_layout_render_cost() const {
 void PageLoad::finish_load() {
   phase_ = Phase::kDone;
   metrics_.final_display = sim_.now();
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kLoadDone, 0, 0,
+                   metrics_.final_display);
+  }
   if (metrics_.first_display == 0) metrics_.first_display = metrics_.final_display;
 
   geometry_ = estimate_geometry(doc_.dom.root(), config_.viewport);

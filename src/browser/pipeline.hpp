@@ -32,6 +32,7 @@
 #include "browser/features.hpp"
 #include "browser/layout.hpp"
 #include "net/http_client.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "web/css.hpp"
 #include "web/html_parser.hpp"
@@ -121,6 +122,10 @@ class PageLoad : public web::js::JsHost {
   /// layout phase) — the energy-aware controller releases the radio here.
   void set_on_transmission_complete(OnEvent hook) { on_tx_complete_ = std::move(hook); }
 
+  /// Attaches a trace recorder (nullptr detaches).  Recording is synchronous
+  /// and never schedules events, so behavior is identical either way.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
   /// The (final) document; valid after the load completes.
   const web::DomTree& dom() const { return doc_.dom; }
 
@@ -159,10 +164,14 @@ class PageLoad : public web::js::JsHost {
   void finish_load();
   Seconds style_layout_render_cost() const;
 
+  /// Records one kStageRun span ending now (the CPU task that just ran).
+  void trace_stage(obs::Stage stage, Seconds cost);
+
   sim::Simulator& sim_;
   net::HttpClient& client_;
   CpuScheduler& cpu_;
   PipelineConfig config_;
+  obs::TraceRecorder* trace_ = nullptr;
   Rng rng_;
 
   Phase phase_ = Phase::kIdle;

@@ -112,6 +112,10 @@ void write_config(KeyWriter& w, const StackConfig& config) {
   w.i32(config.max_parallel_connections);
   w.boolean(config.use_browser_cache);
   w.u64(config.browser_cache_bytes);
+  // Tracing never changes simulation results, but a traced SingleLoadResult
+  // carries its recording — an untraced job must not be served one (or vice
+  // versa), so the flag is part of the identity.
+  w.boolean(config.trace);
 
   const auto& fault = config.fault_plan;
   w.u64(fault.seed);
@@ -227,6 +231,7 @@ BatchRunner::~BatchRunner() = default;
 std::vector<SingleLoadResult> BatchRunner::run(
     const std::vector<BatchJob>& jobs) {
   std::vector<SingleLoadResult> results(jobs.size());
+  const std::size_t hits_before = cache_hits_;
 
   // Resolve each job against the memo cache and collapse within-batch
   // duplicates, leaving one work item per distinct uncached key.
@@ -288,6 +293,15 @@ std::vector<SingleLoadResult> BatchRunner::run(
     }
     cache_.emplace(std::move(work[i].key), std::move(computed[i]));
   }
+
+  // Merge per-job registries in submission order over the fanned-out
+  // results (memo hits included: a served job still happened).  The merge
+  // order — and with it the snapshot — depends only on the job list, never
+  // on which worker finished first.
+  metrics_.count("batch.jobs", static_cast<double>(jobs.size()));
+  metrics_.count("batch.memo_hits",
+                 static_cast<double>(cache_hits_ - hits_before));
+  for (const SingleLoadResult& r : results) metrics_.merge(r.job_metrics);
   return results;
 }
 

@@ -79,6 +79,14 @@ class BatchRunner {
   std::size_t cache_size() const { return cache_.size(); }
   void clear_cache() { cache_.clear(); }
 
+  /// Accumulated metrics over every job this runner has executed: each
+  /// job's per-load registry (SingleLoadResult::job_metrics) merged in
+  /// submission order — the merge order, and therefore the snapshot, is
+  /// identical whether the runner had one worker or many — plus batch.jobs
+  /// and batch.memo_hits counters for the engine itself.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  void clear_metrics() { metrics_ = {}; }
+
   /// EAB_JOBS / hardware_concurrency resolution (exposed for tests).
   static int resolve_jobs(int requested);
 
@@ -95,6 +103,7 @@ class BatchRunner {
   std::unordered_map<std::string, SingleLoadResult, Fnv1aHash> cache_;
   std::size_t cache_hits_ = 0;
   std::size_t cache_misses_ = 0;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace eab::core

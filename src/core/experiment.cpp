@@ -58,6 +58,17 @@ SingleLoadResult run_single_load(const corpus::PageSpec& spec,
     load.set_on_transmission_complete([&ril] { ril.request_idle(); });
   }
 
+  std::shared_ptr<obs::TraceRecorder> recorder;
+  if (config.trace) {
+    recorder = std::make_shared<obs::TraceRecorder>();
+    rrc.set_trace(recorder.get());
+    link.set_trace(recorder.get());
+    client.set_trace(recorder.get());
+    if (faults) faults->set_trace(recorder.get());
+    load.set_trace(recorder.get());
+    ril.set_trace(recorder.get());
+  }
+
   bool done = false;
   browser::LoadMetrics metrics;
   load.start(url, [&done, &metrics](const browser::LoadMetrics& m) {
@@ -94,6 +105,48 @@ SingleLoadResult run_single_load(const corpus::PageSpec& spec,
   result.link_fades = faults ? faults->fades_started() : 0;
   result.sim_events = sim.fired_count();
   result.dom_signature = load.dom().signature();
+  result.observed_until = metrics.final_display + reading_window;
+  result.radio_energy = rrc.power().energy(0.0, result.observed_until);
+  result.trace = std::move(recorder);
+
+  obs::MetricsRegistry& m = result.job_metrics;
+  m.count("sim.events_fired", static_cast<double>(sim.fired_count()));
+  m.count("sim.events_cancelled", static_cast<double>(sim.cancelled_count()));
+  m.count("sim.tombstones_popped",
+          static_cast<double>(sim.tombstones_popped()));
+  m.set_max("sim.peak_heap", static_cast<double>(sim.peak_heap_size()));
+  const net::HttpClientStats& http = client.stats();
+  m.count("http.fetches", static_cast<double>(http.fetches));
+  m.count("http.cache_hits", static_cast<double>(http.cache_hits));
+  m.count("http.retries", static_cast<double>(http.retries));
+  m.count("http.timeouts", static_cast<double>(http.timeouts));
+  m.count("http.truncated", static_cast<double>(http.truncated));
+  m.count("http.connection_losses",
+          static_cast<double>(http.connection_losses));
+  m.count("http.failed", static_cast<double>(http.failed));
+  m.count("http.not_found", static_cast<double>(http.not_found));
+  m.count("http.bytes_fetched", static_cast<double>(http.bytes_fetched));
+  m.count("rrc.idle_promotions", rrc.idle_promotions());
+  m.count("rrc.fach_promotions", rrc.fach_promotions());
+  m.count("rrc.forced_releases", rrc.forced_releases());
+  m.count("rrc.small_transfers", rrc.small_transfers());
+  m.count("rrc.dwell_idle_s", rrc.time_in(radio::RrcState::kIdle));
+  m.count("rrc.dwell_fach_s", rrc.time_in(radio::RrcState::kFach));
+  m.count("rrc.dwell_dch_s", rrc.time_in(radio::RrcState::kDch));
+  m.count("load.objects", result.metrics.objects_fetched);
+  m.count("load.failed_resources", result.metrics.failed_resources);
+  m.count("load.truncated_resources", result.metrics.truncated_resources);
+  m.count("load.intermediate_displays",
+          result.metrics.intermediate_displays);
+  m.count("load.bytes", static_cast<double>(result.metrics.bytes_fetched));
+  m.count("fault.fades", result.link_fades);
+  if (result.trace) {
+    m.count("trace.events", static_cast<double>(result.trace->size()));
+  }
+  m.observe("load.total_s", result.metrics.total_time());
+  m.observe("load.transmission_s", result.metrics.transmission_time());
+  m.observe("energy.load_j", result.load_energy);
+  m.observe("energy.with_reading_j", result.energy_with_reading);
   return result;
 }
 

@@ -8,11 +8,14 @@
 // residency that feeds the capacity model (Fig 11).
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "browser/pipeline.hpp"
 #include "corpus/generator.hpp"
 #include "net/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "radio/rrc_config.hpp"
 #include "util/timeline.hpp"
 
@@ -40,6 +43,11 @@ struct StackConfig {
   /// off (no extra events); any plan with a stall rate requires a positive
   /// request_timeout or the load could hang forever.
   net::RetryPolicy retry;
+  /// Record a structured event trace of the run (obs::TraceRecorder attached
+  /// to every layer).  Recording never schedules simulator events, so every
+  /// simulation result — sim_events included — is identical either way; the
+  /// returned SingleLoadResult carries the recording in `trace`.
+  bool trace = false;
 
   /// Convenience: a stack for the given mode with everything else default.
   static StackConfig for_mode(browser::PipelineMode mode);
@@ -68,6 +76,14 @@ struct SingleLoadResult {
   std::string dom_signature;       ///< structural DOM fingerprint
   PowerTimeline total_power;       ///< radio + CPU (Figs 1 and 9)
   PowerTimeline link_rate;         ///< delivered bytes/s (Fig 4)
+  Joules radio_energy = 0;  ///< radio-only integral over [0, end of reading]
+  Seconds observed_until = 0;  ///< end of the observed window (display+reading)
+  /// Per-job observability snapshot (always filled: counters for the
+  /// simulator core, HTTP client, radio and load, plus duration/energy
+  /// histograms).  BatchRunner merges these in submission order.
+  obs::MetricsRegistry job_metrics;
+  /// The structured event recording; non-null iff StackConfig::trace.
+  std::shared_ptr<obs::TraceRecorder> trace;
 };
 
 /// Rejects fault/retry combinations that could hang a simulation (a stall

@@ -8,6 +8,7 @@ RilStateSwitcher::RilStateSwitcher(sim::Simulator& sim, radio::RrcMachine& rrc,
 
 void RilStateSwitcher::request_idle(OnResult on_result) {
   ++requests_;
+  if (trace_) trace_->record(sim_.now(), obs::TraceKind::kRilRequest);
   auto finish = [on_result = std::move(on_result)](bool switched) {
     if (on_result) on_result(switched);
   };
@@ -17,12 +18,14 @@ void RilStateSwitcher::request_idle(OnResult on_result) {
     if (failures_to_inject_ > 0) {
       --failures_to_inject_;
       ++socket_failures_;
+      if (trace_) trace_->record(sim_.now(), obs::TraceKind::kRilSocketFailure);
       finish(false);
       return;
     }
     sim_.schedule_in(latencies_.framework_to_rild, [this, finish]() mutable {
       // rild -> firmware, then the firmware starts the release.
       sim_.schedule_in(latencies_.rild_to_firmware, [this, finish]() mutable {
+        if (trace_) trace_->record(sim_.now(), obs::TraceKind::kRilForwarded);
         const bool switched = rrc_.force_idle();
         if (switched) ++releases_;
         finish(switched);

@@ -10,6 +10,7 @@
 
 #include <functional>
 
+#include "obs/trace.hpp"
 #include "radio/rrc.hpp"
 #include "sim/simulator.hpp"
 
@@ -46,10 +47,15 @@ class RilStateSwitcher {
   int releases_started() const { return releases_; }
   int socket_failures() const { return socket_failures_; }
 
+  /// Attaches a trace recorder (nullptr detaches).  Recording is synchronous
+  /// and never schedules events, so behavior is identical either way.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   sim::Simulator& sim_;
   radio::RrcMachine& rrc_;
   RilLatencies latencies_;
+  obs::TraceRecorder* trace_ = nullptr;
   int requests_ = 0;
   int releases_ = 0;
   int socket_failures_ = 0;

@@ -71,6 +71,14 @@ SessionResult run_session(const std::vector<PageVisit>& visits,
     faults.emplace(sim, link, config.stack.fault_plan);
   }
 
+  obs::TraceRecorder* const trace = config.trace;
+  if (trace != nullptr) {
+    rrc.set_trace(trace);
+    link.set_trace(trace);
+    ril.set_trace(trace);
+    if (faults) faults->set_trace(trace);
+  }
+
   SessionResult result;
   std::vector<std::unique_ptr<net::HttpClient>> clients;
   std::vector<std::unique_ptr<browser::PageLoad>> loads;
@@ -92,6 +100,7 @@ SessionResult run_session(const std::vector<PageVisit>& visits,
     if (config.stack.use_browser_cache) clients.back()->set_cache(&cache);
     clients.back()->set_retry_policy(config.stack.retry);
     if (faults) clients.back()->set_fault_injector(&*faults);
+    if (trace != nullptr) clients.back()->set_trace(trace);
     browser::PipelineConfig pipeline = config.stack.pipeline;
     pipeline.mode = uses_original_pipeline(config.policy)
                         ? browser::PipelineMode::kOriginal
@@ -100,6 +109,7 @@ SessionResult run_session(const std::vector<PageVisit>& visits,
     loads.push_back(std::make_unique<browser::PageLoad>(
         sim, *clients.back(), cpu, pipeline, seed ^ (index * 0x9E3779B97F4AULL)));
     browser::PageLoad& load = *loads.back();
+    if (trace != nullptr) load.set_trace(trace);
 
     load.start(visit.spec->main_url(), [&, index, clicked_at](
                                            const browser::LoadMetrics& m) {
@@ -114,6 +124,9 @@ SessionResult run_session(const std::vector<PageVisit>& visits,
           break;
         case SessionPolicy::kOriginalAlwaysOff:
         case SessionPolicy::kEnergyAwareAlwaysOff:
+          if (trace != nullptr) {
+            trace->record(sim.now(), obs::TraceKind::kPolicyDecision, 1);
+          }
           switch_to_idle();
           break;
         case SessionPolicy::kAccurate:
@@ -121,16 +134,36 @@ SessionResult run_session(const std::vector<PageVisit>& visits,
           // threshold exactly as the deployed system would be.
           if (current.reading_time > config.alpha &&
               current.reading_time > config.threshold) {
-            sim.schedule_in(config.alpha, switch_to_idle);
+            if (trace != nullptr) {
+              trace->record(sim.now(), obs::TraceKind::kPolicyAlphaWait, 0, 0,
+                            config.alpha);
+            }
+            sim.schedule_in(config.alpha, [&] {
+              if (trace != nullptr) {
+                trace->record(sim.now(), obs::TraceKind::kPolicyDecision, 1);
+              }
+              switch_to_idle();
+            });
           }
           break;
         case SessionPolicy::kPredict:
           if (current.reading_time > config.alpha) {
             browser::PageLoad* opened = loads.back().get();
+            if (trace != nullptr) {
+              trace->record(sim.now(), obs::TraceKind::kPolicyAlphaWait, 0, 0,
+                            config.alpha);
+            }
             sim.schedule_in(config.alpha, [&, opened] {
               const Seconds predicted =
                   config.predictor.predict_seconds(opened->features());
-              if (predicted > config.threshold) switch_to_idle();
+              const bool switch_now = predicted > config.threshold;
+              if (trace != nullptr) {
+                trace->record(sim.now(), obs::TraceKind::kPolicyPrediction, 0,
+                              0, predicted);
+                trace->record(sim.now(), obs::TraceKind::kPolicyDecision,
+                              switch_now ? 1 : 0, 0, predicted);
+              }
+              if (switch_now) switch_to_idle();
             });
           }
           break;
@@ -139,11 +172,22 @@ SessionResult run_session(const std::vector<PageVisit>& visits,
           // switch if Tr > Td, or Tr > Tp in power-driven mode.
           if (current.reading_time > config.controller.alpha) {
             browser::PageLoad* opened = loads.back().get();
+            if (trace != nullptr) {
+              trace->record(sim.now(), obs::TraceKind::kPolicyAlphaWait, 0, 0,
+                            config.controller.alpha);
+            }
             sim.schedule_in(config.controller.alpha, [&, opened] {
               const EnergyAwareController controller(config.controller);
               const Seconds predicted = controller.predict_reading_time(
                   config.predictor, opened->features());
-              if (controller.should_switch(predicted)) switch_to_idle();
+              const bool switch_now = controller.should_switch(predicted);
+              if (trace != nullptr) {
+                trace->record(sim.now(), obs::TraceKind::kPolicyPrediction, 0,
+                              0, predicted);
+                trace->record(sim.now(), obs::TraceKind::kPolicyDecision,
+                              switch_now ? 1 : 0, 0, predicted);
+              }
+              if (switch_now) switch_to_idle();
             });
           }
           break;
@@ -162,6 +206,7 @@ SessionResult run_session(const std::vector<PageVisit>& visits,
       PowerTimeline::sum(rrc.power(), cpu.power()).energy(0.0, result.duration);
   result.ril_socket_failures = ril.socket_failures();
   result.radio_idle_time = rrc.time_in(radio::RrcState::kIdle);
+  result.radio_energy = rrc.power().energy(0.0, result.duration);
   return result;
 }
 

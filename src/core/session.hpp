@@ -48,6 +48,11 @@ struct SessionConfig {
   /// requests die at the framework->rild socket hop (a crashed/restarting
   /// rild).  The radio must then demote via its T1/T2 timers alone.
   int ril_socket_failures = 0;
+  /// Optional structured tracing: when set (caller-owned, must outlive the
+  /// run), every layer of the session stack — radio, link, every per-page
+  /// client and pipeline, the RIL chain and the policy itself — records into
+  /// it.  Recording never schedules events; results are identical either way.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Aggregates of one session run.
@@ -59,6 +64,7 @@ struct SessionResult {
   int switches_to_idle = 0;     ///< policy-initiated releases
   int ril_socket_failures = 0;  ///< injected socket-hop failures consumed
   Seconds radio_idle_time = 0;  ///< total IDLE residency over the session
+  Joules radio_energy = 0;      ///< radio-only integral (TraceAuditor input)
   std::vector<Seconds> page_load_times;
 };
 

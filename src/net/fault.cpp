@@ -61,11 +61,15 @@ FaultInjector::FaultInjector(sim::Simulator& sim, SharedLink& link,
   // simulation alive forever.
   for (int i = 0; i < plan_.fade_count; ++i) {
     const Seconds begin = plan_.fade_start + i * plan_.fade_period;
-    sim_.schedule_at(begin, [this] {
+    sim_.schedule_at(begin, [this, i] {
+      if (trace_) trace_->record(sim_.now(), obs::TraceKind::kLinkFadeStart, i);
       ++fades_started_;
       link_.pause();
     });
-    sim_.schedule_at(begin + plan_.fade_duration, [this] { link_.resume(); });
+    sim_.schedule_at(begin + plan_.fade_duration, [this, i] {
+      if (trace_) trace_->record(sim_.now(), obs::TraceKind::kLinkFadeEnd, i);
+      link_.resume();
+    });
   }
 }
 

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "net/shared_link.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/units.hpp"
 
@@ -97,10 +98,15 @@ class FaultInjector {
   /// Fade windows that have begun so far.
   int fades_started() const { return fades_started_; }
 
+  /// Attaches a trace recorder (nullptr detaches).  Fade windows record at
+  /// fire time, so attaching after construction still captures them.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   sim::Simulator& sim_;
   SharedLink& link_;
   FaultPlan plan_;
+  obs::TraceRecorder* trace_ = nullptr;
   int fades_started_ = 0;
 };
 

@@ -37,17 +37,31 @@ HttpClient::HttpClient(sim::Simulator& sim, const WebServer& server,
 void HttpClient::fetch(const std::string& url, OnFetched done,
                        bool high_priority) {
   if (!done) throw std::invalid_argument("HttpClient::fetch: empty callback");
+  const std::uint32_t trace_name = trace_ ? trace_->intern(url) : 0;
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kHttpFetchQueued, 0, 0, 0,
+                   trace_name);
+  }
   if (cache_ != nullptr) {
     if (const Resource* cached = cache_->lookup(url)) {
       // Local hit: flash-read latency, no radio, no link.
       const Seconds requested_at = sim_.now();
       if (stats_.first_request_at < 0) stats_.first_request_at = requested_at;
       sim_.schedule_in(kCacheLookupLatency,
-                       [this, cached, url, requested_at,
+                       [this, cached, url, requested_at, trace_name,
                         done = std::move(done)] {
                          ++stats_.fetches;
                          ++stats_.cache_hits;
                          stats_.last_byte_at = sim_.now();
+                         if (trace_) {
+                           trace_->record(sim_.now(),
+                                          obs::TraceKind::kHttpCacheHit, 0, 0,
+                                          0, trace_name);
+                           trace_->record(
+                               sim_.now(), obs::TraceKind::kHttpFetchSettled, 0,
+                               static_cast<std::int64_t>(FetchStatus::kOk),
+                               static_cast<double>(cached->size), trace_name);
+                         }
                          FetchResult result;
                          result.resource = cached;
                          result.status = FetchStatus::kOk;
@@ -82,6 +96,7 @@ void HttpClient::start_request(PendingRequest request) {
   state->url = std::move(request.url);
   state->done = std::move(request.done);
   state->requested_at = sim_.now();
+  state->trace_name = trace_ ? trace_->intern(state->url) : 0;
   if (stats_.first_request_at < 0) stats_.first_request_at = state->requested_at;
   run_attempt(state);
 }
@@ -92,6 +107,15 @@ void HttpClient::run_attempt(const StatePtr& state) {
   const FaultDecision fault =
       faults_ != nullptr ? faults_->decide(state->url, attempt)
                          : FaultDecision{};
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kHttpAttemptStart, attempt, 0, 0,
+                   state->trace_name);
+    if (fault.kind != FaultKind::kNone) {
+      trace_->record(sim_.now(), obs::TraceKind::kFaultDecision, attempt,
+                     static_cast<std::int64_t>(fault.kind),
+                     fault.extra_first_byte_latency, state->trace_name);
+    }
+  }
 
   // Arm the watchdog for this attempt.  Promotion time counts against it —
   // a phone that cannot get dedicated channels is as stuck as one whose
@@ -142,6 +166,10 @@ void HttpClient::run_attempt(const StatePtr& state) {
       const Resource* resource = server_.find(state->url);
       if (resource == nullptr) {
         // 404: the error response is headers-only (a zero-byte flow).
+        if (trace_) {
+          trace_->record(sim_.now(), obs::TraceKind::kHttpFirstByte, attempt, 0,
+                         0, state->trace_name);
+        }
         state->flow = link_.start_flow(0, [this, state, attempt] {
           if (stale(*state, attempt)) return;
           finish(state, nullptr, nullptr, FetchStatus::kNotFound, 0);
@@ -155,6 +183,10 @@ void HttpClient::run_attempt(const StatePtr& state) {
         const auto offset = static_cast<Bytes>(
             fault.truncate_fraction * static_cast<double>(resource->size));
         wire_bytes = std::clamp<Bytes>(offset, 1, resource->size - 1);
+      }
+      if (trace_) {
+        trace_->record(sim_.now(), obs::TraceKind::kHttpFirstByte, attempt, 0,
+                       static_cast<double>(wire_bytes), state->trace_name);
       }
       state->flow = link_.start_flow(
           wire_bytes, [this, state, attempt, resource, truncate, wire_bytes] {
@@ -207,6 +239,10 @@ void HttpClient::abort_attempt(RequestState& state) {
 void HttpClient::on_timeout(const StatePtr& state, int attempt) {
   if (stale(*state, attempt)) return;
   ++stats_.timeouts;
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kHttpWatchdogFire, attempt, 0, 0,
+                   state->trace_name);
+  }
   abort_attempt(*state);
   retry_or_fail(state, FetchStatus::kTimedOut);
 }
@@ -218,6 +254,11 @@ void HttpClient::retry_or_fail(const StatePtr& state, FetchStatus failure) {
     return;
   }
   ++stats_.retries;
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kHttpRetryScheduled,
+                   retry_number, 0, retry_.backoff_before_retry(retry_number),
+                   state->trace_name);
+  }
   // Exponential backoff before re-driving the whole path — channel request,
   // transfer marker, first byte — from scratch.  The radio may demote (T1)
   // during a long backoff; the retry then pays the promotion again, which
@@ -263,6 +304,11 @@ void HttpClient::finish(const StatePtr& state, const Resource* resource,
       break;
   }
   stats_.last_byte_at = sim_.now();
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kHttpFetchSettled,
+                   state->attempt, static_cast<std::int64_t>(status),
+                   static_cast<double>(delivered_bytes), state->trace_name);
+  }
   FetchResult result;
   result.resource = resource;
   result.owned = std::move(owned);

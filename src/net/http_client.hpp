@@ -28,6 +28,7 @@
 
 #include "net/cache.hpp"
 #include "net/fault.hpp"
+#include "obs/trace.hpp"
 #include "net/shared_link.hpp"
 #include "net/web_server.hpp"
 #include "radio/rrc.hpp"
@@ -121,6 +122,10 @@ class HttpClient {
   void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_; }
 
+  /// Attaches a trace recorder (nullptr detaches).  Recording is synchronous
+  /// and never schedules events, so behavior is identical either way.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
   /// Queues a fetch; `done` fires when the fetch settles — full body, partial
   /// body, 404, or terminal network failure after retries.  High-priority
   /// requests jump ahead of queued normal ones (the energy-aware pipeline
@@ -158,6 +163,7 @@ class HttpClient {
     sim::EventId timeout_event;
     sim::EventId setup_event;
     SharedLink::FlowId flow = 0;
+    std::uint32_t trace_name = 0;  ///< interned url (0 when tracing is off)
   };
   using StatePtr = std::shared_ptr<RequestState>;
 
@@ -188,6 +194,7 @@ class HttpClient {
   int max_parallel_;
   ResourceCache* cache_ = nullptr;
   const FaultInjector* faults_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
   RetryPolicy retry_;
   int in_flight_ = 0;
   std::deque<PendingRequest> queue_;

@@ -17,6 +17,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/timeline.hpp"
 #include "util/units.hpp"
@@ -64,6 +65,10 @@ class SharedLink {
 
   BytesPerSecond capacity() const { return capacity_; }
 
+  /// Attaches a trace recorder (nullptr detaches).  Recording is synchronous
+  /// and never schedules events, so behavior is identical either way.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   struct Flow {
     FlowId id;
@@ -78,6 +83,7 @@ class SharedLink {
 
   sim::Simulator& sim_;
   BytesPerSecond capacity_;
+  obs::TraceRecorder* trace_ = nullptr;
   std::vector<Flow> flows_;
   Seconds last_advance_ = 0;
   sim::EventId next_completion_;

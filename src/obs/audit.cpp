@@ -1,0 +1,311 @@
+#include "obs/audit.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+namespace eab::obs {
+namespace {
+
+// Kept local to avoid linking the radio library (which itself links obs).
+const char* state_name(std::int64_t s) {
+  switch (s) {
+    case 0: return "IDLE";
+    case 1: return "FACH";
+    case 2: return "DCH";
+  }
+  return "?";
+}
+
+constexpr std::int64_t kIdle = 0;
+constexpr std::int64_t kFach = 1;
+constexpr std::int64_t kDch = 2;
+
+enum class Phase { kStable, kPromoting, kReleasing };
+
+/// Mutable replay state plus violation collection.
+struct Replay {
+  const AuditInputs& in;
+  const TraceRecorder& trace;
+  AuditReport report;
+  std::size_t suppressed = 0;
+
+  // Radio replica (mirrors RrcMachine exactly).
+  std::int64_t state = kIdle;
+  Phase phase = Phase::kStable;
+  std::int64_t transfers = 0;
+  bool fach_tx = false;
+  // Timer id -> armed deadline (absent = not armed).
+  std::unordered_map<std::int64_t, Seconds> timers;
+
+  // Energy integration.
+  Seconds cursor = 0;
+  Joules energy = 0;
+
+  // HTTP bookkeeping per interned url.
+  struct FetchCounts {
+    std::int64_t queued = 0;
+    std::int64_t settled = 0;
+  };
+  std::unordered_map<std::uint32_t, FetchCounts> fetches;
+
+  explicit Replay(const TraceRecorder& t, const AuditInputs& i)
+      : in(i), trace(t) {}
+
+  template <typename... Args>
+  void violate(Seconds t, const char* fmt, Args... args) {
+    if (report.violations.size() >= TraceAuditor::kMaxReported) {
+      ++suppressed;
+      return;
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    char line[320];
+    std::snprintf(line, sizeof line, "t=%.6f: %s", t, buf);
+    report.violations.emplace_back(line);
+  }
+
+  /// The radio power level implied by the replica — the exact mirror of
+  /// RrcMachine::update_power plus the small-transfer special case.
+  Watts level() const {
+    switch (phase) {
+      case Phase::kPromoting:
+        return state == kIdle ? in.rrc.idle_to_dch_power
+                              : in.rrc.fach_to_dch_power;
+      case Phase::kReleasing:
+        return in.rrc.release_power;
+      case Phase::kStable:
+        switch (state) {
+          case kIdle: return in.power.idle;
+          case kFach:
+            return fach_tx ? in.power.fach_transfer : in.power.fach;
+          case kDch:
+            return transfers > 0 ? in.power.dch_transfer
+                                 : in.power.dch_no_transfer;
+        }
+    }
+    return in.power.idle;
+  }
+
+  void advance_to(Seconds t) {
+    if (t < cursor - 1e-12) {
+      violate(t, "event time moved backwards (cursor %.6f)", cursor);
+      return;
+    }
+    if (t > cursor) {
+      energy += level() * (t - cursor);
+      cursor = t;
+    }
+  }
+
+  bool legal_transition(std::int64_t from, std::int64_t to) const {
+    return (from == kIdle && to == kDch) || (from == kFach && to == kDch) ||
+           (from == kDch && to == kFach) || (from == kFach && to == kIdle) ||
+           (from == kDch && to == kIdle);
+  }
+
+  void on_event(const TraceEvent& e) {
+    advance_to(e.t);
+    switch (e.kind) {
+      case TraceKind::kRrcStateEnter: {
+        ++report.transitions_checked;
+        if (e.a != state) {
+          violate(e.t, "state enter claims from=%s but replica is in %s",
+                  state_name(e.a), state_name(state));
+        }
+        if (!legal_transition(e.a, e.b)) {
+          violate(e.t, "illegal RRC transition %s -> %s", state_name(e.a),
+                  state_name(e.b));
+        }
+        state = e.b;
+        break;
+      }
+      case TraceKind::kRrcTimerSet: {
+        if (timers.count(e.a) != 0) {
+          violate(e.t, "T%lld re-armed without cancel or fire",
+                  static_cast<long long>(e.a));
+        }
+        timers[e.a] = e.x;
+        break;
+      }
+      case TraceKind::kRrcTimerCancel: {
+        if (timers.erase(e.a) == 0) {
+          violate(e.t, "T%lld cancelled while not armed",
+                  static_cast<long long>(e.a));
+        }
+        break;
+      }
+      case TraceKind::kRrcTimerFire: {
+        const auto it = timers.find(e.a);
+        if (it == timers.end()) {
+          violate(e.t, "T%lld fired while not armed",
+                  static_cast<long long>(e.a));
+        } else {
+          if (std::abs(it->second - e.t) > 1e-9) {
+            violate(e.t, "T%lld fired at %.6f but was armed for %.6f",
+                    static_cast<long long>(e.a), e.t, it->second);
+          }
+          timers.erase(it);
+        }
+        break;
+      }
+      case TraceKind::kRrcPromotionStart: {
+        if (phase != Phase::kStable) {
+          violate(e.t, "promotion started while signalling already in flight");
+        }
+        if (e.a != state) {
+          violate(e.t, "promotion claims from=%s but replica is in %s",
+                  state_name(e.a), state_name(state));
+        }
+        if (state == kDch) violate(e.t, "promotion started from DCH");
+        phase = Phase::kPromoting;
+        break;
+      }
+      case TraceKind::kRrcPromotionDone: {
+        if (phase != Phase::kPromoting) {
+          violate(e.t, "promotion completed without a matching start");
+        }
+        phase = Phase::kStable;
+        break;
+      }
+      case TraceKind::kRrcReleaseStart: {
+        if (phase != Phase::kStable) {
+          violate(e.t, "release started while signalling in flight");
+        }
+        if (state == kIdle) violate(e.t, "release started from IDLE");
+        if (transfers != 0) {
+          violate(e.t, "release started with %lld active transfers",
+                  static_cast<long long>(transfers));
+        }
+        phase = Phase::kReleasing;
+        break;
+      }
+      case TraceKind::kRrcReleaseDone: {
+        if (phase != Phase::kReleasing) {
+          violate(e.t, "release completed without a matching start");
+        }
+        phase = Phase::kStable;
+        break;
+      }
+      case TraceKind::kRrcTransferBegin: {
+        if (phase != Phase::kStable || state != kDch) {
+          violate(e.t, "transfer begun off a stable DCH (state=%s)",
+                  state_name(state));
+        }
+        ++transfers;
+        if (e.b != transfers) {
+          violate(e.t, "transfer count drifted: event says %lld, replay %lld",
+                  static_cast<long long>(e.b),
+                  static_cast<long long>(transfers));
+        }
+        break;
+      }
+      case TraceKind::kRrcTransferEnd: {
+        if (transfers <= 0) {
+          violate(e.t, "transfer ended with no transfer active");
+        } else {
+          --transfers;
+        }
+        if (e.b != transfers) {
+          violate(e.t, "transfer count drifted: event says %lld, replay %lld",
+                  static_cast<long long>(e.b),
+                  static_cast<long long>(transfers));
+        }
+        break;
+      }
+      case TraceKind::kRrcSmallTxStart: {
+        if (phase != Phase::kStable || state != kFach || fach_tx) {
+          violate(e.t, "small transfer started off an idle stable FACH");
+        }
+        fach_tx = true;
+        break;
+      }
+      case TraceKind::kRrcSmallTxEnd: {
+        if (!fach_tx) violate(e.t, "small transfer ended without a start");
+        fach_tx = false;
+        break;
+      }
+      case TraceKind::kHttpFetchQueued:
+        ++fetches[e.name].queued;
+        break;
+      case TraceKind::kHttpRetryScheduled: {
+        if (e.a > in.max_retries) {
+          violate(e.t, "retry %lld of '%s' exceeds max_retries=%d",
+                  static_cast<long long>(e.a), trace.name(e.name).c_str(),
+                  in.max_retries);
+        }
+        break;
+      }
+      case TraceKind::kHttpFetchSettled: {
+        ++report.fetches_checked;
+        ++fetches[e.name].settled;
+        if (e.a > in.max_retries + 1) {
+          violate(e.t, "fetch of '%s' consumed %lld attempts (budget %d)",
+                  trace.name(e.name).c_str(), static_cast<long long>(e.a),
+                  in.max_retries + 1);
+        }
+        break;
+      }
+      default:
+        break;  // informational kinds carry no audited invariant
+    }
+  }
+
+  void finish() {
+    advance_to(in.t_end);
+    if (transfers != 0) {
+      violate(in.t_end, "trace ends with %lld transfer markers still held",
+              static_cast<long long>(transfers));
+    }
+    if (fach_tx) {
+      violate(in.t_end, "trace ends with a FACH small transfer still active");
+    }
+    for (const auto& [name, counts] : fetches) {
+      if (counts.queued != counts.settled) {
+        violate(in.t_end, "fetch of '%s' queued %lld times, settled %lld",
+                trace.name(name).c_str(),
+                static_cast<long long>(counts.queued),
+                static_cast<long long>(counts.settled));
+      }
+    }
+
+    report.trace_energy = energy;
+    report.reference_energy = in.radio_energy;
+    const double diff = std::abs(energy - in.radio_energy);
+    const double rel = diff / std::max(std::abs(in.radio_energy), 1e-12);
+    if (diff > 1e-9 && rel > in.energy_rel_eps) {
+      violate(in.t_end,
+              "trace energy %.9f J diverges from PowerTimeline %.9f J "
+              "(rel %.3g > eps %.3g)",
+              energy, in.radio_energy, rel, in.energy_rel_eps);
+    }
+
+    if (suppressed > 0) {
+      char line[64];
+      std::snprintf(line, sizeof line, "... and %zu more violations",
+                    suppressed);
+      report.violations.emplace_back(line);
+    }
+  }
+};
+
+}  // namespace
+
+std::string AuditReport::summary() const {
+  std::string out;
+  for (const std::string& v : violations) {
+    out += v;
+    out += '\n';
+  }
+  return out;
+}
+
+AuditReport TraceAuditor::audit(const TraceRecorder& trace,
+                                const AuditInputs& inputs) const {
+  Replay replay(trace, inputs);
+  for (const TraceEvent& e : trace.events()) replay.on_event(e);
+  replay.finish();
+  return std::move(replay.report);
+}
+
+}  // namespace eab::obs

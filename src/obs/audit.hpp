@@ -1,0 +1,74 @@
+// Cross-layer trace auditor.
+//
+// Replays a TraceRecorder recording and checks invariants that span layers,
+// turning determinism from a test-time property into a checked runtime one:
+//
+//  * RRC legality — only transitions the UMTS machine can make (IDLE->DCH
+//    and FACH->DCH via promotion, DCH->FACH via T1, FACH->IDLE via T2 or
+//    release, DCH->IDLE via release), promotions/releases only from a stable
+//    phase, transfers only begun on a stable DCH.
+//  * Timer discipline — T1/T2 fire only while armed, exactly at their
+//    recorded deadline, and are never re-armed without an intervening
+//    cancel or fire.
+//  * Transfer markers — begin/end counts balance, the active count never
+//    goes negative and ends at zero (the PR-2 leak class, now audited on
+//    every traced run instead of asserted in one regression test).
+//  * Retry budget — every settled fetch consumed at most 1 + max_retries
+//    attempts; scheduled retries never exceed max_retries; every queued
+//    fetch settles exactly once.
+//  * Energy reconciliation — the radio power level implied by the event
+//    stream (state dwell times x Table-5 powers, plus promotion/release
+//    signalling powers and the FACH shared-channel transmit level),
+//    integrated over the run, must match the PowerTimeline energy integral
+//    to within epsilon.  A drift means an instrumentation gap or a power
+//    accounting bug.
+//
+// The auditor only reads the recording plus plain configuration structs, so
+// it can run anywhere a trace exists: unit tests, the bench harnesses under
+// EAB_TRACE=1 (scripts/check.sh fails the build on any violation), or the
+// trace_inspect CLI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "radio/rrc_config.hpp"
+#include "util/units.hpp"
+
+namespace eab::obs {
+
+/// Everything the replay needs besides the recording itself.
+struct AuditInputs {
+  radio::RrcConfig rrc;          ///< signalling powers and timer values
+  radio::RadioPowerModel power;  ///< Table-5 state power levels
+  int max_retries = 2;           ///< RetryPolicy budget per fetch
+  Joules radio_energy = 0;       ///< PowerTimeline integral over [0, t_end]
+  Seconds t_end = 0;             ///< end of the audited window
+  double energy_rel_eps = 1e-6;  ///< relative reconciliation tolerance
+};
+
+/// Outcome of one audit.
+struct AuditReport {
+  std::vector<std::string> violations;  ///< empty = every invariant held
+  Joules trace_energy = 0;      ///< energy integral reconstructed from events
+  Joules reference_energy = 0;  ///< the PowerTimeline integral audited against
+  int transitions_checked = 0;
+  int fetches_checked = 0;
+
+  bool ok() const { return violations.empty(); }
+  /// Violations joined one per line (empty string when ok).
+  std::string summary() const;
+};
+
+/// Replays recordings against the invariants above.
+class TraceAuditor {
+ public:
+  /// At most this many violations are itemized; further ones are elided
+  /// behind a final "... and N more" entry.
+  static constexpr std::size_t kMaxReported = 32;
+
+  AuditReport audit(const TraceRecorder& trace, const AuditInputs& inputs) const;
+};
+
+}  // namespace eab::obs

@@ -1,0 +1,231 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdio>
+#include <deque>
+#include <unordered_map>
+
+namespace eab::obs {
+namespace {
+
+// Track layout (tid) inside the single simulated process (pid 1).
+constexpr int kRadioTrack = 1;
+constexpr int kCpuTrack = 2;
+constexpr int kNetTrack = 3;
+constexpr int kEventTrack = 4;
+
+const char* rrc_state_name(std::int64_t s) {
+  switch (s) {
+    case 0: return "IDLE";
+    case 1: return "FACH";
+    case 2: return "DCH";
+  }
+  return "?";
+}
+
+const char* fetch_status_name(std::int64_t s) {
+  switch (s) {
+    case 0: return "ok";
+    case 1: return "not-found";
+    case 2: return "truncated";
+    case 3: return "timed-out";
+    case 4: return "aborted";
+  }
+  return "?";
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+class Writer {
+ public:
+  explicit Writer(std::string& out) : out_(out) {}
+
+  void slice(const char* name, Seconds begin, Seconds duration, int tid,
+             const std::string& args_json = "{}") {
+    emit("X", name, begin, duration, tid, args_json);
+  }
+
+  void instant(const char* name, Seconds at, int tid,
+               const std::string& args_json = "{}") {
+    emit("i", name, at, 0, tid, args_json);
+  }
+
+  void thread_name(int tid, const char* name) {
+    char buf[256];
+    out_ += first_ ? "    {" : ",\n    {";
+    first_ = false;
+    std::snprintf(buf, sizeof buf,
+                  "\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+                  "\"tid\": %d, \"args\": {\"name\": \"%s\"}}",
+                  tid, name);
+    out_ += buf;
+  }
+
+ private:
+  void emit(const char* ph, const char* name, Seconds at, Seconds duration,
+            int tid, const std::string& args_json) {
+    char buf[160];
+    out_ += first_ ? "    {" : ",\n    {";
+    first_ = false;
+    out_ += "\"name\": \"";
+    append_escaped(out_, name);
+    out_ += "\", ";
+    std::snprintf(buf, sizeof buf, "\"ph\": \"%s\", \"ts\": %.3f, ", ph,
+                  at * 1e6);
+    out_ += buf;
+    if (ph[0] == 'X') {
+      std::snprintf(buf, sizeof buf, "\"dur\": %.3f, ", duration * 1e6);
+      out_ += buf;
+    }
+    if (ph[0] == 'i') out_ += "\"s\": \"t\", ";
+    std::snprintf(buf, sizeof buf, "\"pid\": 1, \"tid\": %d, \"args\": ", tid);
+    out_ += buf;
+    out_ += args_json;
+    out_ += "}";
+  }
+
+  std::string& out_;
+  bool first_ = true;
+};
+
+std::string number_args(const char* key, double value) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "{\"%s\": %.9g}", key, value);
+  return buf;
+}
+
+std::string url_args(const TraceRecorder& trace, const TraceEvent& e) {
+  std::string out = "{";
+  if (e.name != 0) {
+    out += "\"url\": \"";
+    append_escaped(out, trace.name(e.name));
+    out += "\", ";
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "\"a\": %lld, \"b\": %lld, \"x\": %.9g}",
+                static_cast<long long>(e.a), static_cast<long long>(e.b), e.x);
+  out += buf;
+  return out;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceRecorder& trace, Seconds t_end) {
+  if (t_end <= 0 && !trace.empty()) t_end = trace.events().back().t;
+
+  std::string out;
+  out.reserve(256 + trace.size() * 160);
+  out += "{\"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  Writer w(out);
+
+  // Track names (metadata must precede use for chrome://tracing).
+  const struct {
+    int tid;
+    const char* name;
+  } tracks[] = {{kRadioTrack, "radio (RRC)"},
+                {kCpuTrack, "browser CPU stages"},
+                {kNetTrack, "network fetches"},
+                {kEventTrack, "events"}};
+  for (const auto& track : tracks) {
+    w.thread_name(track.tid, track.name);
+  }
+
+  // RRC residency as slices on the radio track.
+  for (const TraceSpan& span : trace.rrc_state_spans(t_end)) {
+    w.slice(rrc_state_name(span.tag), span.begin, span.duration(), kRadioTrack);
+  }
+
+  // Per-fetch lifetime slices: queued -> settled, FIFO per url.
+  std::unordered_map<std::uint32_t, std::deque<Seconds>> open_fetches;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind == TraceKind::kHttpFetchQueued) {
+      open_fetches[e.name].push_back(e.t);
+    } else if (e.kind == TraceKind::kHttpFetchSettled) {
+      auto& queue = open_fetches[e.name];
+      if (queue.empty()) continue;  // unbalanced; the auditor reports it
+      const Seconds begin = queue.front();
+      queue.pop_front();
+      char args[192];
+      std::snprintf(args, sizeof args,
+                    "{\"attempts\": %lld, \"status\": \"%s\", \"bytes\": %.0f}",
+                    static_cast<long long>(e.a), fetch_status_name(e.b), e.x);
+      w.slice(trace.name(e.name).c_str(), begin, e.t - begin, kNetTrack, args);
+    }
+  }
+
+  // Everything else: stage slices on the CPU track, instants elsewhere.
+  for (const TraceEvent& e : trace.events()) {
+    switch (e.kind) {
+      case TraceKind::kRrcStateEnter:
+      case TraceKind::kHttpFetchQueued:
+      case TraceKind::kHttpFetchSettled:
+        break;  // already rendered as slices
+      case TraceKind::kStageRun:
+        w.slice(to_string(static_cast<Stage>(e.a)), e.t - e.x, e.x, kCpuTrack);
+        break;
+      case TraceKind::kHttpAttemptStart:
+      case TraceKind::kHttpFirstByte:
+      case TraceKind::kHttpWatchdogFire:
+      case TraceKind::kHttpRetryScheduled:
+      case TraceKind::kHttpCacheHit:
+      case TraceKind::kFaultDecision:
+        w.instant(to_string(e.kind), e.t, kNetTrack, url_args(trace, e));
+        break;
+      case TraceKind::kRrcTimerSet:
+      case TraceKind::kRrcTimerCancel:
+      case TraceKind::kRrcTimerFire:
+      case TraceKind::kRrcPromotionStart:
+      case TraceKind::kRrcPromotionDone:
+      case TraceKind::kRrcReleaseStart:
+      case TraceKind::kRrcReleaseDone:
+      case TraceKind::kRrcTransferBegin:
+      case TraceKind::kRrcTransferEnd:
+      case TraceKind::kRrcSmallTxStart:
+      case TraceKind::kRrcSmallTxEnd:
+        w.instant(to_string(e.kind), e.t, kRadioTrack,
+                  number_args("a", static_cast<double>(e.a)));
+        break;
+      case TraceKind::kPolicyPrediction:
+      case TraceKind::kPolicyDecision:
+      case TraceKind::kPolicyAlphaWait:
+      case TraceKind::kLoadDone:
+        w.instant(to_string(e.kind), e.t, kEventTrack,
+                  number_args("x", e.x));
+        break;
+      default:
+        w.instant(to_string(e.kind), e.t, kEventTrack, url_args(trace, e));
+        break;
+    }
+  }
+
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path, const TraceRecorder& trace,
+                        Seconds t_end) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json(trace, t_end);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace eab::obs

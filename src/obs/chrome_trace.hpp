@@ -1,0 +1,25 @@
+// Chrome-trace-event export of a TraceRecorder recording.
+//
+// Produces the JSON object format consumed by Perfetto / chrome://tracing:
+// RRC state residency, pipeline stage execution and per-fetch lifetimes
+// render as duration ("X") slices on separate tracks, everything else as
+// instant events with their payloads in args.  Timestamps are simulated
+// microseconds.
+#pragma once
+
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace eab::obs {
+
+/// Serializes the recording; `t_end` closes the final open RRC interval
+/// (pass the end of the simulated window; <= 0 falls back to the last
+/// event's timestamp).
+std::string chrome_trace_json(const TraceRecorder& trace, Seconds t_end = 0);
+
+/// Writes chrome_trace_json to `path`; returns false on I/O failure.
+bool write_chrome_trace(const std::string& path, const TraceRecorder& trace,
+                        Seconds t_end = 0);
+
+}  // namespace eab::obs

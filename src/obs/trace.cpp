@@ -1,0 +1,113 @@
+#include "obs/trace.hpp"
+
+#include <stdexcept>
+
+namespace eab::obs {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kRrcStateEnter: return "rrc.state_enter";
+    case TraceKind::kRrcTimerSet: return "rrc.timer_set";
+    case TraceKind::kRrcTimerCancel: return "rrc.timer_cancel";
+    case TraceKind::kRrcTimerFire: return "rrc.timer_fire";
+    case TraceKind::kRrcPromotionStart: return "rrc.promotion_start";
+    case TraceKind::kRrcPromotionDone: return "rrc.promotion_done";
+    case TraceKind::kRrcReleaseStart: return "rrc.release_start";
+    case TraceKind::kRrcReleaseDone: return "rrc.release_done";
+    case TraceKind::kRrcTransferBegin: return "rrc.transfer_begin";
+    case TraceKind::kRrcTransferEnd: return "rrc.transfer_end";
+    case TraceKind::kRrcSmallTxStart: return "rrc.small_tx_start";
+    case TraceKind::kRrcSmallTxEnd: return "rrc.small_tx_end";
+    case TraceKind::kHttpFetchQueued: return "http.queued";
+    case TraceKind::kHttpCacheHit: return "http.cache_hit";
+    case TraceKind::kHttpAttemptStart: return "http.attempt_start";
+    case TraceKind::kHttpFirstByte: return "http.first_byte";
+    case TraceKind::kHttpWatchdogFire: return "http.watchdog_fire";
+    case TraceKind::kHttpRetryScheduled: return "http.retry_scheduled";
+    case TraceKind::kHttpFetchSettled: return "http.settled";
+    case TraceKind::kFaultDecision: return "fault.decision";
+    case TraceKind::kLinkFadeStart: return "fault.fade_start";
+    case TraceKind::kLinkFadeEnd: return "fault.fade_end";
+    case TraceKind::kLinkFlowStart: return "link.flow_start";
+    case TraceKind::kLinkFlowComplete: return "link.flow_complete";
+    case TraceKind::kLinkFlowCancel: return "link.flow_cancel";
+    case TraceKind::kLinkPause: return "link.pause";
+    case TraceKind::kLinkResume: return "link.resume";
+    case TraceKind::kLoadStart: return "load.start";
+    case TraceKind::kStageRun: return "load.stage";
+    case TraceKind::kIntermediateDisplay: return "load.intermediate_display";
+    case TraceKind::kTransmissionComplete: return "load.transmission_complete";
+    case TraceKind::kLoadDone: return "load.done";
+    case TraceKind::kPolicyAlphaWait: return "policy.alpha_wait";
+    case TraceKind::kPolicyPrediction: return "policy.prediction";
+    case TraceKind::kPolicyDecision: return "policy.decision";
+    case TraceKind::kRilRequest: return "ril.request";
+    case TraceKind::kRilSocketFailure: return "ril.socket_failure";
+    case TraceKind::kRilForwarded: return "ril.forwarded";
+  }
+  return "?";
+}
+
+const char* to_string(Stage stage) {
+  switch (stage) {
+    case Stage::kHtmlParse: return "html-parse";
+    case Stage::kCssScan: return "css-scan";
+    case Stage::kCssParse: return "css-parse";
+    case Stage::kJsRun: return "js-run";
+    case Stage::kImageDecode: return "image-decode";
+    case Stage::kReflow: return "reflow";
+    case Stage::kTextDisplay: return "text-display";
+    case Stage::kFinalDisplay: return "final-display";
+  }
+  return "?";
+}
+
+std::uint32_t TraceRecorder::intern(std::string_view s) {
+  if (const auto it = ids_.find(std::string(s)); it != ids_.end()) {
+    return it->second;
+  }
+  strings_.emplace_back(s);
+  const auto id = static_cast<std::uint32_t>(strings_.size());
+  ids_.emplace(strings_.back(), id);
+  return id;
+}
+
+const std::string& TraceRecorder::name(std::uint32_t id) const {
+  if (id == 0 || id > strings_.size()) {
+    throw std::out_of_range("TraceRecorder::name: unknown intern id");
+  }
+  return strings_[id - 1];
+}
+
+std::size_t TraceRecorder::count(TraceKind kind) const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::vector<TraceSpan> TraceRecorder::rrc_state_spans(Seconds t_end) const {
+  std::vector<TraceSpan> spans;
+  Seconds mark = 0;
+  std::int64_t state = 0;  // RrcState::kIdle
+  for (const TraceEvent& e : events_) {
+    if (e.kind != TraceKind::kRrcStateEnter) continue;
+    if (e.t > mark) spans.push_back(TraceSpan{mark, e.t, state});
+    mark = e.t;
+    state = e.b;
+  }
+  if (t_end > mark) spans.push_back(TraceSpan{mark, t_end, state});
+  return spans;
+}
+
+std::vector<TraceSpan> TraceRecorder::stage_spans() const {
+  std::vector<TraceSpan> spans;
+  for (const TraceEvent& e : events_) {
+    if (e.kind != TraceKind::kStageRun) continue;
+    spans.push_back(TraceSpan{e.t - e.x, e.t, e.a});
+  }
+  return spans;
+}
+
+}  // namespace eab::obs

@@ -1,0 +1,163 @@
+// Structured simulation tracing.
+//
+// Every layer of the stack — the RRC state machine, the HTTP client, the
+// shared downlink, the fault injector, the browser pipelines and the policy
+// controller — can record typed events stamped with simulated time into one
+// per-run TraceRecorder.  The paper argues from exactly these timelines
+// (Fig 1/9 power-state traces, Fig 4 per-transfer traffic shapes); the
+// recorder makes the same reasoning available for every run, and the
+// TraceAuditor (obs/audit.hpp) replays a recording to check cross-layer
+// invariants that aggregate numbers cannot express.
+//
+// Cost contract: components hold a raw `TraceRecorder*` that defaults to
+// nullptr.  Every instrumentation site is `if (trace_) trace_->record(...)`,
+// so a disabled recorder costs one predicted-not-taken branch and changes no
+// behavior — recording never schedules simulator events, so `sim_events` and
+// every simulation result are bit-identical with tracing on or off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace eab::obs {
+
+/// Every event type the instrumented layers emit.  Payload fields `a`, `b`
+/// and `x` are typed per kind (documented inline); `name` is an interned
+/// string id (URLs), 0 when unused.
+enum class TraceKind : std::uint8_t {
+  // --- radio/rrc -----------------------------------------------------------
+  kRrcStateEnter,      ///< a = from RrcState, b = to RrcState
+  kRrcTimerSet,        ///< a = timer (1=T1, 2=T2), x = absolute deadline
+  kRrcTimerCancel,     ///< a = timer (1=T1, 2=T2)
+  kRrcTimerFire,       ///< a = timer (1=T1, 2=T2)
+  kRrcPromotionStart,  ///< a = from RrcState
+  kRrcPromotionDone,   ///< a = from RrcState
+  kRrcReleaseStart,    ///< a = from RrcState
+  kRrcReleaseDone,
+  kRrcTransferBegin,   ///< b = active transfers after the begin
+  kRrcTransferEnd,     ///< b = active transfers after the end
+  kRrcSmallTxStart,    ///< x = payload bytes
+  kRrcSmallTxEnd,
+  // --- net/http ------------------------------------------------------------
+  kHttpFetchQueued,    ///< name = url
+  kHttpCacheHit,       ///< name = url
+  kHttpAttemptStart,   ///< name = url, a = attempt (1-based)
+  kHttpFirstByte,      ///< name = url, a = attempt, x = wire bytes
+  kHttpWatchdogFire,   ///< name = url, a = attempt
+  kHttpRetryScheduled, ///< name = url, a = retry number, x = backoff seconds
+  kHttpFetchSettled,   ///< name = url, a = attempts, b = FetchStatus, x = bytes
+  // --- net/fault -----------------------------------------------------------
+  kFaultDecision,      ///< name = url, a = attempt, b = FaultKind (non-kNone)
+  kLinkFadeStart,      ///< a = fade index (0-based)
+  kLinkFadeEnd,        ///< a = fade index (0-based)
+  // --- net/shared_link -----------------------------------------------------
+  kLinkFlowStart,      ///< a = flow id, x = bytes
+  kLinkFlowComplete,   ///< a = flow id
+  kLinkFlowCancel,     ///< a = flow id
+  kLinkPause,
+  kLinkResume,
+  // --- browser/pipeline ----------------------------------------------------
+  kLoadStart,          ///< name = main url
+  kStageRun,           ///< a = Stage, x = CPU seconds; span is [t - x, t]
+  kIntermediateDisplay,
+  kTransmissionComplete,
+  kLoadDone,           ///< x = final_display
+  // --- core controller / policy / ril -------------------------------------
+  kPolicyAlphaWait,    ///< x = alpha seconds before the decision runs
+  kPolicyPrediction,   ///< x = predicted reading time (s)
+  kPolicyDecision,     ///< a = 1 switch-to-IDLE / 0 stay, x = predicted (s)
+  kRilRequest,
+  kRilSocketFailure,
+  kRilForwarded,       ///< request survived the socket hop, reached firmware
+};
+
+/// Short stable label for a kind ("rrc.state_enter", "http.settled", ...).
+const char* to_string(TraceKind kind);
+
+/// Browser pipeline stages (payload `a` of kStageRun spans).
+enum class Stage : std::uint8_t {
+  kHtmlParse,
+  kCssScan,
+  kCssParse,
+  kJsRun,
+  kImageDecode,
+  kReflow,
+  kTextDisplay,
+  kFinalDisplay,
+};
+
+const char* to_string(Stage stage);
+
+/// One recorded event.  Plain data; equality is field-wise, which is what
+/// the determinism tests compare (serial and parallel runs of the same job
+/// must record identical streams).
+struct TraceEvent {
+  Seconds t = 0;
+  TraceKind kind{};
+  std::uint32_t name = 0;  ///< interned string id; 0 = none
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  double x = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// A contiguous interval derived from the event stream (RRC state residency,
+/// pipeline stage execution, link-busy windows).
+struct TraceSpan {
+  Seconds begin = 0;
+  Seconds end = 0;
+  std::int64_t tag = 0;  ///< RrcState / Stage value, depending on the query
+  Seconds duration() const { return end - begin; }
+};
+
+/// Append-only recorder of typed, time-stamped events with string interning.
+class TraceRecorder {
+ public:
+  void record(Seconds t, TraceKind kind, std::int64_t a = 0, std::int64_t b = 0,
+              double x = 0, std::uint32_t name = 0) {
+    events_.push_back(TraceEvent{t, kind, name, a, b, x});
+  }
+
+  /// Returns a stable id for `s`, creating one on first sight.  Ids are
+  /// assigned in first-seen order, which is deterministic because the
+  /// simulation itself is.
+  std::uint32_t intern(std::string_view s);
+
+  /// The string behind an interned id (id must come from intern()).
+  const std::string& name(std::uint32_t id) const;
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Number of recorded events of one kind.
+  std::size_t count(TraceKind kind) const;
+
+  /// Whole-recording equality: same events and same intern table.  Two runs
+  /// of the same job must satisfy this regardless of worker count.
+  bool same_as(const TraceRecorder& other) const {
+    return events_ == other.events_ && strings_ == other.strings_;
+  }
+
+  /// RRC state residency intervals reconstructed from kRrcStateEnter events
+  /// (tag = RrcState; the machine starts in IDLE at t = 0).  The final open
+  /// interval is closed at `t_end`.
+  std::vector<TraceSpan> rrc_state_spans(Seconds t_end) const;
+
+  /// Pipeline stage execution spans from kStageRun events (tag = Stage).
+  std::vector<TraceSpan> stage_spans() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> strings_;  ///< index = id - 1
+  std::unordered_map<std::string, std::uint32_t> ids_;
+};
+
+}  // namespace eab::obs

@@ -69,34 +69,61 @@ void RrcMachine::update_power() {
 }
 
 void RrcMachine::cancel_timers() {
-  sim_.cancel(t1_event_);
-  sim_.cancel(t2_event_);
+  if (sim_.cancel(t1_event_) && trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kRrcTimerCancel, 1);
+  }
+  if (sim_.cancel(t2_event_) && trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kRrcTimerCancel, 2);
+  }
   t1_event_ = {};
   t2_event_ = {};
 }
 
 void RrcMachine::arm_t1() {
-  sim_.cancel(t1_event_);
+  if (sim_.cancel(t1_event_) && trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kRrcTimerCancel, 1);
+  }
   t1_event_ = sim_.schedule_in(config_.t1, [this] {
+    if (trace_) trace_->record(sim_.now(), obs::TraceKind::kRrcTimerFire, 1);
     enter_state(RrcState::kFach);
     arm_t2();
   });
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kRrcTimerSet, 1, 0,
+                   sim_.now() + config_.t1);
+  }
 }
 
 void RrcMachine::arm_t2() {
-  sim_.cancel(t2_event_);
+  if (sim_.cancel(t2_event_) && trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kRrcTimerCancel, 2);
+  }
   t2_event_ = sim_.schedule_in(config_.t2, [this] {
+    if (trace_) trace_->record(sim_.now(), obs::TraceKind::kRrcTimerFire, 2);
     enter_state(RrcState::kIdle);
   });
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kRrcTimerSet, 2, 0,
+                   sim_.now() + config_.t2);
+  }
 }
 
 void RrcMachine::enter_state(RrcState next) {
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kRrcStateEnter,
+                   static_cast<std::int64_t>(state_),
+                   static_cast<std::int64_t>(next));
+  }
   account_residency();
   state_ = next;
   update_power();
 }
 
 void RrcMachine::start_promotion() {
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kRrcPromotionStart,
+                   static_cast<std::int64_t>(state_));
+  }
   phase_ = RadioPhase::kPromoting;
   cancel_timers();
   update_power();
@@ -104,6 +131,10 @@ void RrcMachine::start_promotion() {
   const Seconds delay =
       from_idle ? config_.idle_to_dch_delay : config_.fach_to_dch_delay;
   signalling_event_ = sim_.schedule_in(delay, [this, from_idle] {
+    if (trace_) {
+      trace_->record(sim_.now(), obs::TraceKind::kRrcPromotionDone,
+                     static_cast<std::int64_t>(state_));
+    }
     if (from_idle) {
       ++idle_promotions_;
     } else {
@@ -145,6 +176,10 @@ void RrcMachine::begin_transfer() {
     throw std::logic_error("RrcMachine::begin_transfer: not on DCH");
   }
   ++active_transfers_;
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kRrcTransferBegin, 0,
+                   active_transfers_);
+  }
   cancel_timers();
   update_power();
 }
@@ -154,6 +189,10 @@ void RrcMachine::end_transfer() {
     throw std::logic_error("RrcMachine::end_transfer: no active transfer");
   }
   --active_transfers_;
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kRrcTransferEnd, 0,
+                   active_transfers_);
+  }
   if (active_transfers_ == 0) {
     arm_t1();
     update_power();
@@ -183,9 +222,14 @@ bool RrcMachine::small_transfer(Bytes bytes, Ready done) {
   if (fach_transfer_active_) return false;  // one shared-channel slot
 
   fach_transfer_active_ = true;
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kRrcSmallTxStart, 0, 0,
+                   static_cast<double>(bytes));
+  }
   power_.set_power(sim_.now(), power_model_.fach_transfer);
   const Seconds duration = static_cast<double>(bytes) / 300.0;  // common rate
   sim_.schedule_in(duration, [this, done = std::move(done)] {
+    if (trace_) trace_->record(sim_.now(), obs::TraceKind::kRrcSmallTxEnd);
     fach_transfer_active_ = false;
     ++small_transfers_;
     if (phase_ == RadioPhase::kStable && state_ == RrcState::kFach) {
@@ -201,11 +245,16 @@ bool RrcMachine::force_idle() {
   if (phase_ != RadioPhase::kStable) return false;
   if (state_ == RrcState::kIdle) return false;
   if (active_transfers_ > 0) return false;
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kRrcReleaseStart,
+                   static_cast<std::int64_t>(state_));
+  }
   phase_ = RadioPhase::kReleasing;
   cancel_timers();
   account_residency();
   update_power();
   signalling_event_ = sim_.schedule_in(config_.release_delay, [this] {
+    if (trace_) trace_->record(sim_.now(), obs::TraceKind::kRrcReleaseDone);
     phase_ = RadioPhase::kStable;
     ++forced_releases_;
     enter_state(RrcState::kIdle);

@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "radio/rrc_config.hpp"
 #include "sim/simulator.hpp"
 #include "util/timeline.hpp"
@@ -89,6 +90,10 @@ class RrcMachine {
   const RrcConfig& config() const { return config_; }
   const RadioPowerModel& power_model() const { return power_model_; }
 
+  /// Attaches a trace recorder (nullptr detaches).  Recording is synchronous
+  /// and never schedules events, so behavior is identical either way.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   void enter_state(RrcState next);
   void start_promotion();
@@ -102,6 +107,7 @@ class RrcMachine {
   sim::Simulator& sim_;
   RrcConfig config_;
   RadioPowerModel power_model_;
+  obs::TraceRecorder* trace_ = nullptr;
 
   RrcState state_ = RrcState::kIdle;
   RadioPhase phase_ = RadioPhase::kStable;

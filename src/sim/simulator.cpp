@@ -16,6 +16,7 @@ EventId Simulator::schedule_at(Seconds at, Action action) {
   ++live_;
   heap_.push_back(Entry{at, seq, std::move(action)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
+  peak_heap_size_ = std::max(peak_heap_size_, heap_.size());
   return EventId(seq);
 }
 
@@ -32,6 +33,7 @@ bool Simulator::cancel(EventId id) {
   if (state != EventState::kPending) return false;
   state = EventState::kCancelled;  // heap entry becomes a tombstone
   --live_;
+  ++cancelled_count_;
   return true;
 }
 
@@ -50,7 +52,10 @@ Simulator::Entry Simulator::pop_top() {
 bool Simulator::step() {
   while (!heap_.empty()) {
     Entry entry = pop_top();
-    if (state_[entry.seq - 1] == EventState::kCancelled) continue;  // tombstone
+    if (state_[entry.seq - 1] == EventState::kCancelled) {  // tombstone
+      ++tombstones_popped_;
+      continue;
+    }
     state_[entry.seq - 1] = EventState::kFired;
     --live_;
     ++fired_count_;
@@ -73,6 +78,7 @@ std::size_t Simulator::run_until(Seconds until) {
     const Entry& top = heap_.front();
     if (state_[top.seq - 1] == EventState::kCancelled) {
       pop_top();  // drop the tombstone
+      ++tombstones_popped_;
       continue;
     }
     if (top.at > until) break;

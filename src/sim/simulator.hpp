@@ -73,6 +73,15 @@ class Simulator {
   /// Total number of events that have fired over the simulator's lifetime.
   std::uint64_t fired_count() const { return fired_count_; }
 
+  /// Total number of events cancelled before firing.
+  std::uint64_t cancelled_count() const { return cancelled_count_; }
+
+  /// Tombstoned heap entries discarded when they surfaced at the top.
+  std::uint64_t tombstones_popped() const { return tombstones_popped_; }
+
+  /// Largest heap size observed (live entries plus unsurfaced tombstones).
+  std::size_t peak_heap_size() const { return peak_heap_size_; }
+
  private:
   struct Entry {
     Seconds at;
@@ -95,6 +104,9 @@ class Simulator {
   Seconds now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_count_ = 0;
+  std::uint64_t cancelled_count_ = 0;
+  std::uint64_t tombstones_popped_ = 0;
+  std::size_t peak_heap_size_ = 0;
   std::size_t live_ = 0;              ///< pending (scheduled, not cancelled/fired)
   std::vector<Entry> heap_;           ///< binary heap; tombstones stay until popped
   std::vector<EventState> state_;     ///< lifecycle per seq; index = seq - 1

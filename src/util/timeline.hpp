@@ -55,11 +55,17 @@ class PowerTimeline {
   /// Number of recorded change points (diagnostics / tests).
   std::size_t change_count() const { return changes_.size(); }
 
- private:
   struct Change {
     Seconds at;
     Watts power;  // level in effect from `at` onward
   };
+
+  /// The exact recorded change points, in time order (each `power` holds
+  /// from its `at` until the next change).  Debuggers and exporters walk
+  /// these directly instead of re-sampling the step function.
+  const std::vector<Change>& change_points() const { return changes_; }
+
+ private:
 
   /// Power in effect at time t.
   Watts power_at(Seconds t) const;
