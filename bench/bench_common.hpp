@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -103,27 +104,80 @@ inline double saving(double base, double ours) {
   return base <= 0 ? 0 : (base - ours) / base;
 }
 
+/// Strict unsigned-decimal parse for environment values.  Returns false on
+/// anything that is not a plain base-10 number: signs, leading whitespace,
+/// trailing garbage, hex prefixes and out-of-range values all fail.  Every
+/// env knob goes through this so a typo'd override dies loudly instead of
+/// silently running a different sweep than the one asked for.
+inline bool parse_env_u64(const char* raw, std::uint64_t& out) {
+  if (raw == nullptr || *raw == '\0') return false;
+  if (!std::isdigit(static_cast<unsigned char>(raw[0]))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0' || errno == ERANGE) return false;
+  out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+/// Rejects a malformed environment override: names the variable, echoes the
+/// offending value, and exits 2 (distinct from a bench's own failure codes).
+[[noreturn]] inline void die_invalid_env(const char* name, const char* raw,
+                                         const char* expected) {
+  std::fprintf(stderr, "error: %s=\"%s\" is invalid; expected %s\n", name,
+               raw, expected);
+  std::exit(2);
+}
+
 /// Fault-plan seed for the fault benches: EAB_FAULT_SEED overrides the
 /// built-in default so a sweep can be re-rolled without recompiling (the
-/// whole stack stays deterministic for any fixed value).  Unset, empty or
-/// unparsable values fall back to `fallback`.
+/// whole stack stays deterministic for any fixed value).  Unset or empty
+/// falls back to `fallback`; a malformed value is an error (exit 2), never
+/// a silent default.
 inline std::uint64_t fault_seed_from_env(std::uint64_t fallback) {
   const char* raw = std::getenv("EAB_FAULT_SEED");
   if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0') return fallback;
-  return static_cast<std::uint64_t>(value);
+  std::uint64_t value = 0;
+  if (!parse_env_u64(raw, value)) {
+    die_invalid_env("EAB_FAULT_SEED", raw, "an unsigned decimal seed");
+  }
+  return value;
 }
 
-/// EAB_TRACE=1 (anything but unset/empty/"0") turns structured tracing on in
-/// the harnesses that honor it: loads record full traces, every trace is
-/// audited, and the process exits non-zero on any violation.  Off by
-/// default: tracing never changes results, but the recordings cost memory.
+/// EAB_TRACE=1 turns structured tracing on in the harnesses that honor it:
+/// loads record full traces, every trace is audited, and the process exits
+/// non-zero on any violation.  Off by default (unset, empty or "0"):
+/// tracing never changes results, but the recordings cost memory.  Any
+/// other value is an error (exit 2): "EAB_TRACE=yes" must not silently run
+/// untraced.
 inline bool trace_enabled() {
   const char* raw = std::getenv("EAB_TRACE");
-  return raw != nullptr && *raw != '\0' &&
-         !(raw[0] == '0' && raw[1] == '\0');
+  if (raw == nullptr || *raw == '\0') return false;
+  if (raw[0] == '0' && raw[1] == '\0') return false;
+  if (raw[0] == '1' && raw[1] == '\0') return true;
+  die_invalid_env("EAB_TRACE", raw, "\"0\" or \"1\"");
+}
+
+/// Chaos sweep width: EAB_CHAOS_SEEDS overrides the default scenario count
+/// (the checked contract runs 256).  Strictly parsed; 0 is rejected — an
+/// empty sweep proves nothing.
+inline int chaos_seed_count_from_env(int fallback) {
+  const char* raw = std::getenv("EAB_CHAOS_SEEDS");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  std::uint64_t value = 0;
+  if (!parse_env_u64(raw, value) || value == 0 || value > 1000000) {
+    die_invalid_env("EAB_CHAOS_SEEDS", raw,
+                    "a scenario count in [1, 1000000]");
+  }
+  return static_cast<int>(value);
+}
+
+/// Optional directory for chaos artifacts (EAB_CHAOS_OUT): every shrunk
+/// reproducer found by a sweep is written there as replayable JSON.  Empty
+/// = no dumps.
+inline std::string chaos_out_dir() {
+  const char* raw = std::getenv("EAB_CHAOS_OUT");
+  return raw == nullptr ? std::string() : std::string(raw);
 }
 
 /// Optional directory for Chrome-trace dumps (EAB_TRACE_OUT).  When set and

@@ -1,0 +1,63 @@
+// Chaos reproducer replay CLI: loads one (or more) reproducer JSON files —
+// the shrunk minimal scenarios the chaos engine emits — re-runs each exact
+// scenario through the batch engine, and re-checks the invariant oracle.
+// Exits 0 when every reproducer replays clean, 1 when any scenario still
+// violates an invariant (printing the violations), and 2 on unreadable or
+// malformed input.  scripts/check.sh replays the checked-in corpus under
+// tests/chaos_corpus/ with this tool.
+//
+// Usage: chaos_replay FILE.json [FILE.json ...]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/reproducer.hpp"
+#include "chaos/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eab;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: chaos_replay FILE.json [FILE.json ...]\n");
+    return 2;
+  }
+
+  core::BatchRunner batch;
+  chaos::ChaosRunner runner(batch);
+  int violated = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "chaos_replay: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    chaos::ChaosScenario scenario;
+    try {
+      scenario = chaos::scenario_from_json(buffer.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "chaos_replay: %s: %s\n", path.c_str(), e.what());
+      return 2;
+    }
+
+    const std::vector<std::string> violations = runner.check(scenario);
+    std::printf("%s: seed=%llu spec=%d mode=%s atoms=%zu -> %s\n",
+                path.c_str(),
+                static_cast<unsigned long long>(scenario.seed),
+                scenario.spec_index,
+                scenario.mode == browser::PipelineMode::kEnergyAware
+                    ? "energy_aware"
+                    : "original",
+                scenario.faults.size(),
+                violations.empty() ? "clean" : "VIOLATED");
+    for (const std::string& violation : violations) {
+      std::printf("  %s\n", violation.c_str());
+      ++violated;
+    }
+  }
+  return violated > 0 ? 1 : 0;
+}

@@ -30,6 +30,19 @@ cmake --build build-asan -j "$JOBS" \
 ./build-asan/tests/net_http_test
 ./build-asan/tests/web_robustness_test
 
+echo "== chaos: seeded sweep + reproducer corpus replay =="
+# 256 seed-derived cross-layer fault scenarios (net faults, RIL failures,
+# timer drift, mid-load aborts, cache storms, CPU slowdown) audited against
+# the invariant oracle; the bench exits non-zero on any violation or hang.
+# Then the checked-in minimal reproducers are replayed byte-for-byte.
+(cd build/bench && EAB_CHAOS_SEEDS=256 ./bench_ext_chaos > /dev/null)
+./build/examples/chaos_replay tests/chaos_corpus/*.json
+# A smaller sweep under ASan guards the abort/teardown lifetime contracts
+# (cancelled flows, settled-after-abort callbacks, storm-cleared caches).
+cmake --build build-asan -j "$JOBS" --target bench_ext_chaos
+(cd build-asan/bench && EAB_CHAOS_SEEDS=64 ./bench_ext_chaos > /dev/null)
+echo "chaos contract held"
+
 echo "== trace audit: benches under EAB_TRACE=1 =="
 # Every load/session records a structured trace and the TraceAuditor replays
 # it (RRC legality, timer discipline, transfer markers, retry budget, energy

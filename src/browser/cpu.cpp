@@ -27,6 +27,12 @@ bool CpuScheduler::cancel(TaskId id) {
   return false;
 }
 
+std::size_t CpuScheduler::drop_queued() {
+  const std::size_t dropped = queue_.size();
+  queue_.clear();
+  return dropped;
+}
+
 void CpuScheduler::start_next() {
   if (queue_.empty()) {
     if (running_) {

@@ -44,6 +44,12 @@ class CpuScheduler {
   /// Returns false if the task already started, finished or never existed.
   bool cancel(TaskId id);
 
+  /// Drops every task that has not started yet (an aborted page load stops
+  /// rendering immediately; queued work must not keep burning CPU energy).
+  /// The currently-running task, if any, still completes.  Returns the
+  /// number of tasks dropped.
+  std::size_t drop_queued();
+
   bool busy() const { return running_; }
   std::size_t queue_depth() const { return queue_.size(); }
 

@@ -37,6 +37,43 @@ void PageLoad::start(const std::string& url, OnLoaded done) {
   issue_fetch(url, net::ResourceKind::kHtml);
 }
 
+bool PageLoad::abort() {
+  if (phase_ == Phase::kIdle || phase_ == Phase::kDone) return false;
+  const bool in_transmission = phase_ == Phase::kTransmission;
+  // Flip the phase first: every teardown below re-enters this object
+  // (abort_all settles fetches synchronously), and those callbacks must see
+  // the load as dead.
+  phase_ = Phase::kDone;
+  metrics_.aborted = true;
+  metrics_.aborted_at = sim_.now();
+  if (in_transmission) {
+    // Partial transmission window: to the last byte actually received.
+    metrics_.transmission_done = last_byte_at_ > 0 ? last_byte_at_ : sim_.now();
+  }
+  metrics_.final_display = sim_.now();
+  if (metrics_.first_display == 0) metrics_.first_display = sim_.now();
+
+  // Tear down in dependency order: queued CPU work (nothing new may run),
+  // the pending intermediate reflow, then every unsettled fetch — which
+  // cancels link flows and releases RRC transfer markers, leaving the radio
+  // to its inactivity timers.
+  cpu_.cancel(pending_reflow_);
+  pending_reflow_ = {};
+  redraw_queued_ = false;
+  cpu_.drop_queued();
+  // Fetches torn down here settle as kAborted; the dead() guard keeps their
+  // settle callbacks from mutating frozen metrics, so account them as failed
+  // resources in one place.
+  metrics_.failed_resources += static_cast<int>(client_.abort_all());
+
+  if (trace_) {
+    trace_->record(sim_.now(), obs::TraceKind::kLoadAborted, 0, 0, sim_.now());
+  }
+  compute_outputs();
+  on_loaded_(metrics_);
+  return true;
+}
+
 void PageLoad::trace_stage(obs::Stage stage, Seconds cost) {
   if (trace_) {
     trace_->record(sim_.now(), obs::TraceKind::kStageRun,
@@ -80,6 +117,9 @@ void PageLoad::issue_fetch(const std::string& url, net::ResourceKind kind) {
 
 void PageLoad::on_resource(const net::FetchResult& result,
                            net::ResourceKind declared_kind) {
+  // A fetch settled by abort_all (or a cache hit surfacing after abort)
+  // lands on a finalized load: the metrics are frozen, nothing may spawn.
+  if (dead()) return;
   if (result.attempts > 1) metrics_.fetch_retries += result.attempts - 1;
   if (result.resource == nullptr) {
     // Nothing usable arrived: a 404, or a network failure that exhausted
@@ -151,6 +191,7 @@ void PageLoad::on_resource(const net::FetchResult& result,
 void PageLoad::handle_html(const net::Resource& resource, bool is_main) {
   const Seconds parse_cost = config_.costs.html_parse(resource.size);
   cpu_.submit(parse_cost, [this, &resource, is_main, parse_cost] {
+    if (dead()) return;
     trace_stage(obs::Stage::kHtmlParse, parse_cost);
     web::ParsedHtml harvest;
     web::parse_html_fragment(resource.body, doc_.dom.root(), harvest);
@@ -170,6 +211,7 @@ void PageLoad::handle_html(const net::Resource& resource, bool is_main) {
               (config_.costs.layout_per_node + config_.costs.render_per_node) *
               static_cast<double>(doc_.dom.node_count());
       cpu_.submit(cost, [this, cost] {
+        if (dead()) return;
         trace_stage(obs::Stage::kTextDisplay, cost);
         if (trace_) {
           trace_->record(sim_.now(), obs::TraceKind::kIntermediateDisplay);
@@ -187,6 +229,7 @@ void PageLoad::handle_css(const net::Resource& resource) {
     // Stock browser: full rule extraction as soon as the sheet arrives.
     const Seconds parse_cost = config_.costs.css_parse(resource.size);
     cpu_.submit(parse_cost, [this, &resource, parse_cost] {
+      if (dead()) return;
       trace_stage(obs::Stage::kCssParse, parse_cost);
       web::StyleSheet sheet = web::parse_css(resource.body);
       for (const auto& url : sheet.url_refs) {
@@ -205,6 +248,7 @@ void PageLoad::handle_css(const net::Resource& resource) {
   // Energy-aware: cheap reference scan now, full parse postponed to phase 2.
   const Seconds scan_cost = config_.costs.css_scan(resource.size);
   cpu_.submit(scan_cost, [this, &resource, scan_cost] {
+    if (dead()) return;
     trace_stage(obs::Stage::kCssScan, scan_cost);
     for (const auto& url : web::scan_css_urls(resource.body)) {
       issue_fetch(url, net::kind_from_url(url));
@@ -240,6 +284,7 @@ void PageLoad::handle_binary(const net::Resource& resource) {
   if (config_.mode == PipelineMode::kOriginal) {
     const Seconds decode_cost = config_.costs.image_decode(resource.size);
     cpu_.submit(decode_cost, [this, &resource, decode_cost] {
+      if (dead()) return;
       trace_stage(obs::Stage::kImageDecode, decode_cost);
       decoded_image_bytes_ += resource.size;
       ++processed_since_redraw_;
@@ -275,6 +320,7 @@ void PageLoad::run_script(const std::string& source) {
 
   cpu_.submit(cost, [this, cost, writes = std::move(writes),
                      requests = std::move(requests)] {
+    if (dead()) return;
     trace_stage(obs::Stage::kJsRun, cost);
     for (const auto& [url, kind] : requests) issue_fetch(url, kind);
     for (const auto& fragment : writes) {
@@ -330,6 +376,7 @@ void PageLoad::submit_reflow() {
   const Seconds cost = config_.costs.display_overhead +
                        config_.costs.reflow_factor * per_node * nodes;
   pending_reflow_ = cpu_.submit(cost, [this, cost] {
+    if (dead()) return;
     trace_stage(obs::Stage::kReflow, cost);
     if (trace_) trace_->record(sim_.now(), obs::TraceKind::kIntermediateDisplay);
     redraw_queued_ = false;
@@ -378,6 +425,7 @@ void PageLoad::begin_layout_phase() {
     for (const net::Resource* css : deferred_css_) {
       const Seconds parse_cost = config_.costs.css_parse(css->size);
       cpu_.submit(parse_cost, [this, css, parse_cost] {
+        if (dead()) return;
         trace_stage(obs::Stage::kCssParse, parse_cost);
         sheets_.push_back(web::parse_css(css->body));
       });
@@ -385,6 +433,7 @@ void PageLoad::begin_layout_phase() {
     for (const net::Resource* image : deferred_images_) {
       const Seconds decode_cost = config_.costs.image_decode(image->size);
       cpu_.submit(decode_cost, [this, image, decode_cost] {
+        if (dead()) return;
         trace_stage(obs::Stage::kImageDecode, decode_cost);
         decoded_image_bytes_ += image->size;
       });
@@ -401,6 +450,7 @@ void PageLoad::begin_layout_phase() {
                 static_cast<double>(doc_.dom.node_count());
   const Seconds display_cost = final_cost + config_.costs.display_overhead;
   cpu_.submit(display_cost, [this, display_cost] {
+    if (dead()) return;
     trace_stage(obs::Stage::kFinalDisplay, display_cost);
     finish_load();
   });
@@ -422,6 +472,11 @@ void PageLoad::finish_load() {
   }
   if (metrics_.first_display == 0) metrics_.first_display = metrics_.final_display;
 
+  compute_outputs();
+  on_loaded_(metrics_);
+}
+
+void PageLoad::compute_outputs() {
   geometry_ = estimate_geometry(doc_.dom.root(), config_.viewport);
   features_.transmission_time = metrics_.transmission_time();
   features_.page_size_kb = to_kilobytes(page_bytes_without_figures_);
@@ -433,8 +488,6 @@ void PageLoad::finish_load() {
   features_.secondary_url_count = static_cast<double>(doc_.secondary_urls.size());
   features_.page_height = geometry_.height_px;
   features_.page_width = geometry_.width_px;
-
-  on_loaded_(metrics_);
 }
 
 }  // namespace eab::browser

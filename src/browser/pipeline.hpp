@@ -89,6 +89,12 @@ struct LoadMetrics {
   int placeholder_images = 0;      ///< figure fetches that failed -> placeholder box
   int fetch_retries = 0;           ///< extra network attempts behind the objects
 
+  // User abort (PageLoad::abort): the load finalized early.  final_display
+  // is pinned to the abort instant, so total_time() and the energy window
+  // cover exactly the partial load the user actually experienced.
+  bool aborted = false;
+  Seconds aborted_at = 0;          ///< when the user abandoned the load
+
   Seconds transmission_time() const { return transmission_done - started; }
   Seconds total_time() const { return final_display - started; }
   Seconds layout_tail_time() const { return final_display - transmission_done; }
@@ -117,6 +123,19 @@ class PageLoad : public web::js::JsHost {
 
   /// Begins loading `url`; `done` fires after the final display.
   void start(const std::string& url, OnLoaded done);
+
+  /// User abort: gracefully cancels an in-flight load.  Every unsettled
+  /// fetch is torn down through the HTTP client (which cancels link flows
+  /// and releases RRC transfer markers), queued CPU work is dropped, and
+  /// the load finalizes immediately with metrics().aborted set — the `done`
+  /// callback passed to start() fires with the partial metrics.  Returns
+  /// false (and does nothing) if the load never started or already
+  /// finished.  The radio is left to its T1/T2 timers, exactly as when a
+  /// real user navigates away.
+  bool abort();
+
+  /// True once abort() has finalized this load.
+  bool aborted() const { return metrics_.aborted; }
 
   /// Fires the instant the last data transmission finishes (before the
   /// layout phase) — the energy-aware controller releases the radio here.
@@ -162,7 +181,15 @@ class PageLoad : public web::js::JsHost {
   void transmission_complete();
   void begin_layout_phase();
   void finish_load();
+  /// Fills features_/geometry_ from the (possibly partial) document.
+  void compute_outputs();
   Seconds style_layout_render_cost() const;
+
+  /// True once the load has finalized (completed or aborted).  Callbacks
+  /// still in flight — a CPU task that was already running at abort time, a
+  /// fetch settled by HttpClient::abort_all — check this and return without
+  /// touching metrics or spawning work.
+  bool dead() const { return phase_ == Phase::kDone; }
 
   /// Records one kStageRun span ending now (the CPU task that just ran).
   void trace_stage(obs::Stage stage, Seconds cost);

@@ -1,0 +1,198 @@
+#include "chaos/reproducer.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace eab::chaos {
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Minimal strict parser for the reproducer schema: objects, arrays,
+/// strings (no escapes beyond \" and \\; the schema emits none), numbers
+/// and unsigned integers.  Errors carry the byte offset.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        c = text_[pos_++];
+        if (c != '"' && c != '\\') fail("unsupported escape");
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double parse_double() {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end == start) fail("expected number");
+    pos_ += static_cast<std::size_t>(end - start);
+    return value;
+  }
+
+  std::uint64_t parse_u64() {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(start, &end, 10);
+    if (end == start) fail("expected unsigned integer");
+    pos_ += static_cast<std::size_t>(end - start);
+    return static_cast<std::uint64_t>(value);
+  }
+
+  /// The document must end here (whitespace aside).
+  void expect_end() {
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage");
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("chaos reproducer: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string scenario_to_json(const ChaosScenario& scenario) {
+  std::string out = "{\n";
+  out += "  \"version\": 1,\n";
+  out += "  \"seed\": " + std::to_string(scenario.seed) + ",\n";
+  out += "  \"spec_index\": " + std::to_string(scenario.spec_index) + ",\n";
+  out += std::string("  \"mode\": \"") +
+         (scenario.mode == browser::PipelineMode::kEnergyAware
+              ? "energy_aware"
+              : "original") +
+         "\",\n";
+  out += "  \"faults\": [";
+  for (std::size_t i = 0; i < scenario.faults.size(); ++i) {
+    const ChaosFault& fault = scenario.faults[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += std::string("    {\"domain\": \"") + to_string(fault.domain) +
+           "\", \"params\": [";
+    for (std::size_t j = 0; j < fault.params.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += format_double(fault.params[j]);
+    }
+    out += "]}";
+  }
+  out += scenario.faults.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+ChaosScenario scenario_from_json(const std::string& json) {
+  Parser p(json);
+  ChaosScenario scenario;
+  p.expect('{');
+
+  auto expect_key = [&p](const char* key) {
+    const std::string got = p.parse_string();
+    if (got != key) {
+      p.fail(std::string("expected key \"") + key + "\", got \"" + got + "\"");
+    }
+    p.expect(':');
+  };
+
+  expect_key("version");
+  if (p.parse_u64() != 1) p.fail("unsupported version");
+  p.expect(',');
+
+  expect_key("seed");
+  scenario.seed = p.parse_u64();
+  p.expect(',');
+
+  expect_key("spec_index");
+  const std::uint64_t index = p.parse_u64();
+  if (index >= chaos_spec_pool().size()) p.fail("spec_index out of range");
+  scenario.spec_index = static_cast<int>(index);
+  p.expect(',');
+
+  expect_key("mode");
+  const std::string mode = p.parse_string();
+  if (mode == "original") {
+    scenario.mode = browser::PipelineMode::kOriginal;
+  } else if (mode == "energy_aware") {
+    scenario.mode = browser::PipelineMode::kEnergyAware;
+  } else {
+    p.fail("unknown mode \"" + mode + "\"");
+  }
+  p.expect(',');
+
+  expect_key("faults");
+  p.expect('[');
+  if (!p.try_consume(']')) {
+    do {
+      p.expect('{');
+      ChaosFault fault;
+      expect_key("domain");
+      const std::string domain = p.parse_string();
+      if (!domain_from_string(domain, fault.domain)) {
+        p.fail("unknown domain \"" + domain + "\"");
+      }
+      p.expect(',');
+      expect_key("params");
+      p.expect('[');
+      for (std::size_t j = 0; j < fault.params.size(); ++j) {
+        if (j > 0) p.expect(',');
+        fault.params[j] = p.parse_double();
+      }
+      p.expect(']');
+      p.expect('}');
+      scenario.faults.push_back(fault);
+    } while (p.try_consume(','));
+    p.expect(']');
+  }
+
+  p.expect('}');
+  p.expect_end();
+  return scenario;
+}
+
+}  // namespace eab::chaos

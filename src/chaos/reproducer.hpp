@@ -1,0 +1,29 @@
+// Replayable chaos reproducers.
+//
+// A failing (usually shrunk) scenario serializes to a small, stable JSON
+// document that can be checked into tests/chaos_corpus/ and replayed by
+// tests, scripts/check.sh and the chaos_replay CLI.  The format is the
+// scenario identity verbatim — seed, page index, pipeline mode, fault
+// atoms — so replaying a reproducer reconstructs the exact batch job that
+// failed, bit for bit, on any machine.
+//
+// Parsing is strict: unknown domains, missing fields, wrong types and
+// trailing garbage all throw (std::runtime_error), never silently default —
+// a corrupted reproducer must fail loudly, not replay the wrong scenario.
+#pragma once
+
+#include <string>
+
+#include "chaos/plan.hpp"
+
+namespace eab::chaos {
+
+/// Serializes a scenario (deterministic field order, `%.17g` doubles, so
+/// round-tripping is exact).
+std::string scenario_to_json(const ChaosScenario& scenario);
+
+/// Parses a scenario_to_json document.  Throws std::runtime_error with a
+/// position-carrying message on any malformed input.
+ChaosScenario scenario_from_json(const std::string& json);
+
+}  // namespace eab::chaos

@@ -1,0 +1,68 @@
+#include "chaos/shrink.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace eab::chaos {
+namespace {
+
+/// The atoms of `from` outside [begin, end).
+std::vector<ChaosFault> complement_of(const std::vector<ChaosFault>& from,
+                                      std::size_t begin, std::size_t end) {
+  std::vector<ChaosFault> out;
+  out.reserve(from.size() - (end - begin));
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    if (i < begin || i >= end) out.push_back(from[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkOutcome ddmin(
+    const std::vector<ChaosFault>& failing,
+    const std::function<bool(const std::vector<ChaosFault>&)>& still_fails) {
+  ShrinkOutcome outcome;
+  outcome.minimal = failing;
+  if (failing.size() <= 1) return outcome;
+
+  std::vector<ChaosFault>& current = outcome.minimal;
+  std::size_t granularity = 2;
+  while (current.size() >= 2) {
+    const std::size_t n = current.size();
+    const std::size_t chunk = (n + granularity - 1) / granularity;
+    bool reduced = false;
+
+    // Try each chunk alone, then each complement.  Chunk-alone wins shrink
+    // the hardest, so probe them first.
+    for (std::size_t begin = 0; begin < n && !reduced; begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, n);
+      std::vector<ChaosFault> subset(current.begin() + static_cast<long>(begin),
+                                     current.begin() + static_cast<long>(end));
+      if (subset.size() == n) continue;  // degenerate split
+      ++outcome.tests;
+      if (still_fails(subset)) {
+        current = std::move(subset);
+        granularity = 2;
+        reduced = true;
+      }
+    }
+    for (std::size_t begin = 0; begin < n && !reduced; begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, n);
+      std::vector<ChaosFault> rest = complement_of(current, begin, end);
+      if (rest.empty() || rest.size() == n) continue;
+      ++outcome.tests;
+      if (still_fails(rest)) {
+        current = std::move(rest);
+        granularity = std::max<std::size_t>(granularity - 1, 2);
+        reduced = true;
+      }
+    }
+    if (reduced) continue;
+    if (granularity >= current.size()) break;  // 1-minimal
+    granularity = std::min(granularity * 2, current.size());
+  }
+  return outcome;
+}
+
+}  // namespace eab::chaos

@@ -1,5 +1,6 @@
 #include "core/batch.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <condition_variable>
 #include <cstdlib>
@@ -134,6 +135,15 @@ void write_config(KeyWriter& w, const StackConfig& config) {
   w.i32(retry.max_retries);
   w.f64(retry.backoff_initial);
   w.f64(retry.backoff_factor);
+
+  const auto& chaos = config.chaos;
+  w.f64(chaos.abort_at);
+  w.i32(chaos.ril_socket_failures);
+  w.i32(chaos.cache_storm_count);
+  w.f64(chaos.cache_storm_start);
+  w.f64(chaos.cache_storm_period);
+
+  w.u64(config.sim_event_budget);
 }
 
 }  // namespace
@@ -260,18 +270,24 @@ std::vector<SingleLoadResult> BatchRunner::run(
   }
 
   // Simulate the distinct loads.  Each task writes only its own slot of
-  // `computed`; run_all's completion handshake publishes the writes.
+  // `computed` / `failures`; run_all's completion handshake publishes the
+  // writes.  A throwing load is quarantined in place: its failure text is
+  // captured, its slot stays value-initialized, and no exception escapes
+  // a worker — the rest of the batch always completes.
   std::vector<SingleLoadResult> computed(work.size());
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  std::vector<std::string> failures(work.size());
+  std::vector<char> failed(work.size(), 0);
   auto execute = [&](std::size_t index) {
     try {
       const BatchJob& job = *work[index].job;
       computed[index] =
           run_single_load(job.spec, job.config, job.reading_window, job.seed);
+    } catch (const std::exception& e) {
+      failed[index] = 1;
+      failures[index] = e.what();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
+      failed[index] = 1;
+      failures[index] = "unknown exception";
     }
   };
   if (pool_) {
@@ -284,23 +300,38 @@ std::vector<SingleLoadResult> BatchRunner::run(
   } else {
     for (std::size_t i = 0; i < work.size(); ++i) execute(i);
   }
-  if (first_error) std::rethrow_exception(first_error);
 
-  // Commit to the cache and fan results out in submission order.
+  // Fan results out in submission order; commit only healthy loads to the
+  // cache (a quarantined key must be retried, not served, next time) and
+  // record one JobError per affected result slot.
+  last_errors_.clear();
   for (std::size_t i = 0; i < work.size(); ++i) {
+    if (failed[i]) {
+      const std::uint64_t digest = fnv1a_64(work[i].key);
+      for (const std::size_t target : work[i].targets) {
+        last_errors_.push_back(
+            JobError{target, failures[i], digest, work[i].job->seed});
+      }
+      continue;
+    }
     for (const std::size_t target : work[i].targets) {
       results[target] = computed[i];
     }
     cache_.emplace(std::move(work[i].key), std::move(computed[i]));
   }
+  std::sort(last_errors_.begin(), last_errors_.end(),
+            [](const JobError& a, const JobError& b) { return a.index < b.index; });
 
   // Merge per-job registries in submission order over the fanned-out
-  // results (memo hits included: a served job still happened).  The merge
-  // order — and with it the snapshot — depends only on the job list, never
-  // on which worker finished first.
+  // results (memo hits included: a served job still happened; a quarantined
+  // job contributes an empty registry).  The merge order — and with it the
+  // snapshot — depends only on the job list, never on which worker finished
+  // first.
   metrics_.count("batch.jobs", static_cast<double>(jobs.size()));
   metrics_.count("batch.memo_hits",
                  static_cast<double>(cache_hits_ - hits_before));
+  metrics_.count("batch.quarantined",
+                 static_cast<double>(last_errors_.size()));
   for (const SingleLoadResult& r : results) metrics_.merge(r.job_metrics);
   return results;
 }

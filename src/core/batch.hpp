@@ -43,12 +43,25 @@ struct BatchJob {
 
 /// Canonical byte encoding of everything run_single_load's output depends
 /// on: every PageSpec field, every StackConfig field (including the nested
-/// radio, power, link and pipeline configs), the reading window and the
-/// seed.  Two jobs with equal keys produce bit-identical SingleLoadResults.
-/// NOTE: any new field added to PageSpec or StackConfig (the fault plan and
-/// retry policy included) must be appended here, or loads differing only in
-/// that field would collide in the cache.
+/// radio, power, link, pipeline and chaos configs), the reading window and
+/// the seed.  Two jobs with equal keys produce bit-identical
+/// SingleLoadResults.
+/// NOTE: any new field added to PageSpec or StackConfig (the fault plan,
+/// retry policy and chaos directives included) must be appended here, or
+/// loads differing only in that field would collide in the cache.
 std::string batch_memo_key(const BatchJob& job);
+
+/// One quarantined batch job: the load threw instead of returning.  The
+/// runner records what happened — exception text, the job's memo-key digest
+/// and its seed (enough to re-run the exact load in isolation) — fills the
+/// job's result slot with a value-initialized SingleLoadResult, and keeps
+/// going; one poisoned configuration no longer aborts a 500-job sweep.
+struct JobError {
+  std::size_t index = 0;          ///< submission-order slot in the batch
+  std::string what;               ///< exception text ("unknown exception" if not std::exception)
+  std::uint64_t key_digest = 0;   ///< fnv1a_64(batch_memo_key(job))
+  std::uint64_t seed = 0;         ///< the job's seed (chaos scenarios key off this)
+};
 
 /// Fixed-size thread pool + memo cache for batches of single-load jobs.
 class BatchRunner {
@@ -64,9 +77,16 @@ class BatchRunner {
 
   /// Runs every job and returns results in submission order.  Jobs with
   /// identical memo keys are simulated once; previously-run keys are served
-  /// from the cache.  Exceptions thrown by a load are rethrown here after
-  /// the batch drains.
+  /// from the cache.  A job that throws is quarantined, never rethrown: its
+  /// slot holds a value-initialized SingleLoadResult, a JobError describing
+  /// the failure is available from last_errors(), the poisoned key is NOT
+  /// committed to the memo cache, and every other job still completes.
   std::vector<SingleLoadResult> run(const std::vector<BatchJob>& jobs);
+
+  /// Quarantined jobs from the most recent run(), sorted by submission
+  /// index; empty when every job succeeded.  Deterministic: depends only on
+  /// the job list, never on worker scheduling.
+  const std::vector<JobError>& last_errors() const { return last_errors_; }
 
   /// Worker threads this runner uses (1 = serial).
   int threads() const { return threads_; }
@@ -103,6 +123,7 @@ class BatchRunner {
   std::unordered_map<std::string, SingleLoadResult, Fnv1aHash> cache_;
   std::size_t cache_hits_ = 0;
   std::size_t cache_misses_ = 0;
+  std::vector<JobError> last_errors_;
   obs::MetricsRegistry metrics_;
 };
 

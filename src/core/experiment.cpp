@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/ril.hpp"
+#include "net/cache.hpp"
 #include "net/socket_downloader.hpp"
 #include "sim/simulator.hpp"
 
@@ -30,6 +31,7 @@ SingleLoadResult run_single_load(const corpus::PageSpec& spec,
                                  const StackConfig& config,
                                  Seconds reading_window, std::uint64_t seed) {
   sim::Simulator sim;
+  sim.set_event_budget(config.sim_event_budget);
   net::WebServer server;
   corpus::PageGenerator generator(seed);
   const std::string url = generator.host_page(spec, server);
@@ -49,6 +51,26 @@ SingleLoadResult run_single_load(const corpus::PageSpec& spec,
   if (config.fault_plan.enabled()) {
     faults.emplace(sim, link, config.fault_plan);
     client.set_fault_injector(&*faults);
+  }
+  // Per-load browser cache.  A single cold load never revisits a URL (the
+  // pipeline dedupes requests), so attaching one is behavior-neutral unless
+  // a chaos cache storm is also flushing it mid-load.
+  std::optional<net::ResourceCache> cache;
+  if (config.use_browser_cache) {
+    cache.emplace(config.browser_cache_bytes);
+    client.set_cache(&*cache);
+  }
+
+  // Chaos directives (all inert at their zero values).
+  const ChaosDirectives& chaos = config.chaos;
+  if (chaos.ril_socket_failures > 0) {
+    ril.fail_next(chaos.ril_socket_failures);
+  }
+  if (cache && chaos.cache_storm_count > 0) {
+    for (int i = 0; i < chaos.cache_storm_count; ++i) {
+      sim.schedule_at(chaos.cache_storm_start + i * chaos.cache_storm_period,
+                      [&cache] { cache->clear(); });
+    }
   }
 
   browser::PipelineConfig pipeline_config = config.pipeline;
@@ -75,6 +97,12 @@ SingleLoadResult run_single_load(const corpus::PageSpec& spec,
     done = true;
     metrics = m;
   });
+  // User abort: scheduled after start() so a load that finishes first makes
+  // abort() a no-op.  The teardown settles every unsettled fetch, so `done`
+  // flips through the same on_loaded path with metrics.aborted set.
+  if (chaos.abort_at > 0) {
+    sim.schedule_at(chaos.abort_at, [&load] { load.abort(); });
+  }
   while (!done && sim.step()) {
   }
   if (!done) {
@@ -139,6 +167,7 @@ SingleLoadResult run_single_load(const corpus::PageSpec& spec,
   m.count("load.intermediate_displays",
           result.metrics.intermediate_displays);
   m.count("load.bytes", static_cast<double>(result.metrics.bytes_fetched));
+  m.count("load.aborted", result.metrics.aborted ? 1.0 : 0.0);
   m.count("fault.fades", result.link_fades);
   if (result.trace) {
     m.count("trace.events", static_cast<double>(result.trace->size()));

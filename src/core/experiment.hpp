@@ -21,6 +21,32 @@
 
 namespace eab::core {
 
+/// Runtime disturbances the chaos engine injects into one load — the fault
+/// domains that cannot be expressed as plain config perturbations (timer
+/// drift and CPU slowdown just rescale RrcConfig / ComputeCostModel fields).
+/// All fields are plain data serialised into batch_memo_key; the zero value
+/// schedules nothing, so a default ChaosDirectives leaves the event stream
+/// byte-identical to a stack built before this struct existed.
+struct ChaosDirectives {
+  /// User abort: the load is gracefully abandoned at this simulated time
+  /// (PageLoad::abort tears down fetches, link flows and transfer markers).
+  /// 0 disables.  An abort scheduled after the load finishes is a no-op.
+  Seconds abort_at = 0;
+  /// RIL fast-dormancy failures: the next N switch-to-IDLE requests die at
+  /// the framework->rild socket hop; the radio must fall back to T1/T2.
+  int ril_socket_failures = 0;
+  /// Cache eviction storm: `cache_storm_count` full evictions of the
+  /// browser cache, the first at `cache_storm_start`, subsequent ones
+  /// `cache_storm_period` apart.  Needs use_browser_cache to bite.
+  int cache_storm_count = 0;
+  Seconds cache_storm_start = 1.0;
+  Seconds cache_storm_period = 1.0;
+
+  bool enabled() const {
+    return abort_at > 0 || ril_socket_failures > 0 || cache_storm_count > 0;
+  }
+};
+
 /// Configuration of the whole measurement stack.
 struct StackConfig {
   radio::RrcConfig rrc;
@@ -48,6 +74,15 @@ struct StackConfig {
   /// simulation result — sim_events included — is identical either way; the
   /// returned SingleLoadResult carries the recording in `trace`.
   bool trace = false;
+  /// Cross-layer runtime disturbances (user abort, RIL failures, cache
+  /// eviction storms); composed by the chaos engine, defaults inert.
+  ChaosDirectives chaos;
+  /// Liveness guard: the load's simulator may fire at most this many events
+  /// before run_single_load gives up with a sim::BudgetExhaustedError (whose
+  /// message carries a pending-heap dump).  A healthy load fires a few
+  /// thousand events; the default is generous enough that only a genuinely
+  /// wedged simulation — an event loop feeding itself — ever trips it.
+  std::uint64_t sim_event_budget = 10'000'000;
 
   /// Convenience: a stack for the given mode with everything else default.
   static StackConfig for_mode(browser::PipelineMode mode);

@@ -98,7 +98,47 @@ void HttpClient::start_request(PendingRequest request) {
   state->requested_at = sim_.now();
   state->trace_name = trace_ ? trace_->intern(state->url) : 0;
   if (stats_.first_request_at < 0) stats_.first_request_at = state->requested_at;
+  active_.push_back(state);
   run_attempt(state);
+}
+
+std::size_t HttpClient::abort_all() {
+  std::size_t aborted = 0;
+  // Queued requests first: they never started an attempt, so they settle
+  // directly (attempts = 0, like a cache hit's accounting) without touching
+  // the radio.  Drain the queue before settling in-flight ones so that the
+  // pump() at the end of each finish() finds nothing to start.
+  std::deque<PendingRequest> queued = std::move(queue_);
+  queue_.clear();
+  for (PendingRequest& request : queued) {
+    ++aborted;
+    ++stats_.fetches;
+    ++stats_.failed;
+    stats_.last_byte_at = sim_.now();
+    if (trace_) {
+      trace_->record(sim_.now(), obs::TraceKind::kHttpFetchSettled, 0,
+                     static_cast<std::int64_t>(FetchStatus::kAborted), 0,
+                     trace_->intern(request.url));
+    }
+    FetchResult result;
+    result.status = FetchStatus::kAborted;
+    result.attempts = 0;
+    result.url = std::move(request.url);
+    result.requested_at = sim_.now();
+    result.completed_at = sim_.now();
+    request.done(result);
+  }
+  // In-flight requests: tear down the current attempt (watchdog, pending
+  // first-byte event, link flow, RRC transfer marker) and settle terminally.
+  // finish() erases each from active_, so iterate over a copy.
+  std::vector<StatePtr> active = active_;
+  for (const StatePtr& state : active) {
+    if (state->settled) continue;
+    ++aborted;
+    abort_attempt(*state);
+    finish(state, nullptr, nullptr, FetchStatus::kAborted, 0);
+  }
+  return aborted;
 }
 
 void HttpClient::run_attempt(const StatePtr& state) {
@@ -282,6 +322,12 @@ void HttpClient::finish(const StatePtr& state, const Resource* resource,
   }
   state->settled = true;
   --in_flight_;
+  for (auto it = active_.begin(); it != active_.end(); ++it) {
+    if (it->get() == state.get()) {
+      active_.erase(it);
+      break;
+    }
+  }
   ++stats_.fetches;
   switch (status) {
     case FetchStatus::kOk:

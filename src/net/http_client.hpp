@@ -133,6 +133,16 @@ class HttpClient {
   /// images, so the reference chain unrolls as early as possible).
   void fetch(const std::string& url, OnFetched done, bool high_priority = false);
 
+  /// Gracefully cancels every unsettled fetch — queued and in flight — as
+  /// part of a user abort.  Each one settles terminally with kAborted (its
+  /// callback fires, its trace settle event is recorded, so queued/settled
+  /// counts stay balanced for the auditor), every in-flight attempt's
+  /// watchdog and pending events are cancelled, its link flow is torn down,
+  /// and its RRC transfer marker is released.  Returns the number of
+  /// fetches aborted.  Idempotent: a client with nothing unsettled is a
+  /// no-op.
+  std::size_t abort_all();
+
   /// Number of requests queued but not yet started.
   std::size_t queued() const { return queue_.size(); }
   /// Number of requests currently holding a connection slot (a request in
@@ -198,6 +208,8 @@ class HttpClient {
   RetryPolicy retry_;
   int in_flight_ = 0;
   std::deque<PendingRequest> queue_;
+  /// Unsettled requests holding a connection slot (for abort_all).
+  std::vector<StatePtr> active_;
   HttpClientStats stats_;
 };
 

@@ -38,6 +38,7 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kIntermediateDisplay: return "load.intermediate_display";
     case TraceKind::kTransmissionComplete: return "load.transmission_complete";
     case TraceKind::kLoadDone: return "load.done";
+    case TraceKind::kLoadAborted: return "load.aborted";
     case TraceKind::kPolicyAlphaWait: return "policy.alpha_wait";
     case TraceKind::kPolicyPrediction: return "policy.prediction";
     case TraceKind::kPolicyDecision: return "policy.decision";

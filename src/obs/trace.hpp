@@ -67,6 +67,7 @@ enum class TraceKind : std::uint8_t {
   kIntermediateDisplay,
   kTransmissionComplete,
   kLoadDone,           ///< x = final_display
+  kLoadAborted,        ///< user abandoned the load; x = abort time
   // --- core controller / policy / ril -------------------------------------
   kPolicyAlphaWait,    ///< x = alpha seconds before the decision runs
   kPolicyPrediction,   ///< x = predicted reading time (s)

@@ -82,6 +82,9 @@ class RrcMachine {
   int fach_promotions() const { return fach_promotions_; }
   /// Number of app-initiated releases that completed.
   int forced_releases() const { return forced_releases_; }
+  /// Transfer markers currently held (begin_transfer minus end_transfer);
+  /// must be 0 after every load teardown, user aborts included.
+  int active_transfers() const { return active_transfers_; }
 
   /// Radio power over time (excludes CPU; sum with the CPU timeline for
   /// whole-phone power).

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace eab::sim {
 
@@ -51,6 +52,11 @@ Simulator::Entry Simulator::pop_top() {
 
 bool Simulator::step() {
   while (!heap_.empty()) {
+    if (fired_count_ >= event_budget_) {
+      throw BudgetExhaustedError(
+          "Simulator: event budget exhausted after " +
+          std::to_string(fired_count_) + " events; " + pending_dump());
+    }
     Entry entry = pop_top();
     if (state_[entry.seq - 1] == EventState::kCancelled) {  // tombstone
       ++tombstones_popped_;
@@ -70,6 +76,44 @@ std::size_t Simulator::run() {
   std::size_t n = 0;
   while (step()) ++n;
   return n;
+}
+
+RunResult Simulator::run(std::size_t max_events) {
+  RunResult result;
+  while (result.events < max_events) {
+    if (!step()) return result;  // kDrained
+    ++result.events;
+  }
+  if (live_ > 0) result.status = RunStatus::kBudgetExhausted;
+  return result;
+}
+
+std::string Simulator::pending_dump(std::size_t max_entries) const {
+  // The heap is not sorted; collect the live entries and order them.
+  std::vector<std::pair<Seconds, std::uint64_t>> live;
+  live.reserve(live_);
+  for (const Entry& entry : heap_) {
+    if (state_[entry.seq - 1] == EventState::kPending) {
+      live.emplace_back(entry.at, entry.seq);
+    }
+  }
+  std::sort(live.begin(), live.end());
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "pending heap: %zu live events at t=%.6f",
+                live.size(), now_);
+  std::string out = buf;
+  const std::size_t shown = std::min(max_entries, live.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    std::snprintf(buf, sizeof buf, "%s[t=%.6f seq=%llu]", i == 0 ? ": " : " ",
+                  live[i].first,
+                  static_cast<unsigned long long>(live[i].second));
+    out += buf;
+  }
+  if (shown < live.size()) {
+    std::snprintf(buf, sizeof buf, " ... and %zu more", live.size() - shown);
+    out += buf;
+  }
+  return out;
 }
 
 std::size_t Simulator::run_until(Seconds until) {

@@ -15,12 +15,36 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/units.hpp"
 
 namespace eab::sim {
+
+/// Thrown when the simulator fires more events than its configured budget
+/// allows — a liveness tripwire turning a would-be infinite event loop into
+/// a diagnosable failure.  `what()` includes a dump of the pending heap.
+class BudgetExhaustedError : public std::runtime_error {
+ public:
+  explicit BudgetExhaustedError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Outcome of a budgeted run (Simulator::run(max_events)).
+enum class RunStatus {
+  kDrained,          ///< the queue emptied normally
+  kBudgetExhausted,  ///< max_events fired with work still pending
+};
+
+struct RunResult {
+  RunStatus status = RunStatus::kDrained;
+  std::size_t events = 0;  ///< events fired by this call
+
+  bool drained() const { return status == RunStatus::kDrained; }
+};
 
 /// Handle to a scheduled event; obtained from Simulator::schedule_*.
 class EventId {
@@ -58,14 +82,37 @@ class Simulator {
   bool pending(EventId id) const;
 
   /// Runs events until the queue is empty. Returns the number of events run.
+  /// Throws BudgetExhaustedError when the lifetime event budget (see
+  /// set_event_budget) runs out first.
   std::size_t run();
+
+  /// Runs at most `max_events` events; reports whether the queue drained or
+  /// the cap was hit with work still pending (never throws for the cap —
+  /// callers inspect the status and pending_dump()).  The lifetime budget
+  /// still applies underneath.
+  RunResult run(std::size_t max_events);
 
   /// Runs events with timestamp <= until, then advances the clock to exactly
   /// `until` (even if the queue still holds later events).
   std::size_t run_until(Seconds until);
 
-  /// Runs exactly one event if available; returns whether one ran.
+  /// Runs exactly one event if available; returns whether one ran.  Throws
+  /// BudgetExhaustedError if firing it would exceed the lifetime budget.
   bool step();
+
+  /// Caps the total number of events this simulator may fire over its
+  /// lifetime.  Exceeding the cap makes step()/run()/run_until() throw
+  /// BudgetExhaustedError carrying pending_dump() — a wedged simulation
+  /// (events endlessly rescheduling each other) surfaces as a diagnosable
+  /// error instead of a hang.  Default: effectively unlimited.
+  void set_event_budget(std::uint64_t max_total_fired) {
+    event_budget_ = max_total_fired;
+  }
+  std::uint64_t event_budget() const { return event_budget_; }
+
+  /// Human-readable snapshot of the pending heap (earliest events first, up
+  /// to `max_entries`), for liveness diagnostics.
+  std::string pending_dump(std::size_t max_entries = 12) const;
 
   /// Number of events currently pending (excludes cancelled ones).
   std::size_t pending_count() const { return live_; }
@@ -103,6 +150,7 @@ class Simulator {
 
   Seconds now_ = 0;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t event_budget_ = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t fired_count_ = 0;
   std::uint64_t cancelled_count_ = 0;
   std::uint64_t tombstones_popped_ = 0;

@@ -185,7 +185,170 @@ TEST(BatchMemoKey, DistinguishesEveryKeyedInput) {
   other.config.force_idle_at_tx = !other.config.force_idle_at_tx;
   EXPECT_NE(key, batch_memo_key(other));
 
+  other = base;
+  other.config.chaos.abort_at = 2.0;
+  EXPECT_NE(key, batch_memo_key(other));
+
+  other = base;
+  other.config.chaos.ril_socket_failures = 1;
+  EXPECT_NE(key, batch_memo_key(other));
+
+  other = base;
+  other.config.chaos.cache_storm_count = 1;
+  EXPECT_NE(key, batch_memo_key(other));
+
+  other = base;
+  other.config.sim_event_budget /= 2;
+  EXPECT_NE(key, batch_memo_key(other));
+
   EXPECT_EQ(key, batch_memo_key(base));  // and it is deterministic
+}
+
+/// A configuration run_single_load rejects up front (stalls with no
+/// watchdog), used as the deliberately-throwing job in quarantine tests.
+BatchJob poisoned_job() {
+  BatchJob job;
+  job.spec = tiny_spec(0);
+  job.config = StackConfig::for_mode(browser::PipelineMode::kOriginal);
+  job.config.fault_plan.stall_rate = 0.5;
+  job.config.retry.request_timeout = 0;  // validate_fault_wiring throws
+  job.seed = 424242;
+  return job;
+}
+
+TEST(BatchQuarantine, ThrowingJobIsIsolatedAndBatchCompletes) {
+  auto jobs = sweep_jobs(6);
+  jobs.insert(jobs.begin() + 3, poisoned_job());
+
+  BatchRunner runner(4);
+  const auto results = runner.run(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+
+  ASSERT_EQ(runner.last_errors().size(), 1u);
+  const JobError& error = runner.last_errors()[0];
+  EXPECT_EQ(error.index, 3u);
+  EXPECT_NE(error.what.find("stall_rate"), std::string::npos) << error.what;
+  EXPECT_EQ(error.key_digest, fnv1a_64(batch_memo_key(jobs[3])));
+  EXPECT_EQ(error.seed, 424242u);
+
+  // The quarantined slot is value-initialized; every other job completed.
+  EXPECT_EQ(results[3].sim_events, 0u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i == 3) continue;
+    SCOPED_TRACE(i);
+    EXPECT_GT(results[i].sim_events, 0u);
+    EXPECT_GT(results[i].metrics.final_display, 0.0);
+  }
+  EXPECT_EQ(runner.metrics().value("batch.quarantined"), 1.0);
+}
+
+TEST(BatchQuarantine, SerialAndParallelQuarantinesAreIdentical) {
+  auto jobs = sweep_jobs(5);
+  jobs.insert(jobs.begin() + 1, poisoned_job());
+
+  BatchRunner serial(1);
+  BatchRunner parallel(4);
+  const auto a = serial.run(jobs);
+  const auto b = parallel.run(jobs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(a[i], b[i]);
+  }
+  ASSERT_EQ(serial.last_errors().size(), 1u);
+  ASSERT_EQ(parallel.last_errors().size(), 1u);
+  EXPECT_EQ(serial.last_errors()[0].index, parallel.last_errors()[0].index);
+  EXPECT_EQ(serial.last_errors()[0].what, parallel.last_errors()[0].what);
+  EXPECT_EQ(serial.last_errors()[0].key_digest,
+            parallel.last_errors()[0].key_digest);
+  EXPECT_TRUE(serial.metrics().same_as(parallel.metrics()));
+}
+
+TEST(BatchQuarantine, PoisonedKeyIsNeverCachedAndErrorsReset) {
+  const std::vector<BatchJob> jobs = {poisoned_job()};
+  BatchRunner runner(1);
+  runner.run(jobs);
+  EXPECT_EQ(runner.last_errors().size(), 1u);
+  EXPECT_EQ(runner.cache_size(), 0u);
+
+  // Re-running retries the load (no stale cache entry) and still reports
+  // exactly one error, not an accumulated two.
+  runner.run(jobs);
+  EXPECT_EQ(runner.last_errors().size(), 1u);
+  EXPECT_EQ(runner.cache_misses(), 2u);
+
+  // A healthy batch clears the quarantine list.
+  runner.run(sweep_jobs(2));
+  EXPECT_TRUE(runner.last_errors().empty());
+}
+
+TEST(BatchQuarantine, DuplicatePoisonedJobsEachGetAnError) {
+  std::vector<BatchJob> jobs = {poisoned_job(), poisoned_job()};
+  BatchRunner runner(2);
+  const auto results = runner.run(jobs);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_EQ(runner.last_errors().size(), 2u);
+  EXPECT_EQ(runner.last_errors()[0].index, 0u);
+  EXPECT_EQ(runner.last_errors()[1].index, 1u);
+  EXPECT_EQ(runner.metrics().value("batch.quarantined"), 2.0);
+}
+
+TEST(EnvParsing, ParseEnvU64IsStrict) {
+  std::uint64_t out = 0;
+  EXPECT_TRUE(bench::parse_env_u64("0", out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(bench::parse_env_u64("18446744073709551615", out));
+  EXPECT_EQ(out, 18446744073709551615ull);
+  EXPECT_FALSE(bench::parse_env_u64(nullptr, out));
+  EXPECT_FALSE(bench::parse_env_u64("", out));
+  EXPECT_FALSE(bench::parse_env_u64("12x", out));
+  EXPECT_FALSE(bench::parse_env_u64("x12", out));
+  EXPECT_FALSE(bench::parse_env_u64("-1", out));
+  EXPECT_FALSE(bench::parse_env_u64("+1", out));
+  EXPECT_FALSE(bench::parse_env_u64(" 1", out));
+  EXPECT_FALSE(bench::parse_env_u64("1 ", out));
+  EXPECT_FALSE(bench::parse_env_u64("0x10", out));
+  EXPECT_FALSE(bench::parse_env_u64("18446744073709551616", out));  // 2^64
+}
+
+TEST(EnvParsing, WellFormedOverridesAreHonored) {
+  setenv("EAB_FAULT_SEED", "12345", 1);
+  EXPECT_EQ(bench::fault_seed_from_env(7), 12345u);
+  unsetenv("EAB_FAULT_SEED");
+  EXPECT_EQ(bench::fault_seed_from_env(7), 7u);
+
+  setenv("EAB_TRACE", "1", 1);
+  EXPECT_TRUE(bench::trace_enabled());
+  setenv("EAB_TRACE", "0", 1);
+  EXPECT_FALSE(bench::trace_enabled());
+  unsetenv("EAB_TRACE");
+  EXPECT_FALSE(bench::trace_enabled());
+
+  setenv("EAB_CHAOS_SEEDS", "32", 1);
+  EXPECT_EQ(bench::chaos_seed_count_from_env(256), 32);
+  unsetenv("EAB_CHAOS_SEEDS");
+  EXPECT_EQ(bench::chaos_seed_count_from_env(256), 256);
+}
+
+TEST(EnvParsingDeathTest, MalformedFaultSeedDiesLoudly) {
+  setenv("EAB_FAULT_SEED", "12bananas", 1);
+  EXPECT_EXIT(bench::fault_seed_from_env(7), ::testing::ExitedWithCode(2),
+              "EAB_FAULT_SEED");
+  unsetenv("EAB_FAULT_SEED");
+}
+
+TEST(EnvParsingDeathTest, MalformedTraceFlagDiesLoudly) {
+  setenv("EAB_TRACE", "yes", 1);
+  EXPECT_EXIT(bench::trace_enabled(), ::testing::ExitedWithCode(2),
+              "EAB_TRACE");
+  unsetenv("EAB_TRACE");
+}
+
+TEST(EnvParsingDeathTest, ZeroChaosSeedsDiesLoudly) {
+  setenv("EAB_CHAOS_SEEDS", "0", 1);
+  EXPECT_EXIT(bench::chaos_seed_count_from_env(256),
+              ::testing::ExitedWithCode(2), "EAB_CHAOS_SEEDS");
+  unsetenv("EAB_CHAOS_SEEDS");
 }
 
 TEST(Fnv1a, MatchesReferenceVectors) {

@@ -259,6 +259,72 @@ TEST(Simulator, RunUntilSkipsLeadingTombstones) {
   EXPECT_DOUBLE_EQ(sim.now(), 6.0);
 }
 
+TEST(Simulator, EventBudgetThrowsWithPendingDump) {
+  Simulator sim;
+  sim.set_event_budget(100);
+  // A self-feeding event loop: the wedged-simulation bug class the budget
+  // exists to catch.
+  std::function<void()> feed = [&] { sim.schedule_in(0.5, feed); };
+  sim.schedule_in(0.5, feed);
+  sim.schedule_at(1e9, [] {});  // an innocent bystander for the dump
+  try {
+    sim.run();
+    FAIL() << "unbounded loop should exhaust the budget";
+  } catch (const BudgetExhaustedError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("event budget exhausted"), std::string::npos) << what;
+    EXPECT_NE(what.find("pending heap"), std::string::npos) << what;
+    EXPECT_NE(what.find("t="), std::string::npos)
+        << "the dump lists pending event timestamps: " << what;
+  }
+  EXPECT_EQ(sim.fired_count(), 100u);
+}
+
+TEST(Simulator, DefaultBudgetIsEffectivelyUnlimited) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule_at(static_cast<Seconds>(i), [&fired] { ++fired; });
+  }
+  EXPECT_NO_THROW(sim.run());
+  EXPECT_EQ(fired, 1000);
+}
+
+TEST(Simulator, BoundedRunReportsBudgetExhaustion) {
+  Simulator sim;
+  std::function<void()> feed = [&] { sim.schedule_in(1.0, feed); };
+  sim.schedule_in(1.0, feed);
+  const RunResult partial = sim.run(50);
+  EXPECT_EQ(partial.status, RunStatus::kBudgetExhausted);
+  EXPECT_FALSE(partial.drained());
+  EXPECT_EQ(partial.events, 50u);
+
+  // A drainable heap under the cap reports kDrained.
+  Simulator finite;
+  finite.schedule_at(1.0, [] {});
+  finite.schedule_at(2.0, [] {});
+  const RunResult drained = finite.run(50);
+  EXPECT_EQ(drained.status, RunStatus::kDrained);
+  EXPECT_TRUE(drained.drained());
+  EXPECT_EQ(drained.events, 2u);
+}
+
+TEST(Simulator, PendingDumpListsLiveEventsInOrder) {
+  Simulator sim;
+  sim.schedule_at(3.0, [] {});
+  sim.schedule_at(1.0, [] {});
+  sim.cancel(sim.schedule_at(2.0, [] {}));  // tombstones never appear
+  const std::string dump = sim.pending_dump();
+  EXPECT_NE(dump.find("2 live events"), std::string::npos) << dump;
+  const auto pos1 = dump.find("t=1");
+  const auto pos3 = dump.find("t=3");
+  EXPECT_NE(pos1, std::string::npos) << dump;
+  EXPECT_NE(pos3, std::string::npos) << dump;
+  EXPECT_LT(pos1, pos3) << "entries sorted by firing order: " << dump;
+  EXPECT_EQ(dump.find("t=2"), std::string::npos)
+      << "cancelled event leaked into the dump: " << dump;
+}
+
 TEST(Simulator, ManyEventsStressOrdering) {
   Simulator sim;
   Seconds last = -1;
