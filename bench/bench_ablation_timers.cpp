@@ -22,7 +22,7 @@ struct Outcome {
 Outcome run_with(const std::vector<core::PageVisit>& visits,
                  core::SessionConfig config) {
   const auto result = core::run_session(visits, config, 3);
-  return {result.energy, result.total_load_delay};
+  return {result.energy.with_reading_j, result.total_load_delay};
 }
 
 }  // namespace

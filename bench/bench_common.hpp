@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "core/batch.hpp"
-#include "core/experiment.hpp"
+#include "core/scenario.hpp"
 #include "corpus/page_spec.hpp"
 #include "obs/audit.hpp"
 #include "obs/chrome_trace.hpp"
@@ -77,8 +77,8 @@ inline BenchmarkAverages averages_of(
     avg.total_time += r.metrics.total_time();
     avg.first_display += r.metrics.first_display - r.metrics.started;
     avg.final_display += r.metrics.total_time();
-    avg.load_energy += r.load_energy;
-    avg.energy_20s += r.energy_with_reading;
+    avg.load_energy += r.energy.load_j;
+    avg.energy_20s += r.energy.with_reading_j;
     avg.dch_time += r.dch_time;
   }
   const auto n = static_cast<double>(results.size());
@@ -197,8 +197,8 @@ inline obs::AuditInputs make_audit_inputs(const core::StackConfig& config,
   inputs.rrc = config.rrc;
   inputs.power = config.power;
   inputs.max_retries = config.retry.max_retries;
-  inputs.radio_energy = r.radio_energy;
-  inputs.t_end = r.observed_until;
+  inputs.radio_energy = r.energy.radio_j;
+  inputs.t_end = r.energy.window_s;
   return inputs;
 }
 
@@ -229,7 +229,7 @@ inline int audit_results(const std::vector<core::SingleLoadResult>& results,
     if (!out_dir.empty()) {
       obs::write_chrome_trace(out_dir + "/" + file_label + "_" +
                                   std::to_string(i) + ".trace.json",
-                              *r.trace, r.observed_until);
+                              *r.trace, r.energy.window_s);
     }
   }
   if (audited > 0) {

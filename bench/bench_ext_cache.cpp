@@ -25,7 +25,7 @@ Totals run(const std::vector<core::PageVisit>& visits,
   config.threshold = 9.0;
   config.stack.use_browser_cache = cache;
   const auto result = core::run_session(visits, config, 5);
-  return {result.energy, result.total_load_delay};
+  return {result.energy.with_reading_j, result.total_load_delay};
 }
 
 }  // namespace

@@ -69,7 +69,7 @@ SweepPoint measure(browser::PipelineMode mode, double rate,
   SweepPoint point;
   point.rate = rate;
   for (const auto& r : results) {
-    point.energy += r.load_energy;
+    point.energy += r.energy.load_j;
     point.total_time += r.metrics.total_time();
     point.retries += r.fetch_retries;
     point.timeouts += r.fetch_timeouts;
@@ -137,11 +137,11 @@ int main() {
   g_audit_failures += bench::audit_results(fe, fade_ea, "fade-ea");
   double fade_o_energy = 0, fade_e_energy = 0, fade_o_time = 0, fade_e_time = 0;
   for (const auto& r : fo) {
-    fade_o_energy += r.load_energy;
+    fade_o_energy += r.energy.load_j;
     fade_o_time += r.metrics.total_time();
   }
   for (const auto& r : fe) {
-    fade_e_energy += r.load_energy;
+    fade_e_energy += r.energy.load_j;
     fade_e_time += r.metrics.total_time();
   }
   const auto n = static_cast<double>(specs.size());

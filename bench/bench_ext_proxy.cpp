@@ -14,10 +14,10 @@ namespace {
 using namespace eab;
 
 void report(const std::string& label, const std::vector<corpus::PageSpec>& specs) {
-  const auto orig_cfg =
-      core::StackConfig::for_mode(browser::PipelineMode::kOriginal);
-  const auto ea_cfg =
-      core::StackConfig::for_mode(browser::PipelineMode::kEnergyAware);
+  const core::Scenario orig_scenario =
+      core::ScenarioBuilder(browser::PipelineMode::kOriginal).build();
+  const core::Scenario ea_scenario =
+      core::ScenarioBuilder(browser::PipelineMode::kEnergyAware).build();
 
   double orig_time = 0;
   double orig_energy = 0;
@@ -26,15 +26,15 @@ void report(const std::string& label, const std::vector<corpus::PageSpec>& specs
   double proxy_time = 0;
   double proxy_energy = 0;
   for (const auto& spec : specs) {
-    const auto orig = core::run_single_load(spec, orig_cfg);
-    const auto ea = core::run_single_load(spec, ea_cfg);
-    const auto proxy = core::run_proxy_load(spec, orig_cfg);
+    const auto orig = orig_scenario.run_single(spec);
+    const auto ea = ea_scenario.run_single(spec);
+    const auto proxy = orig_scenario.run_proxy(spec);
     orig_time += orig.metrics.total_time();
-    orig_energy += orig.energy_with_reading;
+    orig_energy += orig.energy.with_reading_j;
     ea_time += ea.metrics.total_time();
-    ea_energy += ea.energy_with_reading;
+    ea_energy += ea.energy.with_reading_j;
     proxy_time += proxy.total_time;
-    proxy_energy += proxy.energy_with_reading;
+    proxy_energy += proxy.energy.with_reading_j;
   }
   const auto n = static_cast<double>(specs.size());
 

@@ -12,10 +12,10 @@ int main() {
   bench::print_header("Fig 4", "traffic shape: browser load vs socket bulk");
 
   const corpus::PageSpec page = corpus::espn_sports_spec();
-  const auto orig_cfg =
-      core::StackConfig::for_mode(browser::PipelineMode::kOriginal);
-  const auto load = core::run_single_load(page, orig_cfg);
-  const auto bulk = core::run_bulk_download(load.bytes_fetched, orig_cfg);
+  const core::Scenario scenario =
+      core::ScenarioBuilder(browser::PipelineMode::kOriginal).build();
+  const auto load = scenario.run_single(page);
+  const auto bulk = scenario.run_bulk(load.bytes_fetched);
 
   std::printf("page bytes: %.0f KB in %d objects\n\n",
               to_kilobytes(load.bytes_fetched), load.metrics.objects_fetched);

@@ -14,10 +14,12 @@ int main() {
   bench::print_header("Fig 9", "power trace loading espn.go.com/sports");
 
   const corpus::PageSpec page = corpus::espn_sports_spec();
-  const auto orig = core::run_single_load(
-      page, core::StackConfig::for_mode(browser::PipelineMode::kOriginal));
-  const auto ea = core::run_single_load(
-      page, core::StackConfig::for_mode(browser::PipelineMode::kEnergyAware));
+  const auto orig = core::ScenarioBuilder(browser::PipelineMode::kOriginal)
+                        .build()
+                        .run_single(page);
+  const auto ea = core::ScenarioBuilder(browser::PipelineMode::kEnergyAware)
+                      .build()
+                      .run_single(page);
 
   const Seconds horizon =
       std::max(orig.metrics.final_display, ea.metrics.final_display) + 20.0;
@@ -39,9 +41,9 @@ int main() {
   std::printf("  forced releases to IDLE      %7d  %12d   0 / 1\n",
               orig.forced_releases, ea.forced_releases);
   std::printf("  energy incl. 20 s reading    %6.1fJ  %11.1fJ  (paper saving 43.6%%)\n",
-              orig.energy_with_reading, ea.energy_with_reading);
+              orig.energy.with_reading_j, ea.energy.with_reading_j);
   std::printf("  measured saving              %.1f%%\n",
-              100.0 * bench::saving(orig.energy_with_reading,
-                                    ea.energy_with_reading));
+              100.0 * bench::saving(orig.energy.with_reading_j,
+                                    ea.energy.with_reading_j));
   return 0;
 }

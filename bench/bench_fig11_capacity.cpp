@@ -1,29 +1,37 @@
 // Regenerates Fig 11: session dropping probability vs number of users, for
 // the original and energy-aware browsers, on both benchmarks.
 //
-// M/G/200 loss system, per-user Poisson think time (mean 25 s), 4-hour
-// horizon; the service time of a session is the measured data-transmission
-// time of opening a page.  Paper result: at equal dropping probability the
-// energy-aware browser supports 14.3 % more users on the mobile benchmark
-// and 19.6 % more on the full benchmark.
+// Default mode — M/G/200 loss system, per-user Poisson think time (mean
+// 25 s), 4-hour horizon; the service time of a session is the measured
+// data-transmission time of opening a page (cell::measure_service_times,
+// sampling controlled by capacity::CapacityConfig).  Paper result: at equal
+// dropping probability the energy-aware browser supports 14.3 % more users
+// on the mobile benchmark and 19.6 % more on the full benchmark.
+//
+// --cell mode — the same claim from first principles: N full UE stacks
+// (RRC + link + browser pipeline each) contend for a bounded DCH grant
+// pool inside one simulator (src/cell/), with the abstract M/G/N curve
+// printed next to the co-simulated one.  Emits BENCH_cell.json.  Knobs:
+// EAB_CELL_USERS (top of the users axis), EAB_CELL_SEED (cell seed).
 #include "bench_common.hpp"
 
+#include <cstring>
+
 #include "capacity/mgn.hpp"
+#include "cell/cell.hpp"
+#include "cell/service_times.hpp"
 
 namespace {
 
 using namespace eab;
 
 std::vector<Seconds> service_times(const std::vector<corpus::PageSpec>& specs,
-                                   browser::PipelineMode mode) {
+                                   browser::PipelineMode mode,
+                                   const capacity::CapacityConfig& config) {
   // One batched sweep per mode; the shared memo cache also means the Fig 10
   // harness (same specs, same configs) would reuse these loads in-process.
-  std::vector<Seconds> times;
-  const auto config = core::StackConfig::for_mode(mode);
-  for (const auto& r : bench::run_loads(specs, config)) {
-    times.push_back(r.metrics.transmission_time());
-  }
-  return times;
+  return cell::measure_service_times(specs, mode, config,
+                                     bench::shared_runner());
 }
 
 /// Users supported at the target drop probability (linear scan + interpolate).
@@ -48,10 +56,11 @@ double capacity_at(const capacity::ServiceTimeDistribution& service, int lo,
 
 void report(const std::string& label, const std::vector<corpus::PageSpec>& specs,
             int lo, int hi, int step, double paper_gain) {
+  const capacity::CapacityConfig sampling;
   const capacity::ServiceTimeDistribution orig(
-      service_times(specs, browser::PipelineMode::kOriginal));
+      service_times(specs, browser::PipelineMode::kOriginal, sampling));
   const capacity::ServiceTimeDistribution ea(
-      service_times(specs, browser::PipelineMode::kEnergyAware));
+      service_times(specs, browser::PipelineMode::kEnergyAware, sampling));
 
   std::printf("%s (mean service: original %.1f s, energy-aware %.1f s)\n",
               label.c_str(), orig.mean(), ea.mean());
@@ -79,10 +88,174 @@ void report(const std::string& label, const std::vector<corpus::PageSpec>& specs
               100.0 * (cap_ea - cap_orig) / cap_orig, paper_gain * 100);
 }
 
+// --- --cell mode -----------------------------------------------------------
+
+/// Cell-mode parameters: a small cell (few grants, short horizon) so the
+/// co-simulation finishes in bench time; the qualitative Fig 11 shape —
+/// monotone drop curve, energy-aware above Original in admitted users —
+/// does not depend on the pool being 200 channels wide.
+struct CellBenchParams {
+  int channels = 6;
+  Seconds horizon = 600.0;
+  int max_users = 32;
+  int step = 4;
+  std::uint64_t seed = 1;
+  double target = 0.05;  // 5 % dropping service level
+};
+
+std::uint64_t cell_env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  std::uint64_t value = 0;
+  if (!bench::parse_env_u64(raw, value)) {
+    bench::die_invalid_env(name, raw, "an unsigned decimal number");
+  }
+  return value;
+}
+
+cell::CellConfig cell_config(browser::PipelineMode mode,
+                             const CellBenchParams& params) {
+  cell::CellConfig config;
+  config.per_ue = core::ScenarioBuilder(mode).build();
+  config.specs = corpus::mobile_benchmark();
+  config.channels = params.channels;
+  config.horizon = params.horizon;
+  config.cell_seed = params.seed;
+  return config;
+}
+
+double mean_ue_energy(const cell::CellResult& result) {
+  if (result.per_ue.empty()) return 0;
+  double total = 0;
+  for (const auto& ue : result.per_ue) total += ue.energy.with_reading_j;
+  return total / static_cast<double>(result.per_ue.size());
+}
+
+int run_cell_mode() {
+  bench::print_header(
+      "Fig 11 (--cell)",
+      "first-principles shared-cell co-simulation vs the M/G/N model");
+
+  CellBenchParams params;
+  params.seed = cell_env_u64("EAB_CELL_SEED", params.seed);
+  const std::uint64_t max_users =
+      cell_env_u64("EAB_CELL_USERS", static_cast<std::uint64_t>(params.max_users));
+  if (max_users == 0 || max_users > 512) {
+    bench::die_invalid_env("EAB_CELL_USERS", std::getenv("EAB_CELL_USERS"),
+                    "a user count in [1, 512]");
+  }
+  params.max_users = static_cast<int>(max_users);
+
+  std::vector<int> users_axis;
+  for (int users = std::min(params.step, params.max_users);
+       users <= params.max_users; users += params.step) {
+    users_axis.push_back(users);
+  }
+  if (users_axis.back() != params.max_users) {
+    users_axis.push_back(params.max_users);
+  }
+
+  std::printf("cell: %d channel pairs, %.0f s horizon, mean think 25 s, "
+              "mobile benchmark, seed %llu\n",
+              params.channels, params.horizon,
+              static_cast<unsigned long long>(params.seed));
+
+  // The co-simulated curves: the users-axis sweep shards across the shared
+  // BatchRunner (bit-identical to a serial loop for any EAB_JOBS).
+  const auto orig_results = cell::run_cell_sweep(
+      cell_config(browser::PipelineMode::kOriginal, params), users_axis,
+      bench::shared_runner());
+  const auto ea_results = cell::run_cell_sweep(
+      cell_config(browser::PipelineMode::kEnergyAware, params), users_axis,
+      bench::shared_runner());
+
+  // The abstract model, scaled to the same small cell, for the side-by-side
+  // column: measured service times, same channels/horizon.
+  capacity::CapacityConfig sampling;
+  const capacity::ServiceTimeDistribution orig_service(service_times(
+      corpus::mobile_benchmark(), browser::PipelineMode::kOriginal, sampling));
+  const capacity::ServiceTimeDistribution ea_service(service_times(
+      corpus::mobile_benchmark(), browser::PipelineMode::kEnergyAware,
+      sampling));
+  capacity::CapacityConfig mgn;
+  mgn.channels = params.channels;
+  mgn.horizon = params.horizon;
+
+  TextTable table({"users", "drop% orig (cell)", "drop% ea (cell)",
+                   "drop% orig (M/G/N)", "drop% ea (M/G/N)", "busy orig",
+                   "busy ea"});
+  for (std::size_t i = 0; i < users_axis.size(); ++i) {
+    mgn.users = users_axis[i];
+    const auto mgn_orig = capacity::simulate_capacity(mgn, orig_service, 42);
+    const auto mgn_ea = capacity::simulate_capacity(mgn, ea_service, 42);
+    table.add_row(
+        {std::to_string(users_axis[i]),
+         format_fixed(100 * orig_results[i].drop_probability(), 2),
+         format_fixed(100 * ea_results[i].drop_probability(), 2),
+         format_fixed(100 * mgn_orig.drop_probability, 2),
+         format_fixed(100 * mgn_ea.drop_probability, 2),
+         format_fixed(orig_results[i].mean_busy_grants, 2),
+         format_fixed(ea_results[i].mean_busy_grants, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const double cap_orig =
+      cell::users_at_drop_target(users_axis, orig_results, params.target);
+  const double cap_ea =
+      cell::users_at_drop_target(users_axis, ea_results, params.target);
+  std::printf("cell capacity at %.0f%% dropping: original %.1f users, "
+              "energy-aware %.1f users -> +%.1f%%\n",
+              params.target * 100, cap_orig, cap_ea,
+              cap_orig > 0 ? 100.0 * (cap_ea - cap_orig) / cap_orig : 0.0);
+
+  FILE* json = std::fopen("BENCH_cell.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"channels\": %d,\n"
+                 "  \"horizon_s\": %.17g,\n"
+                 "  \"cell_seed\": %llu,\n"
+                 "  \"drop_target\": %.17g,\n"
+                 "  \"capacity_original\": %.17g,\n"
+                 "  \"capacity_energy_aware\": %.17g,\n"
+                 "  \"points\": [\n",
+                 params.channels, params.horizon,
+                 static_cast<unsigned long long>(params.seed), params.target,
+                 cap_orig, cap_ea);
+    for (std::size_t i = 0; i < users_axis.size(); ++i) {
+      std::fprintf(
+          json,
+          "    {\"users\": %d,"
+          " \"drop_original\": %.17g, \"drop_energy_aware\": %.17g,"
+          " \"offered_original\": %llu, \"offered_energy_aware\": %llu,"
+          " \"mean_busy_original\": %.17g, \"mean_busy_energy_aware\": %.17g,"
+          " \"mean_ue_energy_original_j\": %.17g,"
+          " \"mean_ue_energy_energy_aware_j\": %.17g}%s\n",
+          users_axis[i], orig_results[i].drop_probability(),
+          ea_results[i].drop_probability(),
+          static_cast<unsigned long long>(orig_results[i].offered),
+          static_cast<unsigned long long>(ea_results[i].offered),
+          orig_results[i].mean_busy_grants, ea_results[i].mean_busy_grants,
+          mean_ue_energy(orig_results[i]), mean_ue_energy(ea_results[i]),
+          i + 1 < users_axis.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_cell.json\n");
+  }
+  bench::write_metrics_snapshot("cell", bench::shared_runner().metrics());
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "--cell") == 0) return run_cell_mode();
+    std::fprintf(stderr, "usage: %s [--cell]\n", argv[0]);
+    return 2;
+  }
   bench::print_header("Fig 11", "network capacity: drop probability vs users");
   report("mobile benchmark", corpus::mobile_benchmark(), 300, 900, 50, 0.143);
   report("full benchmark", corpus::full_benchmark(), 150, 500, 25, 0.196);

@@ -15,10 +15,12 @@ int main() {
                       "intermediate and final display of espn.go.com/sports");
 
   const corpus::PageSpec page = corpus::espn_sports_spec();
-  const auto orig = core::run_single_load(
-      page, core::StackConfig::for_mode(browser::PipelineMode::kOriginal));
-  const auto ea = core::run_single_load(
-      page, core::StackConfig::for_mode(browser::PipelineMode::kEnergyAware));
+  const auto orig = core::ScenarioBuilder(browser::PipelineMode::kOriginal)
+                        .build()
+                        .run_single(page);
+  const auto ea = core::ScenarioBuilder(browser::PipelineMode::kEnergyAware)
+                      .build()
+                      .run_single(page);
 
   // Re-derive the final DOM for rendering (loads return the signature only;
   // rendering needs the tree, so rebuild it from the same generated page).

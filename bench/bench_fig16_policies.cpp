@@ -40,10 +40,10 @@ SessionTotals run_policy(
     obs::TraceRecorder recorder;
     config.trace = traced ? &recorder : nullptr;
     const auto result = core::run_session(visits, config, seed++);
-    totals.energy += result.energy;
-    if (result.duration < horizon_per_user) {
+    totals.energy += result.energy.with_reading_j;
+    if (result.energy.window_s < horizon_per_user) {
       totals.energy +=
-          config.stack.power.idle * (horizon_per_user - result.duration);
+          config.stack.power.idle * (horizon_per_user - result.energy.window_s);
     }
     totals.delay += result.total_load_delay;
     if (traced) {
@@ -51,8 +51,8 @@ SessionTotals run_policy(
       inputs.rrc = config.stack.rrc;
       inputs.power = config.stack.power;
       inputs.max_retries = config.stack.retry.max_retries;
-      inputs.radio_energy = result.radio_energy;
-      inputs.t_end = result.duration;
+      inputs.radio_energy = result.energy.radio_j;
+      inputs.t_end = result.energy.window_s;
       const auto report = obs::TraceAuditor().audit(recorder, inputs);
       if (!report.ok()) {
         ++totals.audit_failures;

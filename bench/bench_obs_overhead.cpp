@@ -78,8 +78,8 @@ int main() {
     const auto& u = untraced[i];
     const auto& t = traced[i];
     identical = u.sim_events == t.sim_events &&
-                u.load_energy == t.load_energy &&
-                u.energy_with_reading == t.energy_with_reading &&
+                u.energy.load_j == t.energy.load_j &&
+                u.energy.with_reading_j == t.energy.with_reading_j &&
                 u.dom_signature == t.dom_signature &&
                 u.metrics.total_time() == t.metrics.total_time() &&
                 u.trace == nullptr && t.trace != nullptr;

@@ -42,8 +42,8 @@ std::vector<core::BatchJob> make_sweep() {
 }
 
 bool identical(const core::SingleLoadResult& a, const core::SingleLoadResult& b) {
-  return a.load_energy == b.load_energy &&
-         a.energy_with_reading == b.energy_with_reading &&
+  return a.energy.load_j == b.energy.load_j &&
+         a.energy.with_reading_j == b.energy.with_reading_j &&
          a.metrics.total_time() == b.metrics.total_time() &&
          a.metrics.transmission_time() == b.metrics.transmission_time() &&
          a.dch_time == b.dch_time && a.bytes_fetched == b.bytes_fetched &&

@@ -6,7 +6,7 @@
 // compares the stock browser against the energy-aware system, page by page.
 #include <cstdio>
 
-#include "core/session.hpp"
+#include "core/scenario.hpp"
 #include "corpus/page_spec.hpp"
 #include "gbrt/model.hpp"
 #include "trace/reading_model.hpp"
@@ -20,12 +20,12 @@ using namespace eab;
 std::vector<trace::PageRecord> measure_library(
     const std::vector<corpus::PageSpec>& specs) {
   std::vector<trace::PageRecord> records;
-  const auto config =
-      core::StackConfig::for_mode(browser::PipelineMode::kEnergyAware);
+  const core::Scenario scenario =
+      core::ScenarioBuilder(browser::PipelineMode::kEnergyAware).build();
   for (const auto& spec : specs) {
     trace::PageRecord record;
     record.spec = spec;
-    record.features = core::run_single_load(spec, config).features;
+    record.features = scenario.run_single(spec).features;
     records.push_back(std::move(record));
   }
   return records;
@@ -84,8 +84,8 @@ int main() {
   std::printf("user 0 session (%d pages):\n", stock.pages);
   std::printf("                      stock browser   energy-aware+predict\n");
   std::printf("  energy (J)          %10.1f      %10.1f   (-%.1f%%)\n",
-              stock.energy, ours.energy,
-              100 * (1 - ours.energy / stock.energy));
+              stock.energy.with_reading_j, ours.energy.with_reading_j,
+              100 * (1 - ours.energy.with_reading_j / stock.energy.with_reading_j));
   std::printf("  total load delay(s) %10.1f      %10.1f   (-%.1f%%)\n",
               stock.total_load_delay, ours.total_load_delay,
               100 * (1 - ours.total_load_delay / stock.total_load_delay));

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "capacity/mgn.hpp"
-#include "core/experiment.hpp"
+#include "core/scenario.hpp"
 #include "corpus/page_spec.hpp"
 
 namespace {
@@ -15,10 +15,9 @@ using namespace eab;
 capacity::ServiceTimeDistribution measure_service_times(
     browser::PipelineMode mode) {
   std::vector<Seconds> times;
-  const auto config = core::StackConfig::for_mode(mode);
+  const core::Scenario scenario = core::ScenarioBuilder(mode).build();
   for (const auto& spec : corpus::full_benchmark()) {
-    times.push_back(
-        core::run_single_load(spec, config).metrics.transmission_time());
+    times.push_back(scenario.run_single(spec).metrics.transmission_time());
   }
   return capacity::ServiceTimeDistribution(std::move(times));
 }

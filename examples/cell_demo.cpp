@@ -1,0 +1,59 @@
+// Minimal shared-cell walkthrough: 12 users on 4 DCH grants for five
+// simulated minutes, stock vs energy-aware pipeline.  Shows the Fig 11
+// mechanism end to end — fast dormancy returns grants sooner, so fewer
+// arriving sessions find the pool exhausted — plus the per-UE energy the
+// co-simulation tracks for free.
+//
+//   ./build/examples/cell_demo
+#include <cstdio>
+
+#include "cell/cell.hpp"
+#include "core/scenario.hpp"
+#include "corpus/page_spec.hpp"
+
+using namespace eab;
+
+namespace {
+
+cell::CellResult run(browser::PipelineMode mode) {
+  cell::CellConfig config;
+  config.per_ue = core::ScenarioBuilder(mode).build();
+  config.specs = corpus::mobile_benchmark();
+  config.users = 12;
+  config.channels = 4;
+  config.horizon = 300.0;
+  config.cell_seed = 1;
+  return cell::run_cell(config);
+}
+
+double mean_ue_energy(const cell::CellResult& result) {
+  double total = 0;
+  for (const auto& ue : result.per_ue) total += ue.energy.with_reading_j;
+  return total / static_cast<double>(result.per_ue.size());
+}
+
+void report(const char* label, const cell::CellResult& r) {
+  std::printf(
+      "%-12s offered %3llu  dropped %3llu (%.1f%%)  completed %3llu  "
+      "mean grant hold %.2f s  mean UE energy %.1f J\n",
+      label, static_cast<unsigned long long>(r.offered),
+      static_cast<unsigned long long>(r.dropped),
+      100.0 * r.drop_probability(),
+      static_cast<unsigned long long>(r.completed), r.mean_grant_hold,
+      mean_ue_energy(r));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("shared cell: 12 users, 4 DCH grants, 300 s, mobile mix\n\n");
+  const auto original = run(browser::PipelineMode::kOriginal);
+  const auto energy_aware = run(browser::PipelineMode::kEnergyAware);
+  report("original", original);
+  report("energy-aware", energy_aware);
+  std::printf(
+      "\nenergy-aware holds each grant for less time, so the same pool\n"
+      "blocks fewer sessions — the Fig 11 capacity gain from first\n"
+      "principles (bench_fig11_capacity --cell sweeps the full curve).\n");
+  return 0;
+}

@@ -6,7 +6,7 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/experiment.hpp"
+#include "core/scenario.hpp"
 #include "corpus/page_spec.hpp"
 
 int main() {
@@ -18,15 +18,17 @@ int main() {
               to_kilobytes(page.total_bytes()),
               page.html_images + page.css_files + page.js_files + 1);
 
-  // A measurement stack per pipeline; run_single_load assembles the radio,
-  // the link, the CPU and the browser, then loads the page and lets a 20 s
-  // reading window elapse.
+  // A scenario per pipeline; run_single assembles the radio, the link, the
+  // CPU and the browser, then loads the page and lets a 20 s reading window
+  // elapse.
   const auto original =
-      core::run_single_load(page, core::StackConfig::for_mode(
-                                      browser::PipelineMode::kOriginal));
+      core::ScenarioBuilder(browser::PipelineMode::kOriginal)
+          .build()
+          .run_single(page);
   const auto energy_aware =
-      core::run_single_load(page, core::StackConfig::for_mode(
-                                      browser::PipelineMode::kEnergyAware));
+      core::ScenarioBuilder(browser::PipelineMode::kEnergyAware)
+          .build()
+          .run_single(page);
 
   auto report = [](const char* name, const core::SingleLoadResult& r) {
     std::printf("%s\n", name);
@@ -38,8 +40,8 @@ int main() {
     std::printf("  intermediate displays  : %6d\n",
                 r.metrics.intermediate_displays);
     std::printf("  DCH residency          : %6.1f s\n", r.dch_time);
-    std::printf("  energy (load)          : %6.1f J\n", r.load_energy);
-    std::printf("  energy (load + 20 s)   : %6.1f J\n", r.energy_with_reading);
+    std::printf("  energy (load)          : %6.1f J\n", r.energy.load_j);
+    std::printf("  energy (load + 20 s)   : %6.1f J\n", r.energy.with_reading_j);
     std::printf("  bytes fetched          : %6.0f KB in %d objects\n\n",
                 to_kilobytes(r.bytes_fetched), r.metrics.objects_fetched);
   };
@@ -51,7 +53,7 @@ int main() {
   const double total_saving =
       1.0 - energy_aware.metrics.total_time() / original.metrics.total_time();
   const double energy_saving =
-      1.0 - energy_aware.energy_with_reading / original.energy_with_reading;
+      1.0 - energy_aware.energy.with_reading_j / original.energy.with_reading_j;
   std::printf("Energy-aware vs original:\n");
   std::printf("  transmission time  -%4.1f %%   (paper Fig 8: ~27 %%)\n",
               tx_saving * 100);

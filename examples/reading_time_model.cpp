@@ -5,7 +5,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/experiment.hpp"
+#include "core/scenario.hpp"
 #include "corpus/page_spec.hpp"
 #include "gbrt/model.hpp"
 #include "trace/reading_model.hpp"
@@ -16,15 +16,15 @@ int main() {
 
   // Page library: every benchmark page, features measured by the browser.
   std::vector<trace::PageRecord> records;
-  const auto stack =
-      core::StackConfig::for_mode(browser::PipelineMode::kEnergyAware);
+  const core::Scenario scenario =
+      core::ScenarioBuilder(browser::PipelineMode::kEnergyAware).build();
   for (const auto& benchmark :
        {corpus::mobile_benchmark(), corpus::full_benchmark()}) {
     for (const auto& base : benchmark) {
       for (const auto& spec : corpus::spec_variants(base, 3, 17)) {
         trace::PageRecord record;
         record.spec = spec;
-        record.features = core::run_single_load(spec, stack).features;
+        record.features = scenario.run_single(spec).features;
         records.push_back(std::move(record));
       }
     }

@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/experiment.hpp"
+#include "core/scenario.hpp"
 #include "corpus/page_spec.hpp"
 #include "obs/chrome_trace.hpp"
 #include "radio/rrc_config.hpp"
@@ -31,15 +31,14 @@ int main(int argc, char** argv) {
   for (auto mode : {browser::PipelineMode::kOriginal,
                     browser::PipelineMode::kEnergyAware}) {
     const bool original = mode == browser::PipelineMode::kOriginal;
-    auto config = core::StackConfig::for_mode(mode);
-    config.trace = true;
-    const auto r = core::run_single_load(page, config);
+    const auto r =
+        core::ScenarioBuilder(mode).trace().build().run_single(page);
     std::printf("%s: tx=%.1f total=%.1f first=%.1f layouttail=%.1f E=%.1fJ "
                 "E20=%.1fJ dch=%.1f trace=%zu events\n",
                 original ? "ORIG" : "EA  ", r.metrics.transmission_time(),
                 r.metrics.total_time(), r.metrics.first_display,
-                r.metrics.layout_tail_time(), r.load_energy,
-                r.energy_with_reading, r.dch_time, r.trace->size());
+                r.metrics.layout_tail_time(), r.energy.load_j,
+                r.energy.with_reading_j, r.dch_time, r.trace->size());
 
     // Link busy intervals, read off the exact rate change points (the rate
     // switches between 0 and capacity; no sampling grid involved).
@@ -57,7 +56,7 @@ int main(int argc, char** argv) {
 
     // RRC residency reconstructed from the trace's state-enter events.
     std::printf("  rrc:       ");
-    for (const auto& span : r.trace->rrc_state_spans(r.observed_until)) {
+    for (const auto& span : r.trace->rrc_state_spans(r.energy.window_s)) {
       std::printf("%s[%.3f-%.3f] ",
                   radio::to_string(static_cast<radio::RrcState>(span.tag)),
                   span.begin, span.end);
@@ -86,7 +85,7 @@ int main(int argc, char** argv) {
     if (json) {
       const std::string path =
           original ? "timeline_orig.trace.json" : "timeline_ea.trace.json";
-      if (obs::write_chrome_trace(path, *r.trace, r.observed_until)) {
+      if (obs::write_chrome_trace(path, *r.trace, r.energy.window_s)) {
         std::printf("  wrote %s (load in Perfetto / chrome://tracing)\n",
                     path.c_str());
       }

@@ -12,7 +12,7 @@
 #include <map>
 #include <string>
 
-#include "core/experiment.hpp"
+#include "core/scenario.hpp"
 #include "corpus/page_spec.hpp"
 #include "obs/audit.hpp"
 #include "obs/chrome_trace.hpp"
@@ -32,24 +32,28 @@ int main(int argc, char** argv) {
   const corpus::PageSpec page =
       mobile ? corpus::m_cnn_spec() : corpus::espn_sports_spec();
 
-  auto config = core::StackConfig::for_mode(browser::PipelineMode::kEnergyAware);
-  config.trace = true;
+  core::ScenarioBuilder builder(browser::PipelineMode::kEnergyAware);
+  builder.trace();
   if (faults) {
-    config.fault_plan.seed = 20130707;
-    config.fault_plan.connection_loss_rate = 0.08;
-    config.fault_plan.stall_rate = 0.04;
-    config.fault_plan.truncate_rate = 0.04;
-    config.fault_plan.slow_first_byte_rate = 0.04;
-    config.retry.request_timeout = 8.0;
-    config.retry.max_retries = 2;
-    config.retry.backoff_initial = 0.5;
-    config.retry.backoff_factor = 2.0;
+    net::FaultPlan plan;
+    plan.seed = 20130707;
+    plan.connection_loss_rate = 0.08;
+    plan.stall_rate = 0.04;
+    plan.truncate_rate = 0.04;
+    plan.slow_first_byte_rate = 0.04;
+    net::RetryPolicy retry;
+    retry.request_timeout = 8.0;
+    retry.max_retries = 2;
+    retry.backoff_initial = 0.5;
+    retry.backoff_factor = 2.0;
+    builder.fault_plan(plan).retry(retry);
   }
 
-  const auto r = core::run_single_load(page, config);
+  const auto r = builder.build().run_single(page);
+  const core::StackConfig config = builder.build().stack;
   const obs::TraceRecorder& trace = *r.trace;
   std::printf("page %s  load %.2f s  energy %.1f J  %zu trace events\n\n",
-              page.site.c_str(), r.metrics.total_time(), r.load_energy,
+              page.site.c_str(), r.metrics.total_time(), r.energy.load_j,
               trace.size());
 
   // Per-kind counts, sorted by label.
@@ -63,8 +67,8 @@ int main(int argc, char** argv) {
   }
 
   // RRC residency, reconstructed from the state-enter stream.
-  std::printf("\nrrc residency (to %.2f s):\n", r.observed_until);
-  for (const auto& span : trace.rrc_state_spans(r.observed_until)) {
+  std::printf("\nrrc residency (to %.2f s):\n", r.energy.window_s);
+  for (const auto& span : trace.rrc_state_spans(r.energy.window_s)) {
     std::printf("  %-5s %8.3f - %8.3f  (%.3f s)\n",
                 radio::to_string(static_cast<radio::RrcState>(span.tag)),
                 span.begin, span.end, span.duration());
@@ -87,8 +91,8 @@ int main(int argc, char** argv) {
   inputs.rrc = config.rrc;
   inputs.power = config.power;
   inputs.max_retries = config.retry.max_retries;
-  inputs.radio_energy = r.radio_energy;
-  inputs.t_end = r.observed_until;
+  inputs.radio_energy = r.energy.radio_j;
+  inputs.t_end = r.energy.window_s;
   const auto report = obs::TraceAuditor().audit(trace, inputs);
   std::printf("\naudit: %d transitions, %d fetches, trace energy %.6f J vs "
               "timeline %.6f J\n",
@@ -101,7 +105,7 @@ int main(int argc, char** argv) {
   }
 
   if (!json_path.empty()) {
-    if (obs::write_chrome_trace(json_path, trace, r.observed_until)) {
+    if (obs::write_chrome_trace(json_path, trace, r.energy.window_s)) {
       std::printf("wrote %s\n", json_path.c_str());
     } else {
       std::printf("could not write %s\n", json_path.c_str());

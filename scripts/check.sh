@@ -43,6 +43,21 @@ cmake --build build-asan -j "$JOBS" --target bench_ext_chaos
 (cd build-asan/bench && EAB_CHAOS_SEEDS=64 ./bench_ext_chaos > /dev/null)
 echo "chaos contract held"
 
+echo "== cell: co-simulation determinism + ASan sweep =="
+# The shared-cell co-simulation must be a pure function of its config
+# (serial == BatchRunner-sharded sweeps, audited traces) — cell_test covers
+# that in-process; run it in the tier-1 build, then the 32-seed chaos sweep
+# over cell scenarios again under ASan to guard the per-session teardown
+# (client/load replacement, stale abort events, grant release on demotion).
+./build/tests/cell_test
+cmake --build build-asan -j "$JOBS" --target cell_test
+# 16 seeds under ASan: half the in-process sweep, same fault atoms.
+EAB_CELL_CHAOS_SEEDS=16 ./build-asan/tests/cell_test \
+  --gtest_filter='CellTest.ChaosSweepOverCellScenarios:CellTest.GrantExhaustionDropsSessionsAndStaysClean:CellTest.SameSeedSameResult'
+# A small --cell bench run end-to-end: knobs parse, JSON lands, exit 0.
+(cd build/bench && EAB_CELL_USERS=8 EAB_CELL_SEED=3 ./bench_fig11_capacity --cell > /dev/null)
+echo "cell checks passed"
+
 echo "== trace audit: benches under EAB_TRACE=1 =="
 # Every load/session records a structured trace and the TraceAuditor replays
 # it (RRC legality, timer discipline, transfer markers, retry budget, energy

@@ -42,6 +42,16 @@ struct CapacityConfig {
   int users = 400;
   Seconds mean_interarrival = 25;  ///< per-user Poisson think time
   Seconds horizon = 4.0 * 3600.0;  ///< 4 hours
+
+  // Service-time sampling controls.  The empirical distribution is measured
+  // on the full stack by cell::measure_service_times (capacity itself never
+  // runs loads — these knobs live here so one config names the whole
+  // experiment): base seed for the per-sample load seeds, and loads per
+  // page spec.  The defaults reproduce the historical single-sample,
+  // seed-1 sweep, and the checked-in reference quantiles in
+  // tests/cell_test.cpp regenerate bit-identically from them.
+  std::uint64_t service_sample_seed = 1;
+  int service_samples_per_spec = 1;
 };
 
 /// Results of one capacity run.

@@ -1,0 +1,483 @@
+#include "cell/cell.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "browser/cpu.hpp"
+#include "browser/pipeline.hpp"
+#include "core/ril.hpp"
+#include "corpus/generator.hpp"
+#include "net/cache.hpp"
+#include "net/fault.hpp"
+#include "net/http_client.hpp"
+#include "net/shared_link.hpp"
+#include "net/web_server.hpp"
+#include "radio/rrc.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/timeline.hpp"
+
+namespace eab::cell {
+
+const char* to_string(SharePolicy policy) {
+  switch (policy) {
+    case SharePolicy::kRoundRobin: return "round-robin";
+    case SharePolicy::kProportionalFair: return "proportional-fair";
+  }
+  return "?";
+}
+
+namespace {
+
+// Sub-stream indices under each UE's derive_seed(cell_seed, ue_id) root.
+// Session load seeds use the session index directly, so these sit far
+// outside any plausible session count.
+constexpr std::uint64_t kArrivalStream = 0x00A1'55EE'0000'0001ULL;
+constexpr std::uint64_t kFaultStream = 0x00A1'55EE'0000'0002ULL;
+constexpr std::uint64_t kGeneratorStream = 0x00A1'55EE'0000'0003ULL;
+
+/// Proportional-fair reference volume: a UE that has already pulled this
+/// many bytes weighs half of a fresh one.
+constexpr double kFairShareRefBytes = 1024.0 * 1024.0;
+
+void validate(const CellConfig& config) {
+  // Re-validates the per-UE template exactly as every single-UE experiment
+  // is validated; a Scenario assembled by hand gets the same checks here.
+  core::ScenarioBuilder()
+      .stack(config.per_ue.stack)
+      .reading_window(config.per_ue.reading_window)
+      .seed(config.per_ue.seed)
+      .build();
+  if (config.specs.empty()) {
+    throw std::invalid_argument("run_cell: specs must be non-empty");
+  }
+  if (config.users < 1) {
+    throw std::invalid_argument("run_cell: users must be >= 1");
+  }
+  if (config.channels < 1) {
+    throw std::invalid_argument("run_cell: channels must be >= 1");
+  }
+  if (config.cell_bandwidth < 0) {
+    throw std::invalid_argument("run_cell: cell_bandwidth must be >= 0");
+  }
+  if (!(config.mean_think_time > 0)) {
+    throw std::invalid_argument("run_cell: mean_think_time must be > 0");
+  }
+  if (!(config.horizon > 0)) {
+    throw std::invalid_argument("run_cell: horizon must be > 0");
+  }
+  if (config.abort_rate < 0 || config.abort_rate > 1) {
+    throw std::invalid_argument("run_cell: abort_rate must be in [0, 1]");
+  }
+  if (config.sim_event_budget == 0) {
+    throw std::invalid_argument("run_cell: sim_event_budget must be > 0");
+  }
+}
+
+class CellSim {
+ public:
+  explicit CellSim(const CellConfig& config)
+      : config_(config),
+        per_ue_rate_(config.per_ue.stack.link.dch_bandwidth),
+        cell_rate_(config.cell_bandwidth > 0
+                       ? config.cell_bandwidth
+                       : config.channels * per_ue_rate_) {
+    sim_.set_event_budget(config.sim_event_budget);
+    grant_.assign(config.users, Grant::kFree);
+    hold_start_.assign(config.users, 0.0);
+    ues_.reserve(config.users);
+    for (int id = 0; id < config.users; ++id) {
+      ues_.push_back(std::make_unique<Ue>(sim_, config_, id));
+      wire(*ues_.back());
+    }
+  }
+
+  CellResult run();
+
+ private:
+  enum class Grant { kFree, kReserved, kHeld };
+
+  struct Ue {
+    int id;
+    std::uint64_t seed;   ///< derive_seed(cell_seed, id)
+    Rng rng;              ///< arrival/spec/abort decision stream
+    radio::RrcMachine rrc;
+    net::SharedLink link;
+    browser::CpuScheduler cpu;
+    core::RilStateSwitcher ril;
+    net::WebServer server;
+    corpus::PageGenerator generator;
+    std::optional<net::FaultInjector> faults;
+    std::optional<net::ResourceCache> cache;
+    std::vector<std::string> hosted_urls;  ///< per spec index, "" = unhosted
+    std::unique_ptr<net::HttpClient> client;
+    std::unique_ptr<browser::PageLoad> load;
+    std::shared_ptr<obs::TraceRecorder> trace;
+    int generation = 0;        ///< bumps on every teardown; stale events no-op
+    int sessions_started = 0;  ///< per-load seed index
+    UeStats stats;
+
+    Ue(sim::Simulator& sim, const CellConfig& config, int id_)
+        : id(id_),
+          seed(derive_seed(config.cell_seed, static_cast<std::uint64_t>(id_))),
+          rng(derive_seed(seed, kArrivalStream)),
+          rrc(sim, config.per_ue.stack.rrc, config.per_ue.stack.power),
+          link(sim, config.per_ue.stack.link.dch_bandwidth),
+          cpu(sim, config.per_ue.stack.power.cpu_busy_extra),
+          ril(sim, rrc),
+          generator(derive_seed(seed, kGeneratorStream)),
+          hosted_urls(config.specs.size()) {}
+  };
+
+  /// Attaches grant hooks, fault/cache/trace plumbing and the bandwidth
+  /// observer; everything that outlives individual sessions.
+  void wire(Ue& ue) {
+    const auto& stack = config_.per_ue.stack;
+    if (stack.fault_plan.enabled()) {
+      net::FaultPlan plan = stack.fault_plan;
+      plan.seed = derive_seed(ue.seed, kFaultStream);
+      ue.faults.emplace(sim_, ue.link, plan);
+    }
+    if (stack.use_browser_cache) {
+      ue.cache.emplace(stack.browser_cache_bytes);
+      if (stack.chaos.cache_storm_count > 0) {
+        for (int i = 0; i < stack.chaos.cache_storm_count; ++i) {
+          sim_.schedule_at(
+              stack.chaos.cache_storm_start + i * stack.chaos.cache_storm_period,
+              [&ue] { ue.cache->clear(); });
+        }
+      }
+    }
+    if (stack.chaos.ril_socket_failures > 0) {
+      ue.ril.fail_next(stack.chaos.ril_socket_failures);
+    }
+    if (stack.trace) {
+      ue.trace = std::make_shared<obs::TraceRecorder>();
+      ue.rrc.set_trace(ue.trace.get());
+      ue.link.set_trace(ue.trace.get());
+      ue.ril.set_trace(ue.trace.get());
+      if (ue.faults) ue.faults->set_trace(ue.trace.get());
+    }
+    const int id = ue.id;
+    ue.rrc.set_on_state_change([this, id](radio::RrcState from,
+                                          radio::RrcState to) {
+      if (to == radio::RrcState::kDch && from != radio::RrcState::kDch) {
+        on_dch_enter(id);
+      } else if (from == radio::RrcState::kDch &&
+                 to != radio::RrcState::kDch) {
+        on_dch_exit(id);
+      }
+    });
+    ue.link.set_on_flow_change([this] { rebalance(); });
+  }
+
+  // --- grant pool ---------------------------------------------------------
+
+  void note_busy() {
+    busy_timeline_.set_power(sim_.now(), static_cast<double>(busy_));
+    peak_busy_ = std::max(peak_busy_, busy_);
+  }
+
+  /// Admission check at session arrival.  A UE still holding a grant from
+  /// its previous session (Original-pipeline tail across a short think
+  /// time) is admitted on that grant.
+  bool try_admit(int id) {
+    if (grant_[id] != Grant::kFree) return true;
+    if (busy_ >= config_.channels) return false;
+    grant_[id] = Grant::kReserved;
+    ++busy_;
+    note_busy();
+    return true;
+  }
+
+  void on_dch_enter(int id) {
+    if (grant_[id] == Grant::kReserved) {
+      grant_[id] = Grant::kHeld;
+    } else if (grant_[id] == Grant::kFree) {
+      // Mid-session re-promotion (a stall let T1 demote the radio while the
+      // load was still in flight): take a grant back rather than killing an
+      // admitted session, and count the overcommit when none is free.
+      if (busy_ >= config_.channels) ++overcommits_;
+      grant_[id] = Grant::kHeld;
+      ++busy_;
+      note_busy();
+    }
+    hold_start_[id] = sim_.now();
+  }
+
+  void on_dch_exit(int id) {
+    if (grant_[id] != Grant::kHeld) return;
+    held_total_ += sim_.now() - hold_start_[id];
+    ++hold_intervals_;
+    grant_[id] = Grant::kFree;
+    --busy_;
+    note_busy();
+  }
+
+  /// Session ended without the radio ever promoting (fully cache-served
+  /// load, or an abort before the promotion completed): give the
+  /// reservation back.
+  void release_if_reserved(int id) {
+    if (grant_[id] != Grant::kReserved) return;
+    grant_[id] = Grant::kFree;
+    --busy_;
+    note_busy();
+  }
+
+  // --- bandwidth sharing --------------------------------------------------
+
+  /// Recomputes every active UE's link capacity.  Re-entrant calls (a
+  /// set_capacity completing a flow whose callback starts another) fold
+  /// into one loop pass; termination is guaranteed because set_capacity
+  /// no-ops on an unchanged value and no simulated time passes in here.
+  void rebalance() {
+    if (rebalancing_) {
+      rebalance_dirty_ = true;
+      return;
+    }
+    rebalancing_ = true;
+    do {
+      rebalance_dirty_ = false;
+      active_.clear();
+      for (auto& ue : ues_) {
+        if (ue->link.active_flows() > 0 && !ue->link.paused()) {
+          active_.push_back(ue.get());
+        }
+      }
+      if (active_.empty()) continue;
+      if (config_.share == SharePolicy::kRoundRobin) {
+        const BytesPerSecond share =
+            cell_rate_ / static_cast<double>(active_.size());
+        for (Ue* ue : active_) {
+          ue->link.set_capacity(std::clamp(share, 1.0, per_ue_rate_));
+        }
+      } else {
+        double total_weight = 0;
+        for (Ue* ue : active_) {
+          total_weight +=
+              1.0 / (1.0 + static_cast<double>(ue->link.delivered()) /
+                               kFairShareRefBytes);
+        }
+        for (Ue* ue : active_) {
+          const double weight =
+              1.0 / (1.0 + static_cast<double>(ue->link.delivered()) /
+                               kFairShareRefBytes);
+          const BytesPerSecond share = cell_rate_ * weight / total_weight;
+          ue->link.set_capacity(std::clamp(share, 1.0, per_ue_rate_));
+        }
+      }
+    } while (rebalance_dirty_);
+    rebalancing_ = false;
+  }
+
+  // --- session process ----------------------------------------------------
+
+  void schedule_first_arrival(Ue& ue) {
+    const Seconds at = ue.rng.exponential(config_.mean_think_time);
+    if (at >= config_.horizon) return;
+    sim_.schedule_at(at, [this, &ue] { start_session(ue); });
+  }
+
+  void schedule_next_arrival(Ue& ue) {
+    const Seconds at =
+        sim_.now() + ue.rng.exponential(config_.mean_think_time);
+    if (at >= config_.horizon) return;
+    sim_.schedule_at(at, [this, &ue] { start_session(ue); });
+  }
+
+  void start_session(Ue& ue) {
+    ++ue.stats.offered;
+    // Draw the whole per-session decision tuple up front so the stream is
+    // identical whether or not this session is admitted.
+    const std::size_t spec_index = static_cast<std::size_t>(
+        ue.rng.uniform_index(config_.specs.size()));
+    const bool wants_abort =
+        config_.abort_rate > 0 && ue.rng.chance(config_.abort_rate);
+    const Seconds abort_after = wants_abort ? ue.rng.uniform(0.5, 10.0) : 0.0;
+    if (!try_admit(ue.id)) {
+      ++ue.stats.dropped;
+      schedule_next_arrival(ue);
+      return;
+    }
+    ++ue.stats.admitted;
+    begin_load(ue, spec_index, wants_abort, abort_after);
+  }
+
+  void begin_load(Ue& ue, std::size_t spec_index, bool wants_abort,
+                  Seconds abort_after) {
+    // The previous session's objects stay alive through the think time (a
+    // late watchdog or RRC event may still reference them) and are torn
+    // down only now, when the next session needs the slot.
+    ue.load.reset();
+    ue.client.reset();
+    ++ue.generation;
+
+    const auto& stack = config_.per_ue.stack;
+    const corpus::PageSpec& spec = config_.specs[spec_index];
+    if (ue.hosted_urls[spec_index].empty()) {
+      ue.hosted_urls[spec_index] = ue.generator.host_page(spec, ue.server);
+    }
+    ue.client = std::make_unique<net::HttpClient>(
+        sim_, ue.server, ue.link, ue.rrc, stack.link,
+        stack.max_parallel_connections);
+    ue.client->set_retry_policy(stack.retry);
+    if (ue.faults) ue.client->set_fault_injector(&*ue.faults);
+    if (ue.cache) ue.client->set_cache(&*ue.cache);
+    if (ue.trace) ue.client->set_trace(ue.trace.get());
+
+    browser::PipelineConfig pipeline = stack.pipeline;
+    pipeline.mobile_page = spec.mobile;
+    const std::uint64_t load_seed = derive_seed(
+        ue.seed, static_cast<std::uint64_t>(ue.sessions_started));
+    ++ue.sessions_started;
+    ue.load = std::make_unique<browser::PageLoad>(sim_, *ue.client, ue.cpu,
+                                                  pipeline, load_seed);
+    if (stack.force_idle_at_tx) {
+      ue.load->set_on_transmission_complete([&ue] { ue.ril.request_idle(); });
+    }
+    if (ue.trace) ue.load->set_trace(ue.trace.get());
+
+    const int gen = ue.generation;
+    ue.load->start(ue.hosted_urls[spec_index],
+                   [this, &ue, gen](const browser::LoadMetrics& m) {
+                     if (ue.generation != gen) return;
+                     on_session_done(ue, m);
+                   });
+    if (wants_abort) {
+      sim_.schedule_in(abort_after, [&ue, gen] {
+        // Stale by the time it fires (the load settled and the next session
+        // replaced it): the generation check makes it a no-op.
+        if (ue.generation == gen && ue.load) ue.load->abort();
+      });
+    }
+  }
+
+  void on_session_done(Ue& ue, const browser::LoadMetrics& m) {
+    if (m.aborted) {
+      ++ue.stats.aborted;
+    } else {
+      ++ue.stats.completed;
+    }
+    ue.stats.total_load_time += m.total_time();
+    ue.stats.total_service_time += m.transmission_time();
+    release_if_reserved(ue.id);
+    schedule_next_arrival(ue);
+  }
+
+  const CellConfig& config_;
+  sim::Simulator sim_;
+  BytesPerSecond per_ue_rate_;
+  BytesPerSecond cell_rate_;
+  std::vector<std::unique_ptr<Ue>> ues_;
+
+  std::vector<Grant> grant_;
+  std::vector<Seconds> hold_start_;
+  int busy_ = 0;
+  int peak_busy_ = 0;
+  std::uint64_t overcommits_ = 0;
+  Seconds held_total_ = 0;
+  std::uint64_t hold_intervals_ = 0;
+  PowerTimeline busy_timeline_;  ///< busy-grant count as a step function
+
+  bool rebalancing_ = false;
+  bool rebalance_dirty_ = false;
+  std::vector<Ue*> active_;  ///< scratch for rebalance()
+};
+
+CellResult CellSim::run() {
+  for (auto& ue : ues_) schedule_first_arrival(*ue);
+  sim_.run();
+  const Seconds end = sim_.now();
+  note_busy();
+
+  CellResult result;
+  result.users = config_.users;
+  result.channels = config_.channels;
+  result.end_time = end;
+  result.sim_events = sim_.fired_count();
+  result.grant_overcommits = overcommits_;
+  result.peak_busy_grants = peak_busy_;
+  result.mean_busy_grants = end > 0 ? busy_timeline_.energy(0, end) / end : 0;
+  result.mean_grant_hold =
+      hold_intervals_ > 0 ? held_total_ / static_cast<double>(hold_intervals_)
+                          : 0;
+  result.per_ue.reserve(ues_.size());
+  for (auto& ue : ues_) {
+    ue->stats.energy = core::EnergyReport::measure(
+        PowerTimeline::sum(ue->rrc.power(), ue->cpu.power()), ue->rrc.power(),
+        end, end);
+    ue->stats.trace = ue->trace;
+    result.offered += static_cast<std::uint64_t>(ue->stats.offered);
+    result.dropped += static_cast<std::uint64_t>(ue->stats.dropped);
+    result.completed += static_cast<std::uint64_t>(ue->stats.completed);
+    result.aborted += static_cast<std::uint64_t>(ue->stats.aborted);
+    result.leaked_flows +=
+        static_cast<std::uint64_t>(ue->link.active_flows());
+    result.per_ue.push_back(ue->stats);
+  }
+
+  result.metrics.count("cell.offered", static_cast<double>(result.offered));
+  result.metrics.count("cell.dropped", static_cast<double>(result.dropped));
+  result.metrics.count("cell.completed",
+                       static_cast<double>(result.completed));
+  result.metrics.count("cell.aborted", static_cast<double>(result.aborted));
+  result.metrics.count("cell.grant_overcommits",
+                       static_cast<double>(overcommits_));
+  result.metrics.count("cell.sim_events",
+                       static_cast<double>(result.sim_events));
+  result.metrics.set_max("cell.peak_busy_grants",
+                         static_cast<double>(peak_busy_));
+  result.metrics.set_max("cell.users", static_cast<double>(config_.users));
+  result.metrics.observe("cell.mean_busy_grants", result.mean_busy_grants);
+  result.metrics.observe("cell.drop_probability", result.drop_probability());
+  return result;
+}
+
+}  // namespace
+
+CellResult run_cell(const CellConfig& config) {
+  validate(config);
+  CellSim sim(config);
+  return sim.run();
+}
+
+std::vector<CellResult> run_cell_sweep(const CellConfig& base,
+                                       const std::vector<int>& users_axis,
+                                       core::BatchRunner& runner) {
+  std::vector<CellResult> results(users_axis.size());
+  runner.run_indexed(users_axis.size(), [&](std::size_t i) {
+    CellConfig config = base;
+    config.users = users_axis[i];
+    results[i] = run_cell(config);
+  });
+  return results;
+}
+
+double users_at_drop_target(const std::vector<int>& users_axis,
+                            const std::vector<CellResult>& results,
+                            double target) {
+  if (users_axis.size() != results.size() || users_axis.empty()) {
+    throw std::invalid_argument(
+        "users_at_drop_target: axis/results size mismatch or empty");
+  }
+  double previous_users = users_axis.front();
+  double previous_drop = results.front().drop_probability();
+  if (previous_drop >= target) return previous_users;
+  for (std::size_t i = 1; i < users_axis.size(); ++i) {
+    const double users = users_axis[i];
+    const double drop = results[i].drop_probability();
+    if (drop >= target) {
+      const double slope =
+          (drop - previous_drop) / std::max(1e-9, users - previous_users);
+      return previous_users + (target - previous_drop) / std::max(1e-9, slope);
+    }
+    previous_users = users;
+    previous_drop = drop;
+  }
+  return users_axis.back();
+}
+
+}  // namespace eab::cell

@@ -1,0 +1,62 @@
+#include "cell/service_times.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace eab::cell {
+
+std::vector<Seconds> measure_service_times(
+    const std::vector<corpus::PageSpec>& specs, browser::PipelineMode mode,
+    const capacity::CapacityConfig& config, core::BatchRunner& runner) {
+  if (config.service_samples_per_spec < 1) {
+    throw std::invalid_argument(
+        "measure_service_times: service_samples_per_spec must be >= 1");
+  }
+  const core::StackConfig stack = core::ScenarioBuilder(mode).build().stack;
+  std::vector<core::BatchJob> jobs;
+  jobs.reserve(specs.size() *
+               static_cast<std::size_t>(config.service_samples_per_spec));
+  for (const auto& spec : specs) {
+    for (int k = 0; k < config.service_samples_per_spec; ++k) {
+      const std::uint64_t seed =
+          k == 0 ? config.service_sample_seed
+                 : derive_seed(config.service_sample_seed,
+                               static_cast<std::uint64_t>(k));
+      jobs.push_back(core::BatchJob{spec, stack, 20.0, seed});
+    }
+  }
+  std::vector<Seconds> times;
+  times.reserve(jobs.size());
+  for (const auto& r : runner.run(jobs)) {
+    times.push_back(r.metrics.transmission_time());
+  }
+  return times;
+}
+
+std::vector<Seconds> service_time_quantiles(std::vector<Seconds> times,
+                                            const std::vector<double>& probs) {
+  if (times.empty()) {
+    throw std::invalid_argument("service_time_quantiles: empty sample set");
+  }
+  std::sort(times.begin(), times.end());
+  std::vector<Seconds> result;
+  result.reserve(probs.size());
+  for (const double p : probs) {
+    if (p < 0 || p > 1) {
+      throw std::invalid_argument(
+          "service_time_quantiles: probability out of [0, 1]");
+    }
+    const double h = p * static_cast<double>(times.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(h));
+    const std::size_t hi = std::min(lo + 1, times.size() - 1);
+    result.push_back(times[lo] + (h - static_cast<double>(lo)) *
+                                     (times[hi] - times[lo]));
+  }
+  return result;
+}
+
+}  // namespace eab::cell

@@ -1,0 +1,39 @@
+// Empirical service-time measurement for the M/G/N capacity model.
+//
+// Section 5.4 feeds the loss system the measured data-transmission time of
+// opening each benchmark page.  This is the one place those measurements
+// are taken: full-stack loads through ScenarioBuilder, sampling controlled
+// by CapacityConfig::service_sample_seed / service_samples_per_spec so the
+// checked-in reference quantiles (tests/cell_test.cpp) regenerate
+// bit-identically from config alone.
+#pragma once
+
+#include <vector>
+
+#include "browser/pipeline.hpp"
+#include "capacity/mgn.hpp"
+#include "core/batch.hpp"
+#include "corpus/page_spec.hpp"
+#include "util/units.hpp"
+
+namespace eab::cell {
+
+/// One data-transmission time per (spec, sample), in spec-major order:
+/// spec 0's samples, then spec 1's, ...  Sample k of every spec uses load
+/// seed service_sample_seed when k == 0 (so the default config reproduces
+/// the historical single-sample sweep exactly) and
+/// derive_seed(service_sample_seed, k) otherwise.  Loads fan out over the
+/// runner's pool; results are submission-ordered, so the vector is
+/// bit-identical for any worker count.
+std::vector<Seconds> measure_service_times(
+    const std::vector<corpus::PageSpec>& specs, browser::PipelineMode mode,
+    const capacity::CapacityConfig& config, core::BatchRunner& runner);
+
+/// Deterministic quantiles of a sample set: sorts a copy and evaluates each
+/// probability with linear interpolation between order statistics (the
+/// standard type-7 estimator).  `probs` entries must lie in [0, 1];
+/// `times` must be non-empty.
+std::vector<Seconds> service_time_quantiles(std::vector<Seconds> times,
+                                            const std::vector<double>& probs);
+
+}  // namespace eab::cell

@@ -45,10 +45,10 @@ std::vector<std::string> default_chaos_oracle(
 
   // Energy accounting must be monotone over the observed window, partial
   // loads included.
-  if (result.load_energy < -kTimeEps) {
+  if (result.energy.load_j < -kTimeEps) {
     violations.push_back("energy: negative load energy");
   }
-  if (result.energy_with_reading + kTimeEps < result.load_energy) {
+  if (result.energy.with_reading_j + kTimeEps < result.energy.load_j) {
     violations.push_back("energy: reading-window energy below load energy");
   }
 
@@ -61,8 +61,8 @@ std::vector<std::string> default_chaos_oracle(
     inputs.rrc = job.config.rrc;
     inputs.power = job.config.power;
     inputs.max_retries = job.config.retry.max_retries;
-    inputs.radio_energy = result.radio_energy;
-    inputs.t_end = result.observed_until;
+    inputs.radio_energy = result.energy.radio_j;
+    inputs.t_end = result.energy.window_s;
     const obs::TraceAuditor auditor;
     const obs::AuditReport report = auditor.audit(*result.trace, inputs);
     violations.insert(violations.end(), report.violations.begin(),

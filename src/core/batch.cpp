@@ -238,6 +238,44 @@ BatchRunner::BatchRunner(int jobs) : threads_(resolve_jobs(jobs)) {
 
 BatchRunner::~BatchRunner() = default;
 
+void BatchRunner::run_indexed(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (!fn) {
+    throw std::invalid_argument("BatchRunner::run_indexed: empty function");
+  }
+  std::vector<std::string> failures(count);
+  std::vector<char> failed(count, 0);
+  auto execute = [&](std::size_t index) {
+    try {
+      fn(index);
+    } catch (const std::exception& e) {
+      failed[index] = 1;
+      failures[index] = e.what();
+    } catch (...) {
+      failed[index] = 1;
+      failures[index] = "unknown exception";
+    }
+  };
+  if (pool_) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      tasks.push_back([&execute, i] { execute(i); });
+    }
+    pool_->run_all(std::move(tasks));
+  } else {
+    for (std::size_t i = 0; i < count; ++i) execute(i);
+  }
+  // Rethrow the lowest-index failure: deterministic no matter which worker
+  // hit it first.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (failed[i]) {
+      throw std::runtime_error("BatchRunner::run_indexed: task " +
+                               std::to_string(i) + " failed: " + failures[i]);
+    }
+  }
+}
+
 std::vector<SingleLoadResult> BatchRunner::run(
     const std::vector<BatchJob>& jobs) {
   std::vector<SingleLoadResult> results(jobs.size());

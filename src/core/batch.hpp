@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -87,6 +88,16 @@ class BatchRunner {
   /// index; empty when every job succeeded.  Deterministic: depends only on
   /// the job list, never on worker scheduling.
   const std::vector<JobError>& last_errors() const { return last_errors_; }
+
+  /// Generic sharding primitive: invokes fn(0) .. fn(count-1), fanned out
+  /// over the pool (inline on the calling thread when threads() == 1).
+  /// Each invocation must touch only its own slot of any shared output —
+  /// the completion handshake publishes the writes.  Blocks until every
+  /// index has run; if any invocation threw, rethrows the lowest-index
+  /// failure as std::runtime_error after the batch completes (deterministic
+  /// regardless of worker scheduling).  The memo cache is not involved: use
+  /// run() for single-load jobs.
+  void run_indexed(std::size_t count, const std::function<void(std::size_t)>& fn);
 
   /// Worker threads this runner uses (1 = serial).
   int threads() const { return threads_; }

@@ -1,0 +1,42 @@
+#include "core/energy_report.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace eab::core {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string EnergyReport::to_json() const {
+  std::string json = "{\"load_j\":" + format_double(load_j);
+  json += ",\"with_reading_j\":" + format_double(with_reading_j);
+  json += ",\"radio_j\":" + format_double(radio_j);
+  json += ",\"window_s\":" + format_double(window_s);
+  json += "}";
+  return json;
+}
+
+EnergyReport EnergyReport::measure(const PowerTimeline& total,
+                                   const PowerTimeline& radio,
+                                   Seconds active_end, Seconds observed_end) {
+  if (active_end > observed_end) {
+    throw std::invalid_argument(
+        "EnergyReport::measure: active window ends after observed window");
+  }
+  EnergyReport report;
+  report.load_j = total.energy(0.0, active_end);
+  report.with_reading_j = total.energy(0.0, observed_end);
+  report.radio_j = radio.energy(0.0, observed_end);
+  report.window_s = observed_end;
+  return report;
+}
+
+}  // namespace eab::core

@@ -1,0 +1,40 @@
+// Shared energy/time accounting for every experiment result.
+//
+// The single-load, proxy-load and session runners all integrate the same
+// PowerTimelines over the same two windows (the active load/session window
+// and the observed window including reading time); before this struct each
+// result type carried its own copies of the fields and every bench
+// hand-rolled the same JSON keys.  EnergyReport is the one shape they all
+// share, with a deterministic to_json so emitted artifacts diff
+// byte-for-byte across runs.
+#pragma once
+
+#include <string>
+
+#include "util/timeline.hpp"
+#include "util/units.hpp"
+
+namespace eab::core {
+
+/// Energy integrals and the window they cover, common to every runner.
+struct EnergyReport {
+  Joules load_j = 0;          ///< energy over the active window (load/session)
+  Joules with_reading_j = 0;  ///< including the reading window(s)
+  Joules radio_j = 0;         ///< radio-only integral over [0, window_s]
+  Seconds window_s = 0;       ///< end of the accounted (observed) window
+
+  /// Deterministic JSON object with fixed key order:
+  ///   {"load_j":...,"with_reading_j":...,"radio_j":...,"window_s":...}
+  /// Doubles print as %.17g (round-trip exact), the same convention as the
+  /// chaos reproducer format.
+  std::string to_json() const;
+
+  /// Integrates `total` (radio + CPU) and `radio` over the standard windows:
+  /// the active window is [0, active_end], the observed window
+  /// [0, observed_end]; requires active_end <= observed_end.
+  static EnergyReport measure(const PowerTimeline& total,
+                              const PowerTimeline& radio, Seconds active_end,
+                              Seconds observed_end);
+};
+
+}  // namespace eab::core

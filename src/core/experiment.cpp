@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/ril.hpp"
+#include "core/scenario.hpp"
 #include "net/cache.hpp"
 #include "net/socket_downloader.hpp"
 #include "sim/simulator.hpp"
@@ -21,15 +22,15 @@ void validate_fault_wiring(const StackConfig& config) {
 }
 
 StackConfig StackConfig::for_mode(browser::PipelineMode mode) {
-  StackConfig config;
-  config.pipeline.mode = mode;
-  config.force_idle_at_tx = mode == browser::PipelineMode::kEnergyAware;
-  return config;
+  // Delegates to the builder so there is exactly one place the mode/fast-
+  // dormancy coupling (and any future mode-dependent default) is defined.
+  return ScenarioBuilder(mode).build().stack;
 }
 
-SingleLoadResult run_single_load(const corpus::PageSpec& spec,
-                                 const StackConfig& config,
-                                 Seconds reading_window, std::uint64_t seed) {
+SingleLoadResult detail::run_single_load_impl(const corpus::PageSpec& spec,
+                                              const StackConfig& config,
+                                              Seconds reading_window,
+                                              std::uint64_t seed) {
   sim::Simulator sim;
   sim.set_event_budget(config.sim_event_budget);
   net::WebServer server;
@@ -118,9 +119,10 @@ SingleLoadResult run_single_load(const corpus::PageSpec& spec,
   result.reading_window = reading_window;
   result.total_power = PowerTimeline::sum(rrc.power(), cpu.power());
   result.link_rate = link.rate_history();
-  result.load_energy = result.total_power.energy(0.0, metrics.final_display);
-  result.energy_with_reading =
-      result.total_power.energy(0.0, metrics.final_display + reading_window);
+  result.energy =
+      EnergyReport::measure(result.total_power, rrc.power(),
+                            metrics.final_display,
+                            metrics.final_display + reading_window);
   result.dch_time = rrc.time_in(radio::RrcState::kDch);
   result.fach_time = rrc.time_in(radio::RrcState::kFach);
   result.idle_promotions = rrc.idle_promotions();
@@ -133,8 +135,6 @@ SingleLoadResult run_single_load(const corpus::PageSpec& spec,
   result.link_fades = faults ? faults->fades_started() : 0;
   result.sim_events = sim.fired_count();
   result.dom_signature = load.dom().signature();
-  result.observed_until = metrics.final_display + reading_window;
-  result.radio_energy = rrc.power().energy(0.0, result.observed_until);
   result.trace = std::move(recorder);
 
   obs::MetricsRegistry& m = result.job_metrics;
@@ -174,15 +174,16 @@ SingleLoadResult run_single_load(const corpus::PageSpec& spec,
   }
   m.observe("load.total_s", result.metrics.total_time());
   m.observe("load.transmission_s", result.metrics.transmission_time());
-  m.observe("energy.load_j", result.load_energy);
-  m.observe("energy.with_reading_j", result.energy_with_reading);
+  m.observe("energy.load_j", result.energy.load_j);
+  m.observe("energy.with_reading_j", result.energy.with_reading_j);
   return result;
 }
 
-ProxyLoadResult run_proxy_load(const corpus::PageSpec& spec,
-                               const StackConfig& config,
-                               const ProxyConfig& proxy, Seconds reading_window,
-                               std::uint64_t seed) {
+ProxyLoadResult detail::run_proxy_load_impl(const corpus::PageSpec& spec,
+                                            const StackConfig& config,
+                                            const ProxyConfig& proxy,
+                                            Seconds reading_window,
+                                            std::uint64_t seed) {
   // The proxy fetches and renders the page server-side; the phone sees one
   // bundle whose size is the page's total bytes scaled by the compression
   // ratio. We reuse the generated page only for its true byte total.
@@ -222,13 +223,13 @@ ProxyLoadResult run_proxy_load(const corpus::PageSpec& spec,
   }
   sim.run_until(result.total_time + reading_window);
   const auto total = PowerTimeline::sum(rrc.power(), cpu.power());
-  result.load_energy = total.energy(0, result.total_time);
-  result.energy_with_reading =
-      total.energy(0, result.total_time + reading_window);
+  result.energy = EnergyReport::measure(total, rrc.power(), result.total_time,
+                                        result.total_time + reading_window);
   return result;
 }
 
-BulkDownloadResult run_bulk_download(Bytes bytes, const StackConfig& config) {
+BulkDownloadResult detail::run_bulk_download_impl(Bytes bytes,
+                                                  const StackConfig& config) {
   sim::Simulator sim;
   radio::RrcMachine rrc(sim, config.rrc, config.power);
   net::SharedLink link(sim, config.link.dch_bandwidth);
@@ -249,6 +250,35 @@ BulkDownloadResult run_bulk_download(Bytes bytes, const StackConfig& config) {
   result.energy = rrc.power().energy(0.0, result.finished);
   result.link_rate = link.rate_history();
   return result;
+}
+
+// Legacy entry points: thin wrappers over the unified builder path, so every
+// caller — old or new — passes the same build()-time validation.
+SingleLoadResult run_single_load(const corpus::PageSpec& spec,
+                                 const StackConfig& config,
+                                 Seconds reading_window, std::uint64_t seed) {
+  return ScenarioBuilder()
+      .stack(config)
+      .reading_window(reading_window)
+      .seed(seed)
+      .build()
+      .run_single(spec);
+}
+
+ProxyLoadResult run_proxy_load(const corpus::PageSpec& spec,
+                               const StackConfig& config,
+                               const ProxyConfig& proxy, Seconds reading_window,
+                               std::uint64_t seed) {
+  return ScenarioBuilder()
+      .stack(config)
+      .reading_window(reading_window)
+      .seed(seed)
+      .build()
+      .run_proxy(spec, proxy);
+}
+
+BulkDownloadResult run_bulk_download(Bytes bytes, const StackConfig& config) {
+  return ScenarioBuilder().stack(config).build().run_bulk(bytes);
 }
 
 }  // namespace eab::core

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "browser/pipeline.hpp"
+#include "core/energy_report.hpp"
 #include "corpus/generator.hpp"
 #include "net/fault.hpp"
 #include "obs/metrics.hpp"
@@ -93,8 +94,9 @@ struct SingleLoadResult {
   browser::LoadMetrics metrics;
   browser::PageFeatures features;
   browser::PageGeometry geometry;
-  Joules load_energy = 0;          ///< start .. final display
-  Joules energy_with_reading = 0;  ///< start .. final display + reading window
+  /// Energy integrals: load_j covers start..final display, with_reading_j
+  /// and radio_j cover start..final display + reading window (= window_s).
+  EnergyReport energy;
   Seconds reading_window = 0;
   Seconds dch_time = 0;            ///< capacity-model service time
   Seconds fach_time = 0;
@@ -111,8 +113,6 @@ struct SingleLoadResult {
   std::string dom_signature;       ///< structural DOM fingerprint
   PowerTimeline total_power;       ///< radio + CPU (Figs 1 and 9)
   PowerTimeline link_rate;         ///< delivered bytes/s (Fig 4)
-  Joules radio_energy = 0;  ///< radio-only integral over [0, end of reading]
-  Seconds observed_until = 0;  ///< end of the observed window (display+reading)
   /// Per-job observability snapshot (always filled: counters for the
   /// simulator core, HTTP client, radio and load, plus duration/energy
   /// histograms).  BatchRunner merges these in submission order.
@@ -127,7 +127,9 @@ struct SingleLoadResult {
 void validate_fault_wiring(const StackConfig& config);
 
 /// Generates `spec`, loads it under `config`, lets `reading_window` seconds
-/// of reading elapse, and reports the measurements.
+/// of reading elapse, and reports the measurements.  Thin wrapper: routes
+/// through ScenarioBuilder (scenario.hpp), which is the canonical assembly
+/// path and applies its build()-time validation.
 SingleLoadResult run_single_load(const corpus::PageSpec& spec,
                                  const StackConfig& config,
                                  Seconds reading_window = 20.0,
@@ -156,8 +158,9 @@ struct ProxyConfig {
 struct ProxyLoadResult {
   Seconds transmission_time = 0;  ///< request to last bundle byte
   Seconds total_time = 0;         ///< to the (only) display
-  Joules load_energy = 0;
-  Joules energy_with_reading = 0;
+  /// load_j covers start..display; with_reading_j/radio_j cover the full
+  /// observed window (display + reading), whose end is window_s.
+  EnergyReport energy;
   Bytes bundle_bytes = 0;
 };
 
@@ -169,5 +172,20 @@ ProxyLoadResult run_proxy_load(const corpus::PageSpec& spec,
                                const ProxyConfig& proxy = {},
                                Seconds reading_window = 20.0,
                                std::uint64_t seed = 1);
+
+namespace detail {
+// The actual stack assemblers, shared by Scenario's run methods and the
+// legacy wrappers above.  Call sites should go through ScenarioBuilder.
+SingleLoadResult run_single_load_impl(const corpus::PageSpec& spec,
+                                      const StackConfig& config,
+                                      Seconds reading_window,
+                                      std::uint64_t seed);
+BulkDownloadResult run_bulk_download_impl(Bytes bytes,
+                                          const StackConfig& config);
+ProxyLoadResult run_proxy_load_impl(const corpus::PageSpec& spec,
+                                    const StackConfig& config,
+                                    const ProxyConfig& proxy,
+                                    Seconds reading_window, std::uint64_t seed);
+}  // namespace detail
 
 }  // namespace eab::core

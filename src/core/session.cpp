@@ -201,12 +201,12 @@ SessionResult run_session(const std::vector<PageVisit>& visits,
   visit_page(0);
   sim.run();
 
-  result.duration = sim.now();
-  result.energy =
-      PowerTimeline::sum(rrc.power(), cpu.power()).energy(0.0, result.duration);
+  const Seconds duration = sim.now();
+  result.energy = EnergyReport::measure(
+      PowerTimeline::sum(rrc.power(), cpu.power()), rrc.power(), duration,
+      duration);
   result.ril_socket_failures = ril.socket_failures();
   result.radio_idle_time = rrc.time_in(radio::RrcState::kIdle);
-  result.radio_energy = rrc.power().energy(0.0, result.duration);
   return result;
 }
 

@@ -57,14 +57,15 @@ struct SessionConfig {
 
 /// Aggregates of one session run.
 struct SessionResult {
-  Joules energy = 0;            ///< radio + CPU over the whole session
+  /// A session has no separate reading window: the active and observed
+  /// windows coincide, so load_j == with_reading_j (radio + CPU over the
+  /// whole session) and window_s is the session wall-clock.
+  EnergyReport energy;
   Seconds total_load_delay = 0; ///< sum over pages of click -> final display
-  Seconds duration = 0;         ///< session wall-clock
   int pages = 0;
   int switches_to_idle = 0;     ///< policy-initiated releases
   int ril_socket_failures = 0;  ///< injected socket-hop failures consumed
   Seconds radio_idle_time = 0;  ///< total IDLE residency over the session
-  Joules radio_energy = 0;      ///< radio-only integral (TraceAuditor input)
   std::vector<Seconds> page_load_times;
 };
 

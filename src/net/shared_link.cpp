@@ -23,7 +23,18 @@ SharedLink::FlowId SharedLink::start_flow(Bytes bytes, OnComplete done) {
   }
   flows_.push_back(Flow{id, static_cast<double>(bytes), bytes, std::move(done)});
   advance_and_reschedule();
+  if (on_flow_change_) on_flow_change_();
   return id;
+}
+
+void SharedLink::set_capacity(BytesPerSecond capacity) {
+  if (capacity <= 0) {
+    throw std::invalid_argument("SharedLink::set_capacity: must be positive");
+  }
+  if (capacity == capacity_) return;
+  advance_and_reschedule();  // bank progress earned at the old rate
+  capacity_ = capacity;
+  advance_and_reschedule();  // reschedule completions at the new rate
 }
 
 bool SharedLink::cancel_flow(FlowId id) {
@@ -39,6 +50,7 @@ bool SharedLink::cancel_flow(FlowId id) {
   }
   flows_.erase(it);
   advance_and_reschedule();  // remaining flows split the freed capacity
+  if (on_flow_change_) on_flow_change_();
   return true;
 }
 
@@ -48,6 +60,7 @@ void SharedLink::pause() {
   advance_and_reschedule();  // bank progress earned before the fade
   paused_ = true;
   advance_and_reschedule();  // cancels the pending completion, zeroes the rate
+  if (on_flow_change_) on_flow_change_();
 }
 
 void SharedLink::resume() {
@@ -58,6 +71,7 @@ void SharedLink::resume() {
   advance_and_reschedule();
   paused_ = false;
   advance_and_reschedule();
+  if (on_flow_change_) on_flow_change_();
 }
 
 void SharedLink::advance_and_reschedule() {
@@ -113,6 +127,9 @@ void SharedLink::advance_and_reschedule() {
     }
     flow.done();
   }
+  // After the completion callbacks: they may have started replacement flows,
+  // and the observer should see the settled set.
+  if (!finished.empty() && on_flow_change_) on_flow_change_();
 }
 
 }  // namespace eab::net

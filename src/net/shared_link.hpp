@@ -65,6 +65,21 @@ class SharedLink {
 
   BytesPerSecond capacity() const { return capacity_; }
 
+  /// Rebinds the link's capacity mid-simulation: progress earned so far is
+  /// banked at the old rate, then the remaining bytes drain at the new one.
+  /// A no-op when the value is unchanged (which also bounds the recursion
+  /// when an on-flow-change observer rebalances several links).
+  void set_capacity(BytesPerSecond capacity);
+
+  /// Observer invoked synchronously whenever the set of active flows
+  /// changes — start, cancel, completion, pause, resume.  The cell
+  /// scheduler uses it to recompute per-UE bandwidth shares.  May call
+  /// set_capacity on this or other links (idempotent rebalances terminate
+  /// because set_capacity no-ops on equal values).  Unset costs nothing.
+  void set_on_flow_change(std::function<void()> fn) {
+    on_flow_change_ = std::move(fn);
+  }
+
   /// Attaches a trace recorder (nullptr detaches).  Recording is synchronous
   /// and never schedules events, so behavior is identical either way.
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
@@ -84,6 +99,7 @@ class SharedLink {
   sim::Simulator& sim_;
   BytesPerSecond capacity_;
   obs::TraceRecorder* trace_ = nullptr;
+  std::function<void()> on_flow_change_;
   std::vector<Flow> flows_;
   Seconds last_advance_ = 0;
   sim::EventId next_completion_;

@@ -114,9 +114,11 @@ void RrcMachine::enter_state(RrcState next) {
                    static_cast<std::int64_t>(state_),
                    static_cast<std::int64_t>(next));
   }
+  const RrcState from = state_;
   account_residency();
   state_ = next;
   update_power();
+  if (on_state_change_) on_state_change_(from, next);
 }
 
 void RrcMachine::start_promotion() {

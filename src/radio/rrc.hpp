@@ -97,6 +97,14 @@ class RrcMachine {
   /// and never schedules events, so behavior is identical either way.
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
+  /// Observer invoked synchronously on every state transition, after the
+  /// machine has switched to `to` (the cell scheduler hooks DCH grants on
+  /// this).  Must not schedule events if bit-identical traced/untraced runs
+  /// are required; unset (the default) costs nothing.
+  void set_on_state_change(std::function<void(RrcState from, RrcState to)> fn) {
+    on_state_change_ = std::move(fn);
+  }
+
  private:
   void enter_state(RrcState next);
   void start_promotion();
@@ -111,6 +119,7 @@ class RrcMachine {
   RrcConfig config_;
   RadioPowerModel power_model_;
   obs::TraceRecorder* trace_ = nullptr;
+  std::function<void(RrcState, RrcState)> on_state_change_;
 
   RrcState state_ = RrcState::kIdle;
   RadioPhase phase_ = RadioPhase::kStable;

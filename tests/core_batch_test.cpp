@@ -48,8 +48,8 @@ std::vector<BatchJob> sweep_jobs(int count) {
 }
 
 void expect_identical(const SingleLoadResult& a, const SingleLoadResult& b) {
-  EXPECT_EQ(a.load_energy, b.load_energy);
-  EXPECT_EQ(a.energy_with_reading, b.energy_with_reading);
+  EXPECT_EQ(a.energy.load_j, b.energy.load_j);
+  EXPECT_EQ(a.energy.with_reading_j, b.energy.with_reading_j);
   EXPECT_EQ(a.metrics.total_time(), b.metrics.total_time());
   EXPECT_EQ(a.metrics.transmission_time(), b.metrics.transmission_time());
   EXPECT_EQ(a.dch_time, b.dch_time);

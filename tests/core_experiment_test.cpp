@@ -19,8 +19,8 @@ TEST(Experiment, SingleLoadProducesConsistentMeasurements) {
       StackConfig::for_mode(browser::PipelineMode::kOriginal));
   EXPECT_GT(result.metrics.transmission_time(), 0.0);
   EXPECT_GE(result.metrics.total_time(), result.metrics.transmission_time());
-  EXPECT_GT(result.load_energy, 0.0);
-  EXPECT_GT(result.energy_with_reading, result.load_energy);
+  EXPECT_GT(result.energy.load_j, 0.0);
+  EXPECT_GT(result.energy.with_reading_j, result.energy.load_j);
   EXPECT_GT(result.dch_time, 0.0);
   EXPECT_EQ(result.idle_promotions, 1);  // cold start
   EXPECT_EQ(result.forced_releases, 0);  // original never forces
@@ -39,10 +39,10 @@ TEST(Experiment, EnergyIntegralMatchesPowerTimeline) {
   const auto result = run_single_load(
       corpus::m_cnn_spec(),
       StackConfig::for_mode(browser::PipelineMode::kOriginal), 20.0);
-  EXPECT_NEAR(result.load_energy,
+  EXPECT_NEAR(result.energy.load_j,
               result.total_power.energy(0, result.metrics.final_display), 1e-9);
   EXPECT_NEAR(
-      result.energy_with_reading,
+      result.energy.with_reading_j,
       result.total_power.energy(0, result.metrics.final_display + 20.0), 1e-9);
 }
 
@@ -50,7 +50,7 @@ TEST(Experiment, DeterministicForSeed) {
   const auto config = StackConfig::for_mode(browser::PipelineMode::kOriginal);
   const auto a = run_single_load(corpus::m_cnn_spec(), config, 20.0, 5);
   const auto b = run_single_load(corpus::m_cnn_spec(), config, 20.0, 5);
-  EXPECT_DOUBLE_EQ(a.load_energy, b.load_energy);
+  EXPECT_DOUBLE_EQ(a.energy.load_j, b.energy.load_j);
   EXPECT_DOUBLE_EQ(a.metrics.final_display, b.metrics.final_display);
   EXPECT_EQ(a.dom_signature, b.dom_signature);
 }
@@ -73,7 +73,7 @@ TEST(Experiment, HeadlineResultHolds) {
   EXPECT_GT(tx_saving, 0.15);
   EXPECT_LT(tx_saving, 0.50);
   // Energy saving with 20 s reading: paper reports >30 %.
-  const double energy_saving = 1.0 - ea.energy_with_reading / orig.energy_with_reading;
+  const double energy_saving = 1.0 - ea.energy.with_reading_j / orig.energy.with_reading_j;
   EXPECT_GT(energy_saving, 0.25);
   // DCH residency shrinks — that is the capacity mechanism.
   EXPECT_LT(ea.dch_time, orig.dch_time);
@@ -98,8 +98,8 @@ TEST(Experiment, ReadingWindowEnergyDependsOnRadioPolicy) {
       spec, StackConfig::for_mode(browser::PipelineMode::kOriginal));
   const auto ea = run_single_load(
       spec, StackConfig::for_mode(browser::PipelineMode::kEnergyAware));
-  const Joules orig_reading = orig.energy_with_reading - orig.load_energy;
-  const Joules ea_reading = ea.energy_with_reading - ea.load_energy;
+  const Joules orig_reading = orig.energy.with_reading_j - orig.energy.load_j;
+  const Joules ea_reading = ea.energy.with_reading_j - ea.energy.load_j;
   EXPECT_GT(orig_reading, ea_reading * 2.0);
 }
 

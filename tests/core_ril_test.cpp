@@ -112,7 +112,7 @@ TEST(RilSessionFallback, ExhaustedRetriesStillDemoteViaTimersInSession) {
   SessionConfig baseline;
   baseline.policy = SessionPolicy::kBaseline;
   const SessionResult plain = run_session(visits, baseline, 1);
-  EXPECT_DOUBLE_EQ(result.energy, plain.energy);
+  EXPECT_DOUBLE_EQ(result.energy.with_reading_j, plain.energy.with_reading_j);
   EXPECT_DOUBLE_EQ(result.radio_idle_time, plain.radio_idle_time);
   EXPECT_DOUBLE_EQ(result.total_load_delay, plain.total_load_delay);
 }

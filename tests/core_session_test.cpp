@@ -28,8 +28,8 @@ TEST_F(SessionFixture, BaselineRunsAllPages) {
   EXPECT_EQ(result.pages, 4);
   EXPECT_EQ(result.switches_to_idle, 0);
   EXPECT_EQ(result.page_load_times.size(), 4u);
-  EXPECT_GT(result.energy, 0.0);
-  EXPECT_GT(result.duration, 25 + 40 + 8 + 3);
+  EXPECT_GT(result.energy.with_reading_j, 0.0);
+  EXPECT_GT(result.energy.window_s, 25 + 40 + 8 + 3);
 }
 
 TEST_F(SessionFixture, AlwaysOffSwitchesEveryPage) {
@@ -73,8 +73,8 @@ TEST_F(SessionFixture, EnergyAwarePoliciesUseLessEnergyThanBaseline) {
   const SessionResult baseline = run(SessionPolicy::kBaseline);
   const SessionResult ea_off = run(SessionPolicy::kEnergyAwareAlwaysOff);
   const SessionResult accurate = run(SessionPolicy::kAccurate, 9.0);
-  EXPECT_LT(ea_off.energy, baseline.energy);
-  EXPECT_LT(accurate.energy, baseline.energy);
+  EXPECT_LT(ea_off.energy.with_reading_j, baseline.energy.with_reading_j);
+  EXPECT_LT(accurate.energy.with_reading_j, baseline.energy.with_reading_j);
 }
 
 TEST_F(SessionFixture, ReorganizedPipelineLoadsFaster) {
@@ -100,7 +100,7 @@ TEST_F(SessionFixture, EagerSwitchingCostsDelayOnQuickFollowups) {
 TEST_F(SessionFixture, DeterministicForSeed) {
   const SessionResult a = run(SessionPolicy::kAccurate, 9.0);
   const SessionResult b = run(SessionPolicy::kAccurate, 9.0);
-  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+  EXPECT_DOUBLE_EQ(a.energy.with_reading_j, b.energy.with_reading_j);
   EXPECT_DOUBLE_EQ(a.total_load_delay, b.total_load_delay);
 }
 
@@ -108,7 +108,7 @@ TEST_F(SessionFixture, EmptySessionIsHarmless) {
   SessionConfig config;
   const SessionResult result = run_session({}, config, 1);
   EXPECT_EQ(result.pages, 0);
-  EXPECT_DOUBLE_EQ(result.energy, 0.0);
+  EXPECT_DOUBLE_EQ(result.energy.with_reading_j, 0.0);
 }
 
 TEST_F(SessionFixture, Algorithm2PowerDrivenSwitchesAboveTp) {

@@ -394,8 +394,8 @@ bool same_result(const core::SingleLoadResult& a,
          a.metrics.failed_resources == b.metrics.failed_resources &&
          a.metrics.truncated_resources == b.metrics.truncated_resources &&
          a.metrics.fetch_retries == b.metrics.fetch_retries &&
-         a.load_energy == b.load_energy &&
-         a.energy_with_reading == b.energy_with_reading &&
+         a.energy.load_j == b.energy.load_j &&
+         a.energy.with_reading_j == b.energy.with_reading_j &&
          a.dch_time == b.dch_time && a.sim_events == b.sim_events &&
          a.dom_signature == b.dom_signature;
 }

@@ -66,8 +66,8 @@ AuditInputs inputs_for(const core::StackConfig& config,
   inputs.rrc = config.rrc;
   inputs.power = config.power;
   inputs.max_retries = config.retry.max_retries;
-  inputs.radio_energy = r.radio_energy;
-  inputs.t_end = r.observed_until;
+  inputs.radio_energy = r.energy.radio_j;
+  inputs.t_end = r.energy.window_s;
   return inputs;
 }
 
@@ -175,11 +175,11 @@ TEST(ObsIdentity, TracingChangesNoResult) {
     EXPECT_GT(traced.trace->size(), 0u);
     // The whole contract: recording is pure observation.
     EXPECT_EQ(plain.sim_events, traced.sim_events);
-    EXPECT_EQ(plain.load_energy, traced.load_energy);
-    EXPECT_EQ(plain.energy_with_reading, traced.energy_with_reading);
+    EXPECT_EQ(plain.energy.load_j, traced.energy.load_j);
+    EXPECT_EQ(plain.energy.with_reading_j, traced.energy.with_reading_j);
     EXPECT_EQ(plain.dom_signature, traced.dom_signature);
     EXPECT_EQ(plain.metrics.total_time(), traced.metrics.total_time());
-    EXPECT_EQ(plain.radio_energy, traced.radio_energy);
+    EXPECT_EQ(plain.energy.radio_j, traced.energy.radio_j);
     // job_metrics differ only in the trace.events counter.
     EXPECT_EQ(plain.job_metrics.value("sim.events_fired"),
               traced.job_metrics.value("sim.events_fired"));
@@ -198,7 +198,7 @@ TEST(ObsIdentity, FaultInjectedTracingChangesNoResult) {
   const auto plain = core::run_single_load(spec, plain_cfg, 5.0, 1);
   const auto traced = core::run_single_load(spec, traced_cfg, 5.0, 1);
   EXPECT_EQ(plain.sim_events, traced.sim_events);
-  EXPECT_EQ(plain.load_energy, traced.load_energy);
+  EXPECT_EQ(plain.energy.load_j, traced.energy.load_j);
   EXPECT_EQ(plain.fetch_retries, traced.fetch_retries);
   EXPECT_EQ(plain.dom_signature, traced.dom_signature);
 }
@@ -248,8 +248,8 @@ TEST(Audit, SessionPoliciesPass) {
     inputs.rrc = config.stack.rrc;
     inputs.power = config.stack.power;
     inputs.max_retries = config.stack.retry.max_retries;
-    inputs.radio_energy = result.radio_energy;
-    inputs.t_end = result.duration;
+    inputs.radio_energy = result.energy.radio_j;
+    inputs.t_end = result.energy.window_s;
     const auto report = TraceAuditor().audit(recorder, inputs);
     EXPECT_TRUE(report.ok())
         << core::to_string(policy) << ":\n" << report.summary();
@@ -272,8 +272,8 @@ TEST(Audit, SessionWithRilFailurePasses) {
   AuditInputs inputs;
   inputs.rrc = config.stack.rrc;
   inputs.power = config.stack.power;
-  inputs.radio_energy = result.radio_energy;
-  inputs.t_end = result.duration;
+  inputs.radio_energy = result.energy.radio_j;
+  inputs.t_end = result.energy.window_s;
   const auto report = TraceAuditor().audit(recorder, inputs);
   EXPECT_TRUE(report.ok()) << report.summary();
 }
@@ -383,7 +383,7 @@ TEST(Batch, TraceFlagIsPartOfMemoKey) {
 TEST(ChromeTrace, ExportsParseableRecords) {
   const auto config = traced_config(browser::PipelineMode::kEnergyAware);
   const auto r = core::run_single_load(tiny_spec(0), config, 5.0, 1);
-  const std::string json = chrome_trace_json(*r.trace, r.observed_until);
+  const std::string json = chrome_trace_json(*r.trace, r.energy.window_s);
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("thread_name"), std::string::npos);
   EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);

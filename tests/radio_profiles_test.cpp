@@ -52,7 +52,7 @@ TEST(Profiles, PagesLoadFasterOnLte) {
   const auto on_umts = core::run_single_load(spec, umts_cfg);
   const auto on_lte = core::run_single_load(spec, lte_cfg);
   EXPECT_LT(on_lte.metrics.total_time(), on_umts.metrics.total_time());
-  EXPECT_LT(on_lte.energy_with_reading, on_umts.energy_with_reading);
+  EXPECT_LT(on_lte.energy.with_reading_j, on_umts.energy.with_reading_j);
   // Same page either way.
   EXPECT_EQ(on_lte.dom_signature, on_umts.dom_signature);
 }
@@ -71,14 +71,14 @@ TEST(Profiles, TechniqueStillWinsOnLte) {
   const auto spec = corpus::espn_sports_spec();
   const auto orig = core::run_single_load(spec, orig_cfg);
   const auto ea = core::run_single_load(spec, ea_cfg);
-  EXPECT_LT(ea.energy_with_reading, orig.energy_with_reading);
+  EXPECT_LT(ea.energy.with_reading_j, orig.energy.with_reading_j);
   // ...but the absolute joules recovered shrink vs UMTS.
   const auto umts_orig = core::run_single_load(
       spec, core::StackConfig::for_mode(browser::PipelineMode::kOriginal));
   const auto umts_ea = core::run_single_load(
       spec, core::StackConfig::for_mode(browser::PipelineMode::kEnergyAware));
-  const Joules saved_umts = umts_orig.energy_with_reading - umts_ea.energy_with_reading;
-  const Joules saved_lte = orig.energy_with_reading - ea.energy_with_reading;
+  const Joules saved_umts = umts_orig.energy.with_reading_j - umts_ea.energy.with_reading_j;
+  const Joules saved_lte = orig.energy.with_reading_j - ea.energy.with_reading_j;
   EXPECT_LT(saved_lte, saved_umts);
 }
 
@@ -94,7 +94,7 @@ TEST(Proxy, BundlesTheWholePageIntoOneStream) {
   EXPECT_GT(proxy.bundle_bytes, direct.bytes_fetched / 4);
   // One grouped stream beats even the reorganized pipeline on time/energy.
   EXPECT_LT(proxy.total_time, direct.metrics.total_time());
-  EXPECT_LT(proxy.energy_with_reading, direct.energy_with_reading);
+  EXPECT_LT(proxy.energy.with_reading_j, direct.energy.with_reading_j);
   EXPECT_GT(proxy.total_time, 0.0);
   EXPECT_GE(proxy.total_time, proxy.transmission_time);
 }
@@ -105,7 +105,7 @@ TEST(Proxy, DeterministicAndSeedSensitive) {
       core::StackConfig::for_mode(browser::PipelineMode::kOriginal);
   const auto a = core::run_proxy_load(spec, config, {}, 20.0, 5);
   const auto b = core::run_proxy_load(spec, config, {}, 20.0, 5);
-  EXPECT_DOUBLE_EQ(a.energy_with_reading, b.energy_with_reading);
+  EXPECT_DOUBLE_EQ(a.energy.with_reading_j, b.energy.with_reading_j);
   EXPECT_EQ(a.bundle_bytes, b.bundle_bytes);
 }
 
