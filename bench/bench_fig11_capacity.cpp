@@ -94,6 +94,8 @@ void report(const std::string& label, const std::vector<corpus::PageSpec>& specs
 /// co-simulation finishes in bench time; the qualitative Fig 11 shape —
 /// monotone drop curve, energy-aware above Original in admitted users —
 /// does not depend on the pool being 200 channels wide.
+int g_cell_shards = 1;  // EAB_CELL_SHARDS; any value is bit-identical to 1
+
 struct CellBenchParams {
   int channels = 6;
   Seconds horizon = 600.0;
@@ -121,6 +123,7 @@ cell::CellConfig cell_config(browser::PipelineMode mode,
   config.channels = params.channels;
   config.horizon = params.horizon;
   config.cell_seed = params.seed;
+  config.sim_shards = g_cell_shards;
   return config;
 }
 
@@ -145,6 +148,14 @@ int run_cell_mode() {
                     "a user count in [1, 512]");
   }
   params.max_users = static_cast<int>(max_users);
+  // Event-queue shards per cell simulator (perf-only: the sharded merge is
+  // bit-identical to the single-queue engine for every value).
+  const std::uint64_t shards = cell_env_u64("EAB_CELL_SHARDS", 1);
+  if (shards == 0 || shards > 256) {
+    bench::die_invalid_env("EAB_CELL_SHARDS", std::getenv("EAB_CELL_SHARDS"),
+                           "a shard count in [1, 256]");
+  }
+  g_cell_shards = static_cast<int>(shards);
 
   std::vector<int> users_axis;
   for (int users = std::min(params.step, params.max_users);
@@ -159,6 +170,9 @@ int run_cell_mode() {
               "mobile benchmark, seed %llu\n",
               params.channels, params.horizon,
               static_cast<unsigned long long>(params.seed));
+  if (g_cell_shards != 1) {  // default output stays byte-identical
+    std::printf("cell: %d event-queue shards\n", g_cell_shards);
+  }
 
   // The co-simulated curves: the users-axis sweep shards across the shared
   // BatchRunner (bit-identical to a serial loop for any EAB_JOBS).

@@ -1,0 +1,167 @@
+// Microbenchmark of the discrete-event engine itself, with no browser stack
+// on top: pure schedule/fire churn, a cancel-heavy RRC-style timer
+// reschedule storm, a self-feeding event chain, and run_until sweeps.  The
+// numbers here isolate engine-core throughput from everything the page-load
+// benches layer on top, so an engine change shows up undiluted.
+//
+// Emits BENCH_sim_micro.json.  "events/s" counts engine operations per
+// wall-clock second: schedule + cancel + fire for the storm (cancellation IS
+// the storm's work), fired events for the pure-churn phases.
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace eab;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Phase 1: schedule N events at pseudo-random times, then drain.  The heap
+/// sees its full depth; every event fires.
+double churn_events_per_sec(std::size_t n, std::uint64_t seed,
+                            std::uint64_t& sink) {
+  sim::Simulator sim;
+  Rng rng(seed);
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    sim.schedule_at(rng.uniform(0.0, 1e6), [&sink] { ++sink; });
+  }
+  const std::size_t fired = sim.run();
+  const double wall = seconds_since(start);
+  return static_cast<double>(fired + n) / wall;  // schedules + fires
+}
+
+/// Phase 2: the RRC inactivity-timer pattern — every simulated packet
+/// cancels the running timer and schedules a replacement.  Only one event is
+/// ever live; the engine's job is to not drown in the dead ones.
+double storm_events_per_sec(std::size_t n, std::uint64_t& sink) {
+  sim::Simulator sim;
+  sim::EventId timer;
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    sim.cancel(timer);
+    timer = sim.schedule_at(static_cast<Seconds>(i) + 4.0, [&sink] { ++sink; });
+  }
+  sim.run();
+  const double wall = seconds_since(start);
+  // n schedules + (n - 1) cancels + 1 fire + the tombstone discards the
+  // engine performs on the way out.
+  const auto ops = static_cast<double>(2 * n + sim.tombstones_popped());
+  return ops / wall;
+}
+
+/// Phase 3: a self-feeding chain — each event schedules its successor, so
+/// the heap stays near-empty and per-event overhead dominates.
+double chain_events_per_sec(std::size_t n, std::uint64_t& sink) {
+  sim::Simulator sim;
+  std::size_t remaining = n;
+  std::function<void()> link = [&] {
+    ++sink;
+    if (--remaining > 0) sim.schedule_in(1.0, link);
+  };
+  const auto start = Clock::now();
+  sim.schedule_in(1.0, link);
+  const std::size_t fired = sim.run();
+  const double wall = seconds_since(start);
+  return static_cast<double>(fired) / wall;
+}
+
+/// Phase 4: run_until sweeps — the clock is dragged forward in small steps
+/// across a pre-populated horizon, the pattern cell runs and PowerTimeline
+/// consumers use.
+double run_until_events_per_sec(std::size_t n, std::uint64_t seed,
+                                std::uint64_t& sink) {
+  sim::Simulator sim;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    sim.schedule_at(rng.uniform(0.0, 1000.0), [&sink] { ++sink; });
+  }
+  std::size_t fired = 0;
+  const auto start = Clock::now();
+  for (double t = 0.0; t <= 1000.0; t += 0.25) {
+    fired += sim.run_until(t);
+  }
+  fired += sim.run();
+  const double wall = seconds_since(start);
+  return static_cast<double>(fired) / wall;
+}
+
+double best_of(int repeats, double (*phase)(std::size_t, std::uint64_t&),
+               std::size_t n, std::uint64_t& sink) {
+  double best = 0;
+  for (int r = 0; r < repeats; ++r) best = std::max(best, phase(n, sink));
+  return best;
+}
+
+double best_of_seeded(int repeats,
+                      double (*phase)(std::size_t, std::uint64_t, std::uint64_t&),
+                      std::size_t n, std::uint64_t seed, std::uint64_t& sink) {
+  double best = 0;
+  for (int r = 0; r < repeats; ++r) {
+    best = std::max(best, phase(n, seed + static_cast<std::uint64_t>(r), sink));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace eab;
+  bench::print_header("Sim micro",
+                      "event-engine ops/s with no browser stack attached");
+
+  // EAB_SIM_MICRO_N scales every phase (strict parse; default 1M ops each).
+  std::uint64_t n = 1'000'000;
+  if (const char* raw = std::getenv("EAB_SIM_MICRO_N");
+      raw != nullptr && *raw != '\0') {
+    if (!bench::parse_env_u64(raw, n) || n == 0) {
+      bench::die_invalid_env("EAB_SIM_MICRO_N", raw,
+                             "a positive op count per phase");
+    }
+  }
+  const auto count = static_cast<std::size_t>(n);
+  constexpr int kRepeats = 3;  // best-of to shed scheduler noise
+
+  std::uint64_t sink = 0;  // fired-action side effect the optimizer must keep
+  const double churn = best_of_seeded(kRepeats, churn_events_per_sec,
+                                      count, 42, sink);
+  const double storm = best_of(kRepeats, storm_events_per_sec, count, sink);
+  const double chain = best_of(kRepeats, chain_events_per_sec, count, sink);
+  const double sweep = best_of_seeded(kRepeats, run_until_events_per_sec,
+                                      count, 43, sink);
+
+  TextTable table({"phase", "events/s"});
+  table.add_row({"schedule/fire churn", format_fixed(churn, 0)});
+  table.add_row({"timer-reschedule storm", format_fixed(storm, 0)});
+  table.add_row({"self-feeding chain", format_fixed(chain, 0)});
+  table.add_row({"run_until sweep", format_fixed(sweep, 0)});
+  std::printf("%s", table.render().c_str());
+  std::printf("ops per phase: %zu  repeats: %d (best-of)  sink: %llu\n", count,
+              kRepeats, static_cast<unsigned long long>(sink));
+
+  FILE* json = std::fopen("BENCH_sim_micro.json", "w");
+  if (json) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"ops_per_phase\": %zu,\n"
+                 "  \"repeats\": %d,\n"
+                 "  \"churn_events_per_sec\": %.1f,\n"
+                 "  \"storm_events_per_sec\": %.1f,\n"
+                 "  \"chain_events_per_sec\": %.1f,\n"
+                 "  \"run_until_events_per_sec\": %.1f\n"
+                 "}\n",
+                 count, kRepeats, churn, storm, chain, sweep);
+    std::fclose(json);
+    std::printf("wrote BENCH_sim_micro.json\n");
+  }
+  return 0;
+}

@@ -137,7 +137,7 @@ int main() {
         "  \"events_fired\": %.0f,\n"
         "  \"events_cancelled\": %.0f,\n"
         "  \"tombstones_popped\": %.0f,\n"
-        "  \"peak_heap\": %.0f,\n"
+        "  \"peak_heap_size\": %.0f,\n"
         "  \"bit_identical\": %s\n"
         "}\n",
         jobs.size(), runner.threads(), serial_s, parallel_s, replay_s,

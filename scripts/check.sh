@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a ThreadSanitizer pass over the batch engine.
+# Tier-1 verification plus sanitizer passes (TSan on the batch engine, ASan
+# on fault/cell paths, UBSan on the event engine) and a throughput gate
+# against scripts/perf_baseline.json.
 #
 #   scripts/check.sh            # full check
 #   JOBS=8 scripts/check.sh     # pin build/test parallelism
@@ -57,6 +59,32 @@ EAB_CELL_CHAOS_SEEDS=16 ./build-asan/tests/cell_test \
 # A small --cell bench run end-to-end: knobs parse, JSON lands, exit 0.
 (cd build/bench && EAB_CELL_USERS=8 EAB_CELL_SEED=3 ./bench_fig11_capacity --cell > /dev/null)
 echo "cell checks passed"
+
+echo "== UBSan: event-engine tests under -fsanitize=undefined =="
+# The pooled event engine type-erases callables into recycled slot storage
+# (placement new, raw vtable calls, power-of-two size-class blocks); UBSan
+# guards the alignment/lifetime contracts, driven hardest by the
+# differential test's random op soup and the sharded replays.
+cmake -B build-ubsan -S . -DEAB_SANITIZE=undefined
+cmake --build build-ubsan -j "$JOBS" \
+  --target sim_simulator_test --target sim_differential_test
+./build-ubsan/tests/sim_simulator_test
+./build-ubsan/tests/sim_differential_test
+
+echo "== perf gate: simulator throughput vs checked-in baseline =="
+# bench_throughput's serial events/s must stay within a generous margin of
+# scripts/perf_baseline.json (40% floor: catches an accidental O(n) in the
+# hot path, ignores machine-to-machine noise).  Refresh the baseline with
+# scripts/check.sh's printed value when the engine is deliberately retuned.
+(cd build/bench && ./bench_throughput > /dev/null)
+actual=$(grep -o '"serial_events_per_sec": [0-9.]*' build/bench/BENCH_throughput.json | awk '{print $2}')
+baseline=$(grep -o '"serial_events_per_sec": [0-9.]*' scripts/perf_baseline.json | awk '{print $2}')
+floor=$(awk -v b="$baseline" 'BEGIN { printf "%.1f", b * 0.4 }')
+echo "serial events/s: actual=$actual baseline=$baseline floor=$floor"
+awk -v a="$actual" -v f="$floor" 'BEGIN { exit !(a >= f) }' || {
+  echo "PERF REGRESSION: serial_events_per_sec $actual < floor $floor" >&2
+  exit 1
+}
 
 echo "== trace audit: benches under EAB_TRACE=1 =="
 # Every load/session records a structured trace and the TraceAuditor replays

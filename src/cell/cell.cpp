@@ -75,6 +75,10 @@ void validate(const CellConfig& config) {
   if (config.sim_event_budget == 0) {
     throw std::invalid_argument("run_cell: sim_event_budget must be > 0");
   }
+  if (config.sim_shards < 1 || config.sim_shards > 256) {
+    throw std::invalid_argument("run_cell: sim_shards must be in [1, 256] (got " +
+                                std::to_string(config.sim_shards) + ")");
+  }
 }
 
 class CellSim {
@@ -86,10 +90,15 @@ class CellSim {
                        ? config.cell_bandwidth
                        : config.channels * per_ue_rate_) {
     sim_.set_event_budget(config.sim_event_budget);
+    sim_.set_shard_count(config.sim_shards);
     grant_.assign(config.users, Grant::kFree);
     hold_start_.assign(config.users, 0.0);
     ues_.reserve(config.users);
     for (int id = 0; id < config.users; ++id) {
+      // Everything a UE schedules — from wiring-time fade windows and cache
+      // storms to every event its sessions spawn (children inherit the
+      // firing event's shard) — lands on the UE's own shard.
+      sim_.set_schedule_shard(id % config.sim_shards);
       ues_.push_back(std::make_unique<Ue>(sim_, config_, id));
       wire(*ues_.back());
     }
@@ -388,7 +397,10 @@ class CellSim {
 };
 
 CellResult CellSim::run() {
-  for (auto& ue : ues_) schedule_first_arrival(*ue);
+  for (auto& ue : ues_) {
+    sim_.set_schedule_shard(ue->id % config_.sim_shards);
+    schedule_first_arrival(*ue);
+  }
   sim_.run();
   const Seconds end = sim_.now();
   note_busy();

@@ -1,0 +1,116 @@
+// Action storage for the event engine: a small-buffer callable layout plus
+// the free-list pool that backs oversized captures.
+//
+// An event's callable is type-erased through a per-type operations table
+// (`ActionOps`) instead of std::function: the common case — captures of a
+// few pointers — is placement-constructed straight into the event slot's
+// inline buffer, so scheduling an event performs no heap allocation at all.
+// Captures larger than the inline buffer go to `OverflowPool`, which recycles
+// freed blocks through per-size-class free lists; a simulation that keeps
+// scheduling the same oversized callable reuses the same few blocks forever.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace eab::sim {
+
+/// Inline capture capacity of an event slot.  Sized so every callable the
+/// reproduction schedules today (a handful of pointers/ints, or a copied
+/// std::function in the trace-generator chains) stays inline.
+inline constexpr std::size_t kInlineActionBytes = 48;
+
+/// Per-callable-type operations table.  `size == 0` marks an inline action
+/// (object lives in the slot buffer); nonzero is the byte size of the
+/// externally pooled object.
+struct ActionOps {
+  void (*invoke)(void* obj);
+  void (*destroy)(void* obj) noexcept;
+  std::size_t size;
+};
+
+namespace detail {
+
+template <typename Fn>
+void invoke_action(void* obj) {
+  (*static_cast<Fn*>(obj))();
+}
+
+template <typename Fn>
+void destroy_action(void* obj) noexcept {
+  static_cast<Fn*>(obj)->~Fn();
+}
+
+template <typename Fn, bool Inline>
+inline constexpr ActionOps kActionOps{
+    &invoke_action<Fn>, &destroy_action<Fn>, Inline ? 0 : sizeof(Fn)};
+
+}  // namespace detail
+
+/// Free-list allocator for oversized action captures.  Requests are binned
+/// into power-of-two size classes (64 B .. 4 KiB); freed blocks park on the
+/// class's free list and satisfy the next same-class request without going
+/// back to the system allocator.  Blocks beyond the largest class fall
+/// through to plain new/delete — captures that big do not exist on the hot
+/// path.
+class OverflowPool {
+ public:
+  OverflowPool() = default;
+  OverflowPool(const OverflowPool&) = delete;
+  OverflowPool& operator=(const OverflowPool&) = delete;
+
+  ~OverflowPool() {
+    for (auto& bin : bins_) {
+      for (void* block : bin) ::operator delete(block);
+    }
+  }
+
+  void* allocate(std::size_t bytes) {
+    const int bin = bin_index(bytes);
+    if (bin < 0) return ::operator new(bytes);
+    if (!bins_[static_cast<std::size_t>(bin)].empty()) {
+      void* block = bins_[static_cast<std::size_t>(bin)].back();
+      bins_[static_cast<std::size_t>(bin)].pop_back();
+      return block;
+    }
+    return ::operator new(kMinClass << bin);
+  }
+
+  void deallocate(void* block, std::size_t bytes) {
+    const int bin = bin_index(bytes);
+    if (bin < 0) {
+      ::operator delete(block);
+      return;
+    }
+    bins_[static_cast<std::size_t>(bin)].push_back(block);
+  }
+
+  /// Blocks currently parked on free lists (diagnostics/tests).
+  std::size_t free_blocks() const {
+    std::size_t n = 0;
+    for (const auto& bin : bins_) n += bin.size();
+    return n;
+  }
+
+ private:
+  static constexpr std::size_t kMinClass = 64;
+  static constexpr std::size_t kMaxClass = 4096;
+  static constexpr std::size_t kBins = 7;  // 64,128,...,4096
+
+  /// Size class for `bytes`, or -1 when it exceeds the largest class.
+  static int bin_index(std::size_t bytes) {
+    std::size_t cls = kMinClass;
+    int bin = 0;
+    while (cls < bytes) {
+      cls <<= 1;
+      ++bin;
+    }
+    return cls <= kMaxClass ? bin : -1;
+  }
+
+  std::vector<void*> bins_[kBins];
+};
+
+}  // namespace eab::sim

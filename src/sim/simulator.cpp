@@ -5,71 +5,70 @@
 
 namespace eab::sim {
 
-EventId Simulator::schedule_at(Seconds at, Action action) {
-  if (at < now_) {
-    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+Simulator::~Simulator() {
+  // Destroy the callables of still-pending events; freed/fired slots hold no
+  // live object (order == 0).
+  for (std::uint32_t idx = 0; idx < slot_count_; ++idx) {
+    Slot& slot = slot_at(idx);
+    if (slot.order == 0) continue;
+    void* obj = slot.ops->size ? slot.ext : slot.inline_buf;
+    slot.ops->destroy(obj);
+    if (slot.ops->size) overflow_.deallocate(slot.ext, slot.ops->size);
   }
-  if (!action) {
-    throw std::invalid_argument("Simulator::schedule_at: empty action");
+}
+
+void Simulator::init_shards(int shards) {
+  if (shards < 1 || shards > kMaxShards) {
+    throw std::invalid_argument(
+        "Simulator: shard count must be in [1, " +
+        std::to_string(kMaxShards) + "] (got " + std::to_string(shards) + ")");
   }
-  const std::uint64_t seq = next_seq_++;
-  state_.push_back(EventState::kPending);
-  ++live_;
-  heap_.push_back(Entry{at, seq, std::move(action)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  peak_heap_size_ = std::max(peak_heap_size_, heap_.size());
-  return EventId(seq);
+  shards_.assign(static_cast<std::size_t>(shards), Shard{});
+  schedule_shard_ = 0;
 }
 
-EventId Simulator::schedule_in(Seconds delay, Action action) {
-  if (delay < 0) {
-    throw std::invalid_argument("Simulator::schedule_in: negative delay");
+void Simulator::set_shard_count(int shards) {
+  if (next_order_ != 1) {
+    throw std::logic_error(
+        "Simulator::set_shard_count: must be called before any event is "
+        "scheduled (events seen: " +
+        std::to_string(next_order_ - 1) + ")");
   }
-  return schedule_at(now_ + delay, std::move(action));
+  init_shards(shards);
 }
 
-bool Simulator::cancel(EventId id) {
-  if (!id.valid() || id.seq_ >= next_seq_) return false;
-  EventState& state = state_[id.seq_ - 1];
-  if (state != EventState::kPending) return false;
-  state = EventState::kCancelled;  // heap entry becomes a tombstone
-  --live_;
-  ++cancelled_count_;
-  return true;
+void Simulator::set_schedule_shard(int shard) {
+  if (shard < 0 || shard >= static_cast<int>(shards_.size())) {
+    throw std::out_of_range("Simulator::set_schedule_shard: shard " +
+                            std::to_string(shard) + " not in [0, " +
+                            std::to_string(shards_.size()) + ")");
+  }
+  schedule_shard_ = shard;
 }
 
-bool Simulator::pending(EventId id) const {
-  return id.valid() && id.seq_ < next_seq_ &&
-         state_[id.seq_ - 1] == EventState::kPending;
-}
-
-Simulator::Entry Simulator::pop_top() {
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry entry = std::move(heap_.back());
-  heap_.pop_back();
-  return entry;
-}
-
-bool Simulator::step() {
-  while (!heap_.empty()) {
-    if (fired_count_ >= event_budget_) {
-      throw BudgetExhaustedError(
-          "Simulator: event budget exhausted after " +
-          std::to_string(fired_count_) + " events; " + pending_dump());
+void Simulator::compact_shard(Shard& shard) {
+  // Keep the live nodes (slot occupant still carries the node's order stamp),
+  // drop the tombstones, and restore the heap invariant with a Floyd
+  // build-heap pass.  Node keys are unique, so any valid heap arrangement of
+  // the same live set pops in the same (time, order) sequence — compaction
+  // can never change the fire order.
+  auto& heap = shard.heap;
+  std::size_t kept = 0;
+  for (const Node& node : heap) {
+    if (slot_at(slot_of(node.key)).order == order_of(node.key)) {
+      heap[kept++] = node;
     }
-    Entry entry = pop_top();
-    if (state_[entry.seq - 1] == EventState::kCancelled) {  // tombstone
-      ++tombstones_popped_;
-      continue;
-    }
-    state_[entry.seq - 1] = EventState::kFired;
-    --live_;
-    ++fired_count_;
-    now_ = entry.at;
-    entry.action();
-    return true;
   }
-  return false;
+  const std::size_t removed = heap.size() - kept;
+  heap.resize(kept);
+  tombstones_popped_ += removed;
+  total_nodes_ -= removed;
+  shard.dead -= removed;
+  if (kept > 1) {
+    for (std::size_t hole = (kept - 2) / 4 + 1; hole-- > 0;) {
+      sift_down(heap, hole, heap[hole]);
+    }
+  }
 }
 
 std::size_t Simulator::run() {
@@ -88,13 +87,32 @@ RunResult Simulator::run(std::size_t max_events) {
   return result;
 }
 
+std::size_t Simulator::run_until(Seconds until) {
+  std::size_t n = 0;
+  while (total_nodes_ > 0) {
+    Shard& shard = shards_[static_cast<std::size_t>(min_shard())];
+    const Node top = shard.heap.front();
+    if (slot_at(slot_of(top.key)).order != order_of(top.key)) {
+      drop_tombstone(shard);
+      continue;
+    }
+    if (top.at > until) break;
+    if (step()) ++n;
+  }
+  if (until > now_) now_ = until;
+  return n;
+}
+
 std::string Simulator::pending_dump(std::size_t max_entries) const {
-  // The heap is not sorted; collect the live entries and order them.
-  std::vector<std::pair<Seconds, std::uint64_t>> live;
+  // Heaps are not sorted; collect the live entries across shards and order
+  // them by firing order.
+  std::vector<std::pair<Seconds, std::uint64_t>> live;  // (at, order stamp)
   live.reserve(live_);
-  for (const Entry& entry : heap_) {
-    if (state_[entry.seq - 1] == EventState::kPending) {
-      live.emplace_back(entry.at, entry.seq);
+  for (const Shard& shard : shards_) {
+    for (const Node& node : shard.heap) {
+      if (slot_at(slot_of(node.key)).order == order_of(node.key)) {
+        live.emplace_back(node.at, order_of(node.key));
+      }
     }
   }
   std::sort(live.begin(), live.end());
@@ -116,20 +134,44 @@ std::string Simulator::pending_dump(std::size_t max_entries) const {
   return out;
 }
 
-std::size_t Simulator::run_until(Seconds until) {
-  std::size_t n = 0;
-  while (!heap_.empty()) {
-    const Entry& top = heap_.front();
-    if (state_[top.seq - 1] == EventState::kCancelled) {
-      pop_top();  // drop the tombstone
-      ++tombstones_popped_;
-      continue;
-    }
-    if (top.at > until) break;
-    if (step()) ++n;
-  }
-  if (until > now_) now_ = until;
-  return n;
+void Simulator::throw_budget_exhausted() const {
+  throw BudgetExhaustedError("Simulator: event budget exhausted after " +
+                             std::to_string(fired_count_) + " events; " +
+                             pending_dump());
+}
+
+void Simulator::throw_past_schedule(Seconds at, Seconds now) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "Simulator::schedule_at: time in the past (requested t=%.9g "
+                "< now()=%.9g)",
+                at, now);
+  throw std::invalid_argument(buf);
+}
+
+void Simulator::throw_negative_delay(Seconds delay, Seconds now) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "Simulator::schedule_in: negative delay (delay=%.9g at "
+                "now()=%.9g)",
+                delay, now);
+  throw std::invalid_argument(buf);
+}
+
+void Simulator::throw_empty_action() {
+  throw std::invalid_argument("Simulator::schedule_at: empty action");
+}
+
+void Simulator::throw_slot_limit() {
+  throw std::length_error(
+      "Simulator: event slot pool exhausted (" + std::to_string(kMaxSlots) +
+      " events pending at once)");
+}
+
+void Simulator::throw_order_overflow() {
+  throw std::overflow_error(
+      "Simulator: event order stamps exhausted (2^40 events scheduled over "
+      "this simulator's lifetime)");
 }
 
 }  // namespace eab::sim

@@ -59,6 +59,26 @@ TEST(CellTest, SameSeedSameResult) {
   EXPECT_EQ(fingerprint(a), fingerprint(b));
 }
 
+TEST(CellTest, ShardedEventQueuesAreBitIdenticalToSingleQueue) {
+  // The sharded multi-queue engine is a pure performance knob: any shard
+  // count must reproduce the single-queue run bit for bit — same counters,
+  // same per-UE energy to the last double.
+  CellConfig config = small_cell(browser::PipelineMode::kEnergyAware);
+  config.users = 20;
+  config.channels = 4;
+  ASSERT_EQ(config.sim_shards, 1);
+  const CellResult single = run_cell(config);
+  EXPECT_GT(single.offered, 0u);
+  for (int shards : {2, 4, 7}) {
+    config.sim_shards = shards;
+    const CellResult sharded = run_cell(config);
+    EXPECT_EQ(fingerprint(sharded), fingerprint(single))
+        << "shards=" << shards;
+    EXPECT_EQ(sharded.metrics.to_json(), single.metrics.to_json())
+        << "shards=" << shards;
+  }
+}
+
 TEST(CellTest, SweepSerialEqualsSharded) {
   const auto config = small_cell(browser::PipelineMode::kOriginal);
   const std::vector<int> axis{2, 4, 6};

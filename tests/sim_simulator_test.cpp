@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 namespace eab::sim {
@@ -323,6 +326,150 @@ TEST(Simulator, PendingDumpListsLiveEventsInOrder) {
   EXPECT_LT(pos1, pos3) << "entries sorted by firing order: " << dump;
   EXPECT_EQ(dump.find("t=2"), std::string::npos)
       << "cancelled event leaked into the dump: " << dump;
+}
+
+TEST(Simulator, RescheduleStormHoldsConstantMemory) {
+  // The RRC inactivity-timer pattern at scale: one live timer, endlessly
+  // cancelled and re-armed.  Tombstone compaction must keep the heap bounded
+  // instead of letting 100k dead nodes pile up behind the live one.
+  Simulator sim;
+  constexpr int kIterations = 100000;
+  EventId timer = sim.schedule_in(1000.0, [] {});
+  for (int i = 1; i < kIterations; ++i) {
+    sim.cancel(timer);
+    timer = sim.schedule_in(1000.0 + i * 1e-6, [] {});
+  }
+  EXPECT_EQ(sim.pending_count(), 1u);
+  EXPECT_LT(sim.peak_heap_size(), 4096u)
+      << "compaction failed to reclaim tombstones";
+  sim.run();
+  EXPECT_EQ(sim.fired_count(), 1u);
+  EXPECT_EQ(sim.cancelled_count(), kIterations - 1u);
+  // Compacted and surfaced tombstones both count; over a drained run the
+  // total is exactly the number of cancellations.
+  EXPECT_EQ(sim.tombstones_popped(), kIterations - 1u);
+}
+
+TEST(Simulator, ScheduleErrorsIncludeOffendingValues) {
+  Simulator sim;
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  ASSERT_DOUBLE_EQ(sim.now(), 10.0);
+  try {
+    sim.schedule_at(-5.0, [] {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("t=-5"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("now()=10"), std::string::npos)
+        << e.what();
+  }
+  try {
+    sim.schedule_in(-2.5, [] {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("delay=-2.5"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("now()=10"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Simulator, OversizedCapturesFireCorrectlyAndRecycleBlocks) {
+  // A capture far past the inline buffer routes through the overflow pool;
+  // the payload must survive intact and the block must be reused.
+  Simulator sim;
+  std::array<std::uint8_t, 200> payload{};
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  std::uint64_t sum = 0;
+  sim.schedule_at(1.0, [payload, &sum] {
+    for (std::uint8_t b : payload) sum += b;
+  });
+  sim.run();
+  std::uint64_t expected = 0;
+  for (std::uint8_t b : payload) expected += b;
+  EXPECT_EQ(sum, expected);
+  const std::size_t free_after_first = sim.overflow_free_blocks();
+  EXPECT_GE(free_after_first, 1u);
+
+  // Same size class again: the freed block is handed back out, not leaked.
+  sim.schedule_at(2.0, [payload, &sum] { sum += payload[0]; });
+  EXPECT_EQ(sim.overflow_free_blocks(), free_after_first - 1);
+  sim.run();
+  EXPECT_EQ(sim.overflow_free_blocks(), free_after_first);
+}
+
+TEST(Simulator, ShardedFireOrderIsGlobal) {
+  // Events scattered across 4 queues still fire strictly by
+  // (time, scheduling order) — placement is invisible.
+  Simulator sim(4);
+  ASSERT_EQ(sim.shard_count(), 4);
+  std::vector<int> order;
+  for (int i = 0; i < 32; ++i) {
+    sim.set_schedule_shard(i % 4);
+    const Seconds at = static_cast<Seconds>((i * 13) % 8);  // many ties
+    sim.schedule_at(at, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 32u);
+  Simulator single;
+  std::vector<int> expected;
+  for (int i = 0; i < 32; ++i) {
+    const Seconds at = static_cast<Seconds>((i * 13) % 8);
+    single.schedule_at(at, [&expected, i] { expected.push_back(i); });
+  }
+  single.run();
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Simulator, ShardedCancelAndPendingDumpSpanShards) {
+  Simulator sim(3);
+  sim.set_schedule_shard(0);
+  sim.schedule_at(1.0, [] {});
+  sim.set_schedule_shard(1);
+  const EventId victim = sim.schedule_at(2.0, [] {});
+  sim.set_schedule_shard(2);
+  sim.schedule_at(3.0, [] {});
+  // Cancel is routed by the handle, not the current schedule shard.
+  sim.set_schedule_shard(0);
+  EXPECT_TRUE(sim.cancel(victim));
+  EXPECT_EQ(sim.pending_count(), 2u);
+  const std::string dump = sim.pending_dump();
+  EXPECT_NE(dump.find("2 live events"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("t=1"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("t=3"), std::string::npos) << dump;
+  EXPECT_EQ(dump.find("t=2"), std::string::npos) << dump;
+}
+
+TEST(Simulator, ChildrenInheritTheFiringEventsShard) {
+  Simulator sim(4);
+  sim.set_schedule_shard(2);
+  int child_shard = -1;
+  sim.schedule_at(1.0, [&] {
+    // During execution the schedule shard is the firing event's shard, so
+    // children land beside their parent without explicit routing.
+    EXPECT_EQ(sim.schedule_shard(), 2);
+    sim.schedule_in(1.0, [&] { child_shard = sim.schedule_shard(); });
+  });
+  sim.set_schedule_shard(0);  // the caller's setting is restored after fires
+  sim.run();
+  EXPECT_EQ(child_shard, 2);
+  EXPECT_EQ(sim.schedule_shard(), 0);
+}
+
+TEST(Simulator, ShardConfigurationIsValidatedAndPristineOnly) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  EXPECT_THROW(sim.set_shard_count(2), std::logic_error);
+  EXPECT_THROW(Simulator(0), std::invalid_argument);
+  EXPECT_THROW(Simulator(257), std::invalid_argument);
+  Simulator fresh;
+  fresh.set_shard_count(8);
+  EXPECT_EQ(fresh.shard_count(), 8);
+  EXPECT_THROW(fresh.set_schedule_shard(8), std::out_of_range);
+  EXPECT_THROW(fresh.set_schedule_shard(-1), std::out_of_range);
 }
 
 TEST(Simulator, ManyEventsStressOrdering) {
