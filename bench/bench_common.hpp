@@ -14,6 +14,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -21,9 +22,11 @@
 
 #include "core/batch.hpp"
 #include "core/scenario.hpp"
+#include "core/supervisor.hpp"
 #include "corpus/page_spec.hpp"
 #include "obs/audit.hpp"
 #include "obs/chrome_trace.hpp"
+#include "util/fileio.hpp"
 #include "util/table.hpp"
 
 namespace eab::bench {
@@ -189,6 +192,121 @@ inline std::string trace_out_dir() {
   return raw == nullptr ? std::string() : std::string(raw);
 }
 
+/// printf-append into a string: the building block the benches use to
+/// assemble whole JSON artifacts in memory before one crash-safe write.
+inline void appendf(std::string& out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list measure;
+  va_copy(measure, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, measure);
+  va_end(measure);
+  if (needed > 0) {
+    const std::size_t old = out.size();
+    out.resize(old + static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data() + old, static_cast<std::size_t>(needed) + 1, fmt,
+                   args);
+    out.resize(old + static_cast<std::size_t>(needed));
+  }
+  va_end(args);
+}
+
+/// Crash-safe artifact write (temp + fsync + rename via write_file_atomic)
+/// with the benches' standard "wrote <path>" confirmation line.  Returns
+/// false — and prints nothing — when the write failed; a torn BENCH_*.json
+/// can never be observed, even under the supervision soak's SIGKILLs.
+inline bool write_artifact(const std::string& path, std::string_view contents) {
+  if (!write_file_atomic(path, contents)) return false;
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+/// EAB_SUPERVISE=1 moves the sweeps that support it (bench_fig11_capacity
+/// --cell) onto the process-level supervision layer: forked workers,
+/// heartbeats, crash restarts, and — with EAB_CHECKPOINT_DIR — durable
+/// resume.  Results are bit-identical either way; "0"/unset/empty keeps the
+/// in-process BatchRunner path.  Anything else exits 2.
+inline bool supervise_enabled() {
+  const char* raw = std::getenv("EAB_SUPERVISE");
+  if (raw == nullptr || *raw == '\0') return false;
+  if (raw[0] == '0' && raw[1] == '\0') return false;
+  if (raw[0] == '1' && raw[1] == '\0') return true;
+  die_invalid_env("EAB_SUPERVISE", raw, "\"0\" or \"1\"");
+}
+
+/// EAB_WORKERS: concurrent worker processes for supervised sweeps.  Unset
+/// or empty resolves to hardware_concurrency; malformed or out of [1, 1024]
+/// exits 2.
+inline int workers_from_env() {
+  const char* raw = std::getenv("EAB_WORKERS");
+  if (raw == nullptr || *raw == '\0') return 0;  // resolve_workers default
+  std::uint64_t value = 0;
+  if (!parse_env_u64(raw, value) || value == 0 || value > 1024) {
+    die_invalid_env("EAB_WORKERS", raw, "a worker count in [1, 1024]");
+  }
+  return static_cast<int>(value);
+}
+
+/// EAB_CHECKPOINT_DIR: directory for supervised sweeps' durable checkpoint
+/// journals.  Empty = supervise without durability (no resume).
+inline std::string checkpoint_dir() {
+  const char* raw = std::getenv("EAB_CHECKPOINT_DIR");
+  return raw == nullptr ? std::string() : std::string(raw);
+}
+
+/// EAB_SELF_CHAOS: seed for the supervisor's self-chaos kill schedule
+/// (0/unset = off); the crash-recovery soak sets this and byte-compares the
+/// recovered outputs against an uninterrupted run.  Malformed exits 2.
+inline std::uint64_t self_chaos_seed_from_env() {
+  const char* raw = std::getenv("EAB_SELF_CHAOS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  std::uint64_t value = 0;
+  if (!parse_env_u64(raw, value)) {
+    die_invalid_env("EAB_SELF_CHAOS", raw, "an unsigned decimal seed");
+  }
+  return value;
+}
+
+/// EAB_SELF_CHAOS_KILLS: worker SIGKILLs injected per launch (needs
+/// EAB_SELF_CHAOS).  Capped at 64 — a kill schedule longer than any sweep
+/// is a typo, not a soak.  Malformed exits 2.
+inline int self_chaos_kills_from_env() {
+  const char* raw = std::getenv("EAB_SELF_CHAOS_KILLS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  std::uint64_t value = 0;
+  if (!parse_env_u64(raw, value) || value > 64) {
+    die_invalid_env("EAB_SELF_CHAOS_KILLS", raw, "a kill count in [0, 64]");
+  }
+  return static_cast<int>(value);
+}
+
+/// EAB_SELF_CHAOS_ORC=1: additionally SIGKILL the orchestrator itself once,
+/// right after a durable checkpoint commit, on the first launch (needs
+/// EAB_SELF_CHAOS and EAB_CHECKPOINT_DIR).  "0"/unset = off; else exit 2.
+inline bool self_chaos_orchestrator_enabled() {
+  const char* raw = std::getenv("EAB_SELF_CHAOS_ORC");
+  if (raw == nullptr || *raw == '\0') return false;
+  if (raw[0] == '0' && raw[1] == '\0') return false;
+  if (raw[0] == '1' && raw[1] == '\0') return true;
+  die_invalid_env("EAB_SELF_CHAOS_ORC", raw, "\"0\" or \"1\"");
+}
+
+/// Assembles the supervised-sweep config from the environment knobs above.
+/// `journal_name` is the per-sweep journal file under EAB_CHECKPOINT_DIR;
+/// `fingerprint` guards the journal against resumption by a different sweep.
+inline core::SupervisorConfig supervisor_config_from_env(
+    const std::string& journal_name, const std::string& fingerprint) {
+  core::SupervisorConfig config;
+  config.workers = workers_from_env();
+  const std::string dir = checkpoint_dir();
+  if (!dir.empty()) config.checkpoint_path = dir + "/" + journal_name;
+  config.fingerprint = fingerprint;
+  config.self_chaos_seed = self_chaos_seed_from_env();
+  config.self_chaos_worker_kills = self_chaos_kills_from_env();
+  config.self_chaos_kill_orchestrator = self_chaos_orchestrator_enabled();
+  return config;
+}
+
 /// The auditor inputs for one batched load: the run's own radio config,
 /// retry budget and PowerTimeline integral over the observed window.
 inline obs::AuditInputs make_audit_inputs(const core::StackConfig& config,
@@ -239,17 +357,12 @@ inline int audit_results(const std::vector<core::SingleLoadResult>& results,
   return failed;
 }
 
-/// Writes a metrics registry snapshot beside the bench's JSON output.
+/// Writes a metrics registry snapshot beside the bench's JSON output
+/// (crash-safe: temp + fsync + rename).
 inline void write_metrics_snapshot(const std::string& bench_name,
                                    const obs::MetricsRegistry& metrics) {
-  const std::string path = "BENCH_" + bench_name + ".metrics.json";
-  FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) return;
-  const std::string json = metrics.to_json();
-  std::fwrite(json.data(), 1, json.size(), out);
-  std::fputc('\n', out);
-  std::fclose(out);
-  std::printf("wrote %s\n", path.c_str());
+  write_artifact("BENCH_" + bench_name + ".metrics.json",
+                 metrics.to_json() + "\n");
 }
 
 /// Snapshot of the shared runner — every load this process batched, merged

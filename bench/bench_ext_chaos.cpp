@@ -61,18 +61,14 @@ int run() {
     if (!out_dir.empty()) {
       const std::string path = out_dir + "/chaos_repro_" +
                                std::to_string(finding.scenario.seed) + ".json";
-      if (FILE* out = std::fopen(path.c_str(), "w")) {
-        const std::string json = finding.reproducer_json();
-        std::fwrite(json.data(), 1, json.size(), out);
-        std::fclose(out);
+      if (eab::write_file_atomic(path, finding.reproducer_json())) {
         std::printf("  wrote %s\n", path.c_str());
       }
     }
   }
 
-  FILE* json = std::fopen("BENCH_chaos.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json,
+  std::string json;
+  bench::appendf(json,
                  "{\n"
                  "  \"scenarios\": %d,\n"
                  "  \"survived\": %d,\n"
@@ -83,9 +79,7 @@ int run() {
                  "}\n",
                  report.scenarios, report.survived, report.survival_rate(),
                  report.quarantined, report.failures, mean_shrink);
-    std::fclose(json);
-    std::printf("wrote BENCH_chaos.json\n");
-  }
+  bench::write_artifact("BENCH_chaos.json", json);
   bench::write_metrics_snapshot("chaos", batch.metrics());
 
   if (!report.ok()) {

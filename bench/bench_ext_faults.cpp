@@ -154,14 +154,14 @@ int main() {
               fade_o_energy, fade_o_time, fade_e_energy, fade_e_time,
               format_percent(bench::saving(fade_o_energy, fade_e_energy)).c_str());
 
-  FILE* json = std::fopen("BENCH_faults.json", "w");
-  if (json) {
-    std::fprintf(json, "{\n  \"fault_seed\": %llu,\n  \"sweep\": [\n",
-                 static_cast<unsigned long long>(seed));
+  std::string json;
+  {
+    bench::appendf(json, "{\n  \"fault_seed\": %llu,\n  \"sweep\": [\n",
+                   static_cast<unsigned long long>(seed));
     for (std::size_t i = 0; i < original.size(); ++i) {
       const SweepPoint& o = original[i];
       const SweepPoint& e = energy_aware[i];
-      std::fprintf(
+      bench::appendf(
           json,
           "    {\"fault_rate\": %.2f,\n"
           "     \"original\": {\"energy_j\": %.3f, \"load_s\": %.3f, "
@@ -174,15 +174,14 @@ int main() {
           bench::saving(o.energy, e.energy),
           i + 1 < original.size() ? "," : "");
     }
-    std::fprintf(json,
-                 "  ],\n"
-                 "  \"fades\": {\"original_energy_j\": %.3f, "
-                 "\"original_load_s\": %.3f, \"energy_aware_energy_j\": %.3f, "
-                 "\"energy_aware_load_s\": %.3f}\n}\n",
-                 fade_o_energy, fade_o_time, fade_e_energy, fade_e_time);
-    std::fclose(json);
-    std::printf("wrote BENCH_faults.json\n");
+    bench::appendf(json,
+                   "  ],\n"
+                   "  \"fades\": {\"original_energy_j\": %.3f, "
+                   "\"original_load_s\": %.3f, \"energy_aware_energy_j\": %.3f, "
+                   "\"energy_aware_load_s\": %.3f}\n}\n",
+                   fade_o_energy, fade_o_time, fade_e_energy, fade_e_time);
   }
+  bench::write_artifact("BENCH_faults.json", json);
   bench::write_metrics_snapshot("faults");
   if (g_audit_failures > 0) {
     std::printf("FAIL: %d loads violated trace invariants\n", g_audit_failures);

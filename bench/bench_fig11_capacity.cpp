@@ -174,14 +174,70 @@ int run_cell_mode() {
     std::printf("cell: %d event-queue shards\n", g_cell_shards);
   }
 
-  // The co-simulated curves: the users-axis sweep shards across the shared
-  // BatchRunner (bit-identical to a serial loop for any EAB_JOBS).
-  const auto orig_results = cell::run_cell_sweep(
-      cell_config(browser::PipelineMode::kOriginal, params), users_axis,
-      bench::shared_runner());
-  const auto ea_results = cell::run_cell_sweep(
-      cell_config(browser::PipelineMode::kEnergyAware, params), users_axis,
-      bench::shared_runner());
+  // The co-simulated curves.  Default: the users-axis sweep shards across
+  // the shared BatchRunner's threads (bit-identical to a serial loop for
+  // any EAB_JOBS).  EAB_SUPERVISE=1: the same sweep fans out over forked,
+  // heartbeat-supervised worker processes — one shard per (mode, point),
+  // Original first — with durable checkpoint resume under
+  // EAB_CHECKPOINT_DIR; stdout, BENCH_cell.json and the metrics snapshot
+  // are byte-identical to the in-process path (the supervision report goes
+  // to stderr, outside the deterministic output).
+  std::vector<cell::CellResult> orig_results;
+  std::vector<cell::CellResult> ea_results;
+  if (bench::supervise_enabled()) {
+    std::string fingerprint = "fig11-cell v1";
+    bench::appendf(fingerprint,
+                   " seed=%llu channels=%d horizon=%.17g shards=%d target=%.17g",
+                   static_cast<unsigned long long>(params.seed),
+                   params.channels, params.horizon, g_cell_shards,
+                   params.target);
+    for (const int users : users_axis) {
+      bench::appendf(fingerprint, " u%d", users);
+    }
+    core::Supervisor supervisor(
+        bench::supervisor_config_from_env("fig11_cell.journal", fingerprint));
+    // One supervised run covers both modes: shard i < n is the Original
+    // curve's i-th point, shard n + i the energy-aware one's.
+    const std::size_t n = users_axis.size();
+    std::vector<int> both_axis(users_axis);
+    both_axis.insert(both_axis.end(), users_axis.begin(), users_axis.end());
+    orig_results.resize(n);
+    ea_results.resize(n);
+    cell::CellConfig base =
+        cell_config(browser::PipelineMode::kOriginal, params);
+    const cell::CellConfig ea_base =
+        cell_config(browser::PipelineMode::kEnergyAware, params);
+    const auto report = supervisor.run(
+        2 * n,
+        [&](std::size_t shard) {
+          cell::CellConfig config = shard < n ? base : ea_base;
+          config.users = both_axis[shard];
+          return cell::serialize_cell_result(cell::run_cell(config));
+        },
+        [&](std::size_t shard, std::string_view payload) {
+          cell::CellResult result = cell::deserialize_cell_result(payload);
+          if (shard < n) {
+            orig_results[shard] = std::move(result);
+          } else {
+            ea_results[shard - n] = std::move(result);
+          }
+        });
+    std::fprintf(stderr, "%s\n", report.summary().c_str());
+    if (!report.ok()) {
+      for (const core::ShardError& e : report.errors) {
+        std::fprintf(stderr, "supervisor: shard %zu failed: %s\n", e.shard,
+                     e.what.c_str());
+      }
+      return 1;
+    }
+  } else {
+    orig_results = cell::run_cell_sweep(
+        cell_config(browser::PipelineMode::kOriginal, params), users_axis,
+        bench::shared_runner());
+    ea_results = cell::run_cell_sweep(
+        cell_config(browser::PipelineMode::kEnergyAware, params), users_axis,
+        bench::shared_runner());
+  }
 
   // The abstract model, scaled to the same small cell, for the side-by-side
   // column: measured service times, same channels/horizon.
@@ -222,9 +278,8 @@ int run_cell_mode() {
               params.target * 100, cap_orig, cap_ea,
               cap_orig > 0 ? 100.0 * (cap_ea - cap_orig) / cap_orig : 0.0);
 
-  FILE* json = std::fopen("BENCH_cell.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json,
+  std::string json;
+  bench::appendf(json,
                  "{\n"
                  "  \"channels\": %d,\n"
                  "  \"horizon_s\": %.17g,\n"
@@ -236,27 +291,25 @@ int run_cell_mode() {
                  params.channels, params.horizon,
                  static_cast<unsigned long long>(params.seed), params.target,
                  cap_orig, cap_ea);
-    for (std::size_t i = 0; i < users_axis.size(); ++i) {
-      std::fprintf(
-          json,
-          "    {\"users\": %d,"
-          " \"drop_original\": %.17g, \"drop_energy_aware\": %.17g,"
-          " \"offered_original\": %llu, \"offered_energy_aware\": %llu,"
-          " \"mean_busy_original\": %.17g, \"mean_busy_energy_aware\": %.17g,"
-          " \"mean_ue_energy_original_j\": %.17g,"
-          " \"mean_ue_energy_energy_aware_j\": %.17g}%s\n",
-          users_axis[i], orig_results[i].drop_probability(),
-          ea_results[i].drop_probability(),
-          static_cast<unsigned long long>(orig_results[i].offered),
-          static_cast<unsigned long long>(ea_results[i].offered),
-          orig_results[i].mean_busy_grants, ea_results[i].mean_busy_grants,
-          mean_ue_energy(orig_results[i]), mean_ue_energy(ea_results[i]),
-          i + 1 < users_axis.size() ? "," : "");
-    }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
-    std::printf("wrote BENCH_cell.json\n");
+  for (std::size_t i = 0; i < users_axis.size(); ++i) {
+    bench::appendf(
+        json,
+        "    {\"users\": %d,"
+        " \"drop_original\": %.17g, \"drop_energy_aware\": %.17g,"
+        " \"offered_original\": %llu, \"offered_energy_aware\": %llu,"
+        " \"mean_busy_original\": %.17g, \"mean_busy_energy_aware\": %.17g,"
+        " \"mean_ue_energy_original_j\": %.17g,"
+        " \"mean_ue_energy_energy_aware_j\": %.17g}%s\n",
+        users_axis[i], orig_results[i].drop_probability(),
+        ea_results[i].drop_probability(),
+        static_cast<unsigned long long>(orig_results[i].offered),
+        static_cast<unsigned long long>(ea_results[i].offered),
+        orig_results[i].mean_busy_grants, ea_results[i].mean_busy_grants,
+        mean_ue_energy(orig_results[i]), mean_ue_energy(ea_results[i]),
+        i + 1 < users_axis.size() ? "," : "");
   }
+  bench::appendf(json, "  ]\n}\n");
+  bench::write_artifact("BENCH_cell.json", json);
   bench::write_metrics_snapshot("cell", bench::shared_runner().metrics());
   return 0;
 }

@@ -113,9 +113,8 @@ int main() {
               identical ? "yes" : "NO",
               audit_failures == 0 ? "all passed" : "FAILED");
 
-  FILE* json = std::fopen("BENCH_obs_overhead.json", "w");
-  if (json) {
-    std::fprintf(json,
+  std::string json;
+  bench::appendf(json,
                  "{\n"
                  "  \"loads\": %zu,\n"
                  "  \"reps\": %d,\n"
@@ -131,8 +130,6 @@ int main() {
                  untraced_jobs.size(), kReps, untraced_s, traced_s, overhead,
                  overhead <= 0.05 ? "true" : "false", trace_events,
                  identical ? "true" : "false", audit_failures);
-    std::fclose(json);
-    std::printf("wrote BENCH_obs_overhead.json\n");
-  }
+  bench::write_artifact("BENCH_obs_overhead.json", json);
   return (identical && audit_failures == 0) ? 0 : 1;
 }

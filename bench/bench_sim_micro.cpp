@@ -148,9 +148,8 @@ int main() {
   std::printf("ops per phase: %zu  repeats: %d (best-of)  sink: %llu\n", count,
               kRepeats, static_cast<unsigned long long>(sink));
 
-  FILE* json = std::fopen("BENCH_sim_micro.json", "w");
-  if (json) {
-    std::fprintf(json,
+  std::string json;
+  bench::appendf(json,
                  "{\n"
                  "  \"ops_per_phase\": %zu,\n"
                  "  \"repeats\": %d,\n"
@@ -160,8 +159,6 @@ int main() {
                  "  \"run_until_events_per_sec\": %.1f\n"
                  "}\n",
                  count, kRepeats, churn, storm, chain, sweep);
-    std::fclose(json);
-    std::printf("wrote BENCH_sim_micro.json\n");
-  }
+  bench::write_artifact("BENCH_sim_micro.json", json);
   return 0;
 }

@@ -117,9 +117,9 @@ int main() {
               "%.0f tombstones popped, peak heap %.0f\n",
               events, cancelled, tombstones, peak_heap);
 
-  FILE* json = std::fopen("BENCH_throughput.json", "w");
-  if (json) {
-    std::fprintf(
+  std::string json;
+  {
+    bench::appendf(
         json,
         "{\n"
         "  \"loads\": %zu,\n"
@@ -144,9 +144,8 @@ int main() {
         n / serial_s, n / parallel_s, events / serial_s, events / parallel_s,
         speedup, runner.cache_hits(), runner.cache_misses(), events, cancelled,
         tombstones, peak_heap, all_identical ? "true" : "false");
-    std::fclose(json);
-    std::printf("wrote BENCH_throughput.json\n");
   }
+  bench::write_artifact("BENCH_throughput.json", json);
   bench::write_metrics_snapshot("throughput", runner.metrics());
   return all_identical ? 0 : 1;
 }

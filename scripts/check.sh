@@ -60,6 +60,70 @@ EAB_CELL_CHAOS_SEEDS=16 ./build-asan/tests/cell_test \
 (cd build/bench && EAB_CELL_USERS=8 EAB_CELL_SEED=3 ./bench_fig11_capacity --cell > /dev/null)
 echo "cell checks passed"
 
+echo "== supervision: crash-recovery soak =="
+# The bit-identity contract end-to-end: a supervised --cell sweep whose
+# workers AND orchestrator are SIGKILLed at seed-derived points must, after
+# relaunching from the checkpoint journal, produce stdout, BENCH_cell.json
+# and the metrics snapshot byte-identical to an uninterrupted in-process
+# run.  Three chaos seeds drive different kill schedules; the grep at the
+# end requires at least 8 injected kills and at least one orchestrator kill
+# across the soak.
+soak=build/bench/soak
+rm -rf "$soak"
+mkdir -p "$soak"
+soak_env="EAB_CELL_USERS=16 EAB_CELL_SEED=5"
+(cd build/bench && env $soak_env ./bench_fig11_capacity --cell > soak/ref_stdout.txt)
+cp build/bench/BENCH_cell.json "$soak/ref_cell.json"
+cp build/bench/BENCH_cell.metrics.json "$soak/ref_cell.metrics.json"
+
+# Supervised but uninterrupted: forked workers, same bytes.
+(cd build/bench && env $soak_env EAB_SUPERVISE=1 EAB_WORKERS=2 \
+  ./bench_fig11_capacity --cell > soak/sup_stdout.txt 2> soak/sup_stderr.txt)
+cmp "$soak/ref_stdout.txt" "$soak/sup_stdout.txt"
+cmp "$soak/ref_cell.json" build/bench/BENCH_cell.json
+cmp "$soak/ref_cell.metrics.json" build/bench/BENCH_cell.metrics.json
+
+# Chaos: relaunch until the sweep survives its own kill schedule.  Each
+# launch is killed mid-run (workers at seed-derived commit points, the
+# orchestrator once, right after a durable commit), so convergence itself
+# proves the journal resumes; stdout is rewritten per launch, leaving the
+# final successful launch's output for the byte-compare.
+for chaos_seed in 77 101 202; do
+  rm -rf "$soak/ckpt"
+  mkdir -p "$soak/ckpt"
+  relaunches=0
+  until (cd build/bench && env $soak_env EAB_SUPERVISE=1 EAB_WORKERS=2 \
+      EAB_CHECKPOINT_DIR="soak/ckpt" EAB_SELF_CHAOS="$chaos_seed" \
+      EAB_SELF_CHAOS_KILLS=16 EAB_SELF_CHAOS_ORC=1 \
+      ./bench_fig11_capacity --cell > soak/chaos_stdout.txt \
+      2>> soak/chaos_stderr.txt); do
+    relaunches=$((relaunches + 1))
+    if [ "$relaunches" -gt 20 ]; then
+      echo "SOAK FAILED: seed $chaos_seed never converged" >&2
+      exit 1
+    fi
+  done
+  echo "chaos seed $chaos_seed: recovered after $relaunches relaunch(es)"
+  cmp "$soak/ref_stdout.txt" "$soak/chaos_stdout.txt"
+  cmp "$soak/ref_cell.json" build/bench/BENCH_cell.json
+  cmp "$soak/ref_cell.metrics.json" build/bench/BENCH_cell.metrics.json
+done
+kills=$(grep -c 'supervisor: chaos SIGKILL' "$soak/chaos_stderr.txt")
+orc_kills=$(grep -c 'supervisor: chaos SIGKILL orchestrator' "$soak/chaos_stderr.txt")
+echo "soak: $kills chaos kills injected ($orc_kills orchestrator)"
+if [ "$kills" -lt 8 ] || [ "$orc_kills" -lt 1 ]; then
+  echo "SOAK FAILED: expected >= 8 kills incl >= 1 orchestrator kill" >&2
+  exit 1
+fi
+echo "crash recovery byte-identical under $kills SIGKILLs"
+
+# The supervision layer itself under ASan: fork/pipe lifecycle, journal
+# recovery buffers, torn-tail truncation.
+cmake --build build-asan -j "$JOBS" \
+  --target core_supervisor_test --target core_checkpoint_test
+./build-asan/tests/core_supervisor_test
+./build-asan/tests/core_checkpoint_test
+
 echo "== UBSan: event-engine tests under -fsanitize=undefined =="
 # The pooled event engine type-erases callables into recycled slot storage
 # (placement new, raw vtable calls, power-of-two size-class blocks); UBSan

@@ -17,6 +17,7 @@
 #include "net/web_server.hpp"
 #include "radio/rrc.hpp"
 #include "sim/simulator.hpp"
+#include "util/bytes.hpp"
 #include "util/rng.hpp"
 #include "util/timeline.hpp"
 
@@ -454,6 +455,146 @@ CellResult run_cell(const CellConfig& config) {
   validate(config);
   CellSim sim(config);
   return sim.run();
+}
+
+namespace {
+
+constexpr std::uint32_t kCellResultVersion = 1;
+
+void write_energy(BinaryWriter& w, const core::EnergyReport& energy) {
+  w.f64(energy.load_j);
+  w.f64(energy.with_reading_j);
+  w.f64(energy.radio_j);
+  w.f64(energy.window_s);
+}
+
+core::EnergyReport read_energy(BinaryReader& r) {
+  core::EnergyReport energy;
+  energy.load_j = r.f64();
+  energy.with_reading_j = r.f64();
+  energy.radio_j = r.f64();
+  energy.window_s = r.f64();
+  return energy;
+}
+
+}  // namespace
+
+std::string serialize_cell_result(const CellResult& result) {
+  for (const UeStats& ue : result.per_ue) {
+    if (ue.trace) {
+      throw std::invalid_argument(
+          "serialize_cell_result: traced results cannot cross the process "
+          "boundary; run supervised sweeps with tracing off");
+    }
+  }
+  std::string out;
+  BinaryWriter w(out);
+  w.u32(kCellResultVersion);
+  w.i32(result.users);
+  w.i32(result.channels);
+  w.u64(result.offered);
+  w.u64(result.dropped);
+  w.u64(result.completed);
+  w.u64(result.aborted);
+  w.u64(result.grant_overcommits);
+  w.f64(result.mean_busy_grants);
+  w.i32(result.peak_busy_grants);
+  w.f64(result.mean_grant_hold);
+  w.u64(result.leaked_flows);
+  w.f64(result.end_time);
+  w.u64(result.sim_events);
+  w.u64(result.per_ue.size());
+  for (const UeStats& ue : result.per_ue) {
+    w.i32(ue.offered);
+    w.i32(ue.admitted);
+    w.i32(ue.dropped);
+    w.i32(ue.completed);
+    w.i32(ue.aborted);
+    w.f64(ue.total_load_time);
+    w.f64(ue.total_service_time);
+    write_energy(w, ue.energy);
+  }
+  w.str(result.metrics.to_bytes());
+  return out;
+}
+
+CellResult deserialize_cell_result(std::string_view bytes) {
+  BinaryReader r(bytes);
+  if (r.u32() != kCellResultVersion) {
+    throw std::runtime_error(
+        "deserialize_cell_result: unknown record version");
+  }
+  CellResult result;
+  result.users = r.i32();
+  result.channels = r.i32();
+  result.offered = r.u64();
+  result.dropped = r.u64();
+  result.completed = r.u64();
+  result.aborted = r.u64();
+  result.grant_overcommits = r.u64();
+  result.mean_busy_grants = r.f64();
+  result.peak_busy_grants = r.i32();
+  result.mean_grant_hold = r.f64();
+  result.leaked_flows = r.u64();
+  result.end_time = r.f64();
+  result.sim_events = r.u64();
+  const std::uint64_t ue_count = r.u64();
+  result.per_ue.reserve(ue_count);
+  for (std::uint64_t i = 0; i < ue_count; ++i) {
+    UeStats ue;
+    ue.offered = r.i32();
+    ue.admitted = r.i32();
+    ue.dropped = r.i32();
+    ue.completed = r.i32();
+    ue.aborted = r.i32();
+    ue.total_load_time = r.f64();
+    ue.total_service_time = r.f64();
+    ue.energy = read_energy(r);
+    result.per_ue.push_back(std::move(ue));
+  }
+  result.metrics = obs::MetricsRegistry::from_bytes(r.str());
+  r.expect_done();
+  return result;
+}
+
+core::SupervisorReport run_cell_sweep_streaming(
+    const CellConfig& base, const std::vector<int>& users_axis,
+    core::Supervisor& supervisor,
+    const std::function<void(std::size_t index, const CellResult& result)>&
+        consume) {
+  validate(base);
+  if (base.per_ue.stack.trace) {
+    throw std::invalid_argument(
+        "run_cell_sweep_streaming: tracing cannot cross the process "
+        "boundary; use the in-process run_cell_sweep for traced sweeps");
+  }
+  return supervisor.run(
+      users_axis.size(),
+      [&](std::size_t i) {  // worker process
+        CellConfig config = base;
+        config.users = users_axis[i];
+        return serialize_cell_result(run_cell(config));
+      },
+      [&](std::size_t i, std::string_view payload) {  // orchestrator
+        if (consume) consume(i, deserialize_cell_result(payload));
+      });
+}
+
+std::vector<CellResult> run_cell_sweep_supervised(
+    const CellConfig& base, const std::vector<int>& users_axis,
+    core::Supervisor& supervisor) {
+  std::vector<CellResult> results(users_axis.size());
+  const core::SupervisorReport report = run_cell_sweep_streaming(
+      base, users_axis, supervisor,
+      [&](std::size_t i, const CellResult& result) { results[i] = result; });
+  if (!report.ok()) {
+    std::string what = "run_cell_sweep_supervised: shard(s) failed:";
+    for (const core::ShardError& e : report.errors) {
+      what += " [" + std::to_string(e.shard) + "] " + e.what + ";";
+    }
+    throw std::runtime_error(what);
+  }
+  return results;
 }
 
 std::vector<CellResult> run_cell_sweep(const CellConfig& base,

@@ -45,6 +45,7 @@
 #include "core/batch.hpp"
 #include "core/energy_report.hpp"
 #include "core/scenario.hpp"
+#include "core/supervisor.hpp"
 #include "corpus/page_spec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -154,6 +155,41 @@ CellResult run_cell(const CellConfig& config);
 std::vector<CellResult> run_cell_sweep(const CellConfig& base,
                                        const std::vector<int>& users_axis,
                                        core::BatchRunner& runner);
+
+/// Bit-exact binary encoding of a CellResult for cross-process transfer
+/// (supervised sweeps checkpoint these records): every field including the
+/// per-UE stats and the metrics registry round-trips exactly — doubles as
+/// bit patterns — so a shard recovered from the journal is byte-identical
+/// to one recomputed in-process.  Traces are not carried: serializing a
+/// result whose UEs hold trace recorders throws std::invalid_argument.
+std::string serialize_cell_result(const CellResult& result);
+/// Inverse of serialize_cell_result; throws std::runtime_error on
+/// truncated or malformed bytes (a torn checkpoint record).
+CellResult deserialize_cell_result(std::string_view bytes);
+
+/// run_cell_sweep on the process-level supervision layer: each users-axis
+/// point is one forked worker shard, completed points stream back to
+/// `consume` in ascending axis order (merge-on-arrival; each result is
+/// released after the callback returns, so aggregation is constant-memory
+/// in the axis length), and — when the supervisor has a checkpoint path —
+/// a killed run resumes with bit-identical results.  The per-UE template
+/// must not enable tracing (recorders cannot cross the process boundary);
+/// throws std::invalid_argument otherwise.  Returns the supervision report;
+/// a failed shard surfaces there and `consume` skips it.
+core::SupervisorReport run_cell_sweep_streaming(
+    const CellConfig& base, const std::vector<int>& users_axis,
+    core::Supervisor& supervisor,
+    const std::function<void(std::size_t index, const CellResult& result)>&
+        consume);
+
+/// Convenience wrapper over run_cell_sweep_streaming that collects the
+/// results into a vector (results[i] corresponds to users_axis[i]); throws
+/// std::runtime_error if any shard failed.  Bit-identical to
+/// run_cell_sweep() over the same axis for any worker count, kill schedule
+/// or resume history.
+std::vector<CellResult> run_cell_sweep_supervised(
+    const CellConfig& base, const std::vector<int>& users_axis,
+    core::Supervisor& supervisor);
 
 /// Users supported at `target` drop probability, linearly interpolated over
 /// a sweep (results must correspond to ascending users_axis entries).

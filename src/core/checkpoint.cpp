@@ -1,0 +1,172 @@
+#include "core/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/hash.hpp"
+
+namespace eab::core {
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0xEAB0C4E1u;
+// magic u32 + type u32 + length u64 + crc u32
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4;
+// A frame claiming a payload larger than this is treated as torn, not
+// honored: a corrupted length field must never make recovery try to skip
+// gigabytes of nonexistent file.
+constexpr std::uint64_t kMaxPayload = 1ull << 32;
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("CheckpointJournal: " + what + " (" + path +
+                           "): " + std::strerror(errno));
+}
+
+void full_write(int fd, std::string_view bytes, const std::string& path) {
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write failed", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+bool read_whole(const std::string& path, std::string& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  std::string data;
+  std::vector<char> buffer(64 * 1024);
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer.data(), buffer.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    data.append(buffer.data(), static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  out = std::move(data);
+  return true;
+}
+
+/// CRC over type + length + payload, the frame fields a torn write could
+/// damage independently of each other.
+std::uint32_t frame_crc(std::uint32_t type, std::string_view payload) {
+  std::string prefix;
+  BinaryWriter w(prefix);
+  w.u32(type);
+  w.u64(payload.size());
+  return crc32(payload, crc32(prefix));
+}
+
+/// Walks intact frames in `data`; returns the byte offset of the first
+/// torn/invalid frame (== data.size() when the whole file is intact).
+std::size_t scan_frames(std::string_view data,
+                        const CheckpointJournal::RecordFn& on_record,
+                        std::size_t* records_out) {
+  std::size_t offset = 0;
+  std::size_t records = 0;
+  while (data.size() - offset >= kHeaderBytes) {
+    BinaryReader header(data.substr(offset, kHeaderBytes));
+    const std::uint32_t magic = header.u32();
+    const std::uint32_t type = header.u32();
+    const std::uint64_t length = header.u64();
+    const std::uint32_t crc = header.u32();
+    if (magic != kFrameMagic || length > kMaxPayload) break;
+    if (data.size() - offset - kHeaderBytes < length) break;  // torn payload
+    const std::string_view payload =
+        data.substr(offset + kHeaderBytes, static_cast<std::size_t>(length));
+    if (frame_crc(type, payload) != crc) break;
+    if (on_record) on_record(type, payload);
+    offset += kHeaderBytes + static_cast<std::size_t>(length);
+    ++records;
+  }
+  if (records_out != nullptr) *records_out = records;
+  return offset;
+}
+
+void fsync_directory_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? "."
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+CheckpointJournal::CheckpointJournal(std::string path, const RecordFn& on_record)
+    : path_(std::move(path)) {
+  std::string existing;
+  const bool had_file = read_whole(path_, existing);
+
+  std::size_t records = 0;
+  const std::size_t good = scan_frames(existing, on_record, &records);
+  recovered_.records = records;
+  recovered_.dropped_bytes = existing.size() - good;
+  recovered_.torn = recovered_.dropped_bytes > 0;
+
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd_ < 0) fail("open failed", path_);
+  if (recovered_.torn) {
+    // Drop the torn tail so the next append starts at an intact frame
+    // boundary; the truncation itself is made durable before any append.
+    if (::ftruncate(fd_, static_cast<off_t>(good)) != 0) {
+      fail("truncate failed", path_);
+    }
+    if (::fsync(fd_) != 0) fail("fsync failed", path_);
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) fail("seek failed", path_);
+  if (!had_file) fsync_directory_of(path_);  // creation must survive a crash
+}
+
+CheckpointJournal::~CheckpointJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void CheckpointJournal::append(std::uint32_t type, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  BinaryWriter w(frame);
+  w.u32(kFrameMagic);
+  w.u32(type);
+  w.u64(payload.size());
+  w.u32(frame_crc(type, payload));
+  frame.append(payload);
+  full_write(fd_, frame, path_);
+  if (::fsync(fd_) != 0) fail("fsync failed", path_);
+}
+
+CheckpointRecoverStats CheckpointJournal::scan(const std::string& path,
+                                               const RecordFn& on_record) {
+  CheckpointRecoverStats stats;
+  std::string data;
+  if (!read_whole(path, data)) return stats;  // absent file: empty journal
+  std::size_t records = 0;
+  const std::size_t good = scan_frames(data, on_record, &records);
+  stats.records = records;
+  stats.dropped_bytes = data.size() - good;
+  stats.torn = stats.dropped_bytes > 0;
+  return stats;
+}
+
+std::size_t CheckpointJournal::framed_size(std::size_t payload_bytes) {
+  return kHeaderBytes + payload_bytes;
+}
+
+}  // namespace eab::core

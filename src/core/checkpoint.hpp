@@ -1,0 +1,80 @@
+// Durable checkpoint journal: length+CRC-framed records, torn-tail
+// tolerant.
+//
+// The supervisor streams one record per completed shard into this journal
+// so a killed run — workers, or the orchestrator itself — resumes from
+// exactly the set of shards whose records were durably committed.  The
+// guarantees that make bit-identical recovery possible:
+//
+//   - every append is framed [magic u32][type u32][length u64][crc u32]
+//     [payload], where the CRC covers type+length+payload, and is fsync'd
+//     before append() returns — a record either survives whole or is
+//     detectably torn;
+//   - recovery scans from the front and stops at the first frame that is
+//     short, mis-magicked or CRC-mismatched; everything after that point
+//     (the torn tail a mid-write SIGKILL leaves) is dropped and the file is
+//     truncated back to the last intact boundary before appending resumes,
+//     so one crash can never corrupt the records a later crash would need;
+//   - the journal file itself is created durably (directory fsync), so a
+//     crash immediately after creation still finds a valid empty journal.
+//
+// The journal stores opaque payload bytes; record meaning (shard results,
+// launch markers, config fingerprints) belongs to the supervisor layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace eab::core {
+
+/// What recovery found in an existing journal file.
+struct CheckpointRecoverStats {
+  std::size_t records = 0;       ///< intact records recovered
+  std::size_t dropped_bytes = 0; ///< torn-tail bytes truncated away
+  bool torn = false;             ///< true when a torn tail was dropped
+};
+
+/// Append-only journal of framed, checksummed records.
+class CheckpointJournal {
+ public:
+  using RecordFn =
+      std::function<void(std::uint32_t type, std::string_view payload)>;
+
+  /// Opens `path` for appending, creating it (durably) if absent.  Every
+  /// intact existing record is replayed through `on_record` in write order;
+  /// a torn tail is truncated away.  Throws std::runtime_error on I/O
+  /// failure.
+  explicit CheckpointJournal(std::string path, const RecordFn& on_record = {});
+  ~CheckpointJournal();
+
+  CheckpointJournal(const CheckpointJournal&) = delete;
+  CheckpointJournal& operator=(const CheckpointJournal&) = delete;
+
+  /// Appends one record and fsyncs the file before returning: when this
+  /// returns, the record survives any subsequent crash.  Throws
+  /// std::runtime_error on I/O failure.
+  void append(std::uint32_t type, std::string_view payload);
+
+  const std::string& path() const { return path_; }
+  const CheckpointRecoverStats& recovered() const { return recovered_; }
+
+  /// Read-only scan of a journal file (no truncation, no side effects):
+  /// replays intact records through `on_record` and reports what a recovery
+  /// would find.  A missing file scans as empty.  Exposed for tests and
+  /// inspection tools.
+  static CheckpointRecoverStats scan(const std::string& path,
+                                     const RecordFn& on_record);
+
+  /// Serialized size of a record with an `n`-byte payload (frame included);
+  /// the torn-tail tests truncate at every byte inside this span.
+  static std::size_t framed_size(std::size_t payload_bytes);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  CheckpointRecoverStats recovered_;
+};
+
+}  // namespace eab::core

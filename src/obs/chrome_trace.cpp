@@ -4,6 +4,8 @@
 #include <deque>
 #include <unordered_map>
 
+#include "util/fileio.hpp"
+
 namespace eab::obs {
 namespace {
 
@@ -221,11 +223,7 @@ std::string chrome_trace_json(const TraceRecorder& trace, Seconds t_end) {
 
 bool write_chrome_trace(const std::string& path, const TraceRecorder& trace,
                         Seconds t_end) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  const std::string json = chrome_trace_json(trace, t_end);
-  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
-  return std::fclose(f) == 0 && ok;
+  return write_file_atomic(path, chrome_trace_json(trace, t_end));
 }
 
 }  // namespace eab::obs

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/bytes.hpp"
+
 namespace eab::obs {
 
 void Histogram::observe(double value) {
@@ -107,6 +109,49 @@ void append_number(std::string& out, double v) {
 }
 
 }  // namespace
+
+std::string MetricsRegistry::to_bytes() const {
+  std::string out;
+  BinaryWriter w(out);
+  w.u64(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    w.str(name);
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    // Serialize the whole Entry regardless of kind: equality (same_as) is
+    // field-wise, so a round trip must restore value AND histogram exactly.
+    w.f64(e.value);
+    w.u64(e.hist.count);
+    w.f64(e.hist.sum);
+    w.f64(e.hist.min);
+    w.f64(e.hist.max);
+    for (const std::uint64_t bucket : e.hist.buckets) w.u64(bucket);
+  }
+  return out;
+}
+
+MetricsRegistry MetricsRegistry::from_bytes(std::string_view bytes) {
+  MetricsRegistry registry;
+  BinaryReader r(bytes);
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name = r.str();
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(Kind::kHistogram)) {
+      throw std::runtime_error("MetricsRegistry::from_bytes: bad entry kind");
+    }
+    Entry e;
+    e.kind = static_cast<Kind>(kind);
+    e.value = r.f64();
+    e.hist.count = r.u64();
+    e.hist.sum = r.f64();
+    e.hist.min = r.f64();
+    e.hist.max = r.f64();
+    for (std::uint64_t& bucket : e.hist.buckets) bucket = r.u64();
+    registry.entries_.emplace(std::move(name), e);
+  }
+  r.expect_done();
+  return registry;
+}
 
 std::string MetricsRegistry::to_json() const {
   std::string out = "{\n";

@@ -68,6 +68,14 @@ class MetricsRegistry {
   /// render as numbers; histograms as {count, sum, min, max, mean, buckets}.
   std::string to_json() const;
 
+  /// Bit-exact binary round trip for cross-process merges: the supervisor's
+  /// workers snapshot their registries into checkpoint records and the
+  /// orchestrator merges the deserialized copies — from_bytes(to_bytes(r))
+  /// satisfies same_as(r) exactly (doubles travel as bit patterns).
+  /// from_bytes throws std::runtime_error on truncated or malformed input.
+  std::string to_bytes() const;
+  static MetricsRegistry from_bytes(std::string_view bytes);
+
   bool same_as(const MetricsRegistry& other) const {
     return entries_ == other.entries_;
   }

@@ -1,0 +1,109 @@
+// Portable binary packing for cross-process and on-disk byte streams.
+//
+// The checkpoint journal, the supervisor's worker pipe protocol and the
+// cell-result serializer all move structured data between processes (or
+// across a crash) and must reproduce it bit-exactly: doubles travel as
+// their IEEE-754 bit patterns, integers in fixed little-endian byte order,
+// strings length-prefixed.  BinaryReader throws on any underflow or
+// malformed length instead of reading garbage, which is what makes a torn
+// or corrupted record detectable instead of silently wrong.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace eab {
+
+/// Appends fixed-layout fields to a byte string (little-endian, doubles as
+/// bit patterns).  The layout matches BinaryReader exactly.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::string& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(std::string_view s) {
+    u64(s.size());
+    out_.append(s);
+  }
+
+ private:
+  std::string& out_;
+};
+
+/// Consumes fields written by BinaryWriter.  Every accessor throws
+/// std::runtime_error("truncated binary record") on underflow; str() also
+/// rejects lengths that run past the end of the buffer.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(bytes_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool done() const { return pos_ == bytes_.size(); }
+
+  /// Throws unless the whole buffer was consumed — a record with trailing
+  /// bytes is as malformed as a short one.
+  void expect_done() const {
+    if (!done()) throw std::runtime_error("trailing bytes in binary record");
+  }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (n > bytes_.size() - pos_) {
+      throw std::runtime_error("truncated binary record");
+    }
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace eab

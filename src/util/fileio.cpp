@@ -1,0 +1,84 @@
+#include "util/fileio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <vector>
+
+namespace eab {
+namespace {
+
+/// Directory part of `path` ("." when it has none), for the post-rename
+/// directory fsync that makes the rename itself durable.
+std::string directory_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+bool full_write(int fd, std::string_view contents) {
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, std::string_view contents) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const bool wrote = full_write(fd, contents) && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!wrote) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Make the rename durable: fsync the containing directory.  A failure
+  // here (e.g. a filesystem that refuses O_RDONLY directory fds) leaves the
+  // file correctly in place, just without the directory-entry guarantee.
+  const int dir_fd = ::open(directory_of(path).c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  std::string data;
+  std::vector<char> buffer(64 * 1024);
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer.data(), buffer.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    data.append(buffer.data(), static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  out = std::move(data);
+  return true;
+}
+
+}  // namespace eab

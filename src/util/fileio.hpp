@@ -1,0 +1,28 @@
+// Crash-safe whole-file writes.
+//
+// Every artifact this project emits — BENCH_*.json, metrics snapshots,
+// chaos reproducers, Chrome traces — used to be written with a bare
+// fopen/fwrite, so a crash (or an injected SIGKILL from the supervision
+// soak) mid-write could leave a torn half-file that a later tool would
+// happily parse.  write_file_atomic replaces those sites: the contents go
+// to a same-directory temporary, are fsync'd, and only then renamed over
+// the destination, so any observer ever sees either the old file or the
+// complete new one, never a prefix.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace eab {
+
+/// Atomically replaces `path` with `contents`: write <path>.tmp.<pid>,
+/// fsync, rename over `path`, fsync the parent directory.  Returns false on
+/// any syscall failure (the temporary is unlinked; the destination is left
+/// either untouched or fully replaced).  Never throws.
+bool write_file_atomic(const std::string& path, std::string_view contents);
+
+/// Reads a whole file into `out`.  Returns false (out untouched) when the
+/// file cannot be opened or read.
+bool read_file(const std::string& path, std::string& out);
+
+}  // namespace eab

@@ -21,4 +21,20 @@ constexpr std::uint64_t fnv1a_64(std::string_view bytes) {
   return hash;
 }
 
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over a byte string.  The
+/// checkpoint journal frames every record with this so a torn or corrupted
+/// tail is detected byte-for-byte on recovery; like fnv1a_64 the exact value
+/// must be identical across runs and platforms.  Pass a previous return
+/// value as `seed` to checksum a record in pieces.
+constexpr std::uint32_t crc32(std::string_view bytes, std::uint32_t seed = 0) {
+  std::uint32_t crc = ~seed;
+  for (const char c : bytes) {
+    crc ^= static_cast<unsigned char>(c);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
 }  // namespace eab

@@ -94,6 +94,62 @@ TEST(CellTest, SweepSerialEqualsSharded) {
   }
 }
 
+TEST(CellTest, CellResultSerializationRoundTripsBitExactly) {
+  auto config = small_cell(browser::PipelineMode::kEnergyAware);
+  config.abort_rate = 0.2;  // exercise the aborted counters too
+  const CellResult original = run_cell(config);
+  const CellResult restored =
+      deserialize_cell_result(serialize_cell_result(original));
+  EXPECT_EQ(fingerprint(restored), fingerprint(original));
+  EXPECT_EQ(serialize_cell_result(restored), serialize_cell_result(original));
+  EXPECT_TRUE(restored.metrics.same_as(original.metrics));
+  ASSERT_EQ(restored.per_ue.size(), original.per_ue.size());
+  for (std::size_t i = 0; i < restored.per_ue.size(); ++i) {
+    EXPECT_EQ(restored.per_ue[i].energy.to_json(),
+              original.per_ue[i].energy.to_json());
+  }
+
+  EXPECT_THROW(deserialize_cell_result("torn"), std::runtime_error);
+}
+
+TEST(CellTest, SerializingTracedResultsIsRejected) {
+  auto config = small_cell(browser::PipelineMode::kEnergyAware);
+  config.users = 2;
+  config.horizon = 30.0;
+  config.per_ue.stack.trace = true;
+  const CellResult traced = run_cell(config);
+  EXPECT_THROW(serialize_cell_result(traced), std::invalid_argument);
+
+  core::Supervisor supervisor;
+  EXPECT_THROW(
+      run_cell_sweep_supervised(config, {2}, supervisor),
+      std::invalid_argument);
+}
+
+TEST(CellTest, SupervisedSweepIsBitIdenticalToInProcessSweep) {
+  // The whole point of the supervision layer: forked workers, streaming
+  // merge, any worker count — same bytes as the in-process BatchRunner
+  // sweep.
+  const auto config = small_cell(browser::PipelineMode::kOriginal);
+  const std::vector<int> axis{2, 4, 6};
+  core::BatchRunner runner(1);
+  const auto reference = run_cell_sweep(config, axis, runner);
+
+  core::SupervisorConfig sup_config;
+  sup_config.workers = 2;
+  core::Supervisor supervisor(sup_config);
+  const auto supervised = run_cell_sweep_supervised(config, axis, supervisor);
+
+  ASSERT_EQ(supervised.size(), reference.size());
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    EXPECT_EQ(supervised[i].users, axis[i]);
+    EXPECT_EQ(serialize_cell_result(supervised[i]),
+              serialize_cell_result(reference[i]))
+        << "users=" << axis[i];
+    EXPECT_TRUE(supervised[i].metrics.same_as(reference[i].metrics));
+  }
+}
+
 TEST(CellTest, GrantExhaustionDropsSessionsAndStaysClean) {
   auto config = small_cell(browser::PipelineMode::kOriginal);
   config.users = 50;

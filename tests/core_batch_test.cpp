@@ -351,6 +351,89 @@ TEST(EnvParsingDeathTest, ZeroChaosSeedsDiesLoudly) {
   unsetenv("EAB_CHAOS_SEEDS");
 }
 
+TEST(EnvParsing, SupervisionKnobsHonorWellFormedValues) {
+  setenv("EAB_SUPERVISE", "1", 1);
+  EXPECT_TRUE(bench::supervise_enabled());
+  setenv("EAB_SUPERVISE", "0", 1);
+  EXPECT_FALSE(bench::supervise_enabled());
+  unsetenv("EAB_SUPERVISE");
+  EXPECT_FALSE(bench::supervise_enabled());
+
+  setenv("EAB_WORKERS", "8", 1);
+  EXPECT_EQ(bench::workers_from_env(), 8);
+  unsetenv("EAB_WORKERS");
+  EXPECT_EQ(bench::workers_from_env(), 0);  // 0 = resolve_workers default
+
+  setenv("EAB_SELF_CHAOS", "12345", 1);
+  EXPECT_EQ(bench::self_chaos_seed_from_env(), 12345u);
+  unsetenv("EAB_SELF_CHAOS");
+  EXPECT_EQ(bench::self_chaos_seed_from_env(), 0u);
+
+  setenv("EAB_SELF_CHAOS_KILLS", "4", 1);
+  EXPECT_EQ(bench::self_chaos_kills_from_env(), 4);
+  unsetenv("EAB_SELF_CHAOS_KILLS");
+  EXPECT_EQ(bench::self_chaos_kills_from_env(), 0);
+
+  setenv("EAB_SELF_CHAOS_ORC", "1", 1);
+  EXPECT_TRUE(bench::self_chaos_orchestrator_enabled());
+  unsetenv("EAB_SELF_CHAOS_ORC");
+  EXPECT_FALSE(bench::self_chaos_orchestrator_enabled());
+
+  setenv("EAB_CHECKPOINT_DIR", "/tmp/ckpt", 1);
+  setenv("EAB_WORKERS", "3", 1);
+  const auto config =
+      bench::supervisor_config_from_env("sweep.journal", "fp-v1");
+  EXPECT_EQ(config.checkpoint_path, "/tmp/ckpt/sweep.journal");
+  EXPECT_EQ(config.fingerprint, "fp-v1");
+  EXPECT_EQ(config.workers, 3);
+  unsetenv("EAB_CHECKPOINT_DIR");
+  unsetenv("EAB_WORKERS");
+  EXPECT_TRUE(
+      bench::supervisor_config_from_env("sweep.journal", "fp-v1")
+          .checkpoint_path.empty());
+}
+
+TEST(EnvParsingDeathTest, MalformedSuperviseFlagDiesLoudly) {
+  setenv("EAB_SUPERVISE", "yes", 1);
+  EXPECT_EXIT(bench::supervise_enabled(), ::testing::ExitedWithCode(2),
+              "EAB_SUPERVISE");
+  unsetenv("EAB_SUPERVISE");
+}
+
+TEST(EnvParsingDeathTest, MalformedWorkerCountDiesLoudly) {
+  setenv("EAB_WORKERS", "0", 1);
+  EXPECT_EXIT(bench::workers_from_env(), ::testing::ExitedWithCode(2),
+              "EAB_WORKERS");
+  setenv("EAB_WORKERS", "2000", 1);
+  EXPECT_EXIT(bench::workers_from_env(), ::testing::ExitedWithCode(2),
+              "EAB_WORKERS");
+  setenv("EAB_WORKERS", "two", 1);
+  EXPECT_EXIT(bench::workers_from_env(), ::testing::ExitedWithCode(2),
+              "EAB_WORKERS");
+  unsetenv("EAB_WORKERS");
+}
+
+TEST(EnvParsingDeathTest, MalformedSelfChaosSeedDiesLoudly) {
+  setenv("EAB_SELF_CHAOS", "-1", 1);
+  EXPECT_EXIT(bench::self_chaos_seed_from_env(), ::testing::ExitedWithCode(2),
+              "EAB_SELF_CHAOS");
+  unsetenv("EAB_SELF_CHAOS");
+}
+
+TEST(EnvParsingDeathTest, OversizedSelfChaosKillsDiesLoudly) {
+  setenv("EAB_SELF_CHAOS_KILLS", "65", 1);
+  EXPECT_EXIT(bench::self_chaos_kills_from_env(),
+              ::testing::ExitedWithCode(2), "EAB_SELF_CHAOS_KILLS");
+  unsetenv("EAB_SELF_CHAOS_KILLS");
+}
+
+TEST(EnvParsingDeathTest, MalformedOrchestratorChaosFlagDiesLoudly) {
+  setenv("EAB_SELF_CHAOS_ORC", "maybe", 1);
+  EXPECT_EXIT(bench::self_chaos_orchestrator_enabled(),
+              ::testing::ExitedWithCode(2), "EAB_SELF_CHAOS_ORC");
+  unsetenv("EAB_SELF_CHAOS_ORC");
+}
+
 TEST(Fnv1a, MatchesReferenceVectors) {
   // Published FNV-1a 64-bit test vectors.
   EXPECT_EQ(fnv1a_64(""), 0xCBF29CE484222325ULL);

@@ -1,0 +1,185 @@
+// Durable checkpoint journal: round trips, torn-tail truncation at every
+// byte boundary of the last record, single-byte corruption anywhere in the
+// last record, and append-after-recovery.  These are the properties the
+// supervisor's bit-identical crash recovery stands on.
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/fileio.hpp"
+
+namespace eab::core {
+namespace {
+
+using Record = std::pair<std::uint32_t, std::string>;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "ckpt_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+std::vector<Record> scan_all(const std::string& path,
+                             CheckpointRecoverStats* stats = nullptr) {
+  std::vector<Record> records;
+  const auto found = CheckpointJournal::scan(
+      path, [&](std::uint32_t type, std::string_view payload) {
+        records.emplace_back(type, std::string(payload));
+      });
+  if (stats != nullptr) *stats = found;
+  return records;
+}
+
+/// Records with empty, text and embedded-NUL payloads: framing must not
+/// care what the bytes are.
+std::vector<Record> sample_records() {
+  return {{1, ""},
+          {2, "launch"},
+          {3, std::string("bin\0\xff\x00tail", 10)}};
+}
+
+void write_journal(const std::string& path,
+                   const std::vector<Record>& records) {
+  CheckpointJournal journal(path);
+  for (const auto& [type, payload] : records) journal.append(type, payload);
+}
+
+TEST(CheckpointTest, RoundTripsRecordsAcrossReopen) {
+  const std::string path = temp_path("roundtrip");
+  const auto records = sample_records();
+  write_journal(path, records);
+
+  std::vector<Record> replayed;
+  CheckpointJournal reopened(
+      path, [&](std::uint32_t type, std::string_view payload) {
+        replayed.emplace_back(type, std::string(payload));
+      });
+  EXPECT_EQ(replayed, records);
+  EXPECT_EQ(reopened.recovered().records, records.size());
+  EXPECT_EQ(reopened.recovered().dropped_bytes, 0u);
+  EXPECT_FALSE(reopened.recovered().torn);
+}
+
+TEST(CheckpointTest, MissingFileScansEmpty) {
+  CheckpointRecoverStats stats;
+  EXPECT_TRUE(scan_all(temp_path("missing_nonexistent"), &stats).empty());
+  EXPECT_EQ(stats.records, 0u);
+  EXPECT_FALSE(stats.torn);
+}
+
+TEST(CheckpointTest, FileSizeMatchesFramedSize) {
+  const std::string path = temp_path("framed");
+  const auto records = sample_records();
+  write_journal(path, records);
+  std::string bytes;
+  ASSERT_TRUE(read_file(path, bytes));
+  std::size_t expected = 0;
+  for (const auto& [type, payload] : records) {
+    expected += CheckpointJournal::framed_size(payload.size());
+  }
+  EXPECT_EQ(bytes.size(), expected);
+}
+
+TEST(CheckpointTest, TruncationAtEveryByteOfLastRecordDropsExactlyIt) {
+  // A mid-write SIGKILL can leave the file cut at ANY byte of the record
+  // being appended.  Wherever the cut lands, recovery must keep every
+  // earlier record and drop exactly the torn one.
+  const std::string path = temp_path("torn");
+  const auto records = sample_records();
+  write_journal(path, records);
+  std::string full;
+  ASSERT_TRUE(read_file(path, full));
+  const std::size_t last_frame =
+      CheckpointJournal::framed_size(records.back().second.size());
+  const std::size_t boundary = full.size() - last_frame;
+
+  // ftruncate only ever shrinks here, so one file serves all cut points.
+  for (std::size_t cut = full.size() - 1; cut > boundary; --cut) {
+    ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(cut)), 0);
+    CheckpointRecoverStats stats;
+    const auto kept = scan_all(path, &stats);
+    ASSERT_EQ(kept.size(), records.size() - 1) << "cut at byte " << cut;
+    EXPECT_EQ(kept.back(), records[records.size() - 2]);
+    EXPECT_TRUE(stats.torn);
+    EXPECT_EQ(stats.dropped_bytes, cut - boundary);
+  }
+
+  // A cut exactly on the frame boundary is not torn: the last record simply
+  // never started.
+  ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(boundary)), 0);
+  CheckpointRecoverStats stats;
+  EXPECT_EQ(scan_all(path, &stats).size(), records.size() - 1);
+  EXPECT_FALSE(stats.torn);
+}
+
+TEST(CheckpointTest, CorruptingAnyByteOfLastRecordDropsExactlyIt) {
+  // Magic, type, length, CRC or payload — flipping any single byte of the
+  // final frame must be detected, and only that record lost.
+  const std::string path = temp_path("corrupt");
+  const auto records = sample_records();
+  write_journal(path, records);
+  std::string full;
+  ASSERT_TRUE(read_file(path, full));
+  const std::size_t last_frame =
+      CheckpointJournal::framed_size(records.back().second.size());
+  const std::size_t boundary = full.size() - last_frame;
+
+  for (std::size_t at = boundary; at < full.size(); ++at) {
+    std::string mutated = full;
+    mutated[at] = static_cast<char>(mutated[at] ^ 0xFF);
+    ASSERT_TRUE(write_file_atomic(path, mutated));
+    CheckpointRecoverStats stats;
+    const auto kept = scan_all(path, &stats);
+    ASSERT_EQ(kept.size(), records.size() - 1) << "corrupt byte " << at;
+    EXPECT_EQ(kept.back(), records[records.size() - 2]);
+    EXPECT_TRUE(stats.torn);
+  }
+}
+
+TEST(CheckpointTest, RecoveryTruncatesTornTailAndAppendsCleanly) {
+  // Opening for append must physically remove the torn tail, so the next
+  // record lands on an intact boundary and a later crash cannot be confused
+  // by leftover garbage.
+  const std::string path = temp_path("reappend");
+  const auto records = sample_records();
+  write_journal(path, records);
+  std::string full;
+  ASSERT_TRUE(read_file(path, full));
+  ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(full.size() - 3)), 0);
+
+  {
+    CheckpointJournal recovered(path);
+    EXPECT_EQ(recovered.recovered().records, records.size() - 1);
+    EXPECT_TRUE(recovered.recovered().torn);
+    recovered.append(9, "appended-after-tear");
+  }
+  std::string healed;
+  ASSERT_TRUE(read_file(path, healed));
+  const std::size_t last_frame =
+      CheckpointJournal::framed_size(records.back().second.size());
+  EXPECT_EQ(healed.size(), full.size() - last_frame +
+                               CheckpointJournal::framed_size(19));
+
+  CheckpointRecoverStats stats;
+  const auto kept = scan_all(path, &stats);
+  ASSERT_EQ(kept.size(), records.size());
+  EXPECT_EQ(kept.back(), (Record{9, "appended-after-tear"}));
+  EXPECT_FALSE(stats.torn);
+}
+
+TEST(CheckpointTest, EmptyJournalSurvivesReopen) {
+  const std::string path = temp_path("empty");
+  { CheckpointJournal journal(path); }
+  CheckpointJournal reopened(path);
+  EXPECT_EQ(reopened.recovered().records, 0u);
+  EXPECT_FALSE(reopened.recovered().torn);
+}
+
+}  // namespace
+}  // namespace eab::core
