@@ -291,6 +291,58 @@ inline bool self_chaos_orchestrator_enabled() {
   die_invalid_env("EAB_SELF_CHAOS_ORC", raw, "\"0\" or \"1\"");
 }
 
+/// EAB_TELEMETRY=1 turns simulated-time telemetry on in the harnesses that
+/// honor it (bench_fig11_capacity --cell): cell runs sample cross-layer
+/// gauges into fixed-budget time series and the bench writes a
+/// BENCH_*.timeseries.json artifact.  Off by default (unset, empty or "0"):
+/// disabled runs are bit-identical — sim_events and every artifact included
+/// — to a build without the telemetry layer.  Anything else exits 2.
+inline bool telemetry_enabled() {
+  const char* raw = std::getenv("EAB_TELEMETRY");
+  if (raw == nullptr || *raw == '\0') return false;
+  if (raw[0] == '0' && raw[1] == '\0') return false;
+  if (raw[0] == '1' && raw[1] == '\0') return true;
+  die_invalid_env("EAB_TELEMETRY", raw, "\"0\" or \"1\"");
+}
+
+/// EAB_TELEMETRY_TICK: sampling period in whole simulated seconds (needs
+/// EAB_TELEMETRY=1).  Default 5; malformed or out of [1, 86400] exits 2.
+inline Seconds telemetry_tick_from_env() {
+  const char* raw = std::getenv("EAB_TELEMETRY_TICK");
+  if (raw == nullptr || *raw == '\0') return 5.0;
+  std::uint64_t value = 0;
+  if (!parse_env_u64(raw, value) || value == 0 || value > 86400) {
+    die_invalid_env("EAB_TELEMETRY_TICK", raw,
+                    "a sampling period in seconds in [1, 86400]");
+  }
+  return static_cast<Seconds>(value);
+}
+
+/// EAB_TELEMETRY_BUDGET: per-series point budget before power-of-two merge
+/// downsampling kicks in.  Default 256; malformed or out of [2, 1048576]
+/// exits 2.
+inline std::size_t telemetry_budget_from_env() {
+  const char* raw = std::getenv("EAB_TELEMETRY_BUDGET");
+  if (raw == nullptr || *raw == '\0') return 256;
+  std::uint64_t value = 0;
+  if (!parse_env_u64(raw, value) || value < 2 || value > 1048576) {
+    die_invalid_env("EAB_TELEMETRY_BUDGET", raw,
+                    "a point budget in [2, 1048576]");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// EAB_PROGRESS=1 turns on the supervisor's live wall-clock progress lines
+/// (stderr, throttled to ~1 Hz).  Off by default; purely observational —
+/// results are bit-identical either way.  Anything else exits 2.
+inline bool progress_enabled() {
+  const char* raw = std::getenv("EAB_PROGRESS");
+  if (raw == nullptr || *raw == '\0') return false;
+  if (raw[0] == '0' && raw[1] == '\0') return false;
+  if (raw[0] == '1' && raw[1] == '\0') return true;
+  die_invalid_env("EAB_PROGRESS", raw, "\"0\" or \"1\"");
+}
+
 /// Assembles the supervised-sweep config from the environment knobs above.
 /// `journal_name` is the per-sweep journal file under EAB_CHECKPOINT_DIR;
 /// `fingerprint` guards the journal against resumption by a different sweep.
@@ -304,6 +356,7 @@ inline core::SupervisorConfig supervisor_config_from_env(
   config.self_chaos_seed = self_chaos_seed_from_env();
   config.self_chaos_worker_kills = self_chaos_kills_from_env();
   config.self_chaos_kill_orchestrator = self_chaos_orchestrator_enabled();
+  config.progress = progress_enabled();
   return config;
 }
 

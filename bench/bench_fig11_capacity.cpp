@@ -95,6 +95,8 @@ void report(const std::string& label, const std::vector<corpus::PageSpec>& specs
 /// monotone drop curve, energy-aware above Original in admitted users —
 /// does not depend on the pool being 200 channels wide.
 int g_cell_shards = 1;  // EAB_CELL_SHARDS; any value is bit-identical to 1
+Seconds g_telemetry_tick = 0;         // EAB_TELEMETRY / EAB_TELEMETRY_TICK
+std::size_t g_telemetry_budget = 256; // EAB_TELEMETRY_BUDGET
 
 struct CellBenchParams {
   int channels = 6;
@@ -124,6 +126,8 @@ cell::CellConfig cell_config(browser::PipelineMode mode,
   config.horizon = params.horizon;
   config.cell_seed = params.seed;
   config.sim_shards = g_cell_shards;
+  config.telemetry_tick = g_telemetry_tick;
+  config.telemetry_budget = g_telemetry_budget;
   return config;
 }
 
@@ -156,6 +160,11 @@ int run_cell_mode() {
                            "a shard count in [1, 256]");
   }
   g_cell_shards = static_cast<int>(shards);
+  // Telemetry knobs are parsed strictly even when sampling stays off, so a
+  // typo'd EAB_TELEMETRY_TICK dies loudly instead of silently idling.
+  g_telemetry_budget = bench::telemetry_budget_from_env();
+  const Seconds telemetry_tick = bench::telemetry_tick_from_env();
+  if (bench::telemetry_enabled()) g_telemetry_tick = telemetry_tick;
 
   std::vector<int> users_axis;
   for (int users = std::min(params.step, params.max_users);
@@ -172,6 +181,10 @@ int run_cell_mode() {
               static_cast<unsigned long long>(params.seed));
   if (g_cell_shards != 1) {  // default output stays byte-identical
     std::printf("cell: %d event-queue shards\n", g_cell_shards);
+  }
+  if (g_telemetry_tick > 0) {  // likewise: silent unless sampling is on
+    std::printf("cell: telemetry tick %.0f s, budget %zu points\n",
+                g_telemetry_tick, g_telemetry_budget);
   }
 
   // The co-simulated curves.  Default: the users-axis sweep shards across
@@ -191,6 +204,12 @@ int run_cell_mode() {
                    static_cast<unsigned long long>(params.seed),
                    params.channels, params.horizon, g_cell_shards,
                    params.target);
+    if (g_telemetry_tick > 0) {
+      // Only when sampling is on: a telemetry-off supervised run keeps the
+      // exact pre-telemetry fingerprint, so its journals stay resumable.
+      bench::appendf(fingerprint, " telemetry_tick=%.17g telemetry_budget=%zu",
+                     g_telemetry_tick, g_telemetry_budget);
+    }
     for (const int users : users_axis) {
       bench::appendf(fingerprint, " u%d", users);
     }
@@ -311,6 +330,36 @@ int run_cell_mode() {
   bench::appendf(json, "  ]\n}\n");
   bench::write_artifact("BENCH_cell.json", json);
   bench::write_metrics_snapshot("cell", bench::shared_runner().metrics());
+
+  // Cross-layer time series per (mode, users point) — only when sampling is
+  // on, so the telemetry-off artifact set is byte-identical to a build
+  // without the telemetry layer.  The series came through the same path the
+  // sweep results did (in-process, sharded or supervised deserialization),
+  // so this JSON is byte-identical across all three execution modes.
+  if (g_telemetry_tick > 0) {
+    std::string ts;
+    bench::appendf(ts, "{\n  \"tick_s\": %.17g,\n  \"point_budget\": %zu,\n",
+                   g_telemetry_tick, g_telemetry_budget);
+    const auto append_mode = [&](const char* label,
+                                 const std::vector<cell::CellResult>& results,
+                                 const char* trailer) {
+      bench::appendf(ts, "  \"%s\": {\n", label);
+      for (std::size_t i = 0; i < users_axis.size(); ++i) {
+        bench::appendf(ts, "    \"u%d\": ", users_axis[i]);
+        if (results[i].telemetry) {
+          ts += results[i].telemetry->to_json();
+        } else {
+          ts += "null";
+        }
+        ts += i + 1 < users_axis.size() ? ",\n" : "\n";
+      }
+      bench::appendf(ts, "  }%s\n", trailer);
+    };
+    append_mode("original", orig_results, ",");
+    append_mode("energy_aware", ea_results, "");
+    ts += "}\n";
+    bench::write_artifact("BENCH_cell.timeseries.json", ts);
+  }
   return 0;
 }
 

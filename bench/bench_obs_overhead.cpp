@@ -1,17 +1,22 @@
-// Measures what structured tracing costs: the 64-load batch sweep from
-// bench_throughput run untraced and traced, best-of-N wall clock each.
+// Measures what observability costs: the 64-load batch sweep from
+// bench_throughput run untraced and traced, best-of-N wall clock each, plus
+// a 16-UE cell run with telemetry sampling off and on.
 //
 // The cost contract (obs/trace.hpp) is that a disabled recorder is one
 // predicted-not-taken branch per site and an enabled one only appends to a
 // vector — never schedules simulator events — so traced results must be
 // bit-identical to untraced ones and the slowdown must stay within a few
-// percent.  This bench asserts the identity (exit 1 on any divergence) and
-// reports the overhead against a 5 % budget in BENCH_obs_overhead.json.
+// percent.  Telemetry (obs/telemetry.hpp) does schedule tick events but
+// never mutates simulation state, so the sampled run's workload results
+// must equal the unsampled run's exactly.  This bench asserts both
+// identities (exit 1 on any divergence) and reports each overhead against
+// a 5 % budget in BENCH_obs_overhead.json.
 #include "bench_common.hpp"
 
 #include <algorithm>
 #include <chrono>
 
+#include "cell/cell.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -56,6 +61,49 @@ double best_wall(const std::vector<core::BatchJob>& jobs, int reps,
     if (out != nullptr && rep == 0) *out = std::move(results);
   }
   return best;
+}
+
+/// The telemetry measurement vehicle: one 16-UE cell, 600 s horizon.
+cell::CellConfig overhead_cell_config(Seconds telemetry_tick) {
+  cell::CellConfig config;
+  config.per_ue =
+      core::ScenarioBuilder(browser::PipelineMode::kEnergyAware).build();
+  config.specs = corpus::mobile_benchmark();
+  config.users = 16;
+  config.channels = 6;
+  config.horizon = 600.0;
+  config.cell_seed = 5;
+  config.telemetry_tick = telemetry_tick;
+  return config;
+}
+
+double best_cell_wall(const cell::CellConfig& config, int reps,
+                      cell::CellResult* out) {
+  double best = 1e9;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = Clock::now();
+    auto result = cell::run_cell(config);
+    best = std::min(best, seconds_since(start));
+    if (out != nullptr && rep == 0) *out = std::move(result);
+  }
+  return best;
+}
+
+/// The telemetry identity: sampling must not bend the workload trajectory.
+/// (sim_events legitimately differs — the tick events themselves.)
+bool same_workload(const cell::CellResult& a, const cell::CellResult& b) {
+  bool same = a.offered == b.offered && a.dropped == b.dropped &&
+              a.completed == b.completed && a.aborted == b.aborted &&
+              a.grant_overcommits == b.grant_overcommits &&
+              a.end_time == b.end_time &&
+              a.mean_busy_grants == b.mean_busy_grants &&
+              a.per_ue.size() == b.per_ue.size();
+  for (std::size_t i = 0; same && i < a.per_ue.size(); ++i) {
+    same = a.per_ue[i].energy.with_reading_j ==
+               b.per_ue[i].energy.with_reading_j &&
+           a.per_ue[i].completed == b.per_ue[i].completed;
+  }
+  return same;
 }
 
 }  // namespace
@@ -113,6 +161,25 @@ int main() {
               identical ? "yes" : "NO",
               audit_failures == 0 ? "all passed" : "FAILED");
 
+  // Phase 2: telemetry sampling on the cell co-simulation.
+  cell::CellResult plain, sampled;
+  const double plain_s =
+      best_cell_wall(overhead_cell_config(0), kReps, &plain);
+  const double sampled_s =
+      best_cell_wall(overhead_cell_config(5.0), kReps, &sampled);
+  const bool cell_identical = same_workload(plain, sampled) &&
+                              plain.telemetry == nullptr &&
+                              sampled.telemetry != nullptr;
+  const double sampling_overhead =
+      plain_s > 0 ? sampled_s / plain_s - 1.0 : 0;
+  std::printf("\ncell (16 UEs, 600 s): unsampled %.3f s   sampled %.3f s   "
+              "overhead: %+.2f%% (budget 5%%)\n",
+              plain_s, sampled_s, sampling_overhead * 100.0);
+  std::printf("telemetry series recorded: %zu\n",
+              sampled.telemetry ? sampled.telemetry->series_count() : 0);
+  std::printf("workload identical sampled vs unsampled: %s\n",
+              cell_identical ? "yes" : "NO");
+
   std::string json;
   bench::appendf(json,
                  "{\n"
@@ -125,11 +192,21 @@ int main() {
                  "  \"within_budget\": %s,\n"
                  "  \"trace_events\": %.0f,\n"
                  "  \"bit_identical\": %s,\n"
-                 "  \"audit_failures\": %d\n"
+                 "  \"audit_failures\": %d,\n"
+                 "  \"sampling_off_seconds\": %.6f,\n"
+                 "  \"sampling_on_seconds\": %.6f,\n"
+                 "  \"sampling_overhead\": %.6f,\n"
+                 "  \"sampling_within_budget\": %s,\n"
+                 "  \"telemetry_series\": %zu,\n"
+                 "  \"cell_workload_identical\": %s\n"
                  "}\n",
                  untraced_jobs.size(), kReps, untraced_s, traced_s, overhead,
                  overhead <= 0.05 ? "true" : "false", trace_events,
-                 identical ? "true" : "false", audit_failures);
+                 identical ? "true" : "false", audit_failures, plain_s,
+                 sampled_s, sampling_overhead,
+                 sampling_overhead <= 0.05 ? "true" : "false",
+                 sampled.telemetry ? sampled.telemetry->series_count() : 0,
+                 cell_identical ? "true" : "false");
   bench::write_artifact("BENCH_obs_overhead.json", json);
-  return (identical && audit_failures == 0) ? 0 : 1;
+  return (identical && cell_identical && audit_failures == 0) ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <cstdio>
 
+#include "radio/rrc.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -95,6 +96,34 @@ double run_until_events_per_sec(std::size_t n, std::uint64_t seed,
   return static_cast<double>(fired) / wall;
 }
 
+/// Phase 5: RRC-machine churn — the timer-reschedule pattern of phase 2,
+/// but through the real radio state machine with its `if (trace_)` hooks
+/// compiled in (recorder detached: the disabled-hook fast path every
+/// untraced load takes).  Each burst promotes, transfers and re-arms the
+/// inactivity timers, so the hook sites in request_channel/touch/
+/// begin_transfer/end_transfer all sit on the measured path.
+double rrc_churn_events_per_sec(std::size_t n, std::uint64_t& sink) {
+  sim::Simulator sim;
+  radio::RrcMachine rrc(sim, radio::RrcConfig{}, radio::RadioPowerModel{});
+  std::size_t remaining = n;
+  std::function<void()> burst = [&] {
+    rrc.request_channel([&] {
+      rrc.begin_transfer();
+      rrc.touch();
+      rrc.end_transfer();
+      ++sink;
+      // 0.5 s < T1: the radio stays on DCH, so every later burst is the
+      // pure timer-churn path (cancel T1, re-arm) with no promotion.
+      if (--remaining > 0) sim.schedule_in(0.5, burst);
+    });
+  };
+  const auto start = Clock::now();
+  sim.schedule_in(0.0, burst);
+  const std::size_t fired = sim.run();
+  const double wall = seconds_since(start);
+  return static_cast<double>(fired) / wall;
+}
+
 double best_of(int repeats, double (*phase)(std::size_t, std::uint64_t&),
                std::size_t n, std::uint64_t& sink) {
   double best = 0;
@@ -138,12 +167,14 @@ int main() {
   const double chain = best_of(kRepeats, chain_events_per_sec, count, sink);
   const double sweep = best_of_seeded(kRepeats, run_until_events_per_sec,
                                       count, 43, sink);
+  const double rrc = best_of(kRepeats, rrc_churn_events_per_sec, count, sink);
 
   TextTable table({"phase", "events/s"});
   table.add_row({"schedule/fire churn", format_fixed(churn, 0)});
   table.add_row({"timer-reschedule storm", format_fixed(storm, 0)});
   table.add_row({"self-feeding chain", format_fixed(chain, 0)});
   table.add_row({"run_until sweep", format_fixed(sweep, 0)});
+  table.add_row({"rrc-machine churn", format_fixed(rrc, 0)});
   std::printf("%s", table.render().c_str());
   std::printf("ops per phase: %zu  repeats: %d (best-of)  sink: %llu\n", count,
               kRepeats, static_cast<unsigned long long>(sink));
@@ -156,9 +187,10 @@ int main() {
                  "  \"churn_events_per_sec\": %.1f,\n"
                  "  \"storm_events_per_sec\": %.1f,\n"
                  "  \"chain_events_per_sec\": %.1f,\n"
-                 "  \"run_until_events_per_sec\": %.1f\n"
+                 "  \"run_until_events_per_sec\": %.1f,\n"
+                 "  \"rrc_churn_events_per_sec\": %.1f\n"
                  "}\n",
-                 count, kRepeats, churn, storm, chain, sweep);
+                 count, kRepeats, churn, storm, chain, sweep, rrc);
   bench::write_artifact("BENCH_sim_micro.json", json);
   return 0;
 }

@@ -4,10 +4,15 @@
 // Chrome-trace JSON.  Exits 1 if any audit invariant is violated, so it
 // doubles as a one-shot smoke check of the instrumentation.
 //
-// Usage: trace_inspect [mobile] [--faults] [--json FILE]
+// Usage: trace_inspect [mobile] [--faults] [--json FILE] [--timeseries]
 //   mobile       use the m.cnn.com spec instead of espn.go.com/sports
 //   --faults     inject the 20 % composite fault mix (retry/timeout events)
 //   --json FILE  write the Chrome-trace export to FILE
+//   --timeseries rebuild the load as obs::Telemetry series (total power,
+//                link flows, outstanding fetches), print ASCII sparklines
+//                and the JSON dump; with --json the series also become
+//                Perfetto counter tracks in the export
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -16,17 +21,45 @@
 #include "corpus/page_spec.hpp"
 #include "obs/audit.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/telemetry.hpp"
 #include "radio/rrc_config.hpp"
+
+namespace {
+
+/// One-line ASCII sparkline over a series' retained window means.
+void print_sparkline(const std::string& name, const eab::obs::TimeSeries& s) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  double lo = 0, hi = 0;
+  bool first = true;
+  for (const auto& p : s.points()) {
+    lo = first ? p.mean() : std::min(lo, p.mean());
+    hi = first ? p.mean() : std::max(hi, p.mean());
+    first = false;
+  }
+  std::string line;
+  for (const auto& p : s.points()) {
+    const int level =
+        hi > lo ? static_cast<int>((p.mean() - lo) / (hi - lo) * 7.999) : 0;
+    line += kBlocks[level];
+  }
+  std::printf("  %-20s %s  [%.4g, %.4g]  %zu pts @ %.3g s\n", name.c_str(),
+              line.c_str(), lo, hi, s.points().size(), s.width());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace eab;
   bool mobile = false;
   bool faults = false;
+  bool timeseries = false;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "mobile") mobile = true;
     if (arg == "--faults") faults = true;
+    if (arg == "--timeseries") timeseries = true;
     if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
   }
   const corpus::PageSpec page =
@@ -104,8 +137,48 @@ int main(int argc, char** argv) {
     std::printf("audit FAILED:\n%s\n", report.summary().c_str());
   }
 
+  // --timeseries: rebuild the load as fixed-budget telemetry series from
+  // the exact artifacts already in hand (the power timeline's change points
+  // and the trace's fetch/flow pairings), then render them.
+  obs::Telemetry telemetry{obs::TelemetryConfig{0.5, 128, false}};
+  if (timeseries) {
+    for (const auto& sample :
+         r.total_power.sample(0.0, r.energy.window_s, 0.5)) {
+      telemetry.sample("power_w", sample.time, sample.power);
+    }
+    std::int64_t flows = 0;
+    std::int64_t fetches = 0;
+    for (const auto& event : trace.events()) {
+      switch (event.kind) {
+        case obs::TraceKind::kLinkFlowStart:
+          telemetry.sample("link_flows", event.t, static_cast<double>(++flows));
+          break;
+        case obs::TraceKind::kLinkFlowComplete:
+        case obs::TraceKind::kLinkFlowCancel:
+          telemetry.sample("link_flows", event.t, static_cast<double>(--flows));
+          break;
+        case obs::TraceKind::kHttpFetchQueued:
+          telemetry.sample("fetches_outstanding", event.t,
+                           static_cast<double>(++fetches));
+          break;
+        case obs::TraceKind::kHttpFetchSettled:
+          telemetry.sample("fetches_outstanding", event.t,
+                           static_cast<double>(--fetches));
+          break;
+        default:
+          break;
+      }
+    }
+    std::printf("\ntimeseries (window means):\n");
+    for (const auto& [name, series] : telemetry.all()) {
+      print_sparkline(name, series);
+    }
+    std::printf("timeseries json: %s\n", telemetry.to_json().c_str());
+  }
+
   if (!json_path.empty()) {
-    if (obs::write_chrome_trace(json_path, trace, r.energy.window_s)) {
+    if (obs::write_chrome_trace(json_path, trace, r.energy.window_s,
+                                timeseries ? &telemetry : nullptr)) {
       std::printf("wrote %s\n", json_path.c_str());
     } else {
       std::printf("could not write %s\n", json_path.c_str());

@@ -124,6 +124,33 @@ cmake --build build-asan -j "$JOBS" \
 ./build-asan/tests/core_supervisor_test
 ./build-asan/tests/core_checkpoint_test
 
+echo "== telemetry: determinism suite + overhead gate + cross-mode bytes =="
+# The telemetry ladder (DESIGN.md §11): integer-quanta merge associativity,
+# codec corruption rejection, and the sampling-never-bends-the-workload
+# contract — run under ASan because series ship across process boundaries
+# through hand-rolled codecs.
+cmake --build build-asan -j "$JOBS" --target obs_telemetry_test
+./build-asan/tests/obs_telemetry_test
+# bench_obs_overhead's sampling phase: cell workload bit-identical with
+# telemetry on, wall-clock overhead within the 5% budget.  The bench
+# enforces both internally (nonzero exit), and the grep makes the JSON
+# fields load-bearing too.
+(cd build/bench && ./bench_obs_overhead > /dev/null)
+grep -q '"sampling_within_budget": true' build/bench/BENCH_obs_overhead.json
+grep -q '"cell_workload_identical": true' build/bench/BENCH_obs_overhead.json
+# End-to-end acceptance: BENCH_cell.timeseries.json must be byte-identical
+# across serial, sharded (K=4) and supervised runs of the same sweep.
+ts_env="EAB_CELL_USERS=16 EAB_CELL_SEED=5 EAB_TELEMETRY=1"
+(cd build/bench && env $ts_env ./bench_fig11_capacity --cell > /dev/null)
+cp build/bench/BENCH_cell.timeseries.json "$soak/ref_cell.timeseries.json"
+(cd build/bench && env $ts_env EAB_CELL_SHARDS=4 \
+  ./bench_fig11_capacity --cell > /dev/null)
+cmp "$soak/ref_cell.timeseries.json" build/bench/BENCH_cell.timeseries.json
+(cd build/bench && env $ts_env EAB_SUPERVISE=1 EAB_WORKERS=2 \
+  ./bench_fig11_capacity --cell > /dev/null 2>> soak/sup_stderr.txt)
+cmp "$soak/ref_cell.timeseries.json" build/bench/BENCH_cell.timeseries.json
+echo "telemetry series byte-identical across serial/sharded/supervised"
+
 echo "== UBSan: event-engine tests under -fsanitize=undefined =="
 # The pooled event engine type-erases callables into recycled slot storage
 # (placement new, raw vtable calls, power-of-two size-class blocks); UBSan
@@ -158,7 +185,6 @@ echo "== trace audit: benches under EAB_TRACE=1 =="
 (cd build/bench && EAB_TRACE=1 ./bench_fig10_energy > /dev/null)
 (cd build/bench && EAB_TRACE=1 ./bench_fig16_policies > /dev/null)
 (cd build/bench && EAB_TRACE=1 ./bench_ext_faults > /dev/null)
-(cd build/bench && ./bench_obs_overhead > /dev/null)
 echo "trace audits passed"
 
 echo "== all checks passed =="

@@ -1,6 +1,8 @@
 #include "cell/cell.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -80,6 +82,13 @@ void validate(const CellConfig& config) {
     throw std::invalid_argument("run_cell: sim_shards must be in [1, 256] (got " +
                                 std::to_string(config.sim_shards) + ")");
   }
+  if (config.telemetry_tick < 0 || !std::isfinite(config.telemetry_tick)) {
+    throw std::invalid_argument(
+        "run_cell: telemetry_tick must be >= 0 and finite");
+  }
+  if (config.telemetry_tick > 0 && config.telemetry_budget < 2) {
+    throw std::invalid_argument("run_cell: telemetry_budget must be >= 2");
+  }
 }
 
 class CellSim {
@@ -92,6 +101,14 @@ class CellSim {
                        : config.channels * per_ue_rate_) {
     sim_.set_event_budget(config.sim_event_budget);
     sim_.set_shard_count(config.sim_shards);
+    if (config.telemetry_tick > 0) {
+      obs::TelemetryConfig telemetry_config;
+      telemetry_config.tick = config.telemetry_tick;
+      telemetry_config.point_budget = config.telemetry_budget;
+      telemetry_config.per_ue = config.telemetry_per_ue;
+      telemetry_result_ = std::make_shared<obs::Telemetry>(telemetry_config);
+      telemetry_ = telemetry_result_.get();
+    }
     grant_.assign(config.users, Grant::kFree);
     hold_start_.assign(config.users, 0.0);
     ues_.reserve(config.users);
@@ -189,6 +206,12 @@ class CellSim {
   void note_busy() {
     busy_timeline_.set_power(sim_.now(), static_cast<double>(busy_));
     peak_busy_ = std::max(peak_busy_, busy_);
+    // Piggyback sampling on the grant transition that already fired: exact
+    // occupancy resolution with zero extra simulator events.
+    if (telemetry_) {
+      telemetry_->sample("cell.busy_grants", sim_.now(),
+                         static_cast<double>(busy_));
+    }
   }
 
   /// Admission check at session arrival.  A UE still holding a grant from
@@ -321,6 +344,7 @@ class CellSim {
     // The previous session's objects stay alive through the think time (a
     // late watchdog or RRC event may still reference them) and are torn
     // down only now, when the next session needs the slot.
+    if (ue.client) retired_retries_ += ue.client->stats().retries;
     ue.load.reset();
     ue.client.reset();
     ++ue.generation;
@@ -395,6 +419,97 @@ class CellSim {
   bool rebalancing_ = false;
   bool rebalance_dirty_ = false;
   std::vector<Ue*> active_;  ///< scratch for rebalance()
+
+  // --- telemetry ----------------------------------------------------------
+  // Null-sink idiom (DESIGN.md §11): telemetry_ is null when disabled, and
+  // every sampling site is guarded, so a disabled run schedules zero extra
+  // events and stays bit-identical to a build without telemetry.
+
+  /// Samples every cross-layer gauge at simulated time `t`.  Read-only over
+  /// the simulation state: the workload trajectory is unchanged.
+  void sample_gauges(Seconds t) {
+    const radio::RadioPowerModel& power = config_.per_ue.stack.power;
+    int idle = 0, fach = 0, dch = 0;
+    double radio_w = 0, flows = 0, link_bps = 0;
+    double energy_idle = 0, energy_fach = 0, energy_dch = 0;
+    std::uint64_t in_flight = 0, queued = 0, retries = retired_retries_;
+    std::uint64_t offered = 0, dropped = 0, aborted = 0;
+    for (const auto& owner : ues_) {
+      const Ue& ue = *owner;
+      const radio::RrcState state = ue.rrc.state();
+      switch (state) {
+        case radio::RrcState::kIdle: ++idle; break;
+        case radio::RrcState::kFach: ++fach; break;
+        case radio::RrcState::kDch: ++dch; break;
+      }
+      radio_w += ue.rrc.power().current_power();
+      // Residency-derived cumulative energy at the nominal per-state dwell
+      // powers (Table 5); transfer and signalling overlays live in the exact
+      // per-UE PowerTimeline, this series tracks where the joules accrue.
+      energy_idle += ue.rrc.time_in(radio::RrcState::kIdle) * power.idle;
+      energy_fach += ue.rrc.time_in(radio::RrcState::kFach) * power.fach;
+      energy_dch +=
+          ue.rrc.time_in(radio::RrcState::kDch) * power.dch_no_transfer;
+      const std::size_t ue_flows = ue.link.active_flows();
+      flows += static_cast<double>(ue_flows);
+      if (ue_flows > 0 && !ue.link.paused()) link_bps += ue.link.capacity();
+      std::uint64_t ue_fetches = 0;
+      if (ue.client) {
+        in_flight += static_cast<std::uint64_t>(ue.client->in_flight());
+        queued += ue.client->queued();
+        retries += ue.client->stats().retries;
+        ue_fetches = static_cast<std::uint64_t>(ue.client->in_flight()) +
+                     ue.client->queued();
+      }
+      offered += static_cast<std::uint64_t>(ue.stats.offered);
+      dropped += static_cast<std::uint64_t>(ue.stats.dropped);
+      aborted += static_cast<std::uint64_t>(ue.stats.aborted);
+      if (telemetry_->config().per_ue) {
+        char name[32];
+        std::snprintf(name, sizeof name, "ue%03d.rrc_state", ue.id);
+        telemetry_->sample(name, t, static_cast<double>(state));
+        std::snprintf(name, sizeof name, "ue%03d.fetches", ue.id);
+        telemetry_->sample(name, t, static_cast<double>(ue_fetches));
+      }
+    }
+    telemetry_->sample("cell.rrc_idle", t, idle);
+    telemetry_->sample("cell.rrc_fach", t, fach);
+    telemetry_->sample("cell.rrc_dch", t, dch);
+    telemetry_->sample("cell.busy_grants", t, static_cast<double>(busy_));
+    telemetry_->sample("cell.grant_overcommits", t,
+                       static_cast<double>(overcommits_));
+    telemetry_->sample("cell.radio_power_w", t, radio_w);
+    telemetry_->sample("cell.energy_idle_j", t, energy_idle);
+    telemetry_->sample("cell.energy_fach_j", t, energy_fach);
+    telemetry_->sample("cell.energy_dch_j", t, energy_dch);
+    telemetry_->sample("cell.active_flows", t, flows);
+    telemetry_->sample("cell.link_bps", t, link_bps);
+    telemetry_->sample("cell.inflight_fetches", t,
+                       static_cast<double>(in_flight));
+    telemetry_->sample("cell.queued_fetches", t, static_cast<double>(queued));
+    telemetry_->sample("cell.offered", t, static_cast<double>(offered));
+    telemetry_->sample("cell.dropped", t, static_cast<double>(dropped));
+    telemetry_->sample("cell.aborted", t, static_cast<double>(aborted));
+    telemetry_->sample("cell.retries", t, static_cast<double>(retries));
+  }
+
+  /// Self-rescheduling sampling tick.  The chain ends one tick after the
+  /// workload drains (pending_count() == 0 once we fired), so the run
+  /// terminates exactly as it would without telemetry — just later by the
+  /// tick events themselves; run() excludes that trailing tick from the
+  /// end-of-run accounting.
+  void schedule_tick(Seconds at) {
+    sim_.schedule_at(at, [this, at] {
+      sample_gauges(at);
+      if (sim_.pending_count() > 0) {
+        schedule_tick(at + config_.telemetry_tick);
+      }
+    });
+  }
+
+  std::shared_ptr<obs::Telemetry> telemetry_result_;
+  obs::Telemetry* telemetry_ = nullptr;  ///< null = sampling disabled
+  std::uint64_t retired_retries_ = 0;    ///< retries of torn-down clients
 };
 
 CellResult CellSim::run() {
@@ -402,8 +517,29 @@ CellResult CellSim::run() {
     sim_.set_schedule_shard(ue->id % config_.sim_shards);
     schedule_first_arrival(*ue);
   }
-  sim_.run();
-  const Seconds end = sim_.now();
+  Seconds workload_end = 0;
+  if (telemetry_) {
+    // Baseline sample at t=0 (no event needed: the clock hasn't started),
+    // then the self-rescheduling tick.  Ticks live on shard 0; descendants
+    // inherit the firing event's shard, so the chain stays there and the
+    // merged fire order is bit-identical at any shard count.
+    sample_gauges(0.0);
+    sim_.set_schedule_shard(0);
+    schedule_tick(config_.telemetry_tick);
+    // The trailing tick — the one that finds the queue drained — is always
+    // the very last event, so the event fired just before it is the last
+    // workload event.  Tracking its time makes end_time, every energy
+    // window and mean_busy_grants bit-identical to an unsampled run; the
+    // only observable delta of sampling stays sim_events itself.
+    Seconds current = 0;
+    while (sim_.step()) {
+      workload_end = current;
+      current = sim_.now();
+    }
+  } else {
+    sim_.run();
+  }
+  const Seconds end = telemetry_ ? workload_end : sim_.now();
   note_busy();
 
   CellResult result;
@@ -446,6 +582,7 @@ CellResult CellSim::run() {
   result.metrics.set_max("cell.users", static_cast<double>(config_.users));
   result.metrics.observe("cell.mean_busy_grants", result.mean_busy_grants);
   result.metrics.observe("cell.drop_probability", result.drop_probability());
+  result.telemetry = telemetry_result_;
   return result;
 }
 
@@ -459,7 +596,8 @@ CellResult run_cell(const CellConfig& config) {
 
 namespace {
 
-constexpr std::uint32_t kCellResultVersion = 1;
+// v2 appends the optional telemetry blob after the metrics registry.
+constexpr std::uint32_t kCellResultVersion = 2;
 
 void write_energy(BinaryWriter& w, const core::EnergyReport& energy) {
   w.f64(energy.load_j);
@@ -515,6 +653,12 @@ std::string serialize_cell_result(const CellResult& result) {
     write_energy(w, ue.energy);
   }
   w.str(result.metrics.to_bytes());
+  if (result.telemetry) {
+    w.u8(1);
+    w.str(result.telemetry->to_bytes());
+  } else {
+    w.u8(0);
+  }
   return out;
 }
 
@@ -553,6 +697,10 @@ CellResult deserialize_cell_result(std::string_view bytes) {
     result.per_ue.push_back(std::move(ue));
   }
   result.metrics = obs::MetricsRegistry::from_bytes(r.str());
+  if (r.u8() != 0) {
+    result.telemetry =
+        std::make_shared<obs::Telemetry>(obs::Telemetry::from_bytes(r.str()));
+  }
   r.expect_done();
   return result;
 }

@@ -48,6 +48,7 @@
 #include "core/supervisor.hpp"
 #include "corpus/page_spec.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "util/units.hpp"
 
@@ -97,6 +98,23 @@ struct CellConfig {
   /// order is bit-identical to the single-queue engine for any value; 1 (the
   /// default) keeps the classic single heap.
   int sim_shards = 1;
+  /// Simulated-time telemetry sampling period (DESIGN.md §11).  0 (the
+  /// default) disables telemetry entirely: no series, no tick events, the
+  /// run is bit-identical — sim_events included — to a build without the
+  /// telemetry layer.  When positive, a self-rescheduling tick samples
+  /// cross-layer gauges (RRC census, grant occupancy, link flows, fetch
+  /// queues, energy by state, drop/retry/abort counters) every
+  /// telemetry_tick simulated seconds; grant-occupancy changes additionally
+  /// piggyback on already-fired events.  The tick never mutates simulation
+  /// state, so the workload trajectory matches the untelemetered run; only
+  /// sim_events grows by the tick count.
+  Seconds telemetry_tick = 0;
+  /// Per-series point budget: past it, adjacent windows merge (power-of-two
+  /// downsampling) so memory stays constant on arbitrarily long runs.
+  std::size_t telemetry_budget = 256;
+  /// Also record per-UE series (ue<id>.rrc_state, ue<id>.fetches); off by
+  /// default because they scale the series count by the user count.
+  bool telemetry_per_ue = false;
 };
 
 /// Per-UE accounting.
@@ -136,6 +154,10 @@ struct CellResult {
   std::uint64_t sim_events = 0;
   std::vector<UeStats> per_ue;
   obs::MetricsRegistry metrics;
+  /// Cross-layer time series when CellConfig::telemetry_tick > 0; null
+  /// otherwise.  Serialized with the result (unlike traces), so supervised
+  /// sweeps carry series across process boundaries bit-identically.
+  std::shared_ptr<obs::Telemetry> telemetry;
 
   double drop_probability() const {
     return offered == 0 ? 0.0

@@ -474,8 +474,56 @@ SupervisorReport Supervisor::run(std::size_t shard_count, const ShardFn& work,
     return live.empty();
   };
 
+  // --- live progress (stderr; wall-clock, never part of any snapshot) -------
+  const Clock::time_point progress_start = Clock::now();
+  Clock::time_point progress_last = progress_start;
+  std::size_t progress_initial_done = 0;
+  for (std::size_t i = 0; config_.progress && i < shard_count; ++i) {
+    if (book[i].state == ShardState::kDone ||
+        book[i].state == ShardState::kFailed) {
+      ++progress_initial_done;
+    }
+  }
+  auto report_progress = [&](Clock::time_point now, bool final_line) {
+    if (!config_.progress) return;
+    if (!final_line && seconds_since(progress_last, now) < 1.0) return;
+    progress_last = now;
+    std::size_t pending = 0, running = 0, done = 0, failed = 0;
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      switch (book[i].state) {
+        case ShardState::kPending: ++pending; break;
+        case ShardState::kRunning: ++running; break;
+        case ShardState::kDone: ++done; break;
+        case ShardState::kFailed: ++failed; break;
+      }
+    }
+    double stalest_hb = 0;
+    for (const auto& w : live) {
+      if (!w.settled) stalest_hb = std::max(stalest_hb, seconds_since(w.last_io, now));
+    }
+    const double elapsed = seconds_since(progress_start, now);
+    const std::size_t settled = done + failed;
+    const double rate =
+        elapsed > 0
+            ? static_cast<double>(settled - progress_initial_done) / elapsed
+            : 0.0;
+    char eta[32];
+    if (rate > 0 && settled < shard_count) {
+      std::snprintf(eta, sizeof eta, "%.1fs",
+                    static_cast<double>(shard_count - settled) / rate);
+    } else {
+      std::snprintf(eta, sizeof eta, "n/a");
+    }
+    std::fprintf(stderr,
+                 "supervisor: progress %zu/%zu done (%zu failed) running=%zu "
+                 "pending=%zu hb_age=%.1fs rate=%.2f/s eta=%s\n",
+                 settled, shard_count, failed, running, pending, stalest_hb,
+                 rate, eta);
+  };
+
   while (!all_settled()) {
     const Clock::time_point now = Clock::now();
+    report_progress(now, false);
 
     // Spawn workers into free slots, lowest dispatchable shard first.
     while (static_cast<int>(live.size()) < max_workers) {
@@ -584,6 +632,7 @@ SupervisorReport Supervisor::run(std::size_t shard_count, const ShardFn& work,
     inject_chaos();
   }
 
+  report_progress(Clock::now(), true);
   advance_merge();
   report.completed = merged;
   std::sort(report.errors.begin(), report.errors.end(),

@@ -76,6 +76,12 @@ struct SupervisorConfig {
   std::uint64_t self_chaos_seed = 0;
   int self_chaos_worker_kills = 0;
   bool self_chaos_kill_orchestrator = false;
+  /// Live wall-clock progress lines on stderr (per-shard census, heartbeat
+  /// age of the stalest worker, shards/s, ETA), throttled to ~1 Hz.  Off by
+  /// default; benches enable it via EAB_PROGRESS=1.  Progress reporting is
+  /// observability of the supervision process itself and — like the
+  /// SupervisorReport metrics — never part of a deterministic snapshot.
+  bool progress = false;
 };
 
 /// A shard that could not be completed: either its function threw

@@ -38,7 +38,7 @@ void HttpClient::fetch(const std::string& url, OnFetched done,
                        bool high_priority) {
   if (!done) throw std::invalid_argument("HttpClient::fetch: empty callback");
   const std::uint32_t trace_name = trace_ ? trace_->intern(url) : 0;
-  if (trace_) {
+  if (trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kHttpFetchQueued, 0, 0, 0,
                    trace_name);
   }
@@ -53,7 +53,7 @@ void HttpClient::fetch(const std::string& url, OnFetched done,
                          ++stats_.fetches;
                          ++stats_.cache_hits;
                          stats_.last_byte_at = sim_.now();
-                         if (trace_) {
+                         if (trace_) [[unlikely]] {
                            trace_->record(sim_.now(),
                                           obs::TraceKind::kHttpCacheHit, 0, 0,
                                           0, trace_name);
@@ -115,7 +115,7 @@ std::size_t HttpClient::abort_all() {
     ++stats_.fetches;
     ++stats_.failed;
     stats_.last_byte_at = sim_.now();
-    if (trace_) {
+    if (trace_) [[unlikely]] {
       trace_->record(sim_.now(), obs::TraceKind::kHttpFetchSettled, 0,
                      static_cast<std::int64_t>(FetchStatus::kAborted), 0,
                      trace_->intern(request.url));
@@ -147,7 +147,7 @@ void HttpClient::run_attempt(const StatePtr& state) {
   const FaultDecision fault =
       faults_ != nullptr ? faults_->decide(state->url, attempt)
                          : FaultDecision{};
-  if (trace_) {
+  if (trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kHttpAttemptStart, attempt, 0, 0,
                    state->trace_name);
     if (fault.kind != FaultKind::kNone) {
@@ -206,7 +206,7 @@ void HttpClient::run_attempt(const StatePtr& state) {
       const Resource* resource = server_.find(state->url);
       if (resource == nullptr) {
         // 404: the error response is headers-only (a zero-byte flow).
-        if (trace_) {
+        if (trace_) [[unlikely]] {
           trace_->record(sim_.now(), obs::TraceKind::kHttpFirstByte, attempt, 0,
                          0, state->trace_name);
         }
@@ -224,7 +224,7 @@ void HttpClient::run_attempt(const StatePtr& state) {
             fault.truncate_fraction * static_cast<double>(resource->size));
         wire_bytes = std::clamp<Bytes>(offset, 1, resource->size - 1);
       }
-      if (trace_) {
+      if (trace_) [[unlikely]] {
         trace_->record(sim_.now(), obs::TraceKind::kHttpFirstByte, attempt, 0,
                        static_cast<double>(wire_bytes), state->trace_name);
       }
@@ -279,7 +279,7 @@ void HttpClient::abort_attempt(RequestState& state) {
 void HttpClient::on_timeout(const StatePtr& state, int attempt) {
   if (stale(*state, attempt)) return;
   ++stats_.timeouts;
-  if (trace_) {
+  if (trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kHttpWatchdogFire, attempt, 0, 0,
                    state->trace_name);
   }
@@ -294,7 +294,7 @@ void HttpClient::retry_or_fail(const StatePtr& state, FetchStatus failure) {
     return;
   }
   ++stats_.retries;
-  if (trace_) {
+  if (trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kHttpRetryScheduled,
                    retry_number, 0, retry_.backoff_before_retry(retry_number),
                    state->trace_name);
@@ -350,7 +350,7 @@ void HttpClient::finish(const StatePtr& state, const Resource* resource,
       break;
   }
   stats_.last_byte_at = sim_.now();
-  if (trace_) {
+  if (trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kHttpFetchSettled,
                    state->attempt, static_cast<std::int64_t>(status),
                    static_cast<double>(delivered_bytes), state->trace_name);

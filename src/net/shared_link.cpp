@@ -16,7 +16,7 @@ SharedLink::FlowId SharedLink::start_flow(Bytes bytes, OnComplete done) {
   if (!done) throw std::invalid_argument("SharedLink::start_flow: empty callback");
   advance_and_reschedule();  // settle elapsed progress before the set changes
   const FlowId id = next_id_++;
-  if (trace_) {
+  if (trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kLinkFlowStart,
                    static_cast<std::int64_t>(id), 0,
                    static_cast<double>(bytes));
@@ -44,7 +44,7 @@ bool SharedLink::cancel_flow(FlowId id) {
   const auto it = std::find_if(flows_.begin(), flows_.end(),
                                [id](const Flow& f) { return f.id == id; });
   if (it == flows_.end()) return false;
-  if (trace_) {
+  if (trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kLinkFlowCancel,
                    static_cast<std::int64_t>(id));
   }
@@ -56,7 +56,7 @@ bool SharedLink::cancel_flow(FlowId id) {
 
 void SharedLink::pause() {
   if (paused_) return;
-  if (trace_) trace_->record(sim_.now(), obs::TraceKind::kLinkPause);
+  if (trace_) [[unlikely]] trace_->record(sim_.now(), obs::TraceKind::kLinkPause);
   advance_and_reschedule();  // bank progress earned before the fade
   paused_ = true;
   advance_and_reschedule();  // cancels the pending completion, zeroes the rate
@@ -65,7 +65,7 @@ void SharedLink::pause() {
 
 void SharedLink::resume() {
   if (!paused_) return;
-  if (trace_) trace_->record(sim_.now(), obs::TraceKind::kLinkResume);
+  if (trace_) [[unlikely]] trace_->record(sim_.now(), obs::TraceKind::kLinkResume);
   // Settle the clock across the frozen window (no bytes drain while paused),
   // then un-freeze and reschedule from the banked progress.
   advance_and_reschedule();
@@ -121,7 +121,7 @@ void SharedLink::advance_and_reschedule() {
 
   for (auto& flow : finished) {
     delivered_ += flow.total;
-    if (trace_) {
+    if (trace_) [[unlikely]] {
       trace_->record(now, obs::TraceKind::kLinkFlowComplete,
                      static_cast<std::int64_t>(flow.id));
     }

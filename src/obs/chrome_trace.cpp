@@ -68,6 +68,22 @@ class Writer {
     emit("i", name, at, 0, tid, args_json);
   }
 
+  /// Perfetto counter sample ("C" phase): one point on the named counter
+  /// track.  Counters are keyed by (pid, name), so no tid is needed.
+  void counter(const char* name, Seconds at, double value) {
+    char buf[160];
+    out_ += first_ ? "    {" : ",\n    {";
+    first_ = false;
+    out_ += "\"name\": \"";
+    append_escaped(out_, name);
+    out_ += "\", ";
+    std::snprintf(buf, sizeof buf,
+                  "\"ph\": \"C\", \"ts\": %.3f, \"pid\": 1, "
+                  "\"args\": {\"value\": %.9g}}",
+                  at * 1e6, value);
+    out_ += buf;
+  }
+
   void thread_name(int tid, const char* name) {
     char buf[256];
     out_ += first_ ? "    {" : ",\n    {";
@@ -129,7 +145,8 @@ std::string url_args(const TraceRecorder& trace, const TraceEvent& e) {
 
 }  // namespace
 
-std::string chrome_trace_json(const TraceRecorder& trace, Seconds t_end) {
+std::string chrome_trace_json(const TraceRecorder& trace, Seconds t_end,
+                              const Telemetry* telemetry) {
   if (t_end <= 0 && !trace.empty()) t_end = trace.events().back().t;
 
   std::string out;
@@ -217,13 +234,55 @@ std::string chrome_trace_json(const TraceRecorder& trace, Seconds t_end) {
     }
   }
 
+  // Counter tracks: running censuses the slice views cannot show at a
+  // glance.  Transfers carry their census in the event payload (b = count
+  // after the transition); flows and fetches are reconstructed by pairing.
+  std::int64_t flows = 0;
+  std::int64_t fetches = 0;
+  for (const TraceEvent& e : trace.events()) {
+    switch (e.kind) {
+      case TraceKind::kLinkFlowStart:
+        w.counter("link flows", e.t, static_cast<double>(++flows));
+        break;
+      case TraceKind::kLinkFlowComplete:
+      case TraceKind::kLinkFlowCancel:
+        w.counter("link flows", e.t, static_cast<double>(--flows));
+        break;
+      case TraceKind::kRrcTransferBegin:
+      case TraceKind::kRrcTransferEnd:
+        w.counter("active transfers", e.t, static_cast<double>(e.b));
+        break;
+      case TraceKind::kHttpFetchQueued:
+        w.counter("fetches outstanding", e.t, static_cast<double>(++fetches));
+        break;
+      case TraceKind::kHttpFetchSettled:
+        w.counter("fetches outstanding", e.t, static_cast<double>(--fetches));
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Telemetry series as counter tracks: one point per retained window at
+  // the window's start time, valued at the window mean.
+  if (telemetry != nullptr) {
+    for (const auto& [name, series] : telemetry->all()) {
+      const std::string track = "ts:" + name;
+      const Seconds width = series.width();
+      for (const SeriesPoint& p : series.points()) {
+        w.counter(track.c_str(), static_cast<Seconds>(p.bucket) * width,
+                  p.mean());
+      }
+    }
+  }
+
   out += "\n  ]\n}\n";
   return out;
 }
 
 bool write_chrome_trace(const std::string& path, const TraceRecorder& trace,
-                        Seconds t_end) {
-  return write_file_atomic(path, chrome_trace_json(trace, t_end));
+                        Seconds t_end, const Telemetry* telemetry) {
+  return write_file_atomic(path, chrome_trace_json(trace, t_end, telemetry));
 }
 
 }  // namespace eab::obs

@@ -3,23 +3,28 @@
 // Produces the JSON object format consumed by Perfetto / chrome://tracing:
 // RRC state residency, pipeline stage execution and per-fetch lifetimes
 // render as duration ("X") slices on separate tracks, everything else as
-// instant events with their payloads in args.  Timestamps are simulated
-// microseconds.
+// instant events with their payloads in args.  Running censuses (link
+// flows, active transfers, outstanding fetches) additionally render as
+// Perfetto counter ("C") tracks, as do the series of an optional Telemetry
+// registry.  Timestamps are simulated microseconds.
 #pragma once
 
 #include <string>
 
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
 namespace eab::obs {
 
 /// Serializes the recording; `t_end` closes the final open RRC interval
 /// (pass the end of the simulated window; <= 0 falls back to the last
-/// event's timestamp).
-std::string chrome_trace_json(const TraceRecorder& trace, Seconds t_end = 0);
+/// event's timestamp).  A non-null `telemetry` adds one counter track per
+/// series ("ts:<name>", one point per retained window at its mean).
+std::string chrome_trace_json(const TraceRecorder& trace, Seconds t_end = 0,
+                              const Telemetry* telemetry = nullptr);
 
 /// Writes chrome_trace_json to `path`; returns false on I/O failure.
 bool write_chrome_trace(const std::string& path, const TraceRecorder& trace,
-                        Seconds t_end = 0);
+                        Seconds t_end = 0, const Telemetry* telemetry = nullptr);
 
 }  // namespace eab::obs

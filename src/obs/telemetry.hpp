@@ -1,0 +1,76 @@
+// Simulated-time telemetry: a registry of named fixed-budget TimeSeries
+// (DESIGN.md §11).
+//
+// Telemetry follows the null-sink idiom of TraceRecorder: layers hold a raw
+// `Telemetry*` (null = disabled) and guard every sample with
+// `if (telemetry_)`, so disabled runs execute zero extra instructions and
+// stay bit-identical to a build without telemetry.  Unlike tracing, the
+// sampling tick DOES schedule simulator events — owners (cell::CellSim)
+// schedule it only when telemetry is enabled, and the tick callback never
+// mutates simulation state, so the workload trajectory is unchanged and the
+// only observable delta of an enabled run is the tick events themselves.
+//
+// Series are keyed by name in a sorted map: iteration order, the JSON dump
+// and the binary codec are all deterministic, and the codec round-trips
+// bit-exactly across process boundaries for supervised sweeps.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/timeseries.hpp"
+#include "util/units.hpp"
+
+namespace eab::obs {
+
+struct TelemetryConfig {
+  /// Sampling period in simulated seconds; also the base bucket width of
+  /// every series.  Must be positive.
+  Seconds tick = 5.0;
+  /// Per-series point budget (power-of-two merge downsampling beyond it).
+  std::size_t point_budget = 256;
+  /// Record per-UE series too (cell runs); per-cell series only otherwise.
+  bool per_ue = false;
+
+  bool operator==(const TelemetryConfig&) const = default;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config = {});
+
+  const TelemetryConfig& config() const { return config_; }
+
+  /// Folds one sample into the named series (created on first use with the
+  /// configured tick width and budget).
+  void sample(std::string_view name, Seconds t, double value);
+
+  TimeSeries& series(std::string_view name);
+  const TimeSeries* find(std::string_view name) const;
+  const std::map<std::string, TimeSeries, std::less<>>& all() const {
+    return series_;
+  }
+  std::size_t series_count() const { return series_.size(); }
+
+  /// Index-exact union: series present in both are merge_from()'d, series
+  /// only in `other` are copied.  Configs must match.
+  void merge_from(const Telemetry& other);
+
+  bool same_as(const Telemetry& other) const;
+
+  /// crc32-tailed binary codec; from_bytes throws std::runtime_error on
+  /// truncation, trailing bytes or checksum mismatch.
+  std::string to_bytes() const;
+  static Telemetry from_bytes(std::string_view bytes);
+
+  /// Deterministic JSON object {"tick": ..., "series": {name: series...}}.
+  void append_json(std::string& out) const;
+  std::string to_json() const;
+
+ private:
+  TelemetryConfig config_;
+  std::map<std::string, TimeSeries, std::less<>> series_;
+};
+
+}  // namespace eab::obs

@@ -69,10 +69,10 @@ void RrcMachine::update_power() {
 }
 
 void RrcMachine::cancel_timers() {
-  if (sim_.cancel(t1_event_) && trace_) {
+  if (sim_.cancel(t1_event_) && trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kRrcTimerCancel, 1);
   }
-  if (sim_.cancel(t2_event_) && trace_) {
+  if (sim_.cancel(t2_event_) && trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kRrcTimerCancel, 2);
   }
   t1_event_ = {};
@@ -80,36 +80,36 @@ void RrcMachine::cancel_timers() {
 }
 
 void RrcMachine::arm_t1() {
-  if (sim_.cancel(t1_event_) && trace_) {
+  if (sim_.cancel(t1_event_) && trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kRrcTimerCancel, 1);
   }
   t1_event_ = sim_.schedule_in(config_.t1, [this] {
-    if (trace_) trace_->record(sim_.now(), obs::TraceKind::kRrcTimerFire, 1);
+    if (trace_) [[unlikely]] trace_->record(sim_.now(), obs::TraceKind::kRrcTimerFire, 1);
     enter_state(RrcState::kFach);
     arm_t2();
   });
-  if (trace_) {
+  if (trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kRrcTimerSet, 1, 0,
                    sim_.now() + config_.t1);
   }
 }
 
 void RrcMachine::arm_t2() {
-  if (sim_.cancel(t2_event_) && trace_) {
+  if (sim_.cancel(t2_event_) && trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kRrcTimerCancel, 2);
   }
   t2_event_ = sim_.schedule_in(config_.t2, [this] {
-    if (trace_) trace_->record(sim_.now(), obs::TraceKind::kRrcTimerFire, 2);
+    if (trace_) [[unlikely]] trace_->record(sim_.now(), obs::TraceKind::kRrcTimerFire, 2);
     enter_state(RrcState::kIdle);
   });
-  if (trace_) {
+  if (trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kRrcTimerSet, 2, 0,
                    sim_.now() + config_.t2);
   }
 }
 
 void RrcMachine::enter_state(RrcState next) {
-  if (trace_) {
+  if (trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kRrcStateEnter,
                    static_cast<std::int64_t>(state_),
                    static_cast<std::int64_t>(next));
@@ -122,7 +122,7 @@ void RrcMachine::enter_state(RrcState next) {
 }
 
 void RrcMachine::start_promotion() {
-  if (trace_) {
+  if (trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kRrcPromotionStart,
                    static_cast<std::int64_t>(state_));
   }
@@ -133,7 +133,7 @@ void RrcMachine::start_promotion() {
   const Seconds delay =
       from_idle ? config_.idle_to_dch_delay : config_.fach_to_dch_delay;
   signalling_event_ = sim_.schedule_in(delay, [this, from_idle] {
-    if (trace_) {
+    if (trace_) [[unlikely]] {
       trace_->record(sim_.now(), obs::TraceKind::kRrcPromotionDone,
                      static_cast<std::int64_t>(state_));
     }
@@ -178,7 +178,7 @@ void RrcMachine::begin_transfer() {
     throw std::logic_error("RrcMachine::begin_transfer: not on DCH");
   }
   ++active_transfers_;
-  if (trace_) {
+  if (trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kRrcTransferBegin, 0,
                    active_transfers_);
   }
@@ -191,7 +191,7 @@ void RrcMachine::end_transfer() {
     throw std::logic_error("RrcMachine::end_transfer: no active transfer");
   }
   --active_transfers_;
-  if (trace_) {
+  if (trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kRrcTransferEnd, 0,
                    active_transfers_);
   }
@@ -224,14 +224,14 @@ bool RrcMachine::small_transfer(Bytes bytes, Ready done) {
   if (fach_transfer_active_) return false;  // one shared-channel slot
 
   fach_transfer_active_ = true;
-  if (trace_) {
+  if (trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kRrcSmallTxStart, 0, 0,
                    static_cast<double>(bytes));
   }
   power_.set_power(sim_.now(), power_model_.fach_transfer);
   const Seconds duration = static_cast<double>(bytes) / 300.0;  // common rate
   sim_.schedule_in(duration, [this, done = std::move(done)] {
-    if (trace_) trace_->record(sim_.now(), obs::TraceKind::kRrcSmallTxEnd);
+    if (trace_) [[unlikely]] trace_->record(sim_.now(), obs::TraceKind::kRrcSmallTxEnd);
     fach_transfer_active_ = false;
     ++small_transfers_;
     if (phase_ == RadioPhase::kStable && state_ == RrcState::kFach) {
@@ -247,7 +247,7 @@ bool RrcMachine::force_idle() {
   if (phase_ != RadioPhase::kStable) return false;
   if (state_ == RrcState::kIdle) return false;
   if (active_transfers_ > 0) return false;
-  if (trace_) {
+  if (trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kRrcReleaseStart,
                    static_cast<std::int64_t>(state_));
   }
@@ -256,7 +256,7 @@ bool RrcMachine::force_idle() {
   account_residency();
   update_power();
   signalling_event_ = sim_.schedule_in(config_.release_delay, [this] {
-    if (trace_) trace_->record(sim_.now(), obs::TraceKind::kRrcReleaseDone);
+    if (trace_) [[unlikely]] trace_->record(sim_.now(), obs::TraceKind::kRrcReleaseDone);
     phase_ = RadioPhase::kStable;
     ++forced_releases_;
     enter_state(RrcState::kIdle);

@@ -434,6 +434,69 @@ TEST(EnvParsingDeathTest, MalformedOrchestratorChaosFlagDiesLoudly) {
   unsetenv("EAB_SELF_CHAOS_ORC");
 }
 
+TEST(EnvParsing, TelemetryKnobsHonorWellFormedValues) {
+  setenv("EAB_TELEMETRY", "1", 1);
+  EXPECT_TRUE(bench::telemetry_enabled());
+  setenv("EAB_TELEMETRY", "0", 1);
+  EXPECT_FALSE(bench::telemetry_enabled());
+  unsetenv("EAB_TELEMETRY");
+  EXPECT_FALSE(bench::telemetry_enabled());
+
+  setenv("EAB_TELEMETRY_TICK", "10", 1);
+  EXPECT_EQ(bench::telemetry_tick_from_env(), 10.0);
+  unsetenv("EAB_TELEMETRY_TICK");
+  EXPECT_EQ(bench::telemetry_tick_from_env(), 5.0);
+
+  setenv("EAB_TELEMETRY_BUDGET", "1024", 1);
+  EXPECT_EQ(bench::telemetry_budget_from_env(), 1024u);
+  unsetenv("EAB_TELEMETRY_BUDGET");
+  EXPECT_EQ(bench::telemetry_budget_from_env(), 256u);
+
+  setenv("EAB_PROGRESS", "1", 1);
+  EXPECT_TRUE(bench::progress_enabled());
+  setenv("EAB_PROGRESS", "0", 1);
+  EXPECT_FALSE(bench::progress_enabled());
+  unsetenv("EAB_PROGRESS");
+  EXPECT_FALSE(bench::progress_enabled());
+}
+
+TEST(EnvParsingDeathTest, MalformedTelemetryFlagDiesLoudly) {
+  setenv("EAB_TELEMETRY", "yes", 1);
+  EXPECT_EXIT(bench::telemetry_enabled(), ::testing::ExitedWithCode(2),
+              "EAB_TELEMETRY");
+  unsetenv("EAB_TELEMETRY");
+}
+
+TEST(EnvParsingDeathTest, OutOfRangeTelemetryTickDiesLoudly) {
+  setenv("EAB_TELEMETRY_TICK", "0", 1);
+  EXPECT_EXIT(bench::telemetry_tick_from_env(), ::testing::ExitedWithCode(2),
+              "EAB_TELEMETRY_TICK");
+  setenv("EAB_TELEMETRY_TICK", "86401", 1);
+  EXPECT_EXIT(bench::telemetry_tick_from_env(), ::testing::ExitedWithCode(2),
+              "EAB_TELEMETRY_TICK");
+  setenv("EAB_TELEMETRY_TICK", "5s", 1);
+  EXPECT_EXIT(bench::telemetry_tick_from_env(), ::testing::ExitedWithCode(2),
+              "EAB_TELEMETRY_TICK");
+  unsetenv("EAB_TELEMETRY_TICK");
+}
+
+TEST(EnvParsingDeathTest, OutOfRangeTelemetryBudgetDiesLoudly) {
+  setenv("EAB_TELEMETRY_BUDGET", "1", 1);
+  EXPECT_EXIT(bench::telemetry_budget_from_env(),
+              ::testing::ExitedWithCode(2), "EAB_TELEMETRY_BUDGET");
+  setenv("EAB_TELEMETRY_BUDGET", "1048577", 1);
+  EXPECT_EXIT(bench::telemetry_budget_from_env(),
+              ::testing::ExitedWithCode(2), "EAB_TELEMETRY_BUDGET");
+  unsetenv("EAB_TELEMETRY_BUDGET");
+}
+
+TEST(EnvParsingDeathTest, MalformedProgressFlagDiesLoudly) {
+  setenv("EAB_PROGRESS", "on", 1);
+  EXPECT_EXIT(bench::progress_enabled(), ::testing::ExitedWithCode(2),
+              "EAB_PROGRESS");
+  unsetenv("EAB_PROGRESS");
+}
+
 TEST(Fnv1a, MatchesReferenceVectors) {
   // Published FNV-1a 64-bit test vectors.
   EXPECT_EQ(fnv1a_64(""), 0xCBF29CE484222325ULL);
