@@ -14,9 +14,11 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,7 @@
 #include "corpus/page_spec.hpp"
 #include "obs/audit.hpp"
 #include "obs/chrome_trace.hpp"
+#include "radio/outage.hpp"
 #include "util/fileio.hpp"
 #include "util/table.hpp"
 
@@ -130,6 +133,86 @@ inline bool parse_env_u64(const char* raw, std::uint64_t& out) {
   std::fprintf(stderr, "error: %s=\"%s\" is invalid; expected %s\n", name,
                raw, expected);
   std::exit(2);
+}
+
+/// Strict non-negative decimal parse for environment values — the floating
+/// point sibling of parse_env_u64.  Accepts plain base-10 numbers with an
+/// optional fraction or exponent ("2", "0.75", "1.5e1"); signs, leading
+/// whitespace, trailing garbage, hex floats and non-finite results all fail.
+inline bool parse_env_f64(const char* raw, double& out) {
+  if (raw == nullptr || *raw == '\0') return false;
+  if (!std::isdigit(static_cast<unsigned char>(raw[0]))) return false;
+  if (std::strchr(raw, 'x') != nullptr || std::strchr(raw, 'X') != nullptr) {
+    return false;  // strtod would accept C99 hex floats
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || errno == ERANGE) return false;
+  if (!std::isfinite(value)) return false;
+  out = value;
+  return true;
+}
+
+/// One strictly-parsed floating point knob: unset or empty falls back,
+/// malformed (or non-positive when `positive`) exits 2.
+inline double env_f64_or(const char* name, double fallback, bool positive,
+                         const char* expected) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  double value = 0;
+  if (!parse_env_f64(raw, value) || (positive && value <= 0)) {
+    die_invalid_env(name, raw, expected);
+  }
+  return value;
+}
+
+/// EAB_OUTAGE_COUNT / _START / _PERIOD / _DURATION / _FAIL_RATE / _SEED:
+/// per-UE coverage-outage knobs for the harnesses that honor them
+/// (bench_ext_faults, bench_fig11_capacity --cell).  EAB_OUTAGE_COUNT unset,
+/// empty or 0 disables the radio-failure subsystem entirely — stdout and
+/// every artifact stay byte-identical to a build without it.  Every value is
+/// strictly parsed (exit 2 on anything malformed), and an enabled plan whose
+/// period does not exceed its duration exits 2 too: overlapping coverage
+/// windows are a typo, not a scenario.
+inline radio::OutagePlan outage_plan_from_env() {
+  radio::OutagePlan plan;
+  const char* count_raw = std::getenv("EAB_OUTAGE_COUNT");
+  if (count_raw != nullptr && *count_raw != '\0') {
+    std::uint64_t value = 0;
+    if (!parse_env_u64(count_raw, value) || value > 1000) {
+      die_invalid_env("EAB_OUTAGE_COUNT", count_raw,
+                      "a coverage-window count in [0, 1000]");
+    }
+    plan.count = static_cast<int>(value);
+  }
+  plan.start = env_f64_or("EAB_OUTAGE_START", plan.start, false,
+                          "a start time in seconds");
+  plan.period = env_f64_or("EAB_OUTAGE_PERIOD", plan.period, true,
+                           "a window period in seconds > 0");
+  plan.duration = env_f64_or("EAB_OUTAGE_DURATION", plan.duration, true,
+                             "a window duration in seconds > 0");
+  plan.reestablish_fail_rate =
+      env_f64_or("EAB_OUTAGE_FAIL_RATE", plan.reestablish_fail_rate, false,
+                 "a re-establishment failure rate in [0, 1]");
+  if (plan.reestablish_fail_rate > 1.0) {
+    const char* raw = std::getenv("EAB_OUTAGE_FAIL_RATE");
+    die_invalid_env("EAB_OUTAGE_FAIL_RATE", raw == nullptr ? "" : raw,
+                    "a re-establishment failure rate in [0, 1]");
+  }
+  const char* seed_raw = std::getenv("EAB_OUTAGE_SEED");
+  if (seed_raw != nullptr && *seed_raw != '\0') {
+    if (!parse_env_u64(seed_raw, plan.seed)) {
+      die_invalid_env("EAB_OUTAGE_SEED", seed_raw, "an unsigned decimal seed");
+    }
+  }
+  if (plan.count > 0 && plan.period <= plan.duration) {
+    const char* raw = std::getenv("EAB_OUTAGE_PERIOD");
+    die_invalid_env("EAB_OUTAGE_PERIOD", raw == nullptr ? "" : raw,
+                    "a period exceeding EAB_OUTAGE_DURATION (windows must "
+                    "not overlap)");
+  }
+  return plan;
 }
 
 /// Fault-plan seed for the fault benches: EAB_FAULT_SEED overrides the

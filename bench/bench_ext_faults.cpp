@@ -84,6 +84,61 @@ SweepPoint measure(browser::PipelineMode mode, double rate,
   return point;
 }
 
+/// One row of the coverage-outage sweep (EAB_OUTAGE_*): both pipelines under
+/// the env-provided windows at re-establishment fail rate `fail_rate`.
+struct OutageRow {
+  double fail_rate = 0;
+  SweepPoint orig;
+  SweepPoint ea;
+  double rlf_orig = 0;          ///< mean radio-link failures per load
+  double rlf_ea = 0;
+  double reest_ok_orig = 0;     ///< mean successful re-establishments per load
+  double reest_ok_ea = 0;
+  double reest_fail_orig = 0;   ///< mean failed attempts per load
+  double reest_fail_ea = 0;
+};
+
+OutageRow measure_outage(const radio::OutagePlan& base, double fail_rate,
+                         std::uint64_t seed) {
+  OutageRow row;
+  row.fail_rate = fail_rate;
+  const auto specs = corpus::full_benchmark();
+  for (const bool energy_aware : {false, true}) {
+    const auto mode = energy_aware ? browser::PipelineMode::kEnergyAware
+                                   : browser::PipelineMode::kOriginal;
+    // No per-request faults: the sweep isolates what coverage loss alone
+    // costs each pipeline.
+    auto config = config_at(mode, 0.0, seed);
+    config.outage = base;
+    config.outage.reestablish_fail_rate = fail_rate;
+    const auto results = bench::run_loads(specs, config, 20.0, 1);
+    g_audit_failures += bench::audit_results(
+        results, config,
+        std::string(energy_aware ? "ea" : "orig") + "-outage" +
+            std::to_string(static_cast<int>(fail_rate * 100)));
+    SweepPoint& point = energy_aware ? row.ea : row.orig;
+    double rlf = 0, ok = 0, fail = 0;
+    for (const auto& r : results) {
+      point.energy += r.energy.load_j;
+      point.total_time += r.metrics.total_time();
+      point.retries += r.fetch_retries;
+      point.degraded += r.metrics.degraded_fraction();
+      rlf += r.rlf_count;
+      ok += r.reestablish_ok;
+      fail += r.reestablish_fail;
+    }
+    const auto n = static_cast<double>(results.size());
+    point.energy /= n;
+    point.total_time /= n;
+    point.retries /= n;
+    point.degraded /= n;
+    (energy_aware ? row.rlf_ea : row.rlf_orig) = rlf / n;
+    (energy_aware ? row.reest_ok_ea : row.reest_ok_orig) = ok / n;
+    (energy_aware ? row.reest_fail_ea : row.reest_fail_orig) = fail / n;
+  }
+  return row;
+}
+
 }  // namespace
 
 int main() {
@@ -154,6 +209,37 @@ int main() {
               fade_o_energy, fade_o_time, fade_e_energy, fade_e_time,
               format_percent(bench::saving(fade_o_energy, fade_e_energy)).c_str());
 
+  // Coverage-outage sweep, only when EAB_OUTAGE_COUNT enables the radio
+  // failure subsystem (the default run stays byte-identical without it):
+  // the env-provided windows hit both pipelines at increasing
+  // re-establishment failure rates, so the column shows how each one pays
+  // for RLF detection, out-of-service camping and the retry energy of
+  // re-established fetches.
+  const radio::OutagePlan outage_plan = bench::outage_plan_from_env();
+  std::vector<OutageRow> outage_rows;
+  if (outage_plan.enabled()) {
+    std::printf("\ncoverage outages (x%d, %.1f s every %.1f s, seed %llu):\n",
+                outage_plan.count, outage_plan.duration, outage_plan.period,
+                static_cast<unsigned long long>(outage_plan.seed));
+    TextTable ot({"reest fail", "orig energy", "EA energy", "saving",
+                  "orig load", "EA load", "rlf o/EA", "reest ok o/EA"});
+    for (const double fail_rate : {0.0, 0.25, 0.50}) {
+      const OutageRow row = measure_outage(outage_plan, fail_rate, seed);
+      ot.add_row({format_percent(row.fail_rate),
+                  format_fixed(row.orig.energy, 1) + " J",
+                  format_fixed(row.ea.energy, 1) + " J",
+                  format_percent(bench::saving(row.orig.energy, row.ea.energy)),
+                  format_fixed(row.orig.total_time, 1) + " s",
+                  format_fixed(row.ea.total_time, 1) + " s",
+                  format_fixed(row.rlf_orig, 1) + "/" +
+                      format_fixed(row.rlf_ea, 1),
+                  format_fixed(row.reest_ok_orig, 1) + "/" +
+                      format_fixed(row.reest_ok_ea, 1)});
+      outage_rows.push_back(row);
+    }
+    std::printf("%s", ot.render().c_str());
+  }
+
   std::string json;
   {
     bench::appendf(json, "{\n  \"fault_seed\": %llu,\n  \"sweep\": [\n",
@@ -178,8 +264,42 @@ int main() {
                    "  ],\n"
                    "  \"fades\": {\"original_energy_j\": %.3f, "
                    "\"original_load_s\": %.3f, \"energy_aware_energy_j\": %.3f, "
-                   "\"energy_aware_load_s\": %.3f}\n}\n",
-                   fade_o_energy, fade_o_time, fade_e_energy, fade_e_time);
+                   "\"energy_aware_load_s\": %.3f}%s\n",
+                   fade_o_energy, fade_o_time, fade_e_energy, fade_e_time,
+                   outage_rows.empty() ? "" : ",");
+    if (!outage_rows.empty()) {
+      // Present only when the EAB_OUTAGE_* sweep ran, so the default
+      // artifact stays byte-identical.
+      bench::appendf(
+          json,
+          "  \"outage\": {\"count\": %d, \"start_s\": %.3f, "
+          "\"period_s\": %.3f, \"duration_s\": %.3f, \"seed\": %llu, "
+          "\"sweep\": [\n",
+          outage_plan.count, outage_plan.start, outage_plan.period,
+          outage_plan.duration,
+          static_cast<unsigned long long>(outage_plan.seed));
+      for (std::size_t i = 0; i < outage_rows.size(); ++i) {
+        const OutageRow& row = outage_rows[i];
+        bench::appendf(
+            json,
+            "    {\"reestablish_fail_rate\": %.2f,\n"
+            "     \"original\": {\"energy_j\": %.3f, \"load_s\": %.3f, "
+            "\"rlf\": %.2f, \"reestablish_ok\": %.2f, "
+            "\"reestablish_fail\": %.2f, \"degraded\": %.4f},\n"
+            "     \"energy_aware\": {\"energy_j\": %.3f, \"load_s\": %.3f, "
+            "\"rlf\": %.2f, \"reestablish_ok\": %.2f, "
+            "\"reestablish_fail\": %.2f, \"degraded\": %.4f},\n"
+            "     \"energy_saving\": %.4f}%s\n",
+            row.fail_rate, row.orig.energy, row.orig.total_time, row.rlf_orig,
+            row.reest_ok_orig, row.reest_fail_orig, row.orig.degraded,
+            row.ea.energy, row.ea.total_time, row.rlf_ea, row.reest_ok_ea,
+            row.reest_fail_ea, row.ea.degraded,
+            bench::saving(row.orig.energy, row.ea.energy),
+            i + 1 < outage_rows.size() ? "," : "");
+      }
+      bench::appendf(json, "  ]}\n");
+    }
+    bench::appendf(json, "}\n");
   }
   bench::write_artifact("BENCH_faults.json", json);
   bench::write_metrics_snapshot("faults");

@@ -105,6 +105,13 @@ struct CellBenchParams {
   int step = 4;
   std::uint64_t seed = 1;
   double target = 0.05;  // 5 % dropping service level
+  // Radio-failure knobs, both disabled by default (EAB_OUTAGE_* for the
+  // per-UE coverage process, EAB_CELL_OUTAGE_* for whole-cell blackouts).
+  radio::OutagePlan ue_outage;
+  int cell_outage_count = 0;
+  Seconds cell_outage_start = 60.0;
+  Seconds cell_outage_period = 120.0;
+  Seconds cell_outage_duration = 5.0;
 };
 
 std::uint64_t cell_env_u64(const char* name, std::uint64_t fallback) {
@@ -120,7 +127,7 @@ std::uint64_t cell_env_u64(const char* name, std::uint64_t fallback) {
 cell::CellConfig cell_config(browser::PipelineMode mode,
                              const CellBenchParams& params) {
   cell::CellConfig config;
-  config.per_ue = core::ScenarioBuilder(mode).build();
+  config.per_ue = core::ScenarioBuilder(mode).outage(params.ue_outage).build();
   config.specs = corpus::mobile_benchmark();
   config.channels = params.channels;
   config.horizon = params.horizon;
@@ -128,6 +135,10 @@ cell::CellConfig cell_config(browser::PipelineMode mode,
   config.sim_shards = g_cell_shards;
   config.telemetry_tick = g_telemetry_tick;
   config.telemetry_budget = g_telemetry_budget;
+  config.cell_outage_count = params.cell_outage_count;
+  config.cell_outage_start = params.cell_outage_start;
+  config.cell_outage_period = params.cell_outage_period;
+  config.cell_outage_duration = params.cell_outage_duration;
   return config;
 }
 
@@ -165,6 +176,35 @@ int run_cell_mode() {
   g_telemetry_budget = bench::telemetry_budget_from_env();
   const Seconds telemetry_tick = bench::telemetry_tick_from_env();
   if (bench::telemetry_enabled()) g_telemetry_tick = telemetry_tick;
+  // Radio-failure knobs: EAB_OUTAGE_* drives each UE's own coverage process,
+  // EAB_CELL_OUTAGE_* schedules whole-cell blackouts.  Both default off; any
+  // default combination keeps stdout and every artifact byte-identical.
+  params.ue_outage = bench::outage_plan_from_env();
+  const std::uint64_t cell_outages = cell_env_u64("EAB_CELL_OUTAGE_COUNT", 0);
+  if (cell_outages > 1000) {
+    bench::die_invalid_env("EAB_CELL_OUTAGE_COUNT",
+                           std::getenv("EAB_CELL_OUTAGE_COUNT"),
+                           "a blackout count in [0, 1000]");
+  }
+  params.cell_outage_count = static_cast<int>(cell_outages);
+  params.cell_outage_start =
+      bench::env_f64_or("EAB_CELL_OUTAGE_START", params.cell_outage_start,
+                        false, "a start time in seconds");
+  params.cell_outage_period =
+      bench::env_f64_or("EAB_CELL_OUTAGE_PERIOD", params.cell_outage_period,
+                        true, "a blackout period in seconds > 0");
+  params.cell_outage_duration =
+      bench::env_f64_or("EAB_CELL_OUTAGE_DURATION", params.cell_outage_duration,
+                        true, "a blackout duration in seconds > 0");
+  if (params.cell_outage_count > 0 &&
+      params.cell_outage_period <= params.cell_outage_duration) {
+    const char* raw = std::getenv("EAB_CELL_OUTAGE_PERIOD");
+    bench::die_invalid_env("EAB_CELL_OUTAGE_PERIOD", raw == nullptr ? "" : raw,
+                           "a period exceeding EAB_CELL_OUTAGE_DURATION "
+                           "(blackouts must not overlap)");
+  }
+  const bool outages_on =
+      params.ue_outage.enabled() || params.cell_outage_count > 0;
 
   std::vector<int> users_axis;
   for (int users = std::min(params.step, params.max_users);
@@ -185,6 +225,20 @@ int run_cell_mode() {
   if (g_telemetry_tick > 0) {  // likewise: silent unless sampling is on
     std::printf("cell: telemetry tick %.0f s, budget %zu points\n",
                 g_telemetry_tick, g_telemetry_budget);
+  }
+  if (params.ue_outage.enabled()) {  // silent when the radio stays healthy
+    std::printf("cell: per-UE outages x%d, start %.2f s, period %.2f s, "
+                "duration %.2f s, reestablish fail rate %.2f, seed %llu\n",
+                params.ue_outage.count, params.ue_outage.start,
+                params.ue_outage.period, params.ue_outage.duration,
+                params.ue_outage.reestablish_fail_rate,
+                static_cast<unsigned long long>(params.ue_outage.seed));
+  }
+  if (params.cell_outage_count > 0) {
+    std::printf("cell: whole-cell blackouts x%d, start %.2f s, period %.2f s, "
+                "duration %.2f s\n",
+                params.cell_outage_count, params.cell_outage_start,
+                params.cell_outage_period, params.cell_outage_duration);
   }
 
   // The co-simulated curves.  Default: the users-axis sweep shards across
@@ -209,6 +263,21 @@ int run_cell_mode() {
       // exact pre-telemetry fingerprint, so its journals stay resumable.
       bench::appendf(fingerprint, " telemetry_tick=%.17g telemetry_budget=%zu",
                      g_telemetry_tick, g_telemetry_budget);
+    }
+    if (params.ue_outage.enabled()) {
+      // Same convention as telemetry: an outage-off run keeps the exact
+      // pre-outage fingerprint, so existing journals stay resumable.
+      bench::appendf(fingerprint,
+                     " ue_outage=%d:%.17g:%.17g:%.17g:%.17g:%llu",
+                     params.ue_outage.count, params.ue_outage.start,
+                     params.ue_outage.period, params.ue_outage.duration,
+                     params.ue_outage.reestablish_fail_rate,
+                     static_cast<unsigned long long>(params.ue_outage.seed));
+    }
+    if (params.cell_outage_count > 0) {
+      bench::appendf(fingerprint, " cell_outage=%d:%.17g:%.17g:%.17g",
+                     params.cell_outage_count, params.cell_outage_start,
+                     params.cell_outage_period, params.cell_outage_duration);
     }
     for (const int users : users_axis) {
       bench::appendf(fingerprint, " u%d", users);
@@ -296,6 +365,27 @@ int run_cell_mode() {
               "energy-aware %.1f users -> +%.1f%%\n",
               params.target * 100, cap_orig, cap_ea,
               cap_orig > 0 ? 100.0 * (cap_ea - cap_orig) / cap_orig : 0.0);
+  if (outages_on) {  // silent when the radio stays healthy
+    std::uint64_t rlf_o = 0, rlf_e = 0, ok_o = 0, ok_e = 0, fail_o = 0,
+                  fail_e = 0;
+    for (std::size_t i = 0; i < users_axis.size(); ++i) {
+      rlf_o += orig_results[i].rlf;
+      rlf_e += ea_results[i].rlf;
+      ok_o += orig_results[i].reestablish_ok;
+      ok_e += ea_results[i].reestablish_ok;
+      fail_o += orig_results[i].reestablish_fail;
+      fail_e += ea_results[i].reestablish_fail;
+    }
+    std::printf("cell radio failures: original rlf %llu reestablish %llu/%llu"
+                " ok/fail, energy-aware rlf %llu reestablish %llu/%llu"
+                " ok/fail\n",
+                static_cast<unsigned long long>(rlf_o),
+                static_cast<unsigned long long>(ok_o),
+                static_cast<unsigned long long>(fail_o),
+                static_cast<unsigned long long>(rlf_e),
+                static_cast<unsigned long long>(ok_e),
+                static_cast<unsigned long long>(fail_e));
+  }
 
   std::string json;
   bench::appendf(json,
@@ -318,14 +408,33 @@ int run_cell_mode() {
         " \"offered_original\": %llu, \"offered_energy_aware\": %llu,"
         " \"mean_busy_original\": %.17g, \"mean_busy_energy_aware\": %.17g,"
         " \"mean_ue_energy_original_j\": %.17g,"
-        " \"mean_ue_energy_energy_aware_j\": %.17g}%s\n",
+        " \"mean_ue_energy_energy_aware_j\": %.17g",
         users_axis[i], orig_results[i].drop_probability(),
         ea_results[i].drop_probability(),
         static_cast<unsigned long long>(orig_results[i].offered),
         static_cast<unsigned long long>(ea_results[i].offered),
         orig_results[i].mean_busy_grants, ea_results[i].mean_busy_grants,
-        mean_ue_energy(orig_results[i]), mean_ue_energy(ea_results[i]),
-        i + 1 < users_axis.size() ? "," : "");
+        mean_ue_energy(orig_results[i]), mean_ue_energy(ea_results[i]));
+    if (outages_on) {
+      // Radio-failure accounting rides along only when an outage knob is
+      // set, so the default artifact stays byte-identical.
+      bench::appendf(
+          json,
+          ", \"rlf_original\": %llu, \"rlf_energy_aware\": %llu,"
+          " \"reestablish_ok_original\": %llu,"
+          " \"reestablish_ok_energy_aware\": %llu,"
+          " \"reestablish_fail_original\": %llu,"
+          " \"reestablish_fail_energy_aware\": %llu,"
+          " \"cell_outages\": %llu",
+          static_cast<unsigned long long>(orig_results[i].rlf),
+          static_cast<unsigned long long>(ea_results[i].rlf),
+          static_cast<unsigned long long>(orig_results[i].reestablish_ok),
+          static_cast<unsigned long long>(ea_results[i].reestablish_ok),
+          static_cast<unsigned long long>(orig_results[i].reestablish_fail),
+          static_cast<unsigned long long>(ea_results[i].reestablish_fail),
+          static_cast<unsigned long long>(orig_results[i].cell_outages));
+    }
+    bench::appendf(json, "}%s\n", i + 1 < users_axis.size() ? "," : "");
   }
   bench::appendf(json, "  ]\n}\n");
   bench::write_artifact("BENCH_cell.json", json);

@@ -4,9 +4,12 @@
 // Chrome-trace JSON.  Exits 1 if any audit invariant is violated, so it
 // doubles as a one-shot smoke check of the instrumentation.
 //
-// Usage: trace_inspect [mobile] [--faults] [--json FILE] [--timeseries]
+// Usage: trace_inspect [mobile] [--faults] [--outage] [--json FILE]
+//        [--timeseries]
 //   mobile       use the m.cnn.com spec instead of espn.go.com/sports
 //   --faults     inject the 20 % composite fault mix (retry/timeout events)
+//   --outage     drop radio coverage mid-load (RLF, OUT_OF_SERVICE camping
+//                and re-establishment attempts appear on the RRC track)
 //   --json FILE  write the Chrome-trace export to FILE
 //   --timeseries rebuild the load as obs::Telemetry series (total power,
 //                link flows, outstanding fetches), print ASCII sparklines
@@ -22,6 +25,7 @@
 #include "obs/audit.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/telemetry.hpp"
+#include "radio/outage.hpp"
 #include "radio/rrc_config.hpp"
 
 namespace {
@@ -53,12 +57,14 @@ int main(int argc, char** argv) {
   using namespace eab;
   bool mobile = false;
   bool faults = false;
+  bool outage = false;
   bool timeseries = false;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "mobile") mobile = true;
     if (arg == "--faults") faults = true;
+    if (arg == "--outage") outage = true;
     if (arg == "--timeseries") timeseries = true;
     if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
   }
@@ -80,6 +86,16 @@ int main(int argc, char** argv) {
     retry.backoff_initial = 0.5;
     retry.backoff_factor = 2.0;
     builder.fault_plan(plan).retry(retry);
+  }
+  if (outage) {
+    radio::OutagePlan plan;
+    plan.seed = 20130707;
+    plan.count = 2;
+    plan.start = 1.0;
+    plan.period = 6.0;
+    plan.duration = 1.5;
+    plan.reestablish_fail_rate = 0.5;
+    builder.outage(plan);
   }
 
   const auto r = builder.build().run_single(page);
@@ -105,6 +121,57 @@ int main(int argc, char** argv) {
     std::printf("  %-5s %8.3f - %8.3f  (%.3f s)\n",
                 radio::to_string(static_cast<radio::RrcState>(span.tag)),
                 span.begin, span.end, span.duration());
+  }
+
+  // Radio-failure timeline: coverage holes, RLFs and re-establishment
+  // attempts, printed only when the recording holds any (i.e. --outage or a
+  // chaos replay); a healthy-radio run's output is unchanged.
+  bool any_radio = false;
+  for (const auto& event : trace.events()) {
+    switch (event.kind) {
+      case obs::TraceKind::kRadioCoverageLost:
+      case obs::TraceKind::kRadioCoverageBack:
+      case obs::TraceKind::kRrcRlf:
+      case obs::TraceKind::kRrcReestablishStart:
+      case obs::TraceKind::kRrcReestablishOk:
+      case obs::TraceKind::kRrcReestablishFail:
+        any_radio = true;
+        break;
+      default:
+        break;
+    }
+  }
+  if (any_radio) {
+    std::printf("\nradio failures:\n");
+    for (const auto& event : trace.events()) {
+      switch (event.kind) {
+        case obs::TraceKind::kRadioCoverageLost:
+          std::printf("  %8.3f  coverage lost\n", event.t);
+          break;
+        case obs::TraceKind::kRadioCoverageBack:
+          std::printf("  %8.3f  coverage back\n", event.t);
+          break;
+        case obs::TraceKind::kRrcRlf:
+          std::printf("  %8.3f  radio link failure (was %s)\n", event.t,
+                      radio::to_string(
+                          static_cast<radio::RrcState>(event.a)));
+          break;
+        case obs::TraceKind::kRrcReestablishStart:
+          std::printf("  %8.3f  re-establish attempt %lld\n", event.t,
+                      static_cast<long long>(event.a));
+          break;
+        case obs::TraceKind::kRrcReestablishOk:
+          std::printf("  %8.3f  re-establish ok (attempt %lld)\n", event.t,
+                      static_cast<long long>(event.a));
+          break;
+        case obs::TraceKind::kRrcReestablishFail:
+          std::printf("  %8.3f  re-establish failed (attempt %lld)\n",
+                      event.t, static_cast<long long>(event.a));
+          break;
+        default:
+          break;
+      }
+    }
   }
 
   // Per-fetch table from the settled events.

@@ -60,6 +60,41 @@ EAB_CELL_CHAOS_SEEDS=16 ./build-asan/tests/cell_test \
 (cd build/bench && EAB_CELL_USERS=8 EAB_CELL_SEED=3 ./bench_fig11_capacity --cell > /dev/null)
 echo "cell checks passed"
 
+echo "== radio failure: RLF/outage boundary sweep + null-path bytes =="
+# The degraded-radio contract (DESIGN.md "Radio failure model"): coverage
+# holes at every RRC state and fetch-settle boundary must tear down cleanly
+# (no leaked flows/markers, audited traces) — run under ASan because RLF
+# cancels in-flight signalling and settles fetches from a failing state.
+cmake --build build-asan -j "$JOBS" \
+  --target radio_outage_boundary_test --target radio_rrc_test
+./build-asan/tests/radio_outage_boundary_test
+./build-asan/tests/radio_rrc_test
+# Trimmed cell outage sweep under ASan: serial == sharded == supervised with
+# per-UE fades and whole-cell blackouts active.
+EAB_CELL_OUTAGE_SEEDS=8 ./build-asan/tests/cell_test \
+  --gtest_filter='CellTest.OutageSweepSerialShardedSupervisedBitIdentical'
+# Null path: with the outage knobs explicitly set to their disabled values,
+# the --cell bench must emit byte-identical stdout and artifacts to a run
+# that never mentions them.
+radio=build/bench/radio_null
+rm -rf "$radio"
+mkdir -p "$radio"
+radio_env="EAB_CELL_USERS=8 EAB_CELL_SEED=3"
+(cd build/bench && env $radio_env ./bench_fig11_capacity --cell \
+  > radio_null/ref_stdout.txt)
+cp build/bench/BENCH_cell.json "$radio/ref_cell.json"
+cp build/bench/BENCH_cell.metrics.json "$radio/ref_cell.metrics.json"
+(cd build/bench && env $radio_env EAB_OUTAGE_COUNT=0 EAB_CELL_OUTAGE_COUNT=0 \
+  ./bench_fig11_capacity --cell > radio_null/off_stdout.txt)
+cmp "$radio/ref_stdout.txt" "$radio/off_stdout.txt"
+cmp "$radio/ref_cell.json" build/bench/BENCH_cell.json
+cmp "$radio/ref_cell.metrics.json" build/bench/BENCH_cell.metrics.json
+# Enabled path end-to-end: the ext_faults outage sweep (both pipelines, three
+# re-establishment failure rates) with every load traced and audited.
+(cd build/bench && EAB_TRACE=1 EAB_OUTAGE_COUNT=2 EAB_OUTAGE_START=1 \
+  EAB_OUTAGE_PERIOD=6 EAB_OUTAGE_DURATION=1.5 ./bench_ext_faults > /dev/null)
+echo "radio failure checks passed"
+
 echo "== supervision: crash-recovery soak =="
 # The bit-identity contract end-to-end: a supervised --cell sweep whose
 # workers AND orchestrator are SIGKILLed at seed-derived points must, after

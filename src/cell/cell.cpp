@@ -15,6 +15,7 @@
 #include "net/cache.hpp"
 #include "net/fault.hpp"
 #include "net/http_client.hpp"
+#include "net/outage.hpp"
 #include "net/shared_link.hpp"
 #include "net/web_server.hpp"
 #include "radio/rrc.hpp"
@@ -41,6 +42,7 @@ namespace {
 constexpr std::uint64_t kArrivalStream = 0x00A1'55EE'0000'0001ULL;
 constexpr std::uint64_t kFaultStream = 0x00A1'55EE'0000'0002ULL;
 constexpr std::uint64_t kGeneratorStream = 0x00A1'55EE'0000'0003ULL;
+constexpr std::uint64_t kOutageStream = 0x00A1'55EE'0000'0004ULL;
 
 /// Proportional-fair reference volume: a UE that has already pulled this
 /// many bytes weighs half of a fresh one.
@@ -89,6 +91,27 @@ void validate(const CellConfig& config) {
   if (config.telemetry_tick > 0 && config.telemetry_budget < 2) {
     throw std::invalid_argument("run_cell: telemetry_budget must be >= 2");
   }
+  if (config.cell_outage_count < 0) {
+    throw std::invalid_argument("run_cell: cell_outage_count must be >= 0");
+  }
+  if (config.cell_outage_count > 0) {
+    if (!(config.cell_outage_start >= 0) ||
+        !std::isfinite(config.cell_outage_start)) {
+      throw std::invalid_argument(
+          "run_cell: cell_outage_start must be >= 0 and finite");
+    }
+    if (!(config.cell_outage_duration > 0) ||
+        !std::isfinite(config.cell_outage_duration)) {
+      throw std::invalid_argument(
+          "run_cell: cell_outage_duration must be > 0 and finite");
+    }
+    if (!(config.cell_outage_period > config.cell_outage_duration) ||
+        !std::isfinite(config.cell_outage_period)) {
+      throw std::invalid_argument(
+          "run_cell: cell_outage_period must exceed cell_outage_duration "
+          "(windows must not overlap) and be finite");
+    }
+  }
 }
 
 class CellSim {
@@ -98,7 +121,9 @@ class CellSim {
         per_ue_rate_(config.per_ue.stack.link.dch_bandwidth),
         cell_rate_(config.cell_bandwidth > 0
                        ? config.cell_bandwidth
-                       : config.channels * per_ue_rate_) {
+                       : config.channels * per_ue_rate_),
+        outage_enabled_(config.per_ue.stack.outage.enabled() ||
+                        config.cell_outage_count > 0) {
     sim_.set_event_budget(config.sim_event_budget);
     sim_.set_shard_count(config.sim_shards);
     if (config.telemetry_tick > 0) {
@@ -120,6 +145,18 @@ class CellSim {
       ues_.push_back(std::make_unique<Ue>(sim_, config_, id));
       wire(*ues_.back());
     }
+    if (config.cell_outage_count > 0) {
+      // Whole-cell events touch every UE, so they live on shard 0 like the
+      // telemetry tick; the merged fire order is shard-count-invariant.
+      sim_.set_schedule_shard(0);
+      for (int i = 0; i < config.cell_outage_count; ++i) {
+        const Seconds begin =
+            config.cell_outage_start + i * config.cell_outage_period;
+        sim_.schedule_at(begin, [this] { cell_outage_begin(); });
+        sim_.schedule_at(begin + config.cell_outage_duration,
+                         [this] { cell_outage_end(); });
+      }
+    }
   }
 
   CellResult run();
@@ -138,6 +175,7 @@ class CellSim {
     net::WebServer server;
     corpus::PageGenerator generator;
     std::optional<net::FaultInjector> faults;
+    std::optional<net::OutageInjector> outage;
     std::optional<net::ResourceCache> cache;
     std::vector<std::string> hosted_urls;  ///< per spec index, "" = unhosted
     std::unique_ptr<net::HttpClient> client;
@@ -168,6 +206,18 @@ class CellSim {
       plan.seed = derive_seed(ue.seed, kFaultStream);
       ue.faults.emplace(sim_, ue.link, plan);
     }
+    if (outage_enabled_) {
+      // A disabled per-UE plan still gets an injector when whole-cell
+      // outages are on: it schedules no windows of its own and exists so
+      // cell_outage_begin/end can drive coverage (and so the plan's
+      // reestablish_fail_rate applies to cell-driven re-establishment too).
+      radio::OutagePlan plan = stack.outage;
+      plan.seed = derive_seed(ue.seed, kOutageStream);
+      ue.outage.emplace(sim_, ue.link, ue.rrc, plan, ue.id);
+      ue.rrc.set_on_rlf([&ue] {
+        if (ue.client) ue.client->on_radio_lost();
+      });
+    }
     if (stack.use_browser_cache) {
       ue.cache.emplace(stack.browser_cache_bytes);
       if (stack.chaos.cache_storm_count > 0) {
@@ -187,6 +237,7 @@ class CellSim {
       ue.link.set_trace(ue.trace.get());
       ue.ril.set_trace(ue.trace.get());
       if (ue.faults) ue.faults->set_trace(ue.trace.get());
+      if (ue.outage) ue.outage->set_trace(ue.trace.get());
     }
     const int id = ue.id;
     ue.rrc.set_on_state_change([this, id](radio::RrcState from,
@@ -216,8 +267,10 @@ class CellSim {
 
   /// Admission check at session arrival.  A UE still holding a grant from
   /// its previous session (Original-pipeline tail across a short think
-  /// time) is admitted on that grant.
+  /// time) is admitted on that grant — unless the whole cell is down, which
+  /// blocks even grant holders (their grants are mid-drain via RLF).
   bool try_admit(int id) {
+    if (cell_down_) return false;
     if (grant_[id] != Grant::kFree) return true;
     if (busy_ >= config_.channels) return false;
     grant_[id] = Grant::kReserved;
@@ -258,6 +311,32 @@ class CellSim {
     grant_[id] = Grant::kFree;
     --busy_;
     note_busy();
+  }
+
+  // --- whole-cell outages -------------------------------------------------
+
+  /// The cell goes dark: every UE loses coverage at once.  Grants are not
+  /// freed here — each holder drains through its own RLF detection
+  /// (T313-style) into OUT_OF_SERVICE, whose DCH-exit hook frees the grant;
+  /// admission is blocked for the whole window via cell_down_.
+  void cell_outage_begin() {
+    cell_down_ = true;
+    ++cell_outages_;
+    if (telemetry_) {
+      telemetry_->sample("cell.down", sim_.now(), 1.0);
+    }
+    for (auto& ue : ues_) ue->outage->coverage_lost();
+  }
+
+  /// Coverage returns: every RLF'd UE starts re-establishment (bounded
+  /// attempts with backoff), idle campers re-camp silently, and admission
+  /// re-ramps as re-established holders re-acquire grants.
+  void cell_outage_end() {
+    cell_down_ = false;
+    if (telemetry_) {
+      telemetry_->sample("cell.down", sim_.now(), 0.0);
+    }
+    for (auto& ue : ues_) ue->outage->coverage_restored();
   }
 
   // --- bandwidth sharing --------------------------------------------------
@@ -409,6 +488,9 @@ class CellSim {
 
   std::vector<Grant> grant_;
   std::vector<Seconds> hold_start_;
+  const bool outage_enabled_;      ///< any outage knob on (per-UE or cell)
+  bool cell_down_ = false;         ///< inside a whole-cell outage window
+  std::uint64_t cell_outages_ = 0;
   int busy_ = 0;
   int peak_busy_ = 0;
   std::uint64_t overcommits_ = 0;
@@ -429,11 +511,12 @@ class CellSim {
   /// the simulation state: the workload trajectory is unchanged.
   void sample_gauges(Seconds t) {
     const radio::RadioPowerModel& power = config_.per_ue.stack.power;
-    int idle = 0, fach = 0, dch = 0;
+    int idle = 0, fach = 0, dch = 0, oos = 0;
     double radio_w = 0, flows = 0, link_bps = 0;
-    double energy_idle = 0, energy_fach = 0, energy_dch = 0;
+    double energy_idle = 0, energy_fach = 0, energy_dch = 0, energy_oos = 0;
     std::uint64_t in_flight = 0, queued = 0, retries = retired_retries_;
     std::uint64_t offered = 0, dropped = 0, aborted = 0;
+    std::uint64_t rlf = 0, reestablish_ok = 0, reestablish_fail = 0;
     for (const auto& owner : ues_) {
       const Ue& ue = *owner;
       const radio::RrcState state = ue.rrc.state();
@@ -441,6 +524,7 @@ class CellSim {
         case radio::RrcState::kIdle: ++idle; break;
         case radio::RrcState::kFach: ++fach; break;
         case radio::RrcState::kDch: ++dch; break;
+        case radio::RrcState::kOutOfService: ++oos; break;
       }
       radio_w += ue.rrc.power().current_power();
       // Residency-derived cumulative energy at the nominal per-state dwell
@@ -450,6 +534,14 @@ class CellSim {
       energy_fach += ue.rrc.time_in(radio::RrcState::kFach) * power.fach;
       energy_dch +=
           ue.rrc.time_in(radio::RrcState::kDch) * power.dch_no_transfer;
+      if (outage_enabled_) {
+        energy_oos += ue.rrc.time_in(radio::RrcState::kOutOfService) *
+                      power.out_of_service;
+        rlf += static_cast<std::uint64_t>(ue.rrc.rlf_count());
+        reestablish_ok += static_cast<std::uint64_t>(ue.rrc.reestablish_ok());
+        reestablish_fail +=
+            static_cast<std::uint64_t>(ue.rrc.reestablish_fail());
+      }
       const std::size_t ue_flows = ue.link.active_flows();
       flows += static_cast<double>(ue_flows);
       if (ue_flows > 0 && !ue.link.paused()) link_bps += ue.link.capacity();
@@ -491,6 +583,17 @@ class CellSim {
     telemetry_->sample("cell.dropped", t, static_cast<double>(dropped));
     telemetry_->sample("cell.aborted", t, static_cast<double>(aborted));
     telemetry_->sample("cell.retries", t, static_cast<double>(retries));
+    // Registered only when an outage knob is on: a disabled run's telemetry
+    // blob stays byte-identical to a build without the radio failure model.
+    if (outage_enabled_) {
+      telemetry_->sample("cell.rrc_oos", t, oos);
+      telemetry_->sample("cell.energy_oos_j", t, energy_oos);
+      telemetry_->sample("cell.rlf", t, static_cast<double>(rlf));
+      telemetry_->sample("cell.reestablish_ok", t,
+                         static_cast<double>(reestablish_ok));
+      telemetry_->sample("cell.reestablish_fail", t,
+                         static_cast<double>(reestablish_fail));
+    }
   }
 
   /// Self-rescheduling sampling tick.  The chain ends one tick after the
@@ -559,6 +662,18 @@ CellResult CellSim::run() {
         PowerTimeline::sum(ue->rrc.power(), ue->cpu.power()), ue->rrc.power(),
         end, end);
     ue->stats.trace = ue->trace;
+    ue->stats.radio_outages = ue->outage ? ue->outage->outages_started() : 0;
+    ue->stats.rlf = ue->rrc.rlf_count();
+    ue->stats.reestablish_ok = ue->rrc.reestablish_ok();
+    ue->stats.reestablish_fail = ue->rrc.reestablish_fail();
+    ue->stats.out_of_service_time =
+        ue->rrc.time_in(radio::RrcState::kOutOfService);
+    result.radio_outages += static_cast<std::uint64_t>(ue->stats.radio_outages);
+    result.rlf += static_cast<std::uint64_t>(ue->stats.rlf);
+    result.reestablish_ok +=
+        static_cast<std::uint64_t>(ue->stats.reestablish_ok);
+    result.reestablish_fail +=
+        static_cast<std::uint64_t>(ue->stats.reestablish_fail);
     result.offered += static_cast<std::uint64_t>(ue->stats.offered);
     result.dropped += static_cast<std::uint64_t>(ue->stats.dropped);
     result.completed += static_cast<std::uint64_t>(ue->stats.completed);
@@ -582,6 +697,19 @@ CellResult CellSim::run() {
   result.metrics.set_max("cell.users", static_cast<double>(config_.users));
   result.metrics.observe("cell.mean_busy_grants", result.mean_busy_grants);
   result.metrics.observe("cell.drop_probability", result.drop_probability());
+  result.cell_outages = cell_outages_;
+  // Registered only when an outage knob is on, so a disabled run's metrics
+  // snapshot is byte-identical to a build without the radio failure model.
+  if (outage_enabled_) {
+    result.metrics.count("cell.outages", static_cast<double>(cell_outages_));
+    result.metrics.count("cell.radio_outages",
+                         static_cast<double>(result.radio_outages));
+    result.metrics.count("cell.rlf", static_cast<double>(result.rlf));
+    result.metrics.count("cell.reestablish_ok",
+                         static_cast<double>(result.reestablish_ok));
+    result.metrics.count("cell.reestablish_fail",
+                         static_cast<double>(result.reestablish_fail));
+  }
   result.telemetry = telemetry_result_;
   return result;
 }
@@ -596,8 +724,9 @@ CellResult run_cell(const CellConfig& config) {
 
 namespace {
 
-// v2 appends the optional telemetry blob after the metrics registry.
-constexpr std::uint32_t kCellResultVersion = 2;
+// v2 appends the optional telemetry blob after the metrics registry; v3
+// adds the radio-failure accounting (cell aggregates + per-UE fields).
+constexpr std::uint32_t kCellResultVersion = 3;
 
 void write_energy(BinaryWriter& w, const core::EnergyReport& energy) {
   w.f64(energy.load_j);
@@ -635,6 +764,11 @@ std::string serialize_cell_result(const CellResult& result) {
   w.u64(result.completed);
   w.u64(result.aborted);
   w.u64(result.grant_overcommits);
+  w.u64(result.radio_outages);
+  w.u64(result.rlf);
+  w.u64(result.reestablish_ok);
+  w.u64(result.reestablish_fail);
+  w.u64(result.cell_outages);
   w.f64(result.mean_busy_grants);
   w.i32(result.peak_busy_grants);
   w.f64(result.mean_grant_hold);
@@ -650,6 +784,11 @@ std::string serialize_cell_result(const CellResult& result) {
     w.i32(ue.aborted);
     w.f64(ue.total_load_time);
     w.f64(ue.total_service_time);
+    w.i32(ue.radio_outages);
+    w.i32(ue.rlf);
+    w.i32(ue.reestablish_ok);
+    w.i32(ue.reestablish_fail);
+    w.f64(ue.out_of_service_time);
     write_energy(w, ue.energy);
   }
   w.str(result.metrics.to_bytes());
@@ -676,6 +815,11 @@ CellResult deserialize_cell_result(std::string_view bytes) {
   result.completed = r.u64();
   result.aborted = r.u64();
   result.grant_overcommits = r.u64();
+  result.radio_outages = r.u64();
+  result.rlf = r.u64();
+  result.reestablish_ok = r.u64();
+  result.reestablish_fail = r.u64();
+  result.cell_outages = r.u64();
   result.mean_busy_grants = r.f64();
   result.peak_busy_grants = r.i32();
   result.mean_grant_hold = r.f64();
@@ -693,6 +837,11 @@ CellResult deserialize_cell_result(std::string_view bytes) {
     ue.aborted = r.i32();
     ue.total_load_time = r.f64();
     ue.total_service_time = r.f64();
+    ue.radio_outages = r.i32();
+    ue.rlf = r.i32();
+    ue.reestablish_ok = r.i32();
+    ue.reestablish_fail = r.i32();
+    ue.out_of_service_time = r.f64();
     ue.energy = read_energy(r);
     result.per_ue.push_back(std::move(ue));
   }

@@ -89,6 +89,20 @@ struct CellConfig {
   /// Fraction of admitted sessions the user abandons mid-load (chaos atom;
   /// 0 = never).  Abort offset is uniform in [0.5, 10] s after start.
   double abort_rate = 0.0;
+  /// Whole-cell coverage outages (robustness extension): `cell_outage_count`
+  /// windows of `cell_outage_duration` seconds, the first beginning at
+  /// `cell_outage_start` and subsequent ones `cell_outage_period` apart.
+  /// While the cell is down every UE loses coverage simultaneously — the
+  /// grant pool drains as radio-link failure demotes the holders into
+  /// OUT_OF_SERVICE — and arrivals are dropped at admission; on restore
+  /// every RLF'd UE runs re-establishment and admission re-ramps.  0
+  /// disables: the run is byte-identical to a build without the feature.
+  /// Independent of the per-UE OutagePlan in per_ue.stack.outage (whose
+  /// seed-derived windows hit one UE at a time); both may be enabled.
+  int cell_outage_count = 0;
+  Seconds cell_outage_start = 60.0;
+  Seconds cell_outage_period = 120.0;
+  Seconds cell_outage_duration = 5.0;
   /// Liveness guard for the whole cell (many stacks share one simulator,
   /// so the budget is far above the single-load default).
   std::uint64_t sim_event_budget = 2'000'000'000;
@@ -126,6 +140,12 @@ struct UeStats {
   int aborted = 0;    ///< admitted loads abandoned by the abort atom
   Seconds total_load_time = 0;     ///< sum of total_time over settled loads
   Seconds total_service_time = 0;  ///< sum of data-transmission times
+  // Radio-failure accounting (all zero unless an outage knob is enabled).
+  int radio_outages = 0;  ///< coverage losses this UE saw (incl. cell-wide)
+  int rlf = 0;            ///< radio-link failures declared
+  int reestablish_ok = 0;
+  int reestablish_fail = 0;
+  Seconds out_of_service_time = 0;  ///< residency camped without coverage
   /// Energy over the whole run (load_j == with_reading_j: the window is the
   /// full cell run, there is no separate reading tail).
   core::EnergyReport energy;
@@ -144,6 +164,13 @@ struct CellResult {
   std::uint64_t aborted = 0;
   /// DCH promotions that found no reservation and every grant busy.
   std::uint64_t grant_overcommits = 0;
+  // Radio-failure aggregates (sums of the per-UE fields; all zero unless an
+  // outage knob is enabled).
+  std::uint64_t radio_outages = 0;
+  std::uint64_t rlf = 0;
+  std::uint64_t reestablish_ok = 0;
+  std::uint64_t reestablish_fail = 0;
+  std::uint64_t cell_outages = 0;  ///< whole-cell windows that began
   double mean_busy_grants = 0;  ///< time-averaged busy (reserved+held) grants
   int peak_busy_grants = 0;
   Seconds mean_grant_hold = 0;  ///< mean DCH occupancy per hold interval

@@ -19,6 +19,8 @@ const char* to_string(ChaosDomain domain) {
     case ChaosDomain::kAbort: return "browser.abort";
     case ChaosDomain::kCacheStorm: return "browser.cache_storm";
     case ChaosDomain::kCpuSlowdown: return "browser.cpu_slowdown";
+    case ChaosDomain::kUeOutage: return "radio.ue_outage";
+    case ChaosDomain::kCellOutage: return "cell.outage";
   }
   return "unknown";
 }
@@ -89,6 +91,19 @@ ChaosFault draw_fault(Rng& rng) {
     case ChaosDomain::kCpuSlowdown:
       p[0] = rng.uniform(1.2, 4.0);
       break;
+    case ChaosDomain::kUeOutage:
+      p[0] = 1.0 + static_cast<double>(rng.uniform_index(3));
+      p[1] = rng.uniform(0.3, 3.0);          // start
+      p[2] = rng.uniform(1.5, 4.0);          // period
+      p[3] = rng.uniform(0.2, 0.7) * p[2];   // duration, strictly < period
+      break;
+    case ChaosDomain::kCellOutage:
+      // One long blackout early in the load (the window that catches
+      // promotions mid-flight), with a re-establishment failure rate.
+      p[0] = rng.uniform(0.2, 2.0);   // start
+      p[1] = rng.uniform(1.5, 5.0);   // duration
+      p[2] = rng.uniform(0.0, 0.8);   // reestablish fail rate
+      break;
   }
   return fault;
 }
@@ -125,6 +140,7 @@ core::BatchJob apply_chaos(const ChaosScenario& scenario,
   config.trace = true;
   net::FaultPlan& plan = config.fault_plan;
   plan.seed = derive_seed(scenario.seed, 0xFA17);
+  config.outage.seed = derive_seed(scenario.seed, 0x07A6E);
 
   bool stalls_possible = false;
   for (const ChaosFault& fault : scenario.faults) {
@@ -170,6 +186,28 @@ core::BatchJob apply_chaos(const ChaosScenario& scenario,
         config.chaos.cache_storm_count += static_cast<int>(p[0]);
         config.chaos.cache_storm_start = p[1];
         config.chaos.cache_storm_period = p[2];
+        break;
+      case ChaosDomain::kUeOutage:
+        // Counts add (each atom contributes its windows), timing is
+        // last-writer-wins like fades; the drawn duration is strictly below
+        // the drawn period so the folded plan is valid by construction.
+        config.outage.count += static_cast<int>(p[0]);
+        config.outage.start = p[1];
+        config.outage.period = p[2];
+        config.outage.duration = p[3];
+        break;
+      case ChaosDomain::kCellOutage:
+        // In a single-UE stack a whole-cell blackout is one more coverage
+        // window; the fail rate folds as max (removing the atom removes
+        // exactly its contribution, keeping ddmin sound).  The period only
+        // matters if a kUeOutage atom also raised the count; duration + 4 s
+        // keeps it valid either way.
+        config.outage.count += 1;
+        config.outage.start = p[0];
+        config.outage.duration = p[1];
+        config.outage.period = p[1] + 4.0;
+        config.outage.reestablish_fail_rate =
+            std::max(config.outage.reestablish_fail_rate, p[2]);
         break;
       case ChaosDomain::kCpuSlowdown: {
         browser::ComputeCostModel& costs = config.pipeline.costs;

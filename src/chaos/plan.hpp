@@ -41,9 +41,11 @@ enum class ChaosDomain {
   kAbort,            ///< params[0] = user abort time (s into the load)
   kCacheStorm,       ///< params[0..2] = eviction count, start, period
   kCpuSlowdown,      ///< params[0] = multiplicative CPU cost factor
+  kUeOutage,         ///< params[0..3] = count, start, period, duration
+  kCellOutage,       ///< params[0..2] = start, duration, reestablish fail rate
 };
 
-constexpr int kChaosDomainCount = 10;
+constexpr int kChaosDomainCount = 12;
 
 const char* to_string(ChaosDomain domain);
 /// Inverse of to_string; returns false (and leaves `out` alone) on an

@@ -144,6 +144,22 @@ void write_config(KeyWriter& w, const StackConfig& config) {
   w.f64(chaos.cache_storm_period);
 
   w.u64(config.sim_event_budget);
+
+  // Radio failure model (appended so older fields keep their offsets; the
+  // key is in-process only, so growing it is safe).
+  w.f64(rrc.rlf_detect);
+  w.f64(rrc.reestablish_delay);
+  w.f64(rrc.reestablish_power);
+  w.f64(rrc.reestablish_backoff);
+  w.i32(rrc.max_reestablish_attempts);
+  w.f64(power.out_of_service);
+  const auto& outage = config.outage;
+  w.u64(outage.seed);
+  w.i32(outage.count);
+  w.f64(outage.start);
+  w.f64(outage.period);
+  w.f64(outage.duration);
+  w.f64(outage.reestablish_fail_rate);
 }
 
 }  // namespace

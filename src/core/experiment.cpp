@@ -6,6 +6,7 @@
 #include "core/ril.hpp"
 #include "core/scenario.hpp"
 #include "net/cache.hpp"
+#include "net/outage.hpp"
 #include "net/socket_downloader.hpp"
 #include "sim/simulator.hpp"
 
@@ -53,6 +54,13 @@ SingleLoadResult detail::run_single_load_impl(const corpus::PageSpec& spec,
     faults.emplace(sim, link, config.fault_plan);
     client.set_fault_injector(&*faults);
   }
+  // Same null-path discipline for the coverage process: only an enabled
+  // outage plan instantiates the injector or touches the RRC hooks.
+  std::optional<net::OutageInjector> outage;
+  if (config.outage.enabled()) {
+    outage.emplace(sim, link, rrc, config.outage, /*ue_id=*/0);
+    rrc.set_on_rlf([&client] { client.on_radio_lost(); });
+  }
   // Per-load browser cache.  A single cold load never revisits a URL (the
   // pipeline dedupes requests), so attaching one is behavior-neutral unless
   // a chaos cache storm is also flushing it mid-load.
@@ -88,6 +96,7 @@ SingleLoadResult detail::run_single_load_impl(const corpus::PageSpec& spec,
     link.set_trace(recorder.get());
     client.set_trace(recorder.get());
     if (faults) faults->set_trace(recorder.get());
+    if (outage) outage->set_trace(recorder.get());
     load.set_trace(recorder.get());
     ril.set_trace(recorder.get());
   }
@@ -133,6 +142,11 @@ SingleLoadResult detail::run_single_load_impl(const corpus::PageSpec& spec,
   result.failed_resources = metrics.failed_resources;
   result.truncated_resources = metrics.truncated_resources;
   result.link_fades = faults ? faults->fades_started() : 0;
+  result.radio_outages = outage ? outage->outages_started() : 0;
+  result.rlf_count = rrc.rlf_count();
+  result.reestablish_ok = rrc.reestablish_ok();
+  result.reestablish_fail = rrc.reestablish_fail();
+  result.out_of_service_time = rrc.time_in(radio::RrcState::kOutOfService);
   result.sim_events = sim.fired_count();
   result.dom_signature = load.dom().signature();
   result.trace = std::move(recorder);
@@ -169,6 +183,15 @@ SingleLoadResult detail::run_single_load_impl(const corpus::PageSpec& spec,
   m.count("load.bytes", static_cast<double>(result.metrics.bytes_fetched));
   m.count("load.aborted", result.metrics.aborted ? 1.0 : 0.0);
   m.count("fault.fades", result.link_fades);
+  // Radio failure accounting appears only when the subsystem is enabled, so
+  // default-path metrics snapshots stay byte-identical to pre-outage builds.
+  if (config.outage.enabled()) {
+    m.count("radio.outages", result.radio_outages);
+    m.count("radio.rlf", result.rlf_count);
+    m.count("radio.reestablish_ok", result.reestablish_ok);
+    m.count("radio.reestablish_fail", result.reestablish_fail);
+    m.count("rrc.dwell_oos_s", result.out_of_service_time);
+  }
   if (result.trace) {
     m.count("trace.events", static_cast<double>(result.trace->size()));
   }

@@ -17,6 +17,7 @@
 #include "net/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "radio/outage.hpp"
 #include "radio/rrc_config.hpp"
 #include "util/timeline.hpp"
 
@@ -70,6 +71,12 @@ struct StackConfig {
   /// off (no extra events); any plan with a stall rate requires a positive
   /// request_timeout or the load could hang forever.
   net::RetryPolicy retry;
+  /// Deterministic radio coverage outages (robustness extension): seed-
+  /// derived windows during which the link is down and the RRC machine runs
+  /// its RLF / OUT_OF_SERVICE / re-establishment machinery.  The default
+  /// plan is disabled and schedules nothing — byte-identical to a stack
+  /// built before the radio failure model existed.
+  radio::OutagePlan outage;
   /// Record a structured event trace of the run (obs::TraceRecorder attached
   /// to every layer).  Recording never schedules simulator events, so every
   /// simulation result — sim_events included — is identical either way; the
@@ -109,6 +116,11 @@ struct SingleLoadResult {
   int failed_resources = 0;    ///< fetches settled without a body
   int truncated_resources = 0; ///< partial bodies delivered and parsed
   int link_fades = 0;          ///< fade windows that began during the run
+  int radio_outages = 0;       ///< coverage windows that began during the run
+  int rlf_count = 0;           ///< radio-link failures declared
+  int reestablish_ok = 0;      ///< re-establishment attempts that succeeded
+  int reestablish_fail = 0;    ///< re-establishment attempts that failed
+  Seconds out_of_service_time = 0;  ///< residency camped without coverage
   std::uint64_t sim_events = 0;    ///< discrete events the load's simulator fired
   std::string dom_signature;       ///< structural DOM fingerprint
   PowerTimeline total_power;       ///< radio + CPU (Figs 1 and 9)

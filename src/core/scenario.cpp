@@ -35,6 +35,7 @@ Scenario ScenarioBuilder::build() const {
   // quarantine machinery keys on; build() only rejects the cross-knob
   // contradictions the injector cannot see.
   validate_fault_wiring(stack);
+  radio::validate_outage_plan(stack.outage);
   require(stack.max_parallel_connections >= 1,
           "ScenarioBuilder: max_parallel_connections must be >= 1");
   require(scenario_.reading_window >= 0,

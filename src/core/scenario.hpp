@@ -92,6 +92,10 @@ class ScenarioBuilder {
     scenario_.stack.retry = retry;
     return *this;
   }
+  ScenarioBuilder& outage(const radio::OutagePlan& plan) {
+    scenario_.stack.outage = plan;
+    return *this;
+  }
   ScenarioBuilder& trace(bool on = true) {
     scenario_.stack.trace = on;
     return *this;

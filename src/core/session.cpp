@@ -8,6 +8,7 @@
 
 #include "core/ril.hpp"
 #include "net/fault.hpp"
+#include "net/outage.hpp"
 #include "sim/simulator.hpp"
 
 namespace eab::core {
@@ -71,17 +72,29 @@ SessionResult run_session(const std::vector<PageVisit>& visits,
     faults.emplace(sim, link, config.stack.fault_plan);
   }
 
+  SessionResult result;
+  std::vector<std::unique_ptr<net::HttpClient>> clients;
+  std::vector<std::unique_ptr<browser::PageLoad>> loads;
+
+  // Like faults, one coverage process spans the whole session.  On RLF every
+  // client is told to settle; finished pages have no unsettled fetches, so
+  // only the in-flight page reacts.
+  std::optional<net::OutageInjector> outage;
+  if (config.stack.outage.enabled()) {
+    outage.emplace(sim, link, rrc, config.stack.outage, /*ue_id=*/0);
+    rrc.set_on_rlf([&clients] {
+      for (const auto& client : clients) client->on_radio_lost();
+    });
+  }
+
   obs::TraceRecorder* const trace = config.trace;
   if (trace != nullptr) {
     rrc.set_trace(trace);
     link.set_trace(trace);
     ril.set_trace(trace);
     if (faults) faults->set_trace(trace);
+    if (outage) outage->set_trace(trace);
   }
-
-  SessionResult result;
-  std::vector<std::unique_ptr<net::HttpClient>> clients;
-  std::vector<std::unique_ptr<browser::PageLoad>> loads;
 
   auto switch_to_idle = [&] {
     ril.request_idle([&result](bool switched) {
@@ -207,6 +220,11 @@ SessionResult run_session(const std::vector<PageVisit>& visits,
       duration);
   result.ril_socket_failures = ril.socket_failures();
   result.radio_idle_time = rrc.time_in(radio::RrcState::kIdle);
+  result.radio_outages = outage ? outage->outages_started() : 0;
+  result.rlf_count = rrc.rlf_count();
+  result.reestablish_ok = rrc.reestablish_ok();
+  result.reestablish_fail = rrc.reestablish_fail();
+  result.out_of_service_time = rrc.time_in(radio::RrcState::kOutOfService);
   return result;
 }
 

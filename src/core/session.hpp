@@ -66,6 +66,13 @@ struct SessionResult {
   int switches_to_idle = 0;     ///< policy-initiated releases
   int ril_socket_failures = 0;  ///< injected socket-hop failures consumed
   Seconds radio_idle_time = 0;  ///< total IDLE residency over the session
+  // Radio-failure accounting (all zero unless the stack's outage plan is
+  // enabled — the coverage process spans the whole session, like faults).
+  int radio_outages = 0;        ///< coverage windows begun during the session
+  int rlf_count = 0;            ///< radio-link failures declared
+  int reestablish_ok = 0;       ///< re-establishment attempts that succeeded
+  int reestablish_fail = 0;     ///< re-establishment attempts that failed
+  Seconds out_of_service_time = 0;  ///< residency camped without coverage
   std::vector<Seconds> page_load_times;
 };
 

@@ -16,6 +16,7 @@ const char* to_string(FetchStatus status) {
     case FetchStatus::kTruncated: return "truncated";
     case FetchStatus::kTimedOut: return "timed-out";
     case FetchStatus::kAborted: return "aborted";
+    case FetchStatus::kRadioLost: return "radio-lost";
   }
   return "?";
 }
@@ -141,8 +142,24 @@ std::size_t HttpClient::abort_all() {
   return aborted;
 }
 
+std::size_t HttpClient::on_radio_lost() {
+  std::size_t torn_down = 0;
+  // retry_or_fail may settle a fetch terminally, which erases it from
+  // active_ inside finish(); iterate over a copy.
+  std::vector<StatePtr> active = active_;
+  for (const StatePtr& state : active) {
+    if (state->settled) continue;
+    ++torn_down;
+    ++stats_.radio_losses;
+    abort_attempt(*state);
+    retry_or_fail(state, FetchStatus::kRadioLost);
+  }
+  return torn_down;
+}
+
 void HttpClient::run_attempt(const StatePtr& state) {
   ++state->attempt;
+  state->attempt_live = true;
   const int attempt = state->attempt;
   const FaultDecision fault =
       faults_ != nullptr ? faults_->decide(state->url, attempt)
@@ -259,6 +276,7 @@ void HttpClient::run_attempt(const StatePtr& state) {
 }
 
 void HttpClient::abort_attempt(RequestState& state) {
+  state.attempt_live = false;
   sim_.cancel(state.timeout_event);
   state.timeout_event = {};
   sim_.cancel(state.setup_event);
@@ -346,6 +364,7 @@ void HttpClient::finish(const StatePtr& state, const Resource* resource,
       break;
     case FetchStatus::kTimedOut:
     case FetchStatus::kAborted:
+    case FetchStatus::kRadioLost:
       ++stats_.failed;
       break;
   }

@@ -43,6 +43,7 @@ enum class FetchStatus {
   kTruncated,  ///< connection died mid-body; a partial body was delivered
   kTimedOut,   ///< watchdog expired on every attempt; nothing usable arrived
   kAborted,    ///< connection lost on every attempt before the response
+  kRadioLost,  ///< radio-link failure killed the final attempt
 };
 
 const char* to_string(FetchStatus status);
@@ -90,7 +91,8 @@ struct HttpClientStats {
   std::size_t timeouts = 0;     ///< watchdog expiries (attempt-level)
   std::size_t truncated = 0;    ///< fetches settled with a partial body
   std::size_t connection_losses = 0;  ///< attempts killed by connection loss
-  std::size_t failed = 0;       ///< fetches settled kTimedOut / kAborted
+  std::size_t radio_losses = 0;  ///< attempts killed by radio-link failure
+  std::size_t failed = 0;  ///< fetches settled kTimedOut/kAborted/kRadioLost
   Bytes bytes_fetched = 0;      ///< full + partial bytes actually delivered
   Seconds first_request_at = -1;
   /// When the most recent fetch settled — network last byte, cache read
@@ -143,6 +145,16 @@ class HttpClient {
   /// no-op.
   std::size_t abort_all();
 
+  /// Radio-link failure: tears down every in-flight attempt (watchdog,
+  /// pending events, link flow, RRC transfer marker) and re-queues each one
+  /// under the existing retry budget; a fetch whose budget is spent settles
+  /// terminally as kRadioLost.  Invoked from the RRC machine's on_rlf hook
+  /// while the radio is still in the failing state, so the transfer markers
+  /// are released legally on DCH.  Queued (not yet started) fetches are
+  /// untouched — they never reached the radio.  Returns the number of
+  /// attempts torn down.
+  std::size_t on_radio_lost();
+
   /// Number of requests queued but not yet started.
   std::size_t queued() const { return queue_.size(); }
   /// Number of requests currently holding a connection slot (a request in
@@ -169,6 +181,12 @@ class HttpClient {
     Seconds requested_at = 0;
     int attempt = 0;             ///< 1-based; bumped by every run_attempt
     bool settled = false;        ///< terminal callback delivered
+    /// False once abort_attempt abandoned the current attempt.  The attempt
+    /// number alone cannot tell a live attempt from an abandoned one between
+    /// the watchdog firing and the backoff retry bumping the counter — and a
+    /// channel-ready callback landing in that window (routine when the radio
+    /// camps out of service) must not touch the radio.
+    bool attempt_live = false;
     bool transfer_active = false;  ///< begin_transfer not yet matched
     sim::EventId timeout_event;
     sim::EventId setup_event;
@@ -182,7 +200,7 @@ class HttpClient {
   void run_attempt(const StatePtr& state);
   /// True when a callback belonging to attempt `attempt` is stale.
   static bool stale(const RequestState& state, int attempt) {
-    return state.settled || state.attempt != attempt;
+    return state.settled || state.attempt != attempt || !state.attempt_live;
   }
   /// Tears down the current attempt's in-flight pieces: watchdog, pending
   /// first-byte event, link flow, and — critically — the RRC transfer

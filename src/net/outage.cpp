@@ -1,0 +1,44 @@
+#include "net/outage.hpp"
+
+namespace eab::net {
+
+OutageInjector::OutageInjector(sim::Simulator& sim, SharedLink& link,
+                               radio::RrcMachine& rrc, radio::OutagePlan plan,
+                               std::uint64_t ue_id)
+    : sim_(sim), link_(link), rrc_(rrc), plan_(plan), ue_id_(ue_id) {
+  validate_outage_plan(plan_);
+  if (plan_.reestablish_fail_rate > 0) {
+    rrc_.set_reestablish_decider([this](int) {
+      return radio::reestablish_succeeds(plan_, ue_id_, ++reestablish_draws_);
+    });
+  }
+  for (const radio::OutageWindow& window : outage_windows(plan_, ue_id_)) {
+    sim_.schedule_at(window.begin, [this] { coverage_lost(); });
+    sim_.schedule_at(window.end, [this] { coverage_restored(); });
+  }
+}
+
+void OutageInjector::coverage_lost() {
+  if (trace_) [[unlikely]] {
+    trace_->record(sim_.now(), obs::TraceKind::kRadioCoverageLost,
+                   outages_started_);
+  }
+  ++outages_started_;
+  // Pause the link before the radio reacts: bytes stop moving the instant
+  // coverage is gone, while RLF detection takes its T313 window.
+  link_.pause();
+  rrc_.radio_link_down();
+}
+
+void OutageInjector::coverage_restored() {
+  if (trace_) [[unlikely]] {
+    trace_->record(sim_.now(), obs::TraceKind::kRadioCoverageBack,
+                   outages_started_ - 1);
+  }
+  // Resume the link before the radio recovers, so flows started by the
+  // flushed channel-request queue drain immediately.
+  link_.resume();
+  rrc_.radio_link_up();
+}
+
+}  // namespace eab::net

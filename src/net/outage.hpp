@@ -1,0 +1,68 @@
+// Drives radio coverage outages against one UE's link + RRC machine.
+//
+// radio::OutagePlan describes *when* coverage disappears (pure windows per
+// (seed, ue_id)); OutageInjector is the wiring that makes it happen: at each
+// window edge it pauses/resumes the SharedLink (in-flight bytes stop moving)
+// and tells the RrcMachine the link went down/came back, which runs the
+// whole detection -> RLF -> OUT_OF_SERVICE -> re-establishment machinery.
+// It also installs the plan's pure re-establishment success stream as the
+// machine's decider.
+//
+// The cell layer drives whole-cell outages through the same object: it calls
+// coverage_lost()/coverage_restored() directly on every UE's injector, so a
+// cell-wide hole and a per-UE hole stack correctly (the RRC machine counts
+// link-down depth) and both render identically in traces.
+//
+// Null-path: a disabled plan schedules nothing, installs no decider, and the
+// injector is never constructed by the assembly path in the first place —
+// results are byte-identical to a build without the subsystem.
+#pragma once
+
+#include <cstdint>
+
+#include "net/shared_link.hpp"
+#include "obs/trace.hpp"
+#include "radio/outage.hpp"
+#include "radio/rrc.hpp"
+#include "sim/simulator.hpp"
+
+namespace eab::net {
+
+/// Schedules a plan's coverage windows and forwards them to link + radio.
+class OutageInjector {
+ public:
+  /// Validates the plan, installs the re-establishment decider (when the
+  /// plan carries a fail rate) and schedules the outage windows for `ue_id`.
+  /// A disabled plan is accepted and schedules nothing — the cell layer
+  /// still drives cell-wide outages through such an injector.
+  OutageInjector(sim::Simulator& sim, SharedLink& link, radio::RrcMachine& rrc,
+                 radio::OutagePlan plan, std::uint64_t ue_id = 0);
+
+  /// Coverage went away / came back from a source outside the plan's own
+  /// windows (the cell layer's whole-cell outages).  Safe to interleave with
+  /// scheduled windows: the RRC machine stacks the sources.
+  void coverage_lost();
+  void coverage_restored();
+
+  const radio::OutagePlan& plan() const { return plan_; }
+  /// Outage windows (scheduled or cell-driven) that have begun so far.
+  int outages_started() const { return outages_started_; }
+
+  /// Attaches a trace recorder (nullptr detaches).  Window edges record at
+  /// fire time, so attaching after construction still captures them.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
+ private:
+  sim::Simulator& sim_;
+  SharedLink& link_;
+  radio::RrcMachine& rrc_;
+  radio::OutagePlan plan_;
+  std::uint64_t ue_id_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
+  int outages_started_ = 0;
+  /// Per-UE 1-based counter over every re-establishment attempt, feeding
+  /// the pure success stream.
+  int reestablish_draws_ = 0;
+};
+
+}  // namespace eab::net

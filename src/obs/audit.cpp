@@ -13,6 +13,7 @@ const char* state_name(std::int64_t s) {
     case 0: return "IDLE";
     case 1: return "FACH";
     case 2: return "DCH";
+    case 3: return "OUT_OF_SERVICE";
   }
   return "?";
 }
@@ -20,8 +21,9 @@ const char* state_name(std::int64_t s) {
 constexpr std::int64_t kIdle = 0;
 constexpr std::int64_t kFach = 1;
 constexpr std::int64_t kDch = 2;
+constexpr std::int64_t kOos = 3;
 
-enum class Phase { kStable, kPromoting, kReleasing };
+enum class Phase { kStable, kPromoting, kReleasing, kReestablishing };
 
 /// Mutable replay state plus violation collection.
 struct Replay {
@@ -35,6 +37,12 @@ struct Replay {
   Phase phase = Phase::kStable;
   std::int64_t transfers = 0;
   bool fach_tx = false;
+  /// T313 (the RLF detection timer) fired; the machine must enter
+  /// OUT_OF_SERVICE next — and may only enter it after such a fire.
+  bool oos_pending = false;
+  /// A re-establishment succeeded; the machine must come back on DCH — and
+  /// may only leave OUT_OF_SERVICE toward DCH after such a success.
+  bool reestablished = false;
   // Timer id -> armed deadline (absent = not armed).
   std::unordered_map<std::int64_t, Seconds> timers;
 
@@ -74,6 +82,8 @@ struct Replay {
                               : in.rrc.fach_to_dch_power;
       case Phase::kReleasing:
         return in.rrc.release_power;
+      case Phase::kReestablishing:
+        return in.rrc.reestablish_power;
       case Phase::kStable:
         switch (state) {
           case kIdle: return in.power.idle;
@@ -82,6 +92,7 @@ struct Replay {
           case kDch:
             return transfers > 0 ? in.power.dch_transfer
                                  : in.power.dch_no_transfer;
+          case kOos: return in.power.out_of_service;
         }
     }
     return in.power.idle;
@@ -101,7 +112,13 @@ struct Replay {
   bool legal_transition(std::int64_t from, std::int64_t to) const {
     return (from == kIdle && to == kDch) || (from == kFach && to == kDch) ||
            (from == kDch && to == kFach) || (from == kFach && to == kIdle) ||
-           (from == kDch && to == kIdle);
+           (from == kDch && to == kIdle) ||
+           // Radio failure model: any camped state can lose coverage; a UE
+           // comes back via re-establishment (-> DCH) or from scratch
+           // (-> IDLE after a context-less recovery or a context release).
+           (from == kIdle && to == kOos) || (from == kFach && to == kOos) ||
+           (from == kDch && to == kOos) || (from == kOos && to == kDch) ||
+           (from == kOos && to == kIdle);
   }
 
   void on_event(const TraceEvent& e) {
@@ -116,6 +133,28 @@ struct Replay {
         if (!legal_transition(e.a, e.b)) {
           violate(e.t, "illegal RRC transition %s -> %s", state_name(e.a),
                   state_name(e.b));
+        }
+        if (e.b == kOos) {
+          if (!oos_pending) {
+            violate(e.t,
+                    "entered OUT_OF_SERVICE without a T313 detection fire");
+          }
+          oos_pending = false;
+          if (transfers != 0) {
+            violate(e.t,
+                    "entered OUT_OF_SERVICE with %lld transfer markers held",
+                    static_cast<long long>(transfers));
+          }
+          // Both RLF and the context-less IDLE path settle the machine into
+          // a stable camp before the state switch.
+          phase = Phase::kStable;
+        }
+        if (e.a == kOos && e.b == kDch) {
+          if (!reestablished) {
+            violate(e.t, "left OUT_OF_SERVICE for DCH without a successful "
+                         "re-establishment");
+          }
+          reestablished = false;
         }
         state = e.b;
         break;
@@ -147,6 +186,9 @@ struct Replay {
           }
           timers.erase(it);
         }
+        // Timer 3 is the RLF detection window: its expiry is the only way
+        // into OUT_OF_SERVICE.
+        if (e.a == 3) oos_pending = true;
         break;
       }
       case TraceKind::kRrcPromotionStart: {
@@ -223,6 +265,51 @@ struct Replay {
       case TraceKind::kRrcSmallTxEnd: {
         if (!fach_tx) violate(e.t, "small transfer ended without a start");
         fach_tx = false;
+        break;
+      }
+      case TraceKind::kRrcRlf: {
+        if (!oos_pending) {
+          violate(e.t, "RLF declared without a T313 detection fire");
+        }
+        if (e.a != state) {
+          violate(e.t, "RLF claims failing state %s but replica is in %s",
+                  state_name(e.a), state_name(state));
+        }
+        if (e.a == kIdle) violate(e.t, "RLF declared from IDLE");
+        // The failure aborts any signalling in flight; transfer teardown
+        // happens while the replica is still in the failing state.
+        phase = Phase::kStable;
+        break;
+      }
+      case TraceKind::kRrcReestablishStart: {
+        if (state != kOos || phase != Phase::kStable) {
+          violate(e.t, "re-establishment started outside a stable "
+                       "OUT_OF_SERVICE camp (state=%s)",
+                  state_name(state));
+        }
+        phase = Phase::kReestablishing;
+        break;
+      }
+      case TraceKind::kRrcReestablishOk: {
+        if (phase != Phase::kReestablishing) {
+          violate(e.t, "re-establishment succeeded without a matching start");
+        }
+        phase = Phase::kStable;
+        reestablished = true;
+        break;
+      }
+      case TraceKind::kRrcReestablishFail: {
+        if (phase != Phase::kReestablishing) {
+          violate(e.t, "re-establishment failed without a matching start");
+        }
+        phase = Phase::kStable;
+        break;
+      }
+      case TraceKind::kRadioCoverageLost: {
+        // Coverage vanishing mid-re-establishment aborts the exchange: the
+        // machine cancels the signalling and reverts to a stable camp (the
+        // next attempt starts from scratch when coverage returns).
+        if (phase == Phase::kReestablishing) phase = Phase::kStable;
         break;
       }
       case TraceKind::kHttpFetchQueued:

@@ -20,6 +20,7 @@ const char* rrc_state_name(std::int64_t s) {
     case 0: return "IDLE";
     case 1: return "FACH";
     case 2: return "DCH";
+    case 3: return "OUT_OF_SERVICE";
   }
   return "?";
 }
@@ -31,6 +32,7 @@ const char* fetch_status_name(std::int64_t s) {
     case 2: return "truncated";
     case 3: return "timed-out";
     case 4: return "aborted";
+    case 5: return "radio-lost";
   }
   return "?";
 }
@@ -218,6 +220,12 @@ std::string chrome_trace_json(const TraceRecorder& trace, Seconds t_end,
       case TraceKind::kRrcTransferEnd:
       case TraceKind::kRrcSmallTxStart:
       case TraceKind::kRrcSmallTxEnd:
+      case TraceKind::kRadioCoverageLost:
+      case TraceKind::kRadioCoverageBack:
+      case TraceKind::kRrcRlf:
+      case TraceKind::kRrcReestablishStart:
+      case TraceKind::kRrcReestablishOk:
+      case TraceKind::kRrcReestablishFail:
         w.instant(to_string(e.kind), e.t, kRadioTrack,
                   number_args("a", static_cast<double>(e.a)));
         break;
@@ -257,6 +265,12 @@ std::string chrome_trace_json(const TraceRecorder& trace, Seconds t_end,
         break;
       case TraceKind::kHttpFetchSettled:
         w.counter("fetches outstanding", e.t, static_cast<double>(--fetches));
+        break;
+      case TraceKind::kRadioCoverageLost:
+        w.counter("radio coverage", e.t, 0.0);
+        break;
+      case TraceKind::kRadioCoverageBack:
+        w.counter("radio coverage", e.t, 1.0);
         break;
       default:
         break;

@@ -45,6 +45,12 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kRilRequest: return "ril.request";
     case TraceKind::kRilSocketFailure: return "ril.socket_failure";
     case TraceKind::kRilForwarded: return "ril.forwarded";
+    case TraceKind::kRadioCoverageLost: return "radio.coverage_lost";
+    case TraceKind::kRadioCoverageBack: return "radio.coverage_back";
+    case TraceKind::kRrcRlf: return "rrc.rlf";
+    case TraceKind::kRrcReestablishStart: return "rrc.reestablish_start";
+    case TraceKind::kRrcReestablishOk: return "rrc.reestablish_ok";
+    case TraceKind::kRrcReestablishFail: return "rrc.reestablish_fail";
   }
   return "?";
 }

@@ -75,6 +75,13 @@ enum class TraceKind : std::uint8_t {
   kRilRequest,
   kRilSocketFailure,
   kRilForwarded,       ///< request survived the socket hop, reached firmware
+  // --- radio failure model (append-only: values are stable across PRs) -----
+  kRadioCoverageLost,  ///< an outage window began (coverage process)
+  kRadioCoverageBack,  ///< the outage window ended
+  kRrcRlf,             ///< radio-link failure declared; a = failing RrcState
+  kRrcReestablishStart,  ///< a = attempt (1-based within one recovery)
+  kRrcReestablishOk,     ///< a = attempt that succeeded
+  kRrcReestablishFail,   ///< a = attempt that failed
 };
 
 /// Short stable label for a kind ("rrc.state_enter", "http.settled", ...).

@@ -1,0 +1,61 @@
+#include "radio/outage.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace eab::radio {
+
+namespace {
+// Sub-stream tags keeping the window-phase and re-establishment draws
+// independent of each other and of every other consumer of the plan seed.
+constexpr std::uint64_t kOutageWindowStream = 0x0A7A'6E00'0000'0001ull;
+constexpr std::uint64_t kReestablishStream = 0x0A7A'6E00'0000'0002ull;
+}  // namespace
+
+void validate_outage_plan(const OutagePlan& plan) {
+  if (!plan.enabled()) return;
+  if (plan.count < 0) {
+    throw std::invalid_argument("OutagePlan: count must be >= 0");
+  }
+  if (!std::isfinite(plan.start) || plan.start < 0) {
+    throw std::invalid_argument("OutagePlan: start must be finite and >= 0");
+  }
+  if (!std::isfinite(plan.duration) || plan.duration <= 0) {
+    throw std::invalid_argument("OutagePlan: duration must be finite and > 0");
+  }
+  if (!std::isfinite(plan.period) || plan.period <= plan.duration) {
+    throw std::invalid_argument(
+        "OutagePlan: period must be finite and exceed duration");
+  }
+  if (!(plan.reestablish_fail_rate >= 0) || plan.reestablish_fail_rate > 1) {
+    throw std::invalid_argument(
+        "OutagePlan: reestablish_fail_rate must be in [0, 1]");
+  }
+}
+
+std::vector<OutageWindow> outage_windows(const OutagePlan& plan,
+                                         std::uint64_t ue_id) {
+  if (!plan.enabled()) return {};
+  validate_outage_plan(plan);
+  Rng rng(derive_seed(plan.seed, kOutageWindowStream ^ ue_id));
+  const Seconds phase = rng.uniform(0.0, plan.period);
+  std::vector<OutageWindow> windows;
+  windows.reserve(static_cast<std::size_t>(plan.count));
+  for (int i = 0; i < plan.count; ++i) {
+    const Seconds begin = plan.start + phase + i * plan.period;
+    windows.push_back(OutageWindow{begin, begin + plan.duration});
+  }
+  return windows;
+}
+
+bool reestablish_succeeds(const OutagePlan& plan, std::uint64_t ue_id,
+                          int attempt_index) {
+  if (plan.reestablish_fail_rate <= 0) return true;
+  Rng rng(derive_seed(derive_seed(plan.seed, kReestablishStream ^ ue_id),
+                      static_cast<std::uint64_t>(attempt_index)));
+  return rng.uniform() >= plan.reestablish_fail_rate;
+}
+
+}  // namespace eab::radio

@@ -11,6 +11,7 @@ const char* to_string(RrcState state) {
     case RrcState::kIdle: return "IDLE";
     case RrcState::kFach: return "FACH";
     case RrcState::kDch: return "DCH";
+    case RrcState::kOutOfService: return "OUT_OF_SERVICE";
   }
   return "?";
 }
@@ -29,6 +30,7 @@ void RrcMachine::account_residency() {
     case RrcState::kIdle: time_idle_ += elapsed; break;
     case RrcState::kFach: time_fach_ += elapsed; break;
     case RrcState::kDch: time_dch_ += elapsed; break;
+    case RrcState::kOutOfService: time_oos_ += elapsed; break;
   }
   residency_mark_ = sim_.now();
 }
@@ -40,6 +42,8 @@ Seconds RrcMachine::time_in(RrcState s) const {
     case RrcState::kIdle: return time_idle_ + (state_ == s ? open : 0);
     case RrcState::kFach: return time_fach_ + (state_ == s ? open : 0);
     case RrcState::kDch: return time_dch_ + (state_ == s ? open : 0);
+    case RrcState::kOutOfService:
+      return time_oos_ + (state_ == s ? open : 0);
   }
   return 0;
 }
@@ -54,6 +58,9 @@ void RrcMachine::update_power() {
     case RadioPhase::kReleasing:
       level = config_.release_power;
       break;
+    case RadioPhase::kReestablishing:
+      level = config_.reestablish_power;
+      break;
     case RadioPhase::kStable:
       switch (state_) {
         case RrcState::kIdle: level = power_model_.idle; break;
@@ -61,6 +68,9 @@ void RrcMachine::update_power() {
         case RrcState::kDch:
           level = active_transfers_ > 0 ? power_model_.dch_transfer
                                         : power_model_.dch_no_transfer;
+          break;
+        case RrcState::kOutOfService:
+          level = power_model_.out_of_service;
           break;
       }
       break;
@@ -152,6 +162,10 @@ void RrcMachine::on_promotion_done() {
   // If no transfer starts (caller changed its mind), the inactivity timer
   // must still bring the radio back down.
   arm_t1();
+  flush_waiting();
+}
+
+void RrcMachine::flush_waiting() {
   std::vector<Ready> ready;
   ready.swap(waiting_);
   for (auto& callback : ready) callback();
@@ -161,16 +175,24 @@ void RrcMachine::request_channel(Ready ready) {
   if (!ready) {
     throw std::invalid_argument("RrcMachine::request_channel: empty callback");
   }
-  if (phase_ == RadioPhase::kStable && state_ == RrcState::kDch) {
+  // While a coverage hole is open (detection window included) nothing can be
+  // serviced or signalled: requests queue and recovery flushes them.  The
+  // depth is 0 whenever the outage subsystem is disabled, so the fast path
+  // is untouched.
+  if (phase_ == RadioPhase::kStable && state_ == RrcState::kDch &&
+      link_down_depth_ == 0) {
     ready();
     return;
   }
   waiting_.push_back(std::move(ready));
-  if (phase_ == RadioPhase::kStable) {
+  if (phase_ == RadioPhase::kStable && state_ != RrcState::kOutOfService &&
+      link_down_depth_ == 0) {
     start_promotion();
   }
   // kPromoting: the pending promotion will flush the queue.
   // kReleasing: the release completion handler starts a fresh promotion.
+  // OUT_OF_SERVICE (any phase): recovery flushes the queue — through
+  // re-establishment success or the post-context-release promotion.
 }
 
 void RrcMachine::begin_transfer() {
@@ -196,7 +218,10 @@ void RrcMachine::end_transfer() {
                    active_transfers_);
   }
   if (active_transfers_ == 0) {
-    arm_t1();
+    // The last marker normally drops on stable DCH; during radio-link
+    // failure handling the machine may already be tearing the state down,
+    // and the inactivity timer must not be re-armed into OUT_OF_SERVICE.
+    if (phase_ == RadioPhase::kStable && state_ == RrcState::kDch) arm_t1();
     update_power();
   }
 }
@@ -205,6 +230,7 @@ void RrcMachine::touch() {
   if (phase_ != RadioPhase::kStable) return;
   switch (state_) {
     case RrcState::kIdle:
+    case RrcState::kOutOfService:
       break;
     case RrcState::kFach:
       arm_t2();
@@ -246,6 +272,7 @@ bool RrcMachine::small_transfer(Bytes bytes, Ready done) {
 bool RrcMachine::force_idle() {
   if (phase_ != RadioPhase::kStable) return false;
   if (state_ == RrcState::kIdle) return false;
+  if (state_ == RrcState::kOutOfService) return false;
   if (active_transfers_ > 0) return false;
   if (trace_) [[unlikely]] {
     trace_->record(sim_.now(), obs::TraceKind::kRrcReleaseStart,
@@ -268,6 +295,148 @@ bool RrcMachine::force_idle() {
   return true;
 }
 
+void RrcMachine::radio_link_down() {
+  if (++link_down_depth_ > 1) return;  // already down for another source
+  if (state_ == RrcState::kOutOfService) {
+    // Coverage vanished again while we were recovering from the previous
+    // hole: abort the in-flight re-establishment exchange or the pending
+    // backoff retry and camp until coverage returns.  The surviving context
+    // (rlf_context_) keeps waiting.
+    sim_.cancel(signalling_event_);
+    signalling_event_ = {};
+    sim_.cancel(backoff_event_);
+    backoff_event_ = {};
+    if (phase_ == RadioPhase::kReestablishing) {
+      phase_ = RadioPhase::kStable;
+      update_power();
+    }
+    return;
+  }
+  // Arm the detection window.  Fades shorter than rlf_detect never surface:
+  // radio_link_up() cancels the timer and nothing observable happened.
+  t313_event_ = sim_.schedule_in(config_.rlf_detect, [this] { on_rlf_detect(); });
+  if (trace_) [[unlikely]] {
+    trace_->record(sim_.now(), obs::TraceKind::kRrcTimerSet, 3, 0,
+                   sim_.now() + config_.rlf_detect);
+  }
+}
+
+void RrcMachine::on_rlf_detect() {
+  if (trace_) [[unlikely]] {
+    trace_->record(sim_.now(), obs::TraceKind::kRrcTimerFire, 3);
+  }
+  t313_event_ = {};
+  if (state_ == RrcState::kIdle) {
+    // No established RRC context to lose (IDLE, or promotion still
+    // signalling from IDLE): abort any setup in flight and camp out of
+    // service.  Queued channel requests survive in waiting_ and restart the
+    // promotion once coverage returns.
+    sim_.cancel(signalling_event_);
+    signalling_event_ = {};
+    cancel_timers();
+    phase_ = RadioPhase::kStable;
+    rlf_context_ = false;
+    enter_state(RrcState::kOutOfService);
+    return;
+  }
+  trigger_rlf();
+}
+
+void RrcMachine::trigger_rlf() {
+  if (trace_) [[unlikely]] {
+    trace_->record(sim_.now(), obs::TraceKind::kRrcRlf,
+                   static_cast<std::int64_t>(state_));
+  }
+  ++rlf_count_;
+  rlf_context_ = true;
+  // Settle in-flight transfers while the machine is still in the failing
+  // state: the HTTP client ends its transfer markers here (legal only on
+  // DCH), and the T1 re-arm the last end_transfer performs is torn down
+  // again just below.
+  if (on_rlf_) on_rlf_();
+  sim_.cancel(signalling_event_);
+  signalling_event_ = {};
+  cancel_timers();
+  phase_ = RadioPhase::kStable;
+  enter_state(RrcState::kOutOfService);
+}
+
+void RrcMachine::radio_link_up() {
+  if (link_down_depth_ == 0) return;
+  if (--link_down_depth_ > 0) return;  // another source still holds it down
+  if (state_ != RrcState::kOutOfService) {
+    // The fade stayed below the detection window: disarm it silently, then
+    // service anything that queued while the hole was open.
+    if (sim_.cancel(t313_event_) && trace_) [[unlikely]] {
+      trace_->record(sim_.now(), obs::TraceKind::kRrcTimerCancel, 3);
+    }
+    t313_event_ = {};
+    if (phase_ == RadioPhase::kStable && !waiting_.empty()) {
+      if (state_ == RrcState::kDch) {
+        flush_waiting();
+      } else {
+        start_promotion();
+      }
+    }
+    return;
+  }
+  if (!rlf_context_) {
+    // Nothing to re-establish: camp back on IDLE and let any queued channel
+    // requests promote normally.
+    enter_state(RrcState::kIdle);
+    if (!waiting_.empty()) start_promotion();
+    return;
+  }
+  start_reestablish(1);
+}
+
+void RrcMachine::start_reestablish(int attempt) {
+  if (trace_) [[unlikely]] {
+    trace_->record(sim_.now(), obs::TraceKind::kRrcReestablishStart, attempt);
+  }
+  phase_ = RadioPhase::kReestablishing;
+  update_power();
+  signalling_event_ =
+      sim_.schedule_in(config_.reestablish_delay, [this, attempt] {
+        const bool ok =
+            !reestablish_decider_ || reestablish_decider_(attempt);
+        if (ok) {
+          if (trace_) [[unlikely]] {
+            trace_->record(sim_.now(), obs::TraceKind::kRrcReestablishOk,
+                           attempt);
+          }
+          ++reestablish_ok_;
+          rlf_context_ = false;
+          phase_ = RadioPhase::kStable;
+          // The context comes back on dedicated channels, exactly where the
+          // failure interrupted it; normal inactivity demotion resumes.
+          enter_state(RrcState::kDch);
+          arm_t1();
+          flush_waiting();
+          return;
+        }
+        if (trace_) [[unlikely]] {
+          trace_->record(sim_.now(), obs::TraceKind::kRrcReestablishFail,
+                         attempt);
+        }
+        ++reestablish_fail_;
+        phase_ = RadioPhase::kStable;
+        update_power();
+        if (attempt >= config_.max_reestablish_attempts) {
+          // Give up: release the RRC context and rebuild from IDLE.
+          rlf_context_ = false;
+          enter_state(RrcState::kIdle);
+          if (!waiting_.empty()) start_promotion();
+          return;
+        }
+        const Seconds backoff =
+            config_.reestablish_backoff * static_cast<double>(1 << (attempt - 1));
+        backoff_event_ = sim_.schedule_in(backoff, [this, attempt] {
+          backoff_event_ = {};
+          start_reestablish(attempt + 1);
+        });
+      });
+}
 
 Seconds LinkConfig::slow_start_delay(Bytes size) const {
   if (size <= slow_start_threshold || slow_start_threshold == 0) return 0.0;

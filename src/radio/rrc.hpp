@@ -25,6 +25,7 @@ enum class RadioPhase {
   kStable,          ///< camped in state(), no signalling in flight
   kPromoting,       ///< signalling toward DCH
   kReleasing,       ///< fast-dormancy release toward IDLE
+  kReestablishing,  ///< RRC re-establishment after radio-link failure
 };
 
 /// The handset radio: RRC states, timers, promotions and fast dormancy.
@@ -66,9 +67,45 @@ class RrcMachine {
 
   /// Fast dormancy: asks the network to tear the signalling connection down
   /// now (FACH/DCH -> IDLE).  Ignored if a transfer is active, a release is
-  /// already running, or the radio is already IDLE.  Returns whether the
-  /// release was started.
+  /// already running, the radio is already IDLE, or coverage is lost.
+  /// Returns whether the release was started.
   bool force_idle();
+
+  // --- radio failure model (DESIGN.md "Radio failure model") ---------------
+
+  /// Coverage went away (an outage window began).  Nested calls stack: the
+  /// link is considered down until every source restored it.  The machine
+  /// arms the T313-style detection timer; if coverage is still gone when it
+  /// fires, the UE declares radio-link failure (from FACH/DCH — in-flight
+  /// transfers are settled through the on_rlf hook, the context is marked
+  /// for re-establishment) or simply camps OUT_OF_SERVICE (from IDLE).
+  void radio_link_down();
+
+  /// Coverage came back (the outage window ended).  A fade shorter than the
+  /// detection window is absorbed silently; otherwise the UE either performs
+  /// bounded re-establishment attempts with exponential backoff (context
+  /// held) or re-enters IDLE directly (no context), flushing any queued
+  /// channel requests through the normal promotion path.
+  void radio_link_up();
+
+  /// Decides whether re-establishment attempt `attempt` (1-based within one
+  /// recovery) succeeds.  Must be pure/deterministic for reproducibility;
+  /// unset (the default) every attempt succeeds.
+  void set_reestablish_decider(std::function<bool(int attempt)> fn) {
+    reestablish_decider_ = std::move(fn);
+  }
+
+  /// Invoked synchronously the moment radio-link failure is declared, while
+  /// the machine is still in the failing state — the HTTP client settles its
+  /// in-flight attempts (releasing transfer markers) here, before the
+  /// machine tears the timers down and enters OUT_OF_SERVICE.
+  void set_on_rlf(std::function<void()> fn) { on_rlf_ = std::move(fn); }
+
+  /// Radio-link failures declared (T313 expiry with an RRC connection up).
+  int rlf_count() const { return rlf_count_; }
+  /// Re-establishment attempts that succeeded / failed.
+  int reestablish_ok() const { return reestablish_ok_; }
+  int reestablish_fail() const { return reestablish_fail_; }
 
   /// Cumulative residency in each state (promotions count toward the state
   /// being left; the release counts toward the state being left).
@@ -114,12 +151,18 @@ class RrcMachine {
   void arm_t2();
   void cancel_timers();
   void account_residency();
+  void on_rlf_detect();
+  void trigger_rlf();
+  void start_reestablish(int attempt);
+  void flush_waiting();
 
   sim::Simulator& sim_;
   RrcConfig config_;
   RadioPowerModel power_model_;
   obs::TraceRecorder* trace_ = nullptr;
   std::function<void(RrcState, RrcState)> on_state_change_;
+  std::function<bool(int)> reestablish_decider_;
+  std::function<void()> on_rlf_;
 
   RrcState state_ = RrcState::kIdle;
   RadioPhase phase_ = RadioPhase::kStable;
@@ -129,17 +172,30 @@ class RrcMachine {
   sim::EventId t1_event_;
   sim::EventId t2_event_;
   sim::EventId signalling_event_;
+  sim::EventId t313_event_;
+  sim::EventId backoff_event_;
 
   PowerTimeline power_;
   Seconds residency_mark_ = 0;
   Seconds time_idle_ = 0;
   Seconds time_fach_ = 0;
   Seconds time_dch_ = 0;
+  Seconds time_oos_ = 0;
   int small_transfers_ = 0;
   bool fach_transfer_active_ = false;
   int idle_promotions_ = 0;
   int fach_promotions_ = 0;
   int forced_releases_ = 0;
+
+  /// How many coverage sources currently hold the link down (a UE outage
+  /// window and a whole-cell outage may overlap; the link is up only when
+  /// every source restored it).
+  int link_down_depth_ = 0;
+  /// An RRC context survived the failure and awaits re-establishment.
+  bool rlf_context_ = false;
+  int rlf_count_ = 0;
+  int reestablish_ok_ = 0;
+  int reestablish_fail_ = 0;
 };
 
 }  // namespace eab::radio

@@ -13,14 +13,18 @@
 
 namespace eab::radio {
 
-/// The three RRC states of Section 2.1.
+/// The three RRC states of Section 2.1, plus the coverage-loss state the
+/// radio failure model adds (a UE that lost its serving cell and is hunting
+/// for coverage; see DESIGN.md "Radio failure model").
 enum class RrcState {
   kIdle,  ///< no signalling connection; radio nearly off
   kFach,  ///< shared channels only (a few hundred bytes/s)
   kDch,   ///< dedicated channels; full data rate
+  kOutOfService,  ///< no coverage: cell search, no data path at all
 };
 
-/// Returns a short human-readable state name ("IDLE", "FACH", "DCH").
+/// Returns a short human-readable state name
+/// ("IDLE", "FACH", "DCH", "OUT_OF_SERVICE").
 const char* to_string(RrcState state);
 
 /// Timer and signalling parameters of the radio resource control protocol.
@@ -50,6 +54,27 @@ struct RrcConfig {
   /// promotion (Section 2.1: "a few hundred bytes/second" on common
   /// channels; bigger transfers must promote).
   Bytes fach_data_threshold = 512;
+
+  // --- radio-link failure / re-establishment (DESIGN.md "Radio failure
+  // model").  These only matter once a coverage process drives
+  // radio_link_down(); with no outage plan none of them is ever consulted.
+
+  /// N313/T313-style detection window: how long the link must stay bad
+  /// before the UE declares radio-link failure (or, in IDLE, simply camps
+  /// out of service).  Fades shorter than this are absorbed silently.
+  Seconds rlf_detect = 1.0;
+  /// One RRC connection re-establishment exchange (cell search already done;
+  /// comparable to an IDLE->DCH setup minus the paging round).
+  Seconds reestablish_delay = 1.2;
+  /// Mean radio power while a re-establishment exchange is in flight —
+  /// signalling at full transmit power, like an IDLE->DCH promotion.
+  Watts reestablish_power = 1.55;
+  /// Backoff before retry k+1 after a failed attempt k:
+  /// reestablish_backoff * 2^(k-1), spent camped OUT_OF_SERVICE.
+  Seconds reestablish_backoff = 0.5;
+  /// Attempts before the UE gives up, releases the RRC context and falls
+  /// back to IDLE (the connection must then be rebuilt from scratch).
+  int max_reestablish_attempts = 4;
 };
 
 /// Whole-phone power levels per state (paper Table 5).
@@ -64,6 +89,10 @@ struct RadioPowerModel {
   /// Additional draw of a fully busy CPU (Table 5: 0.6 W total at IDLE,
   /// i.e. 0.45 W above the 0.15 W floor).
   Watts cpu_busy_extra = 0.45;
+  /// Camped out of service: continuous cell search burns more than the IDLE
+  /// maintenance floor but far less than camping on shared channels —
+  /// Table-5-consistent interpolation between idle (0.15) and FACH (0.63).
+  Watts out_of_service = 0.50;
 };
 
 /// Link throughput parameters for the simulated T-Mobile UMTS path.

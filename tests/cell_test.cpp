@@ -252,6 +252,65 @@ TEST(CellTest, ChaosSweepOverCellScenarios) {
   }
 }
 
+TEST(CellTest, OutageSweepSerialShardedSupervisedBitIdentical) {
+  // 32 seeds of a degraded-radio cell — every UE runs its own coverage
+  // process (with re-establishment failures) underneath two whole-cell
+  // blackouts — and for every seed the serial single-queue run, the sharded
+  // engine at K in {2, 4, 7} and a supervised run must produce the same
+  // bytes through serialize_cell_result (radio-failure counters included).
+  // EAB_CELL_OUTAGE_SEEDS trims the sweep for expensive builds (ASan).
+  std::uint64_t seeds = 32;
+  if (const char* raw = std::getenv("EAB_CELL_OUTAGE_SEEDS")) {
+    const long parsed = std::strtol(raw, nullptr, 10);
+    if (parsed >= 1 && parsed <= 64) seeds = static_cast<std::uint64_t>(parsed);
+  }
+  radio::OutagePlan plan;
+  plan.seed = 9;
+  plan.count = 2;
+  plan.start = 2.0;
+  plan.period = 25.0;
+  plan.duration = 2.0;
+  plan.reestablish_fail_rate = 0.4;
+
+  core::SupervisorConfig sup_config;
+  sup_config.workers = 2;
+
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const auto mode = seed % 2 == 0 ? browser::PipelineMode::kEnergyAware
+                                    : browser::PipelineMode::kOriginal;
+    CellConfig config = small_cell(mode);
+    config.per_ue = core::ScenarioBuilder(mode).outage(plan).build();
+    config.users = 5;
+    config.horizon = 60.0;
+    config.cell_seed = 1000 + seed;
+    config.cell_outage_count = 2;
+    config.cell_outage_start = 10.0;
+    config.cell_outage_period = 25.0;
+    config.cell_outage_duration = 3.0;
+
+    ASSERT_EQ(config.sim_shards, 1);
+    const CellResult serial = run_cell(config);
+    EXPECT_GT(serial.offered, 0u) << "seed " << seed;
+    EXPECT_EQ(serial.leaked_flows, 0u) << "seed " << seed;
+    EXPECT_GT(serial.cell_outages, 0u) << "seed " << seed;
+    const std::string reference = serialize_cell_result(serial);
+
+    for (int shards : {2, 4, 7}) {
+      config.sim_shards = shards;
+      EXPECT_EQ(serialize_cell_result(run_cell(config)), reference)
+          << "seed " << seed << " shards " << shards;
+    }
+    config.sim_shards = 1;
+
+    core::Supervisor supervisor(sup_config);
+    const auto supervised =
+        run_cell_sweep_supervised(config, {config.users}, supervisor);
+    ASSERT_EQ(supervised.size(), 1u);
+    EXPECT_EQ(serialize_cell_result(supervised[0]), reference)
+        << "seed " << seed << " supervised";
+  }
+}
+
 TEST(CellTest, RejectsContradictoryConfigs) {
   const auto good = small_cell(browser::PipelineMode::kOriginal);
 

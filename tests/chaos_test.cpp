@@ -81,7 +81,11 @@ TEST(ChaosPlan, AppliedFaultMixStaysValid) {
 
 TEST(ChaosPlan, MemoKeySeparatesChaosDirectives) {
   const ChaosScenario scenario = make_chaos_scenario(3);
-  const core::BatchJob base = apply_chaos(scenario);
+  core::BatchJob base = apply_chaos(scenario);
+  // Re-baseline the directives so the planted values below always differ
+  // from the base job, whatever atoms the seed happens to draw (growing the
+  // domain list reshuffles every scenario).
+  base.config.chaos = core::ChaosDirectives{};
   std::set<std::string> keys;
   keys.insert(core::batch_memo_key(base));
 

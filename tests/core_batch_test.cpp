@@ -497,6 +497,98 @@ TEST(EnvParsingDeathTest, MalformedProgressFlagDiesLoudly) {
   unsetenv("EAB_PROGRESS");
 }
 
+TEST(EnvParsing, ParseEnvF64IsStrict) {
+  double out = 0;
+  EXPECT_TRUE(bench::parse_env_f64("2", out));
+  EXPECT_EQ(out, 2.0);
+  EXPECT_TRUE(bench::parse_env_f64("0.75", out));
+  EXPECT_EQ(out, 0.75);
+  EXPECT_TRUE(bench::parse_env_f64("1.5e1", out));
+  EXPECT_EQ(out, 15.0);
+  EXPECT_FALSE(bench::parse_env_f64(nullptr, out));
+  EXPECT_FALSE(bench::parse_env_f64("", out));
+  EXPECT_FALSE(bench::parse_env_f64("-1", out));
+  EXPECT_FALSE(bench::parse_env_f64("+1", out));
+  EXPECT_FALSE(bench::parse_env_f64(".5", out));
+  EXPECT_FALSE(bench::parse_env_f64(" 1", out));
+  EXPECT_FALSE(bench::parse_env_f64("1 ", out));
+  EXPECT_FALSE(bench::parse_env_f64("1.5s", out));
+  EXPECT_FALSE(bench::parse_env_f64("0x1p4", out));
+  EXPECT_FALSE(bench::parse_env_f64("inf", out));
+  EXPECT_FALSE(bench::parse_env_f64("nan", out));
+  EXPECT_FALSE(bench::parse_env_f64("1e999", out));
+}
+
+TEST(EnvParsing, OutageKnobsHonorWellFormedValues) {
+  // All defaults: the plan is disabled and matches a default-constructed
+  // one field for field.
+  const radio::OutagePlan defaults = bench::outage_plan_from_env();
+  EXPECT_FALSE(defaults.enabled());
+  EXPECT_EQ(defaults.count, radio::OutagePlan{}.count);
+  EXPECT_EQ(defaults.seed, radio::OutagePlan{}.seed);
+
+  setenv("EAB_OUTAGE_COUNT", "3", 1);
+  setenv("EAB_OUTAGE_START", "1.5", 1);
+  setenv("EAB_OUTAGE_PERIOD", "8", 1);
+  setenv("EAB_OUTAGE_DURATION", "2.5", 1);
+  setenv("EAB_OUTAGE_FAIL_RATE", "0.25", 1);
+  setenv("EAB_OUTAGE_SEED", "42", 1);
+  const radio::OutagePlan plan = bench::outage_plan_from_env();
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(plan.count, 3);
+  EXPECT_EQ(plan.start, 1.5);
+  EXPECT_EQ(plan.period, 8.0);
+  EXPECT_EQ(plan.duration, 2.5);
+  EXPECT_EQ(plan.reestablish_fail_rate, 0.25);
+  EXPECT_EQ(plan.seed, 42u);
+  unsetenv("EAB_OUTAGE_COUNT");
+  unsetenv("EAB_OUTAGE_START");
+  unsetenv("EAB_OUTAGE_PERIOD");
+  unsetenv("EAB_OUTAGE_DURATION");
+  unsetenv("EAB_OUTAGE_FAIL_RATE");
+  unsetenv("EAB_OUTAGE_SEED");
+}
+
+TEST(EnvParsingDeathTest, MalformedOutageCountDiesLoudly) {
+  setenv("EAB_OUTAGE_COUNT", "two", 1);
+  EXPECT_EXIT(bench::outage_plan_from_env(), ::testing::ExitedWithCode(2),
+              "EAB_OUTAGE_COUNT");
+  setenv("EAB_OUTAGE_COUNT", "1001", 1);
+  EXPECT_EXIT(bench::outage_plan_from_env(), ::testing::ExitedWithCode(2),
+              "EAB_OUTAGE_COUNT");
+  unsetenv("EAB_OUTAGE_COUNT");
+}
+
+TEST(EnvParsingDeathTest, MalformedOutageTimingDiesLoudly) {
+  setenv("EAB_OUTAGE_PERIOD", "0", 1);
+  EXPECT_EXIT(bench::outage_plan_from_env(), ::testing::ExitedWithCode(2),
+              "EAB_OUTAGE_PERIOD");
+  setenv("EAB_OUTAGE_PERIOD", "8s", 1);
+  EXPECT_EXIT(bench::outage_plan_from_env(), ::testing::ExitedWithCode(2),
+              "EAB_OUTAGE_PERIOD");
+  unsetenv("EAB_OUTAGE_PERIOD");
+  setenv("EAB_OUTAGE_DURATION", "-2", 1);
+  EXPECT_EXIT(bench::outage_plan_from_env(), ::testing::ExitedWithCode(2),
+              "EAB_OUTAGE_DURATION");
+  unsetenv("EAB_OUTAGE_DURATION");
+  setenv("EAB_OUTAGE_FAIL_RATE", "1.5", 1);
+  EXPECT_EXIT(bench::outage_plan_from_env(), ::testing::ExitedWithCode(2),
+              "EAB_OUTAGE_FAIL_RATE");
+  unsetenv("EAB_OUTAGE_FAIL_RATE");
+}
+
+TEST(EnvParsingDeathTest, OverlappingOutageWindowsDieLoudly) {
+  // period <= duration on an enabled plan: windows would overlap.
+  setenv("EAB_OUTAGE_COUNT", "2", 1);
+  setenv("EAB_OUTAGE_PERIOD", "2", 1);
+  setenv("EAB_OUTAGE_DURATION", "3", 1);
+  EXPECT_EXIT(bench::outage_plan_from_env(), ::testing::ExitedWithCode(2),
+              "EAB_OUTAGE_PERIOD");
+  unsetenv("EAB_OUTAGE_COUNT");
+  unsetenv("EAB_OUTAGE_PERIOD");
+  unsetenv("EAB_OUTAGE_DURATION");
+}
+
 TEST(Fnv1a, MatchesReferenceVectors) {
   // Published FNV-1a 64-bit test vectors.
   EXPECT_EQ(fnv1a_64(""), 0xCBF29CE484222325ULL);

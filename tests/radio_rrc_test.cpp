@@ -258,6 +258,230 @@ TEST_F(RrcFixture, OnlyOneSharedChannelSlot) {
   EXPECT_TRUE(rrc.small_transfer(300, [] {}));  // freed
 }
 
+// --- radio-link failure and re-establishment (DESIGN.md "Radio failure
+// model").  The coverage process normally drives these through
+// net::OutageInjector; here the link-down/up edges are called directly so
+// every branch of the machine is pinned at exact simulated instants.
+
+TEST_F(RrcFixture, ShortFadeIsAbsorbedSilently) {
+  RrcMachine rrc = make();
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(config.idle_to_dch_delay + 0.5);
+  ASSERT_EQ(rrc.state(), RrcState::kDch);
+
+  // Fade shorter than the T313 detection window: nothing happens.
+  rrc.radio_link_down();
+  sim.run_until(sim.now() + config.rlf_detect / 2);
+  rrc.radio_link_up();
+  sim.run_until(sim.now() + config.rlf_detect * 2);
+  EXPECT_EQ(rrc.state(), RrcState::kDch);
+  EXPECT_EQ(rrc.rlf_count(), 0);
+  EXPECT_DOUBLE_EQ(rrc.time_in(RrcState::kOutOfService), 0.0);
+  EXPECT_EQ(rrc.active_transfers(), 1);
+  rrc.end_transfer();
+}
+
+TEST_F(RrcFixture, RlfFromDchSettlesTransfersAndCampsOutOfService) {
+  RrcMachine rrc = make();
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(config.idle_to_dch_delay + 0.5);
+  ASSERT_EQ(rrc.state(), RrcState::kDch);
+
+  // The hook fires while the machine is still in the failing state, so the
+  // HTTP layer can observe what was being abandoned.
+  RrcState state_at_rlf = RrcState::kIdle;
+  int transfers_at_rlf = -1;
+  rrc.set_on_rlf([&] {
+    state_at_rlf = rrc.state();
+    transfers_at_rlf = rrc.active_transfers();
+    rrc.end_transfer();
+  });
+  const Seconds down_at = sim.now();
+  rrc.radio_link_down();
+  sim.run_until(down_at + config.rlf_detect + 0.1);
+  EXPECT_EQ(rrc.state(), RrcState::kOutOfService);
+  EXPECT_EQ(rrc.phase(), RadioPhase::kStable);
+  EXPECT_EQ(state_at_rlf, RrcState::kDch);
+  EXPECT_EQ(transfers_at_rlf, 1);
+  EXPECT_EQ(rrc.rlf_count(), 1);
+  EXPECT_EQ(rrc.active_transfers(), 0);
+  EXPECT_DOUBLE_EQ(rrc.power().current_power(), power.out_of_service);
+}
+
+TEST_F(RrcFixture, IdleCoverageLossCampsWithoutRlf) {
+  RrcMachine rrc = make();
+  rrc.radio_link_down();
+  sim.run_until(config.rlf_detect + 0.1);
+  // From IDLE there is no link to fail: the UE just camps out of service.
+  EXPECT_EQ(rrc.state(), RrcState::kOutOfService);
+  EXPECT_EQ(rrc.rlf_count(), 0);
+
+  // No RLF context, so recovery is plain cell reselection back to IDLE —
+  // no re-establishment exchange.
+  rrc.radio_link_up();
+  EXPECT_EQ(rrc.state(), RrcState::kIdle);
+  EXPECT_EQ(rrc.phase(), RadioPhase::kStable);
+  EXPECT_EQ(rrc.reestablish_ok() + rrc.reestablish_fail(), 0);
+}
+
+TEST_F(RrcFixture, RequestQueuedOutOfServiceFlushesOnReselection) {
+  RrcMachine rrc = make();
+  rrc.radio_link_down();
+  sim.run_until(config.rlf_detect + 0.1);
+  ASSERT_EQ(rrc.state(), RrcState::kOutOfService);
+
+  Seconds ready_at = -1;
+  rrc.request_channel([&] { ready_at = sim.now(); });
+  sim.run_until(sim.now() + 5.0);
+  EXPECT_DOUBLE_EQ(ready_at, -1);  // still waiting: no data path at all
+
+  const Seconds back_at = sim.now();
+  rrc.radio_link_up();
+  sim.run_until(back_at + config.idle_to_dch_delay + 0.1);
+  EXPECT_DOUBLE_EQ(ready_at, back_at + config.idle_to_dch_delay);
+  EXPECT_EQ(rrc.state(), RrcState::kDch);
+}
+
+TEST_F(RrcFixture, ReestablishmentRestoresDchAtConfiguredCost) {
+  RrcMachine rrc = make();
+  rrc.set_on_rlf([&] { rrc.end_transfer(); });
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(config.idle_to_dch_delay + 0.5);
+  rrc.radio_link_down();
+  sim.run_until(sim.now() + config.rlf_detect + 0.1);
+  ASSERT_EQ(rrc.state(), RrcState::kOutOfService);
+  ASSERT_EQ(rrc.rlf_count(), 1);
+
+  // Coverage returns with a dangling RLF context: the UE runs one RRC
+  // re-establishment exchange at promotion-grade power, then is back on DCH.
+  Seconds ready_at = -1;
+  rrc.request_channel([&] { ready_at = sim.now(); });
+  const Seconds back_at = sim.now();
+  rrc.radio_link_up();
+  EXPECT_EQ(rrc.phase(), RadioPhase::kReestablishing);
+  EXPECT_DOUBLE_EQ(rrc.power().current_power(), config.reestablish_power);
+  sim.run_until(back_at + config.reestablish_delay + 0.1);
+  EXPECT_EQ(rrc.state(), RrcState::kDch);
+  EXPECT_EQ(rrc.phase(), RadioPhase::kStable);
+  EXPECT_EQ(rrc.reestablish_ok(), 1);
+  EXPECT_EQ(rrc.reestablish_fail(), 0);
+  EXPECT_DOUBLE_EQ(ready_at, back_at + config.reestablish_delay);
+}
+
+TEST_F(RrcFixture, FailedReestablishmentBacksOffThenReleasesContext) {
+  RrcMachine rrc = make();
+  rrc.set_on_rlf([&] { rrc.end_transfer(); });
+  rrc.set_reestablish_decider([](int) { return false; });
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(config.idle_to_dch_delay + 0.5);
+  rrc.radio_link_down();
+  sim.run_until(sim.now() + config.rlf_detect + 0.1);
+  ASSERT_EQ(rrc.state(), RrcState::kOutOfService);
+
+  Seconds ready_at = -1;
+  rrc.request_channel([&] { ready_at = sim.now(); });
+  const Seconds back_at = sim.now();
+  rrc.radio_link_up();
+
+  // Attempt k spends reestablish_delay signalling, then backs off for
+  // reestablish_backoff * 2^(k-1) camped OUT_OF_SERVICE before attempt k+1.
+  Seconds t = back_at;
+  for (int attempt = 1; attempt <= config.max_reestablish_attempts; ++attempt) {
+    sim.run_until(t + config.reestablish_delay / 2);
+    EXPECT_EQ(rrc.phase(), RadioPhase::kReestablishing);
+    EXPECT_DOUBLE_EQ(rrc.power().current_power(), config.reestablish_power);
+    sim.run_until(t + config.reestablish_delay + 1e-6);
+    EXPECT_EQ(rrc.reestablish_fail(), attempt);
+    t += config.reestablish_delay;
+    if (attempt < config.max_reestablish_attempts) {
+      // Mid-backoff: camped out of service, waiting to retry.
+      const Seconds backoff =
+          config.reestablish_backoff * (1 << (attempt - 1));
+      sim.run_until(t + backoff / 2);
+      EXPECT_EQ(rrc.phase(), RadioPhase::kStable);
+      EXPECT_EQ(rrc.state(), RrcState::kOutOfService);
+      t += backoff;
+    }
+  }
+
+  // Final failure releases the RRC context: back to IDLE, and the waiting
+  // request rebuilds the connection from scratch — the session never wedges.
+  sim.run_until(t + 0.1);
+  EXPECT_EQ(rrc.reestablish_ok(), 0);
+  EXPECT_EQ(rrc.reestablish_fail(), config.max_reestablish_attempts);
+  sim.run_until(t + config.idle_to_dch_delay + 0.1);
+  EXPECT_EQ(rrc.state(), RrcState::kDch);
+  EXPECT_DOUBLE_EQ(ready_at, t + config.idle_to_dch_delay);
+}
+
+TEST_F(RrcFixture, DeciderSucceedsOnConfiguredAttempt) {
+  RrcMachine rrc = make();
+  rrc.set_on_rlf([&] { rrc.end_transfer(); });
+  rrc.set_reestablish_decider([](int attempt) { return attempt == 2; });
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(config.idle_to_dch_delay + 0.5);
+  rrc.radio_link_down();
+  sim.run_until(sim.now() + config.rlf_detect + 0.1);
+  const Seconds back_at = sim.now();
+  rrc.radio_link_up();
+  // fail(1.2) + backoff(0.5) + ok(1.2)
+  const Seconds recovered = back_at + config.reestablish_delay +
+                            config.reestablish_backoff +
+                            config.reestablish_delay;
+  sim.run_until(recovered + 1e-6);
+  EXPECT_EQ(rrc.state(), RrcState::kDch);
+  EXPECT_EQ(rrc.reestablish_fail(), 1);
+  EXPECT_EQ(rrc.reestablish_ok(), 1);
+}
+
+TEST_F(RrcFixture, NestedCoverageLossesMustAllClear) {
+  RrcMachine rrc = make();
+  // Two independent sources (per-UE fade + whole-cell blackout) overlap;
+  // one restoring does not bring the link back.
+  rrc.radio_link_down();
+  rrc.radio_link_down();
+  sim.run_until(config.rlf_detect + 0.1);
+  ASSERT_EQ(rrc.state(), RrcState::kOutOfService);
+  rrc.radio_link_up();
+  sim.run_until(sim.now() + 1.0);
+  EXPECT_EQ(rrc.state(), RrcState::kOutOfService);
+  rrc.radio_link_up();
+  EXPECT_EQ(rrc.state(), RrcState::kIdle);
+}
+
+TEST_F(RrcFixture, OutOfServiceResidencyAndEnergyAreAccounted) {
+  RrcMachine rrc = make();
+  rrc.radio_link_down();
+  sim.run_until(config.rlf_detect + 0.1);
+  ASSERT_EQ(rrc.state(), RrcState::kOutOfService);
+  sim.run_until(sim.now() + 10.0);
+  rrc.radio_link_up();
+  sim.run_until(20.0);
+
+  const Seconds oos = rrc.time_in(RrcState::kOutOfService);
+  EXPECT_NEAR(oos, 10.0 + 0.1, 1e-9);
+  const Seconds total = rrc.time_in(RrcState::kIdle) +
+                        rrc.time_in(RrcState::kFach) +
+                        rrc.time_in(RrcState::kDch) + oos;
+  EXPECT_NEAR(total, 20.0, 1e-9);
+  // Cell search draws more than IDLE but far less than connected signalling.
+  const Joules expected = power.idle * (20.0 - oos) + power.out_of_service * oos;
+  EXPECT_NEAR(rrc.power().energy(0, 20.0), expected, 1e-6);
+}
+
+TEST_F(RrcFixture, ForceIdleRefusedWhileCoverageLost) {
+  RrcMachine rrc = make();
+  rrc.set_on_rlf([&] { rrc.end_transfer(); });
+  rrc.request_channel([&] { rrc.begin_transfer(); });
+  sim.run_until(config.idle_to_dch_delay + 0.5);
+  rrc.radio_link_down();
+  sim.run_until(sim.now() + config.rlf_detect + 0.1);
+  ASSERT_EQ(rrc.state(), RrcState::kOutOfService);
+  // Fast dormancy needs a signalling connection; out of service there is
+  // none to tear down.
+  EXPECT_FALSE(rrc.force_idle());
+}
+
 // Property sweep: timers compose for arbitrary configurations.
 struct TimerParams {
   double t1;
