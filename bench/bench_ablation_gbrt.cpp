@@ -70,8 +70,13 @@ std::vector<double> linear_fit_predict(const gbrt::Dataset& train,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_ablation_gbrt",
+          "reading-time predictor design choices", {"EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header("Ablation", "reading-time predictor design choices");
 
   auto records = bench::build_page_library();

@@ -20,8 +20,13 @@ struct Variant {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_ablation_pipeline",
+          "energy-aware pipeline, one piece off at a time", {"EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header("Ablation", "energy-aware pipeline, one piece off at a time");
 
   const auto specs = corpus::full_benchmark();

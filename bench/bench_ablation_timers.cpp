@@ -27,8 +27,13 @@ Outcome run_with(const std::vector<core::PageVisit>& visits,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_ablation_timers",
+          "RRC timer tuning vs computation reordering", {"EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header("Ablation", "RRC timer tuning vs computation reordering");
 
   // One mixed session: alternating mobile/full pages, reading times spanning

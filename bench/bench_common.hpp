@@ -26,6 +26,7 @@
 #include "core/scenario.hpp"
 #include "core/supervisor.hpp"
 #include "corpus/page_spec.hpp"
+#include "knobs.hpp"
 #include "obs/audit.hpp"
 #include "obs/chrome_trace.hpp"
 #include "radio/outage.hpp"
@@ -110,61 +111,14 @@ inline double saving(double base, double ours) {
   return base <= 0 ? 0 : (base - ours) / base;
 }
 
-/// Strict unsigned-decimal parse for environment values.  Returns false on
-/// anything that is not a plain base-10 number: signs, leading whitespace,
-/// trailing garbage, hex prefixes and out-of-range values all fail.  Every
-/// env knob goes through this so a typo'd override dies loudly instead of
-/// silently running a different sweep than the one asked for.
-inline bool parse_env_u64(const char* raw, std::uint64_t& out) {
-  if (raw == nullptr || *raw == '\0') return false;
-  if (!std::isdigit(static_cast<unsigned char>(raw[0]))) return false;
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0' || errno == ERANGE) return false;
-  out = static_cast<std::uint64_t>(value);
-  return true;
-}
-
-/// Rejects a malformed environment override: names the variable, echoes the
-/// offending value, and exits 2 (distinct from a bench's own failure codes).
-[[noreturn]] inline void die_invalid_env(const char* name, const char* raw,
-                                         const char* expected) {
-  std::fprintf(stderr, "error: %s=\"%s\" is invalid; expected %s\n", name,
-               raw, expected);
-  std::exit(2);
-}
-
-/// Strict non-negative decimal parse for environment values — the floating
-/// point sibling of parse_env_u64.  Accepts plain base-10 numbers with an
-/// optional fraction or exponent ("2", "0.75", "1.5e1"); signs, leading
-/// whitespace, trailing garbage, hex floats and non-finite results all fail.
-inline bool parse_env_f64(const char* raw, double& out) {
-  if (raw == nullptr || *raw == '\0') return false;
-  if (!std::isdigit(static_cast<unsigned char>(raw[0]))) return false;
-  if (std::strchr(raw, 'x') != nullptr || std::strchr(raw, 'X') != nullptr) {
-    return false;  // strtod would accept C99 hex floats
-  }
-  errno = 0;
-  char* end = nullptr;
-  const double value = std::strtod(raw, &end);
-  if (end == raw || *end != '\0' || errno == ERANGE) return false;
-  if (!std::isfinite(value)) return false;
-  out = value;
-  return true;
-}
-
-/// One strictly-parsed floating point knob: unset or empty falls back,
-/// malformed (or non-positive when `positive`) exits 2.
-inline double env_f64_or(const char* name, double fallback, bool positive,
-                         const char* expected) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  double value = 0;
-  if (!parse_env_f64(raw, value) || (positive && value <= 0)) {
-    die_invalid_env(name, raw, expected);
-  }
-  return value;
+/// One strictly-parsed floating point knob from the registry: unset or
+/// empty falls back, malformed (or out of the registered bounds) exits 2.
+/// `positive` and `expected` must match the registered spec — kept in the
+/// signature so legacy call sites stay source-compatible.
+inline double env_f64_or(const char* name, double fallback,
+                         bool /*positive*/ = false,
+                         const char* /*expected*/ = nullptr) {
+  return knobs().f64_or(name, fallback);
 }
 
 /// EAB_OUTAGE_COUNT / _START / _PERIOD / _DURATION / _FAIL_RATE / _SEED:
@@ -172,40 +126,19 @@ inline double env_f64_or(const char* name, double fallback, bool positive,
 /// (bench_ext_faults, bench_fig11_capacity --cell).  EAB_OUTAGE_COUNT unset,
 /// empty or 0 disables the radio-failure subsystem entirely — stdout and
 /// every artifact stay byte-identical to a build without it.  Every value is
-/// strictly parsed (exit 2 on anything malformed), and an enabled plan whose
-/// period does not exceed its duration exits 2 too: overlapping coverage
-/// windows are a typo, not a scenario.
+/// strictly parsed against the registry (exit 2 on anything malformed), and
+/// an enabled plan whose period does not exceed its duration exits 2 too:
+/// overlapping coverage windows are a typo, not a scenario.
 inline radio::OutagePlan outage_plan_from_env() {
   radio::OutagePlan plan;
-  const char* count_raw = std::getenv("EAB_OUTAGE_COUNT");
-  if (count_raw != nullptr && *count_raw != '\0') {
-    std::uint64_t value = 0;
-    if (!parse_env_u64(count_raw, value) || value > 1000) {
-      die_invalid_env("EAB_OUTAGE_COUNT", count_raw,
-                      "a coverage-window count in [0, 1000]");
-    }
-    plan.count = static_cast<int>(value);
-  }
-  plan.start = env_f64_or("EAB_OUTAGE_START", plan.start, false,
-                          "a start time in seconds");
-  plan.period = env_f64_or("EAB_OUTAGE_PERIOD", plan.period, true,
-                           "a window period in seconds > 0");
-  plan.duration = env_f64_or("EAB_OUTAGE_DURATION", plan.duration, true,
-                             "a window duration in seconds > 0");
+  plan.count = static_cast<int>(knobs().u64_or(
+      "EAB_OUTAGE_COUNT", static_cast<std::uint64_t>(plan.count)));
+  plan.start = knobs().f64_or("EAB_OUTAGE_START", plan.start);
+  plan.period = knobs().f64_or("EAB_OUTAGE_PERIOD", plan.period);
+  plan.duration = knobs().f64_or("EAB_OUTAGE_DURATION", plan.duration);
   plan.reestablish_fail_rate =
-      env_f64_or("EAB_OUTAGE_FAIL_RATE", plan.reestablish_fail_rate, false,
-                 "a re-establishment failure rate in [0, 1]");
-  if (plan.reestablish_fail_rate > 1.0) {
-    const char* raw = std::getenv("EAB_OUTAGE_FAIL_RATE");
-    die_invalid_env("EAB_OUTAGE_FAIL_RATE", raw == nullptr ? "" : raw,
-                    "a re-establishment failure rate in [0, 1]");
-  }
-  const char* seed_raw = std::getenv("EAB_OUTAGE_SEED");
-  if (seed_raw != nullptr && *seed_raw != '\0') {
-    if (!parse_env_u64(seed_raw, plan.seed)) {
-      die_invalid_env("EAB_OUTAGE_SEED", seed_raw, "an unsigned decimal seed");
-    }
-  }
+      knobs().f64_or("EAB_OUTAGE_FAIL_RATE", plan.reestablish_fail_rate);
+  plan.seed = knobs().u64_or("EAB_OUTAGE_SEED", plan.seed);
   if (plan.count > 0 && plan.period <= plan.duration) {
     const char* raw = std::getenv("EAB_OUTAGE_PERIOD");
     die_invalid_env("EAB_OUTAGE_PERIOD", raw == nullptr ? "" : raw,
@@ -221,13 +154,7 @@ inline radio::OutagePlan outage_plan_from_env() {
 /// falls back to `fallback`; a malformed value is an error (exit 2), never
 /// a silent default.
 inline std::uint64_t fault_seed_from_env(std::uint64_t fallback) {
-  const char* raw = std::getenv("EAB_FAULT_SEED");
-  if (raw == nullptr || *raw == '\0') return fallback;
-  std::uint64_t value = 0;
-  if (!parse_env_u64(raw, value)) {
-    die_invalid_env("EAB_FAULT_SEED", raw, "an unsigned decimal seed");
-  }
-  return value;
+  return knobs().u64_or("EAB_FAULT_SEED", fallback);
 }
 
 /// EAB_TRACE=1 turns structured tracing on in the harnesses that honor it:
@@ -236,34 +163,21 @@ inline std::uint64_t fault_seed_from_env(std::uint64_t fallback) {
 /// tracing never changes results, but the recordings cost memory.  Any
 /// other value is an error (exit 2): "EAB_TRACE=yes" must not silently run
 /// untraced.
-inline bool trace_enabled() {
-  const char* raw = std::getenv("EAB_TRACE");
-  if (raw == nullptr || *raw == '\0') return false;
-  if (raw[0] == '0' && raw[1] == '\0') return false;
-  if (raw[0] == '1' && raw[1] == '\0') return true;
-  die_invalid_env("EAB_TRACE", raw, "\"0\" or \"1\"");
-}
+inline bool trace_enabled() { return knobs().flag("EAB_TRACE"); }
 
 /// Chaos sweep width: EAB_CHAOS_SEEDS overrides the default scenario count
 /// (the checked contract runs 256).  Strictly parsed; 0 is rejected — an
 /// empty sweep proves nothing.
 inline int chaos_seed_count_from_env(int fallback) {
-  const char* raw = std::getenv("EAB_CHAOS_SEEDS");
-  if (raw == nullptr || *raw == '\0') return fallback;
-  std::uint64_t value = 0;
-  if (!parse_env_u64(raw, value) || value == 0 || value > 1000000) {
-    die_invalid_env("EAB_CHAOS_SEEDS", raw,
-                    "a scenario count in [1, 1000000]");
-  }
-  return static_cast<int>(value);
+  return static_cast<int>(
+      knobs().u64_or("EAB_CHAOS_SEEDS", static_cast<std::uint64_t>(fallback)));
 }
 
 /// Optional directory for chaos artifacts (EAB_CHAOS_OUT): every shrunk
 /// reproducer found by a sweep is written there as replayable JSON.  Empty
 /// = no dumps.
 inline std::string chaos_out_dir() {
-  const char* raw = std::getenv("EAB_CHAOS_OUT");
-  return raw == nullptr ? std::string() : std::string(raw);
+  return knobs().path_or_empty("EAB_CHAOS_OUT");
 }
 
 /// Optional directory for Chrome-trace dumps (EAB_TRACE_OUT).  When set and
@@ -271,8 +185,7 @@ inline std::string chaos_out_dir() {
 /// `<dir>/<label>.trace.json` for Perfetto / chrome://tracing.  Empty = no
 /// dumps.
 inline std::string trace_out_dir() {
-  const char* raw = std::getenv("EAB_TRACE_OUT");
-  return raw == nullptr ? std::string() : std::string(raw);
+  return knobs().path_or_empty("EAB_TRACE_OUT");
 }
 
 /// printf-append into a string: the building block the benches use to
@@ -309,69 +222,41 @@ inline bool write_artifact(const std::string& path, std::string_view contents) {
 /// heartbeats, crash restarts, and — with EAB_CHECKPOINT_DIR — durable
 /// resume.  Results are bit-identical either way; "0"/unset/empty keeps the
 /// in-process BatchRunner path.  Anything else exits 2.
-inline bool supervise_enabled() {
-  const char* raw = std::getenv("EAB_SUPERVISE");
-  if (raw == nullptr || *raw == '\0') return false;
-  if (raw[0] == '0' && raw[1] == '\0') return false;
-  if (raw[0] == '1' && raw[1] == '\0') return true;
-  die_invalid_env("EAB_SUPERVISE", raw, "\"0\" or \"1\"");
-}
+inline bool supervise_enabled() { return knobs().flag("EAB_SUPERVISE"); }
 
 /// EAB_WORKERS: concurrent worker processes for supervised sweeps.  Unset
 /// or empty resolves to hardware_concurrency; malformed or out of [1, 1024]
 /// exits 2.
 inline int workers_from_env() {
-  const char* raw = std::getenv("EAB_WORKERS");
-  if (raw == nullptr || *raw == '\0') return 0;  // resolve_workers default
-  std::uint64_t value = 0;
-  if (!parse_env_u64(raw, value) || value == 0 || value > 1024) {
-    die_invalid_env("EAB_WORKERS", raw, "a worker count in [1, 1024]");
-  }
-  return static_cast<int>(value);
+  // 0 = resolve_workers default (hardware concurrency).
+  return static_cast<int>(knobs().u64_or("EAB_WORKERS", 0));
 }
 
 /// EAB_CHECKPOINT_DIR: directory for supervised sweeps' durable checkpoint
 /// journals.  Empty = supervise without durability (no resume).
 inline std::string checkpoint_dir() {
-  const char* raw = std::getenv("EAB_CHECKPOINT_DIR");
-  return raw == nullptr ? std::string() : std::string(raw);
+  return knobs().path_or_empty("EAB_CHECKPOINT_DIR");
 }
 
 /// EAB_SELF_CHAOS: seed for the supervisor's self-chaos kill schedule
 /// (0/unset = off); the crash-recovery soak sets this and byte-compares the
 /// recovered outputs against an uninterrupted run.  Malformed exits 2.
 inline std::uint64_t self_chaos_seed_from_env() {
-  const char* raw = std::getenv("EAB_SELF_CHAOS");
-  if (raw == nullptr || *raw == '\0') return 0;
-  std::uint64_t value = 0;
-  if (!parse_env_u64(raw, value)) {
-    die_invalid_env("EAB_SELF_CHAOS", raw, "an unsigned decimal seed");
-  }
-  return value;
+  return knobs().u64_or("EAB_SELF_CHAOS", 0);
 }
 
 /// EAB_SELF_CHAOS_KILLS: worker SIGKILLs injected per launch (needs
 /// EAB_SELF_CHAOS).  Capped at 64 — a kill schedule longer than any sweep
 /// is a typo, not a soak.  Malformed exits 2.
 inline int self_chaos_kills_from_env() {
-  const char* raw = std::getenv("EAB_SELF_CHAOS_KILLS");
-  if (raw == nullptr || *raw == '\0') return 0;
-  std::uint64_t value = 0;
-  if (!parse_env_u64(raw, value) || value > 64) {
-    die_invalid_env("EAB_SELF_CHAOS_KILLS", raw, "a kill count in [0, 64]");
-  }
-  return static_cast<int>(value);
+  return static_cast<int>(knobs().u64_or("EAB_SELF_CHAOS_KILLS", 0));
 }
 
 /// EAB_SELF_CHAOS_ORC=1: additionally SIGKILL the orchestrator itself once,
 /// right after a durable checkpoint commit, on the first launch (needs
 /// EAB_SELF_CHAOS and EAB_CHECKPOINT_DIR).  "0"/unset = off; else exit 2.
 inline bool self_chaos_orchestrator_enabled() {
-  const char* raw = std::getenv("EAB_SELF_CHAOS_ORC");
-  if (raw == nullptr || *raw == '\0') return false;
-  if (raw[0] == '0' && raw[1] == '\0') return false;
-  if (raw[0] == '1' && raw[1] == '\0') return true;
-  die_invalid_env("EAB_SELF_CHAOS_ORC", raw, "\"0\" or \"1\"");
+  return knobs().flag("EAB_SELF_CHAOS_ORC");
 }
 
 /// EAB_TELEMETRY=1 turns simulated-time telemetry on in the harnesses that
@@ -380,51 +265,25 @@ inline bool self_chaos_orchestrator_enabled() {
 /// BENCH_*.timeseries.json artifact.  Off by default (unset, empty or "0"):
 /// disabled runs are bit-identical — sim_events and every artifact included
 /// — to a build without the telemetry layer.  Anything else exits 2.
-inline bool telemetry_enabled() {
-  const char* raw = std::getenv("EAB_TELEMETRY");
-  if (raw == nullptr || *raw == '\0') return false;
-  if (raw[0] == '0' && raw[1] == '\0') return false;
-  if (raw[0] == '1' && raw[1] == '\0') return true;
-  die_invalid_env("EAB_TELEMETRY", raw, "\"0\" or \"1\"");
-}
+inline bool telemetry_enabled() { return knobs().flag("EAB_TELEMETRY"); }
 
 /// EAB_TELEMETRY_TICK: sampling period in whole simulated seconds (needs
 /// EAB_TELEMETRY=1).  Default 5; malformed or out of [1, 86400] exits 2.
 inline Seconds telemetry_tick_from_env() {
-  const char* raw = std::getenv("EAB_TELEMETRY_TICK");
-  if (raw == nullptr || *raw == '\0') return 5.0;
-  std::uint64_t value = 0;
-  if (!parse_env_u64(raw, value) || value == 0 || value > 86400) {
-    die_invalid_env("EAB_TELEMETRY_TICK", raw,
-                    "a sampling period in seconds in [1, 86400]");
-  }
-  return static_cast<Seconds>(value);
+  return static_cast<Seconds>(knobs().u64_or("EAB_TELEMETRY_TICK", 5));
 }
 
 /// EAB_TELEMETRY_BUDGET: per-series point budget before power-of-two merge
 /// downsampling kicks in.  Default 256; malformed or out of [2, 1048576]
 /// exits 2.
 inline std::size_t telemetry_budget_from_env() {
-  const char* raw = std::getenv("EAB_TELEMETRY_BUDGET");
-  if (raw == nullptr || *raw == '\0') return 256;
-  std::uint64_t value = 0;
-  if (!parse_env_u64(raw, value) || value < 2 || value > 1048576) {
-    die_invalid_env("EAB_TELEMETRY_BUDGET", raw,
-                    "a point budget in [2, 1048576]");
-  }
-  return static_cast<std::size_t>(value);
+  return static_cast<std::size_t>(knobs().u64_or("EAB_TELEMETRY_BUDGET", 256));
 }
 
 /// EAB_PROGRESS=1 turns on the supervisor's live wall-clock progress lines
 /// (stderr, throttled to ~1 Hz).  Off by default; purely observational —
 /// results are bit-identical either way.  Anything else exits 2.
-inline bool progress_enabled() {
-  const char* raw = std::getenv("EAB_PROGRESS");
-  if (raw == nullptr || *raw == '\0') return false;
-  if (raw[0] == '0' && raw[1] == '\0') return false;
-  if (raw[0] == '1' && raw[1] == '\0') return true;
-  die_invalid_env("EAB_PROGRESS", raw, "\"0\" or \"1\"");
-}
+inline bool progress_enabled() { return knobs().flag("EAB_PROGRESS"); }
 
 /// Assembles the supervised-sweep config from the environment knobs above.
 /// `journal_name` is the per-sweep journal file under EAB_CHECKPOINT_DIR;

@@ -30,8 +30,13 @@ Totals run(const std::vector<core::PageVisit>& visits,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_ext_cache",
+          "session cache x computation reordering", {"EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header("Extension", "session cache x computation reordering");
 
   // Revisit-heavy session: the user reads a page, follows a link, comes

@@ -93,4 +93,13 @@ int run() {
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) {
+  if (eab::bench::maybe_print_help(
+          argc, argv, "bench_ext_chaos",
+          "randomized chaos sweep over the full stack's determinism and "
+          "liveness contracts",
+          {"EAB_CHAOS_SEEDS", "EAB_CHAOS_OUT", "EAB_JOBS"})) {
+    return 0;
+  }
+  return run();
+}

@@ -141,8 +141,22 @@ OutageRow measure_outage(const radio::OutagePlan& base, double fail_rate,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_ext_faults",
+          "page loads on a faulty 3G link", {"EAB_FAULT_SEED",
+          "EAB_TRACE",
+          "EAB_TRACE_OUT",
+          "EAB_OUTAGE_COUNT",
+          "EAB_OUTAGE_START",
+          "EAB_OUTAGE_PERIOD",
+          "EAB_OUTAGE_DURATION",
+          "EAB_OUTAGE_FAIL_RATE",
+          "EAB_OUTAGE_SEED",
+          "EAB_JOBS"})) {
+    return 0;
+  }
   const std::uint64_t seed = bench::fault_seed_from_env(20130707);
   bench::print_header("Extension", "page loads on a faulty 3G link");
   std::printf("fault seed %llu (override with EAB_FAULT_SEED)\n\n",

@@ -46,8 +46,13 @@ void report(const radio::RadioProfile& profile) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_ext_lte_profile",
+          "the technique on UMTS vs LTE", {"EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header("Extension", "the technique on UMTS vs LTE");
   report(radio::umts_profile());
   report(radio::lte_profile());

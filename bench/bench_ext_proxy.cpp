@@ -51,8 +51,13 @@ void report(const std::string& label, const std::vector<corpus::PageSpec>& specs
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_ext_proxy",
+          "on-device reordering vs rendering proxy", {"EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header("Extension", "on-device reordering vs rendering proxy");
   report("full benchmark", corpus::full_benchmark());
   report("mobile benchmark", corpus::mobile_benchmark());

@@ -11,8 +11,13 @@
 #include "net/socket_downloader.hpp"
 #include "sim/simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_fig01_power_states",
+          "3G radio power across IDLE/DCH/FACH states", {})) {
+    return 0;
+  }
   bench::print_header("Fig 1", "3G radio power across IDLE/DCH/FACH states");
 
   core::StackConfig config;

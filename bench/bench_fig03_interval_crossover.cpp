@@ -53,8 +53,13 @@ CycleResult run_cycle(Seconds interval, bool intuitive) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_fig03_interval_crossover",
+          "energy vs transfer interval: timer-driven vs always-IDLE", {"EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header(
       "Fig 3", "energy vs transfer interval: timer-driven vs always-IDLE");
 

@@ -7,8 +7,13 @@
 // is the reproduced result.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_fig04_traffic_shape",
+          "traffic shape: browser load vs socket bulk", {"EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header("Fig 4", "traffic shape: browser load vs socket bulk");
 
   const corpus::PageSpec page = corpus::espn_sports_spec();

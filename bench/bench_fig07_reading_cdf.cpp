@@ -8,8 +8,13 @@
 
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_fig07_reading_cdf",
+          "cumulative distribution of reading time", {"EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header("Fig 7", "cumulative distribution of reading time");
 
   auto records = bench::build_page_library();

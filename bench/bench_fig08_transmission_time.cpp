@@ -31,8 +31,13 @@ void report_pair(const std::string& label, const bench::BenchmarkAverages& orig,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_fig08_transmission_time",
+          "data transmission time and total loading time", {"EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header("Fig 8", "data transmission time and total loading time");
 
   const auto orig_cfg =

@@ -9,8 +9,13 @@
 // appear in the same order with the same level relationships.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_fig09_power_trace",
+          "power trace loading espn.go.com/sports", {"EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header("Fig 9", "power trace loading espn.go.com/sports");
 
   const corpus::PageSpec page = corpus::espn_sports_spec();

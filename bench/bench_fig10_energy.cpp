@@ -44,8 +44,15 @@ int report(const std::string& label, const std::vector<corpus::PageSpec>& specs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_fig10_energy",
+          "energy for opening a page + 20 s of reading", {"EAB_TRACE",
+          "EAB_TRACE_OUT",
+          "EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header("Fig 10", "energy for opening a page + 20 s of reading");
 
   int audit_failures = 0;

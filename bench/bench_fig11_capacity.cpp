@@ -114,16 +114,6 @@ struct CellBenchParams {
   Seconds cell_outage_duration = 5.0;
 };
 
-std::uint64_t cell_env_u64(const char* name, std::uint64_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  std::uint64_t value = 0;
-  if (!bench::parse_env_u64(raw, value)) {
-    bench::die_invalid_env(name, raw, "an unsigned decimal number");
-  }
-  return value;
-}
-
 cell::CellConfig cell_config(browser::PipelineMode mode,
                              const CellBenchParams& params) {
   cell::CellConfig config;
@@ -155,22 +145,12 @@ int run_cell_mode() {
       "first-principles shared-cell co-simulation vs the M/G/N model");
 
   CellBenchParams params;
-  params.seed = cell_env_u64("EAB_CELL_SEED", params.seed);
-  const std::uint64_t max_users =
-      cell_env_u64("EAB_CELL_USERS", static_cast<std::uint64_t>(params.max_users));
-  if (max_users == 0 || max_users > 512) {
-    bench::die_invalid_env("EAB_CELL_USERS", std::getenv("EAB_CELL_USERS"),
-                    "a user count in [1, 512]");
-  }
-  params.max_users = static_cast<int>(max_users);
+  params.seed = bench::knobs().u64_or("EAB_CELL_SEED", params.seed);
+  params.max_users = static_cast<int>(bench::knobs().u64_or(
+      "EAB_CELL_USERS", static_cast<std::uint64_t>(params.max_users)));
   // Event-queue shards per cell simulator (perf-only: the sharded merge is
   // bit-identical to the single-queue engine for every value).
-  const std::uint64_t shards = cell_env_u64("EAB_CELL_SHARDS", 1);
-  if (shards == 0 || shards > 256) {
-    bench::die_invalid_env("EAB_CELL_SHARDS", std::getenv("EAB_CELL_SHARDS"),
-                           "a shard count in [1, 256]");
-  }
-  g_cell_shards = static_cast<int>(shards);
+  g_cell_shards = static_cast<int>(bench::knobs().u64_or("EAB_CELL_SHARDS", 1));
   // Telemetry knobs are parsed strictly even when sampling stays off, so a
   // typo'd EAB_TELEMETRY_TICK dies loudly instead of silently idling.
   g_telemetry_budget = bench::telemetry_budget_from_env();
@@ -180,22 +160,14 @@ int run_cell_mode() {
   // EAB_CELL_OUTAGE_* schedules whole-cell blackouts.  Both default off; any
   // default combination keeps stdout and every artifact byte-identical.
   params.ue_outage = bench::outage_plan_from_env();
-  const std::uint64_t cell_outages = cell_env_u64("EAB_CELL_OUTAGE_COUNT", 0);
-  if (cell_outages > 1000) {
-    bench::die_invalid_env("EAB_CELL_OUTAGE_COUNT",
-                           std::getenv("EAB_CELL_OUTAGE_COUNT"),
-                           "a blackout count in [0, 1000]");
-  }
-  params.cell_outage_count = static_cast<int>(cell_outages);
+  params.cell_outage_count =
+      static_cast<int>(bench::knobs().u64_or("EAB_CELL_OUTAGE_COUNT", 0));
   params.cell_outage_start =
-      bench::env_f64_or("EAB_CELL_OUTAGE_START", params.cell_outage_start,
-                        false, "a start time in seconds");
-  params.cell_outage_period =
-      bench::env_f64_or("EAB_CELL_OUTAGE_PERIOD", params.cell_outage_period,
-                        true, "a blackout period in seconds > 0");
-  params.cell_outage_duration =
-      bench::env_f64_or("EAB_CELL_OUTAGE_DURATION", params.cell_outage_duration,
-                        true, "a blackout duration in seconds > 0");
+      bench::knobs().f64_or("EAB_CELL_OUTAGE_START", params.cell_outage_start);
+  params.cell_outage_period = bench::knobs().f64_or("EAB_CELL_OUTAGE_PERIOD",
+                                                    params.cell_outage_period);
+  params.cell_outage_duration = bench::knobs().f64_or(
+      "EAB_CELL_OUTAGE_DURATION", params.cell_outage_duration);
   if (params.cell_outage_count > 0 &&
       params.cell_outage_period <= params.cell_outage_duration) {
     const char* raw = std::getenv("EAB_CELL_OUTAGE_PERIOD");
@@ -476,6 +448,21 @@ int run_cell_mode() {
 
 int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_fig11_capacity [--cell]",
+          "network capacity: drop probability vs users (--cell runs the "
+          "first-principles shared-cell co-simulation)",
+          {"EAB_CELL_SEED", "EAB_CELL_USERS", "EAB_CELL_SHARDS",
+           "EAB_CELL_OUTAGE_COUNT", "EAB_CELL_OUTAGE_START",
+           "EAB_CELL_OUTAGE_PERIOD", "EAB_CELL_OUTAGE_DURATION",
+           "EAB_OUTAGE_COUNT", "EAB_OUTAGE_START", "EAB_OUTAGE_PERIOD",
+           "EAB_OUTAGE_DURATION", "EAB_OUTAGE_FAIL_RATE", "EAB_OUTAGE_SEED",
+           "EAB_TELEMETRY", "EAB_TELEMETRY_TICK", "EAB_TELEMETRY_BUDGET",
+           "EAB_SUPERVISE", "EAB_WORKERS", "EAB_CHECKPOINT_DIR",
+           "EAB_SELF_CHAOS", "EAB_SELF_CHAOS_KILLS", "EAB_SELF_CHAOS_ORC",
+           "EAB_PROGRESS", "EAB_JOBS"})) {
+    return 0;
+  }
   if (argc > 1) {
     if (std::strcmp(argv[1], "--cell") == 0) return run_cell_mode();
     std::fprintf(stderr, "usage: %s [--cell]\n", argv[0]);

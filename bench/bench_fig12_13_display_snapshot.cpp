@@ -9,8 +9,13 @@
 
 #include "browser/text_render.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_fig12_13_display_snapshot",
+          "intermediate and final display of espn.go.com/sports", {"EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header("Figs 12/13",
                       "intermediate and final display of espn.go.com/sports");
 

@@ -31,8 +31,13 @@ void report(const std::string& label, const std::vector<corpus::PageSpec>& specs
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_fig14_display_time",
+          "average screen display times", {"EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header("Fig 14", "average screen display times");
   report("full benchmark", corpus::full_benchmark(), 0.455, 0.168);
   // Mobile: no paper number for first display (EA draws none) — the final

@@ -34,8 +34,13 @@ double accuracy_at(const gbrt::GbrtModel& model, const gbrt::Dataset& test,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_fig15_prediction_accuracy",
+          "prediction accuracy with/without interest threshold", {"EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header("Fig 15",
                       "prediction accuracy with/without interest threshold");
 

@@ -68,8 +68,15 @@ SessionTotals run_policy(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_fig16_policies",
+          "power and delay saving of the six policies", {"EAB_TRACE",
+          "EAB_TRACE_OUT",
+          "EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header("Fig 16", "power and delay saving of the six policies");
 
   // Build the page library, the user trace and the trained predictor.

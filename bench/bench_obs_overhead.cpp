@@ -108,8 +108,13 @@ bool same_workload(const cell::CellResult& a, const cell::CellResult& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_obs_overhead",
+          "tracing cost on the 64-load batch sweep", {"EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header("Obs overhead", "tracing cost on the 64-load batch sweep");
 
   const int kReps = 3;

@@ -143,21 +143,20 @@ double best_of_seeded(int repeats,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_sim_micro",
+          "event-engine ops/s with no browser stack attached",
+          {"EAB_SIM_MICRO_N"})) {
+    return 0;
+  }
   bench::print_header("Sim micro",
                       "event-engine ops/s with no browser stack attached");
 
   // EAB_SIM_MICRO_N scales every phase (strict parse; default 1M ops each).
-  std::uint64_t n = 1'000'000;
-  if (const char* raw = std::getenv("EAB_SIM_MICRO_N");
-      raw != nullptr && *raw != '\0') {
-    if (!bench::parse_env_u64(raw, n) || n == 0) {
-      bench::die_invalid_env("EAB_SIM_MICRO_N", raw,
-                             "a positive op count per phase");
-    }
-  }
-  const auto count = static_cast<std::size_t>(n);
+  const auto count = static_cast<std::size_t>(
+      bench::knobs().u64_or("EAB_SIM_MICRO_N", 1'000'000));
   constexpr int kRepeats = 3;  // best-of to shed scheduler noise
 
   std::uint64_t sink = 0;  // fired-action side effect the optimizer must keep

@@ -8,8 +8,13 @@
 
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_table4_correlation",
+          "Pearson correlation: reading time vs features", {"EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header("Table 4", "Pearson correlation: reading time vs features");
 
   auto records = bench::build_page_library();

@@ -8,8 +8,13 @@
 #include "net/socket_downloader.hpp"
 #include "sim/simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_table5_state_power",
+          "whole-phone power per state", {})) {
+    return 0;
+  }
   bench::print_header("Table 5", "whole-phone power per state");
 
   core::StackConfig config;

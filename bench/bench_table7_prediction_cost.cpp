@@ -17,6 +17,7 @@
 
 #include "browser/features.hpp"
 #include "gbrt/model.hpp"
+#include "knobs.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -86,6 +87,11 @@ void print_paper_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (eab::bench::maybe_print_help(
+          argc, argv, "bench_table7_prediction_cost",
+          "wall-clock cost of one reading-time prediction", {})) {
+    return 0;
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_paper_table();

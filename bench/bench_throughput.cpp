@@ -52,8 +52,13 @@ bool identical(const core::SingleLoadResult& a, const core::SingleLoadResult& b)
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eab;
+  if (bench::maybe_print_help(
+          argc, argv, "bench_throughput",
+          "batch engine: serial vs parallel vs memo-cache replay", {"EAB_JOBS"})) {
+    return 0;
+  }
   bench::print_header("Throughput",
                       "batch engine: serial vs parallel vs memo-cache replay");
 

@@ -159,6 +159,40 @@ cmake --build build-asan -j "$JOBS" \
 ./build-asan/tests/core_supervisor_test
 ./build-asan/tests/core_checkpoint_test
 
+echo "== metro: multi-cell mobility determinism + ASan sweep =="
+# Tier-1 metro suites in the regular build: the full metro contract
+# (1-cell ≡ run_cell bytes, tier/shard invariance, ledger conservation,
+# audited mobility traces) plus the forced-handover boundary matrix.
+./build/tests/metro_test
+./build/tests/metro_handover_boundary_test
+# 16 mobility seeds under ASan: a handover pauses flows mid-fetch and
+# re-routes them through another scheduler, a refused admission aborts the
+# load from inside the move — ASan guards those cross-cell lifetimes.
+cmake --build build-asan -j "$JOBS" \
+  --target metro_test --target metro_handover_boundary_test
+EAB_METRO_SWEEP_SEEDS=16 ./build-asan/tests/metro_test \
+  --gtest_filter='MetroTest.MobilitySeedSweepStaysClean:MetroTest.MobilityLedgerConserves'
+./build-asan/tests/metro_handover_boundary_test
+# Disabled-mobility gate: a 1-cell, zero-dwell metro must reproduce plain
+# cell::run_cell byte for byte (telemetry and outages included).
+./build/tests/metro_test \
+  --gtest_filter='MetroTest.OneCellZeroMobilityIsByteIdenticalToRunCell:MetroTest.OneCellTelemetryAndOutagesStillMatchRunCell'
+# End-to-end acceptance: BENCH_metro.json byte-identical across serial,
+# sharded (K=4) and supervised runs of the same metro sweep.
+metro=build/bench/metro_check
+rm -rf "$metro"
+mkdir -p "$metro"
+metro_env="EAB_METRO_GRID_W=2 EAB_METRO_GRID_H=2 EAB_METRO_USERS=6 EAB_METRO_HORIZON=120"
+(cd build/bench && env $metro_env ./bench_metro > metro_check/ref_stdout.txt)
+cp build/bench/BENCH_metro.json "$metro/ref_metro.json"
+(cd build/bench && env $metro_env EAB_METRO_SHARDS=4 ./bench_metro > /dev/null)
+cmp "$metro/ref_metro.json" build/bench/BENCH_metro.json
+(cd build/bench && env $metro_env EAB_SUPERVISE=1 EAB_WORKERS=2 \
+  ./bench_metro > metro_check/sup_stdout.txt 2>> metro_check/sup_stderr.txt)
+cmp "$metro/ref_metro.json" build/bench/BENCH_metro.json
+cmp "$metro/ref_stdout.txt" "$metro/sup_stdout.txt"
+echo "metro sweep byte-identical across serial/sharded/supervised"
+
 echo "== telemetry: determinism suite + overhead gate + cross-mode bytes =="
 # The telemetry ladder (DESIGN.md §11): integer-quanta merge associativity,
 # codec corruption rejection, and the sampling-never-bends-the-workload

@@ -2,27 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
-#include <optional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
-#include "browser/cpu.hpp"
-#include "browser/pipeline.hpp"
-#include "core/ril.hpp"
-#include "corpus/generator.hpp"
-#include "net/cache.hpp"
-#include "net/fault.hpp"
-#include "net/http_client.hpp"
-#include "net/outage.hpp"
-#include "net/shared_link.hpp"
-#include "net/web_server.hpp"
-#include "radio/rrc.hpp"
+#include "cell/cell_sim.hpp"
+#include "core/sweep.hpp"
 #include "sim/simulator.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
-#include "util/timeline.hpp"
 
 namespace eab::cell {
 
@@ -34,692 +23,52 @@ const char* to_string(SharePolicy policy) {
   return "?";
 }
 
-namespace {
-
-// Sub-stream indices under each UE's derive_seed(cell_seed, ue_id) root.
-// Session load seeds use the session index directly, so these sit far
-// outside any plausible session count.
-constexpr std::uint64_t kArrivalStream = 0x00A1'55EE'0000'0001ULL;
-constexpr std::uint64_t kFaultStream = 0x00A1'55EE'0000'0002ULL;
-constexpr std::uint64_t kGeneratorStream = 0x00A1'55EE'0000'0003ULL;
-constexpr std::uint64_t kOutageStream = 0x00A1'55EE'0000'0004ULL;
-
-/// Proportional-fair reference volume: a UE that has already pulled this
-/// many bytes weighs half of a fresh one.
-constexpr double kFairShareRefBytes = 1024.0 * 1024.0;
-
-void validate(const CellConfig& config) {
-  // Re-validates the per-UE template exactly as every single-UE experiment
-  // is validated; a Scenario assembled by hand gets the same checks here.
-  core::ScenarioBuilder()
-      .stack(config.per_ue.stack)
-      .reading_window(config.per_ue.reading_window)
-      .seed(config.per_ue.seed)
-      .build();
-  if (config.specs.empty()) {
-    throw std::invalid_argument("run_cell: specs must be non-empty");
-  }
-  if (config.users < 1) {
-    throw std::invalid_argument("run_cell: users must be >= 1");
-  }
-  if (config.channels < 1) {
-    throw std::invalid_argument("run_cell: channels must be >= 1");
-  }
-  if (config.cell_bandwidth < 0) {
-    throw std::invalid_argument("run_cell: cell_bandwidth must be >= 0");
-  }
-  if (!(config.mean_think_time > 0)) {
-    throw std::invalid_argument("run_cell: mean_think_time must be > 0");
-  }
-  if (!(config.horizon > 0)) {
-    throw std::invalid_argument("run_cell: horizon must be > 0");
-  }
-  if (config.abort_rate < 0 || config.abort_rate > 1) {
-    throw std::invalid_argument("run_cell: abort_rate must be in [0, 1]");
-  }
-  if (config.sim_event_budget == 0) {
-    throw std::invalid_argument("run_cell: sim_event_budget must be > 0");
-  }
-  if (config.sim_shards < 1 || config.sim_shards > 256) {
-    throw std::invalid_argument("run_cell: sim_shards must be in [1, 256] (got " +
-                                std::to_string(config.sim_shards) + ")");
-  }
-  if (config.telemetry_tick < 0 || !std::isfinite(config.telemetry_tick)) {
-    throw std::invalid_argument(
-        "run_cell: telemetry_tick must be >= 0 and finite");
-  }
-  if (config.telemetry_tick > 0 && config.telemetry_budget < 2) {
-    throw std::invalid_argument("run_cell: telemetry_budget must be >= 2");
-  }
-  if (config.cell_outage_count < 0) {
-    throw std::invalid_argument("run_cell: cell_outage_count must be >= 0");
+CellResult run_cell(const CellConfig& config) {
+  validate_cell_config(config);
+  sim::Simulator sim;
+  sim.set_event_budget(config.sim_event_budget);
+  sim.set_shard_count(config.sim_shards);
+  TickCoordinator ticks;
+  const bool telemetry = config.telemetry_tick > 0;
+  CellSim cell(sim, config, /*cell_index=*/0, /*shard_base=*/0,
+               telemetry ? &ticks : nullptr);
+  std::vector<std::unique_ptr<CellUe>> ues;
+  ues.reserve(config.users);
+  for (int id = 0; id < config.users; ++id) {
+    // Everything a UE schedules — from wiring-time fade windows and cache
+    // storms to every event its sessions spawn (children inherit the
+    // firing event's shard) — lands on the UE's own shard.
+    sim.set_schedule_shard(id % config.sim_shards);
+    ues.push_back(cell.make_ue(
+        id, derive_seed(config.cell_seed, static_cast<std::uint64_t>(id))));
   }
   if (config.cell_outage_count > 0) {
-    if (!(config.cell_outage_start >= 0) ||
-        !std::isfinite(config.cell_outage_start)) {
-      throw std::invalid_argument(
-          "run_cell: cell_outage_start must be >= 0 and finite");
-    }
-    if (!(config.cell_outage_duration > 0) ||
-        !std::isfinite(config.cell_outage_duration)) {
-      throw std::invalid_argument(
-          "run_cell: cell_outage_duration must be > 0 and finite");
-    }
-    if (!(config.cell_outage_period > config.cell_outage_duration) ||
-        !std::isfinite(config.cell_outage_period)) {
-      throw std::invalid_argument(
-          "run_cell: cell_outage_period must exceed cell_outage_duration "
-          "(windows must not overlap) and be finite");
-    }
+    // Whole-cell events touch every UE, so they live on shard 0 like the
+    // telemetry tick; the merged fire order is shard-count-invariant.
+    sim.set_schedule_shard(0);
+    cell.schedule_cell_outages();
   }
-}
-
-class CellSim {
- public:
-  explicit CellSim(const CellConfig& config)
-      : config_(config),
-        per_ue_rate_(config.per_ue.stack.link.dch_bandwidth),
-        cell_rate_(config.cell_bandwidth > 0
-                       ? config.cell_bandwidth
-                       : config.channels * per_ue_rate_),
-        outage_enabled_(config.per_ue.stack.outage.enabled() ||
-                        config.cell_outage_count > 0) {
-    sim_.set_event_budget(config.sim_event_budget);
-    sim_.set_shard_count(config.sim_shards);
-    if (config.telemetry_tick > 0) {
-      obs::TelemetryConfig telemetry_config;
-      telemetry_config.tick = config.telemetry_tick;
-      telemetry_config.point_budget = config.telemetry_budget;
-      telemetry_config.per_ue = config.telemetry_per_ue;
-      telemetry_result_ = std::make_shared<obs::Telemetry>(telemetry_config);
-      telemetry_ = telemetry_result_.get();
-    }
-    grant_.assign(config.users, Grant::kFree);
-    hold_start_.assign(config.users, 0.0);
-    ues_.reserve(config.users);
-    for (int id = 0; id < config.users; ++id) {
-      // Everything a UE schedules — from wiring-time fade windows and cache
-      // storms to every event its sessions spawn (children inherit the
-      // firing event's shard) — lands on the UE's own shard.
-      sim_.set_schedule_shard(id % config.sim_shards);
-      ues_.push_back(std::make_unique<Ue>(sim_, config_, id));
-      wire(*ues_.back());
-    }
-    if (config.cell_outage_count > 0) {
-      // Whole-cell events touch every UE, so they live on shard 0 like the
-      // telemetry tick; the merged fire order is shard-count-invariant.
-      sim_.set_schedule_shard(0);
-      for (int i = 0; i < config.cell_outage_count; ++i) {
-        const Seconds begin =
-            config.cell_outage_start + i * config.cell_outage_period;
-        sim_.schedule_at(begin, [this] { cell_outage_begin(); });
-        sim_.schedule_at(begin + config.cell_outage_duration,
-                         [this] { cell_outage_end(); });
-      }
-    }
-  }
-
-  CellResult run();
-
- private:
-  enum class Grant { kFree, kReserved, kHeld };
-
-  struct Ue {
-    int id;
-    std::uint64_t seed;   ///< derive_seed(cell_seed, id)
-    Rng rng;              ///< arrival/spec/abort decision stream
-    radio::RrcMachine rrc;
-    net::SharedLink link;
-    browser::CpuScheduler cpu;
-    core::RilStateSwitcher ril;
-    net::WebServer server;
-    corpus::PageGenerator generator;
-    std::optional<net::FaultInjector> faults;
-    std::optional<net::OutageInjector> outage;
-    std::optional<net::ResourceCache> cache;
-    std::vector<std::string> hosted_urls;  ///< per spec index, "" = unhosted
-    std::unique_ptr<net::HttpClient> client;
-    std::unique_ptr<browser::PageLoad> load;
-    std::shared_ptr<obs::TraceRecorder> trace;
-    int generation = 0;        ///< bumps on every teardown; stale events no-op
-    int sessions_started = 0;  ///< per-load seed index
-    UeStats stats;
-
-    Ue(sim::Simulator& sim, const CellConfig& config, int id_)
-        : id(id_),
-          seed(derive_seed(config.cell_seed, static_cast<std::uint64_t>(id_))),
-          rng(derive_seed(seed, kArrivalStream)),
-          rrc(sim, config.per_ue.stack.rrc, config.per_ue.stack.power),
-          link(sim, config.per_ue.stack.link.dch_bandwidth),
-          cpu(sim, config.per_ue.stack.power.cpu_busy_extra),
-          ril(sim, rrc),
-          generator(derive_seed(seed, kGeneratorStream)),
-          hosted_urls(config.specs.size()) {}
-  };
-
-  /// Attaches grant hooks, fault/cache/trace plumbing and the bandwidth
-  /// observer; everything that outlives individual sessions.
-  void wire(Ue& ue) {
-    const auto& stack = config_.per_ue.stack;
-    if (stack.fault_plan.enabled()) {
-      net::FaultPlan plan = stack.fault_plan;
-      plan.seed = derive_seed(ue.seed, kFaultStream);
-      ue.faults.emplace(sim_, ue.link, plan);
-    }
-    if (outage_enabled_) {
-      // A disabled per-UE plan still gets an injector when whole-cell
-      // outages are on: it schedules no windows of its own and exists so
-      // cell_outage_begin/end can drive coverage (and so the plan's
-      // reestablish_fail_rate applies to cell-driven re-establishment too).
-      radio::OutagePlan plan = stack.outage;
-      plan.seed = derive_seed(ue.seed, kOutageStream);
-      ue.outage.emplace(sim_, ue.link, ue.rrc, plan, ue.id);
-      ue.rrc.set_on_rlf([&ue] {
-        if (ue.client) ue.client->on_radio_lost();
-      });
-    }
-    if (stack.use_browser_cache) {
-      ue.cache.emplace(stack.browser_cache_bytes);
-      if (stack.chaos.cache_storm_count > 0) {
-        for (int i = 0; i < stack.chaos.cache_storm_count; ++i) {
-          sim_.schedule_at(
-              stack.chaos.cache_storm_start + i * stack.chaos.cache_storm_period,
-              [&ue] { ue.cache->clear(); });
-        }
-      }
-    }
-    if (stack.chaos.ril_socket_failures > 0) {
-      ue.ril.fail_next(stack.chaos.ril_socket_failures);
-    }
-    if (stack.trace) {
-      ue.trace = std::make_shared<obs::TraceRecorder>();
-      ue.rrc.set_trace(ue.trace.get());
-      ue.link.set_trace(ue.trace.get());
-      ue.ril.set_trace(ue.trace.get());
-      if (ue.faults) ue.faults->set_trace(ue.trace.get());
-      if (ue.outage) ue.outage->set_trace(ue.trace.get());
-    }
-    const int id = ue.id;
-    ue.rrc.set_on_state_change([this, id](radio::RrcState from,
-                                          radio::RrcState to) {
-      if (to == radio::RrcState::kDch && from != radio::RrcState::kDch) {
-        on_dch_enter(id);
-      } else if (from == radio::RrcState::kDch &&
-                 to != radio::RrcState::kDch) {
-        on_dch_exit(id);
-      }
-    });
-    ue.link.set_on_flow_change([this] { rebalance(); });
-  }
-
-  // --- grant pool ---------------------------------------------------------
-
-  void note_busy() {
-    busy_timeline_.set_power(sim_.now(), static_cast<double>(busy_));
-    peak_busy_ = std::max(peak_busy_, busy_);
-    // Piggyback sampling on the grant transition that already fired: exact
-    // occupancy resolution with zero extra simulator events.
-    if (telemetry_) {
-      telemetry_->sample("cell.busy_grants", sim_.now(),
-                         static_cast<double>(busy_));
-    }
-  }
-
-  /// Admission check at session arrival.  A UE still holding a grant from
-  /// its previous session (Original-pipeline tail across a short think
-  /// time) is admitted on that grant — unless the whole cell is down, which
-  /// blocks even grant holders (their grants are mid-drain via RLF).
-  bool try_admit(int id) {
-    if (cell_down_) return false;
-    if (grant_[id] != Grant::kFree) return true;
-    if (busy_ >= config_.channels) return false;
-    grant_[id] = Grant::kReserved;
-    ++busy_;
-    note_busy();
-    return true;
-  }
-
-  void on_dch_enter(int id) {
-    if (grant_[id] == Grant::kReserved) {
-      grant_[id] = Grant::kHeld;
-    } else if (grant_[id] == Grant::kFree) {
-      // Mid-session re-promotion (a stall let T1 demote the radio while the
-      // load was still in flight): take a grant back rather than killing an
-      // admitted session, and count the overcommit when none is free.
-      if (busy_ >= config_.channels) ++overcommits_;
-      grant_[id] = Grant::kHeld;
-      ++busy_;
-      note_busy();
-    }
-    hold_start_[id] = sim_.now();
-  }
-
-  void on_dch_exit(int id) {
-    if (grant_[id] != Grant::kHeld) return;
-    held_total_ += sim_.now() - hold_start_[id];
-    ++hold_intervals_;
-    grant_[id] = Grant::kFree;
-    --busy_;
-    note_busy();
-  }
-
-  /// Session ended without the radio ever promoting (fully cache-served
-  /// load, or an abort before the promotion completed): give the
-  /// reservation back.
-  void release_if_reserved(int id) {
-    if (grant_[id] != Grant::kReserved) return;
-    grant_[id] = Grant::kFree;
-    --busy_;
-    note_busy();
-  }
-
-  // --- whole-cell outages -------------------------------------------------
-
-  /// The cell goes dark: every UE loses coverage at once.  Grants are not
-  /// freed here — each holder drains through its own RLF detection
-  /// (T313-style) into OUT_OF_SERVICE, whose DCH-exit hook frees the grant;
-  /// admission is blocked for the whole window via cell_down_.
-  void cell_outage_begin() {
-    cell_down_ = true;
-    ++cell_outages_;
-    if (telemetry_) {
-      telemetry_->sample("cell.down", sim_.now(), 1.0);
-    }
-    for (auto& ue : ues_) ue->outage->coverage_lost();
-  }
-
-  /// Coverage returns: every RLF'd UE starts re-establishment (bounded
-  /// attempts with backoff), idle campers re-camp silently, and admission
-  /// re-ramps as re-established holders re-acquire grants.
-  void cell_outage_end() {
-    cell_down_ = false;
-    if (telemetry_) {
-      telemetry_->sample("cell.down", sim_.now(), 0.0);
-    }
-    for (auto& ue : ues_) ue->outage->coverage_restored();
-  }
-
-  // --- bandwidth sharing --------------------------------------------------
-
-  /// Recomputes every active UE's link capacity.  Re-entrant calls (a
-  /// set_capacity completing a flow whose callback starts another) fold
-  /// into one loop pass; termination is guaranteed because set_capacity
-  /// no-ops on an unchanged value and no simulated time passes in here.
-  void rebalance() {
-    if (rebalancing_) {
-      rebalance_dirty_ = true;
-      return;
-    }
-    rebalancing_ = true;
-    do {
-      rebalance_dirty_ = false;
-      active_.clear();
-      for (auto& ue : ues_) {
-        if (ue->link.active_flows() > 0 && !ue->link.paused()) {
-          active_.push_back(ue.get());
-        }
-      }
-      if (active_.empty()) continue;
-      if (config_.share == SharePolicy::kRoundRobin) {
-        const BytesPerSecond share =
-            cell_rate_ / static_cast<double>(active_.size());
-        for (Ue* ue : active_) {
-          ue->link.set_capacity(std::clamp(share, 1.0, per_ue_rate_));
-        }
-      } else {
-        double total_weight = 0;
-        for (Ue* ue : active_) {
-          total_weight +=
-              1.0 / (1.0 + static_cast<double>(ue->link.delivered()) /
-                               kFairShareRefBytes);
-        }
-        for (Ue* ue : active_) {
-          const double weight =
-              1.0 / (1.0 + static_cast<double>(ue->link.delivered()) /
-                               kFairShareRefBytes);
-          const BytesPerSecond share = cell_rate_ * weight / total_weight;
-          ue->link.set_capacity(std::clamp(share, 1.0, per_ue_rate_));
-        }
-      }
-    } while (rebalance_dirty_);
-    rebalancing_ = false;
-  }
-
-  // --- session process ----------------------------------------------------
-
-  void schedule_first_arrival(Ue& ue) {
-    const Seconds at = ue.rng.exponential(config_.mean_think_time);
-    if (at >= config_.horizon) return;
-    sim_.schedule_at(at, [this, &ue] { start_session(ue); });
-  }
-
-  void schedule_next_arrival(Ue& ue) {
-    const Seconds at =
-        sim_.now() + ue.rng.exponential(config_.mean_think_time);
-    if (at >= config_.horizon) return;
-    sim_.schedule_at(at, [this, &ue] { start_session(ue); });
-  }
-
-  void start_session(Ue& ue) {
-    ++ue.stats.offered;
-    // Draw the whole per-session decision tuple up front so the stream is
-    // identical whether or not this session is admitted.
-    const std::size_t spec_index = static_cast<std::size_t>(
-        ue.rng.uniform_index(config_.specs.size()));
-    const bool wants_abort =
-        config_.abort_rate > 0 && ue.rng.chance(config_.abort_rate);
-    const Seconds abort_after = wants_abort ? ue.rng.uniform(0.5, 10.0) : 0.0;
-    if (!try_admit(ue.id)) {
-      ++ue.stats.dropped;
-      schedule_next_arrival(ue);
-      return;
-    }
-    ++ue.stats.admitted;
-    begin_load(ue, spec_index, wants_abort, abort_after);
-  }
-
-  void begin_load(Ue& ue, std::size_t spec_index, bool wants_abort,
-                  Seconds abort_after) {
-    // The previous session's objects stay alive through the think time (a
-    // late watchdog or RRC event may still reference them) and are torn
-    // down only now, when the next session needs the slot.
-    if (ue.client) retired_retries_ += ue.client->stats().retries;
-    ue.load.reset();
-    ue.client.reset();
-    ++ue.generation;
-
-    const auto& stack = config_.per_ue.stack;
-    const corpus::PageSpec& spec = config_.specs[spec_index];
-    if (ue.hosted_urls[spec_index].empty()) {
-      ue.hosted_urls[spec_index] = ue.generator.host_page(spec, ue.server);
-    }
-    ue.client = std::make_unique<net::HttpClient>(
-        sim_, ue.server, ue.link, ue.rrc, stack.link,
-        stack.max_parallel_connections);
-    ue.client->set_retry_policy(stack.retry);
-    if (ue.faults) ue.client->set_fault_injector(&*ue.faults);
-    if (ue.cache) ue.client->set_cache(&*ue.cache);
-    if (ue.trace) ue.client->set_trace(ue.trace.get());
-
-    browser::PipelineConfig pipeline = stack.pipeline;
-    pipeline.mobile_page = spec.mobile;
-    const std::uint64_t load_seed = derive_seed(
-        ue.seed, static_cast<std::uint64_t>(ue.sessions_started));
-    ++ue.sessions_started;
-    ue.load = std::make_unique<browser::PageLoad>(sim_, *ue.client, ue.cpu,
-                                                  pipeline, load_seed);
-    if (stack.force_idle_at_tx) {
-      ue.load->set_on_transmission_complete([&ue] { ue.ril.request_idle(); });
-    }
-    if (ue.trace) ue.load->set_trace(ue.trace.get());
-
-    const int gen = ue.generation;
-    ue.load->start(ue.hosted_urls[spec_index],
-                   [this, &ue, gen](const browser::LoadMetrics& m) {
-                     if (ue.generation != gen) return;
-                     on_session_done(ue, m);
-                   });
-    if (wants_abort) {
-      sim_.schedule_in(abort_after, [&ue, gen] {
-        // Stale by the time it fires (the load settled and the next session
-        // replaced it): the generation check makes it a no-op.
-        if (ue.generation == gen && ue.load) ue.load->abort();
-      });
-    }
-  }
-
-  void on_session_done(Ue& ue, const browser::LoadMetrics& m) {
-    if (m.aborted) {
-      ++ue.stats.aborted;
-    } else {
-      ++ue.stats.completed;
-    }
-    ue.stats.total_load_time += m.total_time();
-    ue.stats.total_service_time += m.transmission_time();
-    release_if_reserved(ue.id);
-    schedule_next_arrival(ue);
-  }
-
-  const CellConfig& config_;
-  sim::Simulator sim_;
-  BytesPerSecond per_ue_rate_;
-  BytesPerSecond cell_rate_;
-  std::vector<std::unique_ptr<Ue>> ues_;
-
-  std::vector<Grant> grant_;
-  std::vector<Seconds> hold_start_;
-  const bool outage_enabled_;      ///< any outage knob on (per-UE or cell)
-  bool cell_down_ = false;         ///< inside a whole-cell outage window
-  std::uint64_t cell_outages_ = 0;
-  int busy_ = 0;
-  int peak_busy_ = 0;
-  std::uint64_t overcommits_ = 0;
-  Seconds held_total_ = 0;
-  std::uint64_t hold_intervals_ = 0;
-  PowerTimeline busy_timeline_;  ///< busy-grant count as a step function
-
-  bool rebalancing_ = false;
-  bool rebalance_dirty_ = false;
-  std::vector<Ue*> active_;  ///< scratch for rebalance()
-
-  // --- telemetry ----------------------------------------------------------
-  // Null-sink idiom (DESIGN.md §11): telemetry_ is null when disabled, and
-  // every sampling site is guarded, so a disabled run schedules zero extra
-  // events and stays bit-identical to a build without telemetry.
-
-  /// Samples every cross-layer gauge at simulated time `t`.  Read-only over
-  /// the simulation state: the workload trajectory is unchanged.
-  void sample_gauges(Seconds t) {
-    const radio::RadioPowerModel& power = config_.per_ue.stack.power;
-    int idle = 0, fach = 0, dch = 0, oos = 0;
-    double radio_w = 0, flows = 0, link_bps = 0;
-    double energy_idle = 0, energy_fach = 0, energy_dch = 0, energy_oos = 0;
-    std::uint64_t in_flight = 0, queued = 0, retries = retired_retries_;
-    std::uint64_t offered = 0, dropped = 0, aborted = 0;
-    std::uint64_t rlf = 0, reestablish_ok = 0, reestablish_fail = 0;
-    for (const auto& owner : ues_) {
-      const Ue& ue = *owner;
-      const radio::RrcState state = ue.rrc.state();
-      switch (state) {
-        case radio::RrcState::kIdle: ++idle; break;
-        case radio::RrcState::kFach: ++fach; break;
-        case radio::RrcState::kDch: ++dch; break;
-        case radio::RrcState::kOutOfService: ++oos; break;
-      }
-      radio_w += ue.rrc.power().current_power();
-      // Residency-derived cumulative energy at the nominal per-state dwell
-      // powers (Table 5); transfer and signalling overlays live in the exact
-      // per-UE PowerTimeline, this series tracks where the joules accrue.
-      energy_idle += ue.rrc.time_in(radio::RrcState::kIdle) * power.idle;
-      energy_fach += ue.rrc.time_in(radio::RrcState::kFach) * power.fach;
-      energy_dch +=
-          ue.rrc.time_in(radio::RrcState::kDch) * power.dch_no_transfer;
-      if (outage_enabled_) {
-        energy_oos += ue.rrc.time_in(radio::RrcState::kOutOfService) *
-                      power.out_of_service;
-        rlf += static_cast<std::uint64_t>(ue.rrc.rlf_count());
-        reestablish_ok += static_cast<std::uint64_t>(ue.rrc.reestablish_ok());
-        reestablish_fail +=
-            static_cast<std::uint64_t>(ue.rrc.reestablish_fail());
-      }
-      const std::size_t ue_flows = ue.link.active_flows();
-      flows += static_cast<double>(ue_flows);
-      if (ue_flows > 0 && !ue.link.paused()) link_bps += ue.link.capacity();
-      std::uint64_t ue_fetches = 0;
-      if (ue.client) {
-        in_flight += static_cast<std::uint64_t>(ue.client->in_flight());
-        queued += ue.client->queued();
-        retries += ue.client->stats().retries;
-        ue_fetches = static_cast<std::uint64_t>(ue.client->in_flight()) +
-                     ue.client->queued();
-      }
-      offered += static_cast<std::uint64_t>(ue.stats.offered);
-      dropped += static_cast<std::uint64_t>(ue.stats.dropped);
-      aborted += static_cast<std::uint64_t>(ue.stats.aborted);
-      if (telemetry_->config().per_ue) {
-        char name[32];
-        std::snprintf(name, sizeof name, "ue%03d.rrc_state", ue.id);
-        telemetry_->sample(name, t, static_cast<double>(state));
-        std::snprintf(name, sizeof name, "ue%03d.fetches", ue.id);
-        telemetry_->sample(name, t, static_cast<double>(ue_fetches));
-      }
-    }
-    telemetry_->sample("cell.rrc_idle", t, idle);
-    telemetry_->sample("cell.rrc_fach", t, fach);
-    telemetry_->sample("cell.rrc_dch", t, dch);
-    telemetry_->sample("cell.busy_grants", t, static_cast<double>(busy_));
-    telemetry_->sample("cell.grant_overcommits", t,
-                       static_cast<double>(overcommits_));
-    telemetry_->sample("cell.radio_power_w", t, radio_w);
-    telemetry_->sample("cell.energy_idle_j", t, energy_idle);
-    telemetry_->sample("cell.energy_fach_j", t, energy_fach);
-    telemetry_->sample("cell.energy_dch_j", t, energy_dch);
-    telemetry_->sample("cell.active_flows", t, flows);
-    telemetry_->sample("cell.link_bps", t, link_bps);
-    telemetry_->sample("cell.inflight_fetches", t,
-                       static_cast<double>(in_flight));
-    telemetry_->sample("cell.queued_fetches", t, static_cast<double>(queued));
-    telemetry_->sample("cell.offered", t, static_cast<double>(offered));
-    telemetry_->sample("cell.dropped", t, static_cast<double>(dropped));
-    telemetry_->sample("cell.aborted", t, static_cast<double>(aborted));
-    telemetry_->sample("cell.retries", t, static_cast<double>(retries));
-    // Registered only when an outage knob is on: a disabled run's telemetry
-    // blob stays byte-identical to a build without the radio failure model.
-    if (outage_enabled_) {
-      telemetry_->sample("cell.rrc_oos", t, oos);
-      telemetry_->sample("cell.energy_oos_j", t, energy_oos);
-      telemetry_->sample("cell.rlf", t, static_cast<double>(rlf));
-      telemetry_->sample("cell.reestablish_ok", t,
-                         static_cast<double>(reestablish_ok));
-      telemetry_->sample("cell.reestablish_fail", t,
-                         static_cast<double>(reestablish_fail));
-    }
-  }
-
-  /// Self-rescheduling sampling tick.  The chain ends one tick after the
-  /// workload drains (pending_count() == 0 once we fired), so the run
-  /// terminates exactly as it would without telemetry — just later by the
-  /// tick events themselves; run() excludes that trailing tick from the
-  /// end-of-run accounting.
-  void schedule_tick(Seconds at) {
-    sim_.schedule_at(at, [this, at] {
-      sample_gauges(at);
-      if (sim_.pending_count() > 0) {
-        schedule_tick(at + config_.telemetry_tick);
-      }
-    });
-  }
-
-  std::shared_ptr<obs::Telemetry> telemetry_result_;
-  obs::Telemetry* telemetry_ = nullptr;  ///< null = sampling disabled
-  std::uint64_t retired_retries_ = 0;    ///< retries of torn-down clients
-};
-
-CellResult CellSim::run() {
-  for (auto& ue : ues_) {
-    sim_.set_schedule_shard(ue->id % config_.sim_shards);
-    schedule_first_arrival(*ue);
+  for (auto& ue : ues) {
+    sim.set_schedule_shard(ue->id % config.sim_shards);
+    cell.schedule_first_arrival(*ue);
   }
   Seconds workload_end = 0;
-  if (telemetry_) {
-    // Baseline sample at t=0 (no event needed: the clock hasn't started),
-    // then the self-rescheduling tick.  Ticks live on shard 0; descendants
-    // inherit the firing event's shard, so the chain stays there and the
-    // merged fire order is bit-identical at any shard count.
-    sample_gauges(0.0);
-    sim_.set_schedule_shard(0);
-    schedule_tick(config_.telemetry_tick);
+  if (telemetry) {
+    sim.set_schedule_shard(0);
+    cell.start_telemetry();
     // The trailing tick — the one that finds the queue drained — is always
-    // the very last event, so the event fired just before it is the last
-    // workload event.  Tracking its time makes end_time, every energy
-    // window and mean_busy_grants bit-identical to an unsampled run; the
-    // only observable delta of sampling stays sim_events itself.
-    Seconds current = 0;
-    while (sim_.step()) {
-      workload_end = current;
-      current = sim_.now();
+    // the very last event, so the last non-tick event is the last workload
+    // event.  Tracking its time makes end_time, every energy window and
+    // mean_busy_grants bit-identical to an unsampled run; the only
+    // observable delta of sampling stays sim_events itself.
+    while (sim.step()) {
+      if (!ticks.consume_tick_fired()) workload_end = sim.now();
     }
   } else {
-    sim_.run();
+    sim.run();
   }
-  const Seconds end = telemetry_ ? workload_end : sim_.now();
-  note_busy();
-
-  CellResult result;
-  result.users = config_.users;
-  result.channels = config_.channels;
-  result.end_time = end;
-  result.sim_events = sim_.fired_count();
-  result.grant_overcommits = overcommits_;
-  result.peak_busy_grants = peak_busy_;
-  result.mean_busy_grants = end > 0 ? busy_timeline_.energy(0, end) / end : 0;
-  result.mean_grant_hold =
-      hold_intervals_ > 0 ? held_total_ / static_cast<double>(hold_intervals_)
-                          : 0;
-  result.per_ue.reserve(ues_.size());
-  for (auto& ue : ues_) {
-    ue->stats.energy = core::EnergyReport::measure(
-        PowerTimeline::sum(ue->rrc.power(), ue->cpu.power()), ue->rrc.power(),
-        end, end);
-    ue->stats.trace = ue->trace;
-    ue->stats.radio_outages = ue->outage ? ue->outage->outages_started() : 0;
-    ue->stats.rlf = ue->rrc.rlf_count();
-    ue->stats.reestablish_ok = ue->rrc.reestablish_ok();
-    ue->stats.reestablish_fail = ue->rrc.reestablish_fail();
-    ue->stats.out_of_service_time =
-        ue->rrc.time_in(radio::RrcState::kOutOfService);
-    result.radio_outages += static_cast<std::uint64_t>(ue->stats.radio_outages);
-    result.rlf += static_cast<std::uint64_t>(ue->stats.rlf);
-    result.reestablish_ok +=
-        static_cast<std::uint64_t>(ue->stats.reestablish_ok);
-    result.reestablish_fail +=
-        static_cast<std::uint64_t>(ue->stats.reestablish_fail);
-    result.offered += static_cast<std::uint64_t>(ue->stats.offered);
-    result.dropped += static_cast<std::uint64_t>(ue->stats.dropped);
-    result.completed += static_cast<std::uint64_t>(ue->stats.completed);
-    result.aborted += static_cast<std::uint64_t>(ue->stats.aborted);
-    result.leaked_flows +=
-        static_cast<std::uint64_t>(ue->link.active_flows());
-    result.per_ue.push_back(ue->stats);
-  }
-
-  result.metrics.count("cell.offered", static_cast<double>(result.offered));
-  result.metrics.count("cell.dropped", static_cast<double>(result.dropped));
-  result.metrics.count("cell.completed",
-                       static_cast<double>(result.completed));
-  result.metrics.count("cell.aborted", static_cast<double>(result.aborted));
-  result.metrics.count("cell.grant_overcommits",
-                       static_cast<double>(overcommits_));
-  result.metrics.count("cell.sim_events",
-                       static_cast<double>(result.sim_events));
-  result.metrics.set_max("cell.peak_busy_grants",
-                         static_cast<double>(peak_busy_));
-  result.metrics.set_max("cell.users", static_cast<double>(config_.users));
-  result.metrics.observe("cell.mean_busy_grants", result.mean_busy_grants);
-  result.metrics.observe("cell.drop_probability", result.drop_probability());
-  result.cell_outages = cell_outages_;
-  // Registered only when an outage knob is on, so a disabled run's metrics
-  // snapshot is byte-identical to a build without the radio failure model.
-  if (outage_enabled_) {
-    result.metrics.count("cell.outages", static_cast<double>(cell_outages_));
-    result.metrics.count("cell.radio_outages",
-                         static_cast<double>(result.radio_outages));
-    result.metrics.count("cell.rlf", static_cast<double>(result.rlf));
-    result.metrics.count("cell.reestablish_ok",
-                         static_cast<double>(result.reestablish_ok));
-    result.metrics.count("cell.reestablish_fail",
-                         static_cast<double>(result.reestablish_fail));
-  }
-  result.telemetry = telemetry_result_;
-  return result;
-}
-
-}  // namespace
-
-CellResult run_cell(const CellConfig& config) {
-  validate(config);
-  CellSim sim(config);
-  return sim.run();
+  const Seconds end = telemetry ? workload_end : sim.now();
+  return cell.finalize(end, sim.fired_count());
 }
 
 namespace {
@@ -854,27 +203,47 @@ CellResult deserialize_cell_result(std::string_view bytes) {
   return result;
 }
 
+namespace {
+
+/// The one sweep definition all three deprecated entry points share: shard
+/// i is run_cell(base with users = users_axis[i]).
+core::SweepDriver<CellResult> cell_sweep_driver(
+    const CellConfig& base, const std::vector<int>& users_axis) {
+  core::SweepDriver<CellResult> driver;
+  driver
+      .shard([&base, &users_axis](std::size_t i) {
+        CellConfig config = base;
+        config.users = users_axis[i];
+        return run_cell(config);
+      })
+      .codec(serialize_cell_result,
+             [](std::string_view payload) {
+               return deserialize_cell_result(payload);
+             });
+  return driver;
+}
+
+}  // namespace
+
 core::SupervisorReport run_cell_sweep_streaming(
     const CellConfig& base, const std::vector<int>& users_axis,
     core::Supervisor& supervisor,
     const std::function<void(std::size_t index, const CellResult& result)>&
         consume) {
-  validate(base);
+  validate_cell_config(base);
   if (base.per_ue.stack.trace) {
     throw std::invalid_argument(
         "run_cell_sweep_streaming: tracing cannot cross the process "
         "boundary; use the in-process run_cell_sweep for traced sweeps");
   }
-  return supervisor.run(
-      users_axis.size(),
-      [&](std::size_t i) {  // worker process
-        CellConfig config = base;
-        config.users = users_axis[i];
-        return serialize_cell_result(run_cell(config));
-      },
-      [&](std::size_t i, std::string_view payload) {  // orchestrator
-        if (consume) consume(i, deserialize_cell_result(payload));
-      });
+  core::SweepDriver<CellResult> driver = cell_sweep_driver(base, users_axis);
+  if (consume) {
+    driver.consume([&consume](std::size_t i, CellResult&& result) {
+      consume(i, result);
+    });
+  }
+  return driver.run(users_axis.size(),
+                    core::SweepExecution::supervised(supervisor));
 }
 
 std::vector<CellResult> run_cell_sweep_supervised(
@@ -898,11 +267,11 @@ std::vector<CellResult> run_cell_sweep(const CellConfig& base,
                                        const std::vector<int>& users_axis,
                                        core::BatchRunner& runner) {
   std::vector<CellResult> results(users_axis.size());
-  runner.run_indexed(users_axis.size(), [&](std::size_t i) {
-    CellConfig config = base;
-    config.users = users_axis[i];
-    results[i] = run_cell(config);
+  core::SweepDriver<CellResult> driver = cell_sweep_driver(base, users_axis);
+  driver.consume([&results](std::size_t i, CellResult&& result) {
+    results[i] = std::move(result);
   });
+  driver.run(users_axis.size(), core::SweepExecution::pooled(runner));
   return results;
 }
 

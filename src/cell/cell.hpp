@@ -201,6 +201,8 @@ CellResult run_cell(const CellConfig& config);
 /// Users-axis sweep sharded across a BatchRunner: results[i] is
 /// run_cell(base with users = users_axis[i]), bit-identical to the serial
 /// loop regardless of worker count.
+/// DEPRECATED: thin wrapper over core::SweepDriver<CellResult> (the pooled
+/// tier); new call sites should build the driver directly.
 std::vector<CellResult> run_cell_sweep(const CellConfig& base,
                                        const std::vector<int>& users_axis,
                                        core::BatchRunner& runner);
@@ -225,6 +227,8 @@ CellResult deserialize_cell_result(std::string_view bytes);
 /// must not enable tracing (recorders cannot cross the process boundary);
 /// throws std::invalid_argument otherwise.  Returns the supervision report;
 /// a failed shard surfaces there and `consume` skips it.
+/// DEPRECATED: thin wrapper over core::SweepDriver<CellResult> (the
+/// supervised tier); new call sites should build the driver directly.
 core::SupervisorReport run_cell_sweep_streaming(
     const CellConfig& base, const std::vector<int>& users_axis,
     core::Supervisor& supervisor,
@@ -236,6 +240,8 @@ core::SupervisorReport run_cell_sweep_streaming(
 /// std::runtime_error if any shard failed.  Bit-identical to
 /// run_cell_sweep() over the same axis for any worker count, kill schedule
 /// or resume history.
+/// DEPRECATED: thin wrapper over run_cell_sweep_streaming (itself a
+/// core::SweepDriver wrapper); new call sites should build the driver.
 std::vector<CellResult> run_cell_sweep_supervised(
     const CellConfig& base, const std::vector<int>& users_axis,
     core::Supervisor& supervisor);

@@ -23,7 +23,7 @@ constexpr std::int64_t kFach = 1;
 constexpr std::int64_t kDch = 2;
 constexpr std::int64_t kOos = 3;
 
-enum class Phase { kStable, kPromoting, kReleasing, kReestablishing };
+enum class Phase { kStable, kPromoting, kReleasing, kReestablishing, kHandover };
 
 /// Mutable replay state plus violation collection.
 struct Replay {
@@ -84,6 +84,8 @@ struct Replay {
         return in.rrc.release_power;
       case Phase::kReestablishing:
         return in.rrc.reestablish_power;
+      case Phase::kHandover:
+        return in.rrc.handover_power;
       case Phase::kStable:
         switch (state) {
           case kIdle: return in.power.idle;
@@ -301,6 +303,30 @@ struct Replay {
       case TraceKind::kRrcReestablishFail: {
         if (phase != Phase::kReestablishing) {
           violate(e.t, "re-establishment failed without a matching start");
+        }
+        phase = Phase::kStable;
+        break;
+      }
+      case TraceKind::kRrcHandoverStart: {
+        // A hard handover is commanded only from a stable DCH — never from
+        // FACH/IDLE (that is a reselection, which has no radio exchange)
+        // and never while other signalling is in flight.
+        if (phase != Phase::kStable || state != kDch) {
+          violate(e.t, "handover started off a stable DCH (state=%s)",
+                  state_name(state));
+        }
+        if (e.a != transfers) {
+          violate(e.t,
+                  "handover claims %lld active transfers but replay has %lld",
+                  static_cast<long long>(e.a),
+                  static_cast<long long>(transfers));
+        }
+        phase = Phase::kHandover;
+        break;
+      }
+      case TraceKind::kRrcHandoverDone: {
+        if (phase != Phase::kHandover) {
+          violate(e.t, "handover completed without a matching start");
         }
         phase = Phase::kStable;
         break;

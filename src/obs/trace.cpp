@@ -51,6 +51,11 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kRrcReestablishStart: return "rrc.reestablish_start";
     case TraceKind::kRrcReestablishOk: return "rrc.reestablish_ok";
     case TraceKind::kRrcReestablishFail: return "rrc.reestablish_fail";
+    case TraceKind::kRrcHandoverStart: return "rrc.handover_start";
+    case TraceKind::kRrcHandoverDone: return "rrc.handover_done";
+    case TraceKind::kMetroReselect: return "metro.reselect";
+    case TraceKind::kMetroHandover: return "metro.handover";
+    case TraceKind::kMetroHandoverDrop: return "metro.handover_drop";
   }
   return "?";
 }

@@ -82,6 +82,12 @@ enum class TraceKind : std::uint8_t {
   kRrcReestablishStart,  ///< a = attempt (1-based within one recovery)
   kRrcReestablishOk,     ///< a = attempt that succeeded
   kRrcReestablishFail,   ///< a = attempt that failed
+  // --- metro layer (append-only: values are stable across PRs) -------------
+  kRrcHandoverStart,   ///< hard handover commanded; a = active transfers
+  kRrcHandoverDone,    ///< handover exchange completed on the target cell
+  kMetroReselect,      ///< idle/FACH cell reselection; a = from, b = to cell
+  kMetroHandover,      ///< hard handover admitted; a = from, b = to cell
+  kMetroHandoverDrop,  ///< target had no grant; a = from, b = to cell
 };
 
 /// Short stable label for a kind ("rrc.state_enter", "http.settled", ...).

@@ -61,6 +61,9 @@ void RrcMachine::update_power() {
     case RadioPhase::kReestablishing:
       level = config_.reestablish_power;
       break;
+    case RadioPhase::kHandover:
+      level = config_.handover_power;
+      break;
     case RadioPhase::kStable:
       switch (state_) {
         case RrcState::kIdle: level = power_model_.idle; break;
@@ -292,6 +295,43 @@ bool RrcMachine::force_idle() {
       start_promotion();
     }
   });
+  return true;
+}
+
+bool RrcMachine::start_handover(Ready done) {
+  if (!done) {
+    throw std::invalid_argument("RrcMachine::start_handover: empty callback");
+  }
+  // A hard handover is commanded while the source cell is still serving the
+  // UE: it needs a stable DCH context and a working link.  Anything else —
+  // signalling in flight, FACH/IDLE camping, an open coverage hole — is the
+  // caller's cue to fall back to reselection.
+  if (phase_ != RadioPhase::kStable || state_ != RrcState::kDch) return false;
+  if (link_down_depth_ > 0) return false;
+  if (trace_) [[unlikely]] {
+    trace_->record(sim_.now(), obs::TraceKind::kRrcHandoverStart,
+                   active_transfers_);
+  }
+  phase_ = RadioPhase::kHandover;
+  cancel_timers();
+  update_power();
+  signalling_event_ =
+      sim_.schedule_in(config_.handover_delay, [this, done = std::move(done)] {
+        if (trace_) [[unlikely]] {
+          trace_->record(sim_.now(), obs::TraceKind::kRrcHandoverDone);
+        }
+        ++handovers_;
+        phase_ = RadioPhase::kStable;
+        update_power();
+        // The context lands on the target cell's DCH exactly where the
+        // source left it; with no transfer running the inactivity demotion
+        // resumes, and requests queued during the exchange flush through
+        // the normal path (unless a fade opened meanwhile — recovery
+        // flushes them, as everywhere else).
+        if (active_transfers_ == 0) arm_t1();
+        if (link_down_depth_ == 0) flush_waiting();
+        done();
+      });
   return true;
 }
 

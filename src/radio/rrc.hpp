@@ -26,6 +26,7 @@ enum class RadioPhase {
   kPromoting,       ///< signalling toward DCH
   kReleasing,       ///< fast-dormancy release toward IDLE
   kReestablishing,  ///< RRC re-establishment after radio-link failure
+  kHandover,        ///< hard handover: context moving to another cell
 };
 
 /// The handset radio: RRC states, timers, promotions and fast dormancy.
@@ -100,6 +101,28 @@ class RrcMachine {
   /// in-flight attempts (releasing transfer markers) here, before the
   /// machine tears the timers down and enters OUT_OF_SERVICE.
   void set_on_rlf(std::function<void()> fn) { on_rlf_ = std::move(fn); }
+
+  // --- hard handover (metro layer; DESIGN.md "Metro layer") ----------------
+
+  /// Starts a hard handover: the RRC context (and its DCH) moves to another
+  /// cell in one signalling exchange.  Legal only from stable DCH with the
+  /// link up — a handover is a *managed* transfer commanded while both
+  /// cells are reachable, unlike RLF which is an unmanaged loss.  During
+  /// the exchange the radio signals at handover_power, the inactivity
+  /// timers are parked, and channel requests queue exactly as during a
+  /// promotion.  `done` fires when the exchange completes (the caller
+  /// re-routes flows through the target cell there); it never fires if a
+  /// radio-link failure interrupts the exchange — RLF teardown cancels the
+  /// completion like any other signalling.  Returns whether the handover
+  /// was started.
+  bool start_handover(Ready done);
+
+  /// Hard handovers completed.
+  int handovers() const { return handovers_; }
+
+  /// True while any coverage source holds the radio link down (detection
+  /// window included): a handover must not start into a hole.
+  bool link_down() const { return link_down_depth_ > 0; }
 
   /// Radio-link failures declared (T313 expiry with an RRC connection up).
   int rlf_count() const { return rlf_count_; }
@@ -186,6 +209,7 @@ class RrcMachine {
   int idle_promotions_ = 0;
   int fach_promotions_ = 0;
   int forced_releases_ = 0;
+  int handovers_ = 0;
 
   /// How many coverage sources currently hold the link down (a UE outage
   /// window and a whole-cell outage may overlap; the link is up only when

@@ -75,6 +75,18 @@ struct RrcConfig {
   /// Attempts before the UE gives up, releases the RRC context and falls
   /// back to IDLE (the connection must then be rebuilt from scratch).
   int max_reestablish_attempts = 4;
+
+  // --- hard handover (metro layer; DESIGN.md "Metro layer").  Consulted
+  // only by start_handover(), which nothing calls in a single-cell run.
+
+  /// One hard-handover exchange: measurement report, handover command,
+  /// target-cell radio bearer reconfiguration + L2 re-sync.  Much cheaper
+  /// than an IDLE->DCH setup (the context moves, it is not rebuilt) but
+  /// not free like a timer demotion.
+  Seconds handover_delay = 0.3;
+  /// Mean radio power while the handover exchange is in flight —
+  /// signalling at full transmit power, like an IDLE->DCH promotion.
+  Watts handover_power = 1.55;
 };
 
 /// Whole-phone power levels per state (paper Table 5).

@@ -1,0 +1,131 @@
+// The unified sweep driver: consume order and payloads are bit-identical
+// across the serial, thread-pooled and supervised tiers; the supervised
+// tier demands a codec; shard exceptions propagate in index order.
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace eab::core {
+namespace {
+
+struct Point {
+  std::uint64_t index = 0;
+  std::uint64_t value = 0;
+};
+
+SweepDriver<Point> point_driver(std::vector<Point>* out) {
+  SweepDriver<Point> driver;
+  driver
+      .shard([](std::size_t i) {
+        // Pure function of the index, as the tier-equivalence contract
+        // requires.
+        return Point{i, i * i + 7};
+      })
+      .consume([out](std::size_t i, Point&& p) {
+        EXPECT_EQ(i, p.index);
+        out->push_back(p);
+      })
+      .codec(
+          [](const Point& p) {
+            std::string bytes;
+            BinaryWriter w(bytes);
+            w.u64(p.index);
+            w.u64(p.value);
+            return bytes;
+          },
+          [](std::string_view bytes) {
+            BinaryReader r(bytes);
+            Point p;
+            p.index = r.u64();
+            p.value = r.u64();
+            r.expect_done();
+            return p;
+          });
+  return driver;
+}
+
+void expect_sequence(const std::vector<Point>& points, std::size_t count) {
+  ASSERT_EQ(points.size(), count);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(points[i].index, i);
+    EXPECT_EQ(points[i].value, i * i + 7);
+  }
+}
+
+TEST(SweepDriverTest, AllTiersConsumeTheSameOrderedSequence) {
+  constexpr std::size_t kCount = 17;
+
+  std::vector<Point> serial;
+  auto d1 = point_driver(&serial);
+  EXPECT_TRUE(d1.run(kCount, SweepExecution::serial()).ok());
+  expect_sequence(serial, kCount);
+
+  // Worker counts that do and do not divide the axis, to force reordering
+  // through the contiguous-prefix buffer.
+  for (int workers : {1, 3, 8}) {
+    BatchRunner runner(workers);
+    std::vector<Point> pooled;
+    auto d2 = point_driver(&pooled);
+    EXPECT_TRUE(d2.run(kCount, SweepExecution::pooled(runner)).ok());
+    expect_sequence(pooled, kCount);
+  }
+
+  SupervisorConfig config;
+  config.workers = 3;
+  Supervisor supervisor(config);
+  std::vector<Point> supervised;
+  auto d3 = point_driver(&supervised);
+  const SupervisorReport report =
+      d3.run(kCount, SweepExecution::supervised(supervisor));
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.completed, kCount);
+  expect_sequence(supervised, kCount);
+}
+
+TEST(SweepDriverTest, SupervisedTierRequiresACodec) {
+  SweepDriver<Point> driver;
+  driver.shard([](std::size_t i) { return Point{i, i}; });
+  Supervisor supervisor;
+  EXPECT_THROW(driver.run(2, SweepExecution::supervised(supervisor)),
+               std::invalid_argument);
+  // The in-process tiers never touch the codec.
+  EXPECT_TRUE(driver.run(2, SweepExecution::serial()).ok());
+}
+
+TEST(SweepDriverTest, MissingShardFunctionThrows) {
+  SweepDriver<Point> driver;
+  EXPECT_THROW(driver.run(1, SweepExecution::serial()),
+               std::invalid_argument);
+}
+
+TEST(SweepDriverTest, InProcessTiersPropagateShardExceptions) {
+  SweepDriver<int> driver;
+  driver.shard([](std::size_t i) -> int {
+    if (i == 2) throw std::runtime_error("shard 2 exploded");
+    return static_cast<int>(i);
+  });
+  EXPECT_THROW(driver.run(4, SweepExecution::serial()), std::runtime_error);
+  BatchRunner runner(2);
+  EXPECT_THROW(driver.run(4, SweepExecution::pooled(runner)),
+               std::runtime_error);
+}
+
+TEST(SweepDriverTest, ZeroShardsIsANoOp) {
+  int consumed = 0;
+  SweepDriver<int> driver;
+  driver.shard([](std::size_t i) { return static_cast<int>(i); })
+      .consume([&](std::size_t, int&&) { ++consumed; });
+  const SupervisorReport report = driver.run(0, SweepExecution::serial());
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(consumed, 0);
+}
+
+}  // namespace
+}  // namespace eab::core
